@@ -1,0 +1,218 @@
+//! The [`AlgorithmBank`]: the registry of on-demand functions.
+//!
+//! The host downloads bitstreams for bank members into the
+//! co-processor's ROM; the microcontroller dispatches behavioural
+//! images back through the bank after verifying their digests.
+
+use crate::checksum::Crc32Kernel;
+use crate::crypto::{Aes128, HmacSha1, Sha1, Sha256, TripleDes, Xtea};
+use crate::dsp::{Fir, MatMul8};
+use crate::kernel::{AlgoError, Kernel};
+use crate::netlists::{Adder8Kernel, Crc8Kernel, Parity8Kernel, Popcount8Kernel};
+use aaod_fabric::{DeviceGeometry, FunctionImage};
+use std::sync::Arc;
+
+/// A registry of kernels keyed by algorithm id.
+///
+/// # Examples
+///
+/// ```
+/// use aaod_algos::{ids, AlgorithmBank};
+///
+/// let bank = AlgorithmBank::standard();
+/// assert_eq!(bank.len(), ids::ALL.len());
+/// assert!(bank.kernel(ids::SHA1).is_some());
+/// assert!(bank.kernel(999).is_none());
+/// ```
+#[derive(Clone)]
+pub struct AlgorithmBank {
+    kernels: Vec<Arc<dyn Kernel>>,
+}
+
+impl AlgorithmBank {
+    /// Creates an empty bank.
+    pub fn new() -> Self {
+        AlgorithmBank {
+            kernels: Vec::new(),
+        }
+    }
+
+    /// The standard thirteen-algorithm bank described in the crate docs.
+    pub fn standard() -> Self {
+        let mut bank = AlgorithmBank::new();
+        bank.register(Arc::new(Aes128));
+        bank.register(Arc::new(Xtea));
+        bank.register(Arc::new(Sha1));
+        bank.register(Arc::new(Sha256));
+        bank.register(Arc::new(Crc32Kernel));
+        bank.register(Arc::new(Fir));
+        bank.register(Arc::new(MatMul8));
+        bank.register(Arc::new(Crc8Kernel));
+        bank.register(Arc::new(Adder8Kernel));
+        bank.register(Arc::new(Popcount8Kernel));
+        bank.register(Arc::new(Parity8Kernel));
+        bank.register(Arc::new(TripleDes));
+        bank.register(Arc::new(HmacSha1));
+        bank
+    }
+
+    /// Adds a kernel to the bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a kernel with the same id is already registered —
+    /// duplicate ids would make dispatch ambiguous.
+    pub fn register(&mut self, kernel: Arc<dyn Kernel>) {
+        assert!(
+            self.kernel(kernel.algo_id()).is_none(),
+            "duplicate algorithm id {}",
+            kernel.algo_id()
+        );
+        self.kernels.push(kernel);
+    }
+
+    /// Looks up a kernel by id.
+    pub fn kernel(&self, algo_id: u16) -> Option<&dyn Kernel> {
+        self.kernels
+            .iter()
+            .find(|k| k.algo_id() == algo_id)
+            .map(AsRef::as_ref)
+    }
+
+    /// Number of registered kernels.
+    pub fn len(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Whether the bank is empty.
+    pub fn is_empty(&self) -> bool {
+        self.kernels.is_empty()
+    }
+
+    /// Iterates over the kernels in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Kernel> {
+        self.kernels.iter().map(AsRef::as_ref)
+    }
+
+    /// Builds the configuration image for `algo_id` with its default
+    /// parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlgoError::UnknownAlgorithm`] for an unregistered id,
+    /// or parameter errors from the kernel.
+    pub fn build_image(
+        &self,
+        algo_id: u16,
+        geom: DeviceGeometry,
+    ) -> Result<FunctionImage, AlgoError> {
+        let kernel = self
+            .kernel(algo_id)
+            .ok_or(AlgoError::UnknownAlgorithm(algo_id))?;
+        kernel.build_image(&kernel.default_params(), geom)
+    }
+
+    /// Executes `algo_id` in software with its default parameters (the
+    /// host baseline / golden model).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlgoError::UnknownAlgorithm`] for an unregistered id,
+    /// or input errors from the kernel.
+    pub fn execute_software(&self, algo_id: u16, input: &[u8]) -> Result<Vec<u8>, AlgoError> {
+        let kernel = self
+            .kernel(algo_id)
+            .ok_or(AlgoError::UnknownAlgorithm(algo_id))?;
+        kernel.execute(&kernel.default_params(), input)
+    }
+}
+
+impl Default for AlgorithmBank {
+    fn default() -> Self {
+        AlgorithmBank::standard()
+    }
+}
+
+impl std::fmt::Debug for AlgorithmBank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AlgorithmBank")
+            .field("kernels", &self.kernels.iter().map(|k| k.name()).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids;
+
+    #[test]
+    fn standard_bank_has_all_ids() {
+        let bank = AlgorithmBank::standard();
+        for id in ids::ALL {
+            assert!(bank.kernel(id).is_some(), "missing {id}");
+        }
+        assert_eq!(bank.len(), 13);
+        assert!(!bank.is_empty());
+    }
+
+    #[test]
+    fn every_kernel_builds_a_decodable_image() {
+        let bank = AlgorithmBank::standard();
+        let geom = DeviceGeometry::default();
+        for kernel in bank.iter() {
+            let img = bank.build_image(kernel.algo_id(), geom).unwrap();
+            assert_eq!(img.algo_id(), kernel.algo_id());
+            // round-trip through frames
+            let frames = img.encode(geom);
+            let back = FunctionImage::decode_frames(&frames, geom).unwrap();
+            assert_eq!(back, img, "{}", kernel.name());
+            back.kind().unwrap();
+        }
+    }
+
+    #[test]
+    fn images_fit_the_default_device() {
+        let bank = AlgorithmBank::standard();
+        let geom = DeviceGeometry::default();
+        let total: usize = bank
+            .iter()
+            .map(|k| bank.build_image(k.algo_id(), geom).unwrap().frames_needed(geom))
+            .sum();
+        // The full bank should overcommit the device (otherwise the
+        // replacement policy would never trigger) but each function
+        // must fit alone.
+        assert!(total > geom.frames(), "bank too small: {total} frames");
+        for kernel in bank.iter() {
+            let frames = bank
+                .build_image(kernel.algo_id(), geom)
+                .unwrap()
+                .frames_needed(geom);
+            assert!(frames <= geom.frames(), "{} does not fit", kernel.name());
+        }
+    }
+
+    #[test]
+    fn unknown_id_errors() {
+        let bank = AlgorithmBank::standard();
+        assert!(matches!(
+            bank.build_image(999, DeviceGeometry::default()),
+            Err(AlgoError::UnknownAlgorithm(999))
+        ));
+        assert!(bank.execute_software(999, &[]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate algorithm id")]
+    fn duplicate_registration_panics() {
+        let mut bank = AlgorithmBank::standard();
+        bank.register(Arc::new(crate::crypto::Aes128));
+    }
+
+    #[test]
+    fn debug_lists_names() {
+        let s = format!("{:?}", AlgorithmBank::standard());
+        assert!(s.contains("aes128"));
+        assert!(s.contains("parity8"));
+    }
+}

@@ -1,0 +1,328 @@
+//! AES-128 (ECB encryption) kernel.
+//!
+//! From-scratch FIPS-197 implementation. The co-processor image embeds
+//! the 16-byte key as kernel parameters; a pipelined AES core on a
+//! Virtex-II-class fabric sustains about one block per cycle once the
+//! 11-stage pipeline is full, which the fabric cycle model reflects.
+
+use crate::filler::behavioral_image;
+use crate::ids;
+use crate::kernel::{AlgoError, Kernel};
+use aaod_fabric::{DeviceGeometry, FunctionImage};
+
+/// AES S-box.
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+/// Round constants for key expansion.
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+fn xtime(b: u8) -> u8 {
+    let hi = b & 0x80 != 0;
+    let mut r = b << 1;
+    if hi {
+        r ^= 0x1b;
+    }
+    r
+}
+
+/// Expands a 16-byte key into 11 round keys.
+fn expand_key(key: &[u8; 16]) -> [[u8; 16]; 11] {
+    let mut w = [[0u8; 4]; 44];
+    for i in 0..4 {
+        w[i].copy_from_slice(&key[i * 4..i * 4 + 4]);
+    }
+    for i in 4..44 {
+        let mut t = w[i - 1];
+        if i % 4 == 0 {
+            t.rotate_left(1);
+            for b in &mut t {
+                *b = SBOX[*b as usize];
+            }
+            t[0] ^= RCON[i / 4 - 1];
+        }
+        for j in 0..4 {
+            w[i][j] = w[i - 4][j] ^ t[j];
+        }
+    }
+    let mut rk = [[0u8; 16]; 11];
+    for (r, round_key) in rk.iter_mut().enumerate() {
+        for c in 0..4 {
+            round_key[c * 4..c * 4 + 4].copy_from_slice(&w[r * 4 + c]);
+        }
+    }
+    rk
+}
+
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for i in 0..16 {
+        state[i] ^= rk[i];
+    }
+}
+
+fn sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+fn shift_rows(state: &mut [u8; 16]) {
+    // state is column-major: state[c*4 + r]
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[c * 4 + r] = s[((c + r) % 4) * 4 + r];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [
+            state[c * 4],
+            state[c * 4 + 1],
+            state[c * 4 + 2],
+            state[c * 4 + 3],
+        ];
+        state[c * 4] = xtime(col[0]) ^ (xtime(col[1]) ^ col[1]) ^ col[2] ^ col[3];
+        state[c * 4 + 1] = col[0] ^ xtime(col[1]) ^ (xtime(col[2]) ^ col[2]) ^ col[3];
+        state[c * 4 + 2] = col[0] ^ col[1] ^ xtime(col[2]) ^ (xtime(col[3]) ^ col[3]);
+        state[c * 4 + 3] = (xtime(col[0]) ^ col[0]) ^ col[1] ^ col[2] ^ xtime(col[3]);
+    }
+}
+
+/// Encrypts one 16-byte block with the expanded key.
+pub fn encrypt_block(block: &[u8; 16], round_keys: &[[u8; 16]; 11]) -> [u8; 16] {
+    let mut state = *block;
+    add_round_key(&mut state, &round_keys[0]);
+    for rk in round_keys.iter().take(10).skip(1) {
+        sub_bytes(&mut state);
+        shift_rows(&mut state);
+        mix_columns(&mut state);
+        add_round_key(&mut state, rk);
+    }
+    sub_bytes(&mut state);
+    shift_rows(&mut state);
+    add_round_key(&mut state, &round_keys[10]);
+    state
+}
+
+/// The AES-128 kernel (ECB encryption over zero-padded 16-byte blocks).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Aes128;
+
+impl Kernel for Aes128 {
+    fn algo_id(&self) -> u16 {
+        ids::AES128
+    }
+
+    fn name(&self) -> &'static str {
+        "aes128"
+    }
+
+    fn default_params(&self) -> Vec<u8> {
+        (0u8..16).collect()
+    }
+
+    fn execute(&self, params: &[u8], input: &[u8]) -> Result<Vec<u8>, AlgoError> {
+        let key: [u8; 16] = params.try_into().map_err(|_| AlgoError::BadParams {
+            kernel: "aes128",
+            reason: format!("key must be 16 bytes, got {}", params.len()),
+        })?;
+        let rk = expand_key(&key);
+        let mut out = Vec::with_capacity(input.len().div_ceil(16) * 16);
+        for chunk in input.chunks(16) {
+            let mut block = [0u8; 16];
+            block[..chunk.len()].copy_from_slice(chunk);
+            out.extend_from_slice(&encrypt_block(&block, &rk));
+        }
+        Ok(out)
+    }
+
+    fn input_width(&self) -> u16 {
+        16
+    }
+
+    fn output_width(&self) -> u16 {
+        16
+    }
+
+    fn build_image(
+        &self,
+        params: &[u8],
+        geom: DeviceGeometry,
+    ) -> Result<FunctionImage, AlgoError> {
+        if params.len() != 16 {
+            return Err(AlgoError::BadParams {
+                kernel: "aes128",
+                reason: format!("key must be 16 bytes, got {}", params.len()),
+            });
+        }
+        // A pipelined AES-128 core is a large design: ~24 frames.
+        Ok(behavioral_image(
+            self.algo_id(),
+            params,
+            self.input_width(),
+            self.output_width(),
+            24,
+            geom,
+        ))
+    }
+
+    fn fabric_cycles(&self, input_len: usize) -> u64 {
+        // 11-stage pipeline: fill once, then one block per cycle.
+        11 + input_len.div_ceil(16) as u64
+    }
+
+    fn software_cycles(&self, input_len: usize) -> u64 {
+        // ~60 cycles/byte for portable (non-assembly) AES on a 2005
+        // desktop CPU, plus the key schedule.
+        60 * input_len as u64 + 2000
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// FIPS-197 Appendix B example.
+    #[test]
+    fn fips197_vector() {
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let pt = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let expected = [
+            0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+            0x0b, 0x32,
+        ];
+        let rk = expand_key(&key);
+        assert_eq!(encrypt_block(&pt, &rk), expected);
+    }
+
+    /// FIPS-197 Appendix C.1 (key 000102...0f, pt 00112233...ff).
+    #[test]
+    fn fips197_appendix_c1() {
+        let key: [u8; 16] = (0u8..16).collect::<Vec<_>>().try_into().unwrap();
+        let pt: [u8; 16] = (0..16u8)
+            .map(|i| i * 0x11)
+            .collect::<Vec<_>>()
+            .try_into()
+            .unwrap();
+        let expected = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+            0xc5, 0x5a,
+        ];
+        let rk = expand_key(&key);
+        assert_eq!(encrypt_block(&pt, &rk), expected);
+    }
+
+    /// NIST SP 800-38A F.1.1 (AES-128 ECB, 4 blocks).
+    #[test]
+    fn nist_sp800_38a_ecb_vectors() {
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let rk = expand_key(&key);
+        let cases: [([u8; 16], [u8; 16]); 2] = [
+            (
+                [
+                    0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96, 0xe9, 0x3d, 0x7e, 0x11,
+                    0x73, 0x93, 0x17, 0x2a,
+                ],
+                [
+                    0x3a, 0xd7, 0x7b, 0xb4, 0x0d, 0x7a, 0x36, 0x60, 0xa8, 0x9e, 0xca, 0xf3,
+                    0x24, 0x66, 0xef, 0x97,
+                ],
+            ),
+            (
+                [
+                    0xae, 0x2d, 0x8a, 0x57, 0x1e, 0x03, 0xac, 0x9c, 0x9e, 0xb7, 0x6f, 0xac,
+                    0x45, 0xaf, 0x8e, 0x51,
+                ],
+                [
+                    0xf5, 0xd3, 0xd5, 0x85, 0x03, 0xb9, 0x69, 0x9d, 0xe7, 0x85, 0x89, 0x5a,
+                    0x96, 0xfd, 0xba, 0xaf,
+                ],
+            ),
+        ];
+        for (pt, ct) in cases {
+            assert_eq!(encrypt_block(&pt, &rk), ct);
+        }
+    }
+
+    #[test]
+    fn kernel_pads_partial_blocks() {
+        let aes = Aes128;
+        let out = aes.execute(&aes.default_params(), &[1, 2, 3]).unwrap();
+        assert_eq!(out.len(), 16);
+        // equals encrypting the zero-padded block
+        let mut block = [0u8; 16];
+        block[..3].copy_from_slice(&[1, 2, 3]);
+        let direct = aes.execute(&aes.default_params(), &block).unwrap();
+        assert_eq!(out, direct);
+    }
+
+    #[test]
+    fn bad_key_rejected() {
+        let aes = Aes128;
+        assert!(matches!(
+            aes.execute(&[0; 5], b"x"),
+            Err(AlgoError::BadParams { .. })
+        ));
+        assert!(aes
+            .build_image(&[0; 5], DeviceGeometry::default())
+            .is_err());
+    }
+
+    #[test]
+    fn image_embeds_key_and_occupies_24_frames() {
+        use aaod_fabric::FunctionKind;
+        let aes = Aes128;
+        let geom = DeviceGeometry::default();
+        let img = aes.build_image(&aes.default_params(), geom).unwrap();
+        assert_eq!(img.frames_needed(geom), 24);
+        match img.kind().unwrap() {
+            FunctionKind::Behavioral { params } => assert_eq!(params, aes.default_params()),
+            other => panic!("wrong kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fabric_beats_software() {
+        let aes = Aes128;
+        assert!(aes.fabric_cycles(4096) * 60 < aes.software_cycles(4096));
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        let aes = Aes128;
+        assert!(aes
+            .execute(&aes.default_params(), &[])
+            .unwrap()
+            .is_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! HMAC-SHA-1 kernel — the actual IPSec AH/ESP authenticator.
+//!
+//! Composes the bank's SHA-1 with the RFC 2104 construction. The key
+//! lives in the function image's parameters, so "re-keying" the
+//! authenticator is a reconfiguration — exactly the agile usage the
+//! paper targets.
+
+use crate::crypto::sha1::sha1;
+use crate::filler::behavioral_image;
+use crate::ids;
+use crate::kernel::{AlgoError, Kernel};
+use aaod_fabric::{DeviceGeometry, FunctionImage};
+
+const BLOCK: usize = 64;
+
+/// Computes HMAC-SHA-1 per RFC 2104.
+pub fn hmac_sha1(key: &[u8], message: &[u8]) -> [u8; 20] {
+    let mut k = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        k[..20].copy_from_slice(&sha1(key));
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+    let mut inner = Vec::with_capacity(BLOCK + message.len());
+    let mut outer = Vec::with_capacity(BLOCK + 20);
+    for &b in &k {
+        inner.push(b ^ 0x36);
+    }
+    inner.extend_from_slice(message);
+    for &b in &k {
+        outer.push(b ^ 0x5C);
+    }
+    outer.extend_from_slice(&sha1(&inner));
+    sha1(&outer)
+}
+
+/// The HMAC-SHA-1 kernel. Parameters: the MAC key (1..=64 bytes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HmacSha1;
+
+fn check_key(params: &[u8]) -> Result<(), AlgoError> {
+    if params.is_empty() || params.len() > BLOCK {
+        return Err(AlgoError::BadParams {
+            kernel: "hmac-sha1",
+            reason: format!("key must be 1..=64 bytes, got {}", params.len()),
+        });
+    }
+    Ok(())
+}
+
+impl Kernel for HmacSha1 {
+    fn algo_id(&self) -> u16 {
+        ids::HMAC_SHA1
+    }
+
+    fn name(&self) -> &'static str {
+        "hmac-sha1"
+    }
+
+    fn default_params(&self) -> Vec<u8> {
+        vec![0x0B; 20]
+    }
+
+    fn execute(&self, params: &[u8], input: &[u8]) -> Result<Vec<u8>, AlgoError> {
+        check_key(params)?;
+        Ok(hmac_sha1(params, input).to_vec())
+    }
+
+    fn input_width(&self) -> u16 {
+        64
+    }
+
+    fn output_width(&self) -> u16 {
+        20
+    }
+
+    fn build_image(
+        &self,
+        params: &[u8],
+        geom: DeviceGeometry,
+    ) -> Result<FunctionImage, AlgoError> {
+        check_key(params)?;
+        // SHA-1 core + the HMAC wrapper state: ~14 frames.
+        Ok(behavioral_image(
+            self.algo_id(),
+            params,
+            self.input_width(),
+            self.output_width(),
+            14,
+            geom,
+        ))
+    }
+
+    fn fabric_cycles(&self, input_len: usize) -> u64 {
+        // inner hash over (block + message) + outer hash over 84 bytes
+        let inner_blocks = (input_len + BLOCK + 9).div_ceil(BLOCK) as u64;
+        80 * (inner_blocks + 2) + 16
+    }
+
+    fn software_cycles(&self, input_len: usize) -> u64 {
+        15 * (input_len as u64 + 3 * BLOCK as u64) + 800
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// RFC 2202 test case 1.
+    #[test]
+    fn rfc2202_case1() {
+        let key = [0x0Bu8; 20];
+        let mac = hmac_sha1(&key, b"Hi There");
+        assert_eq!(hex(&mac), "b617318655057264e28bc0b6fb378c8ef146be00");
+    }
+
+    /// RFC 2202 test case 2 ("Jefe").
+    #[test]
+    fn rfc2202_case2() {
+        let mac = hmac_sha1(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(hex(&mac), "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+    }
+
+    /// RFC 2202 test case 3 (0xAA key, 0xDD data).
+    #[test]
+    fn rfc2202_case3() {
+        let key = [0xAAu8; 20];
+        let data = [0xDDu8; 50];
+        let mac = hmac_sha1(&key, &data);
+        assert_eq!(hex(&mac), "125d7342b9ac11cd91a39af48aa17b4f63f175d3");
+    }
+
+    /// Keys longer than a block are hashed first (RFC 2202 case 6).
+    #[test]
+    fn long_key_is_hashed() {
+        let key = [0xAAu8; 80];
+        let mac = hmac_sha1(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(hex(&mac), "aa4ae5e15272d00e95705637ce8a3b55ed402112");
+    }
+
+    #[test]
+    fn kernel_rejects_bad_keys() {
+        assert!(HmacSha1.execute(&[], b"x").is_err());
+        assert!(HmacSha1.execute(&[0; 65], b"x").is_err());
+    }
+
+    #[test]
+    fn kernel_matches_function() {
+        let k = HmacSha1;
+        let out = k.execute(&k.default_params(), b"Hi There").unwrap();
+        assert_eq!(hex(&out), "b617318655057264e28bc0b6fb378c8ef146be00");
+    }
+}

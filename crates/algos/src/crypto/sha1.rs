@@ -1,0 +1,170 @@
+//! SHA-1 digest kernel.
+//!
+//! FIPS 180-1 implementation. IPSec AH/ESP authentication — the
+//! paper's reference workload — used HMAC-SHA-1, so a hash core is a
+//! natural resident of the algorithm bank. (SHA-1 is cryptographically
+//! broken today; it is reproduced here as the 2005-era workload, not
+//! as a security recommendation.)
+
+use crate::filler::behavioral_image;
+use crate::ids;
+use crate::kernel::{AlgoError, Kernel};
+use aaod_fabric::{DeviceGeometry, FunctionImage};
+
+/// Computes the SHA-1 digest of `data`.
+pub fn sha1(data: &[u8]) -> [u8; 20] {
+    let mut h: [u32; 5] = [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0];
+    let mut msg = data.to_vec();
+    let bit_len = (data.len() as u64) * 8;
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&bit_len.to_be_bytes());
+
+    for block in msg.chunks_exact(64) {
+        let mut w = [0u32; 80];
+        for (i, word) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let (mut a, mut b, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A82_7999),
+                20..=39 => (b ^ c ^ d, 0x6ED9_EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
+                _ => (b ^ c ^ d, 0xCA62_C1D6),
+            };
+            let t = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = t;
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+    }
+    let mut out = [0u8; 20];
+    for (i, word) in h.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+/// The SHA-1 kernel. No parameters; output is the 20-byte digest.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Sha1;
+
+impl Kernel for Sha1 {
+    fn algo_id(&self) -> u16 {
+        ids::SHA1
+    }
+
+    fn name(&self) -> &'static str {
+        "sha1"
+    }
+
+    fn default_params(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    fn execute(&self, params: &[u8], input: &[u8]) -> Result<Vec<u8>, AlgoError> {
+        if !params.is_empty() {
+            return Err(AlgoError::BadParams {
+                kernel: "sha1",
+                reason: "takes no parameters".into(),
+            });
+        }
+        Ok(sha1(input).to_vec())
+    }
+
+    fn input_width(&self) -> u16 {
+        64
+    }
+
+    fn output_width(&self) -> u16 {
+        20
+    }
+
+    fn build_image(
+        &self,
+        params: &[u8],
+        geom: DeviceGeometry,
+    ) -> Result<FunctionImage, AlgoError> {
+        if !params.is_empty() {
+            return Err(AlgoError::BadParams {
+                kernel: "sha1",
+                reason: "takes no parameters".into(),
+            });
+        }
+        // One-round-per-cycle SHA-1 core: ~12 frames.
+        Ok(behavioral_image(
+            self.algo_id(),
+            params,
+            self.input_width(),
+            self.output_width(),
+            12,
+            geom,
+        ))
+    }
+
+    fn fabric_cycles(&self, input_len: usize) -> u64 {
+        // 80 rounds per 64-byte block, one round per cycle.
+        let blocks = (input_len + 9).div_ceil(64) as u64;
+        80 * blocks + 8
+    }
+
+    fn software_cycles(&self, input_len: usize) -> u64 {
+        // ~15 cycles/byte in software
+        15 * input_len as u64 + 500
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn fips_vectors() {
+        assert_eq!(hex(&sha1(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(
+            hex(&sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+        assert_eq!(hex(&sha1(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    }
+
+    #[test]
+    fn million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(hex(&sha1(&data)), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+    }
+
+    #[test]
+    fn kernel_rejects_params() {
+        assert!(Sha1.execute(&[1], b"x").is_err());
+        assert!(Sha1.build_image(&[1], DeviceGeometry::default()).is_err());
+    }
+
+    #[test]
+    fn kernel_digest_length() {
+        let out = Sha1.execute(&[], b"hello").unwrap();
+        assert_eq!(out.len(), 20);
+    }
+}

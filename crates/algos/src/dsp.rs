@@ -1,0 +1,286 @@
+//! DSP kernels: FIR filter and 8×8 matrix multiply.
+//!
+//! The abstract's "growing computational needs of many real-world
+//! applications" extends beyond crypto; filtering and small dense
+//! linear algebra are classic FPGA co-processor workloads and give the
+//! bank functions with very different area/throughput trade-offs.
+
+use crate::filler::behavioral_image;
+use crate::ids;
+use crate::kernel::{AlgoError, Kernel};
+use aaod_fabric::{DeviceGeometry, FunctionImage};
+
+/// FIR filter over little-endian `i16` samples.
+///
+/// Parameters: `taps` i16 coefficients (LE), at least one, at most 64.
+/// Output `y[n] = Σ coeff[k] · x[n−k]` with saturating accumulation to
+/// i16 and zero history before the stream starts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Fir;
+
+fn parse_coeffs(params: &[u8]) -> Result<Vec<i16>, AlgoError> {
+    if params.is_empty() || !params.len().is_multiple_of(2) {
+        return Err(AlgoError::BadParams {
+            kernel: "fir",
+            reason: format!("coefficients must be non-empty i16 pairs, got {} bytes", params.len()),
+        });
+    }
+    let taps = params.len() / 2;
+    if taps > 64 {
+        return Err(AlgoError::BadParams {
+            kernel: "fir",
+            reason: format!("at most 64 taps, got {taps}"),
+        });
+    }
+    Ok(params
+        .chunks_exact(2)
+        .map(|c| i16::from_le_bytes([c[0], c[1]]))
+        .collect())
+}
+
+impl Kernel for Fir {
+    fn algo_id(&self) -> u16 {
+        ids::FIR
+    }
+
+    fn name(&self) -> &'static str {
+        "fir"
+    }
+
+    fn default_params(&self) -> Vec<u8> {
+        // 8-tap moving-average-like low-pass with a peak in the middle
+        let coeffs: [i16; 8] = [1, 3, 7, 13, 13, 7, 3, 1];
+        coeffs.iter().flat_map(|c| c.to_le_bytes()).collect()
+    }
+
+    fn execute(&self, params: &[u8], input: &[u8]) -> Result<Vec<u8>, AlgoError> {
+        let coeffs = parse_coeffs(params)?;
+        // zero-pad a trailing odd byte (the data-input module pads
+        // transfers to the record's bus width)
+        let samples: Vec<i16> = input
+            .chunks(2)
+            .map(|c| i16::from_le_bytes([c[0], *c.get(1).unwrap_or(&0)]))
+            .collect();
+        let mut out = Vec::with_capacity(input.len());
+        for n in 0..samples.len() {
+            let mut acc: i64 = 0;
+            for (k, &c) in coeffs.iter().enumerate() {
+                if n >= k {
+                    acc += c as i64 * samples[n - k] as i64;
+                }
+            }
+            let y = acc.clamp(i16::MIN as i64, i16::MAX as i64) as i16;
+            out.extend_from_slice(&y.to_le_bytes());
+        }
+        Ok(out)
+    }
+
+    fn input_width(&self) -> u16 {
+        2
+    }
+
+    fn output_width(&self) -> u16 {
+        2
+    }
+
+    fn build_image(
+        &self,
+        params: &[u8],
+        geom: DeviceGeometry,
+    ) -> Result<FunctionImage, AlgoError> {
+        let coeffs = parse_coeffs(params)?;
+        // One MAC column per tap: frames scale with tap count.
+        let frames = 2 + coeffs.len() / 4;
+        Ok(behavioral_image(
+            self.algo_id(),
+            params,
+            self.input_width(),
+            self.output_width(),
+            frames,
+            geom,
+        ))
+    }
+
+    fn fabric_cycles(&self, input_len: usize) -> u64 {
+        // fully parallel MAC array: one sample per cycle after fill
+        (input_len / 2) as u64 + 8
+    }
+
+    fn software_cycles(&self, input_len: usize) -> u64 {
+        // taps unknown here; assume the default 8 taps, 2 cycles per MAC
+        (input_len / 2) as u64 * 16 + 100
+    }
+}
+
+/// 8×8 byte matrix multiply (wrapping arithmetic modulo 256).
+///
+/// Input: pairs of 64-byte row-major matrices `A`, `B`; output: the
+/// 64-byte product per pair. No parameters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatMul8;
+
+impl Kernel for MatMul8 {
+    fn algo_id(&self) -> u16 {
+        ids::MATMUL8
+    }
+
+    fn name(&self) -> &'static str {
+        "matmul8"
+    }
+
+    fn default_params(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    fn execute(&self, params: &[u8], input: &[u8]) -> Result<Vec<u8>, AlgoError> {
+        if !params.is_empty() {
+            return Err(AlgoError::BadParams {
+                kernel: "matmul8",
+                reason: "takes no parameters".into(),
+            });
+        }
+        let mut out = Vec::with_capacity(input.len().div_ceil(128) * 64);
+        for chunk in input.chunks(128) {
+            // zero-pad a partial trailing pair, as the data-input
+            // module pads transfers to the record's bus width
+            let mut pair = [0u8; 128];
+            pair[..chunk.len()].copy_from_slice(chunk);
+            let (a, b) = pair.split_at(64);
+            for i in 0..8 {
+                for j in 0..8 {
+                    let mut acc = 0u8;
+                    for (k, bk) in b.chunks_exact(8).enumerate() {
+                        acc = acc.wrapping_add(a[i * 8 + k].wrapping_mul(bk[j]));
+                    }
+                    out.push(acc);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn input_width(&self) -> u16 {
+        128
+    }
+
+    fn output_width(&self) -> u16 {
+        64
+    }
+
+    fn build_image(
+        &self,
+        params: &[u8],
+        geom: DeviceGeometry,
+    ) -> Result<FunctionImage, AlgoError> {
+        if !params.is_empty() {
+            return Err(AlgoError::BadParams {
+                kernel: "matmul8",
+                reason: "takes no parameters".into(),
+            });
+        }
+        // A systolic 8x8 array is the largest function in the bank: 32 frames.
+        Ok(behavioral_image(
+            self.algo_id(),
+            params,
+            self.input_width(),
+            self.output_width(),
+            32,
+            geom,
+        ))
+    }
+
+    fn fabric_cycles(&self, input_len: usize) -> u64 {
+        // systolic array: ~8 cycles per matrix pair after fill
+        8 * (input_len / 128) as u64 + 16
+    }
+
+    fn software_cycles(&self, input_len: usize) -> u64 {
+        // 512 naive byte MACs (~6 cycles each with loads) per pair
+        3072 * (input_len / 128) as u64 + 50
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fir_impulse_response_is_coefficients() {
+        let fir = Fir;
+        let params = fir.default_params();
+        // impulse: 1 followed by zeros
+        let mut input = vec![0u8; 32];
+        input[0] = 1;
+        let out = fir.execute(&params, &input).unwrap();
+        let ys: Vec<i16> = out
+            .chunks_exact(2)
+            .map(|c| i16::from_le_bytes([c[0], c[1]]))
+            .collect();
+        assert_eq!(&ys[..8], &[1, 3, 7, 13, 13, 7, 3, 1]);
+        assert!(ys[8..].iter().all(|&y| y == 0));
+    }
+
+    #[test]
+    fn fir_saturates() {
+        let fir = Fir;
+        let params: Vec<u8> = [i16::MAX].iter().flat_map(|c| c.to_le_bytes()).collect();
+        let input: Vec<u8> = [i16::MAX, i16::MAX]
+            .iter()
+            .flat_map(|s| s.to_le_bytes())
+            .collect();
+        let out = fir.execute(&params, &input).unwrap();
+        let y0 = i16::from_le_bytes([out[0], out[1]]);
+        assert_eq!(y0, i16::MAX); // MAX*MAX clamps
+    }
+
+    #[test]
+    fn fir_rejects_bad_params_and_pads_odd_input() {
+        assert!(Fir.execute(&[], &[0, 0]).is_err()); // no taps
+        assert!(Fir.execute(&[1], &[0, 0]).is_err()); // odd params
+        assert!(Fir.execute(&[0u8; 130], &[]).is_err()); // >64 taps
+        // odd input byte is zero-padded into a final sample
+        let out = Fir.execute(&Fir.default_params(), &[1]).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let mut identity = [0u8; 64];
+        for i in 0..8 {
+            identity[i * 8 + i] = 1;
+        }
+        let a: Vec<u8> = (0..64u8).collect();
+        let mut input = a.clone();
+        input.extend_from_slice(&identity);
+        let out = MatMul8.execute(&[], &input).unwrap();
+        assert_eq!(out, a);
+    }
+
+    #[test]
+    fn matmul_wrapping() {
+        let a = [255u8; 64];
+        let b = [2u8; 64];
+        let mut input = a.to_vec();
+        input.extend_from_slice(&b);
+        let out = MatMul8.execute(&[], &input).unwrap();
+        // each entry: sum of 8 * (255*2 mod 256) = 8 * 254 mod 256 = 2032 mod 256 = 240
+        assert!(out.iter().all(|&x| x == 240), "{:?}", &out[..8]);
+    }
+
+    #[test]
+    fn matmul_pads_partial_pairs_and_rejects_params() {
+        // A lone matrix is multiplied by the zero matrix.
+        let out = MatMul8.execute(&[], &[1; 64]).unwrap();
+        assert_eq!(out, vec![0u8; 64]);
+        assert!(MatMul8.execute(&[1], &[0; 128]).is_err());
+    }
+
+    #[test]
+    fn fir_frames_scale_with_taps() {
+        let geom = DeviceGeometry::default();
+        let few = Fir.build_image(&Fir.default_params(), geom).unwrap();
+        let many_params: Vec<u8> = (0..32i16).flat_map(|c| c.to_le_bytes()).collect();
+        let many = Fir.build_image(&many_params, geom).unwrap();
+        assert!(many.frames_needed(geom) > few.frames_needed(geom));
+    }
+}

@@ -1,0 +1,168 @@
+//! Synthetic configuration filler for behavioural kernels.
+//!
+//! A real AES or SHA core occupies thousands of LUTs whose
+//! configuration bytes we do not synthesise. What matters for the
+//! co-processor experiments is their *statistics* — compression
+//! ratios (E2) and reconfiguration volumes (E3) depend on how sparse
+//! and self-similar the configuration data is. [`generate`] produces
+//! filler with realistic bitstream structure:
+//!
+//! * long zero stretches (unused LUTs and routing),
+//! * a small set of column motifs repeated with point mutations
+//!   (the CLB-column symmetry the paper's conclusion highlights),
+//! * occasional dense random words (routing switch boxes).
+//!
+//! Deterministic in the seed, so every experiment is reproducible.
+
+use aaod_sim::SplitMix64;
+
+/// Fraction-denominator controlling how often a motif byte mutates.
+const MUTATION_DENOM: u64 = 29;
+
+/// Generates `len` bytes of realistic configuration filler from
+/// `seed`. `motif_len` sets the column period (use the frame size or a
+/// divisor of it for maximum inter-frame symmetry).
+///
+/// # Examples
+///
+/// ```
+/// use aaod_algos::filler::generate;
+///
+/// let a = generate(7, 1024, 64);
+/// let b = generate(7, 1024, 64);
+/// assert_eq!(a, b); // deterministic
+/// assert!(a.iter().filter(|&&x| x == 0).count() > 300); // sparse
+/// ```
+pub fn generate(seed: u64, len: usize, motif_len: usize) -> Vec<u8> {
+    let motif_len = motif_len.max(1);
+    let mut rng = SplitMix64::new(seed ^ 0xF117_E500_0000_0000);
+    // One column motif per algorithm: sparse (roughly a third of the
+    // bytes configured) with internal zero stretches, repeated every
+    // `motif_len` bytes — the CLB-column periodicity of a real device.
+    let mut motif = vec![0u8; motif_len];
+    {
+        let mut i = 0usize;
+        while i < motif_len {
+            // alternate a configured run and a zero gap
+            let run = 1 + rng.index(4);
+            for _ in 0..run.min(motif_len - i) {
+                motif[i] = rng.next_u8();
+                i += 1;
+            }
+            i += rng.index(24); // zero gap
+        }
+    }
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        // occasionally a fully blank column (unused area of the core)
+        if rng.chance(0.1) {
+            let blank = motif_len.min(len - out.len());
+            out.extend(std::iter::repeat_n(0u8, blank));
+            continue;
+        }
+        // a column: the motif with rare point mutations (per-column
+        // routing differences)
+        for &b in motif.iter().take(len - out.len()) {
+            let byte = if rng.below(MUTATION_DENOM) == 0 {
+                rng.next_u8()
+            } else {
+                b
+            };
+            out.push(byte);
+        }
+    }
+    out
+}
+
+/// Builds a behavioural [`aaod_fabric::FunctionImage`] sized to occupy
+/// `target_frames` frames under `geom`: descriptor + params + enough
+/// structured filler to fill the area a real core of that size would.
+///
+/// The filler seed is derived from `algo_id` so every algorithm has a
+/// distinct but reproducible bitstream.
+pub fn behavioral_image(
+    algo_id: u16,
+    params: &[u8],
+    input_width: u16,
+    output_width: u16,
+    target_frames: usize,
+    geom: aaod_fabric::DeviceGeometry,
+) -> aaod_fabric::FunctionImage {
+    let target_bytes = target_frames.max(1) * geom.frame_bytes();
+    let overhead = aaod_fabric::image::DESCRIPTOR_BYTES + 2 + params.len();
+    let filler_len = target_bytes.saturating_sub(overhead);
+    // period = frame size, so adjacent frames are near-copies — the
+    // inter-frame CLB symmetry the paper's conclusion highlights
+    let filler = generate(0xA160_0000 | algo_id as u64, filler_len, geom.frame_bytes());
+    aaod_fabric::FunctionImage::from_behavioral(
+        algo_id,
+        params,
+        &filler,
+        input_width,
+        output_width,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn behavioral_image_fills_target_frames() {
+        let geom = aaod_fabric::DeviceGeometry::new(32, 4);
+        for frames in [1usize, 2, 7, 20] {
+            let img = behavioral_image(3, &[1, 2, 3], 8, 8, frames, geom);
+            assert_eq!(img.frames_needed(geom), frames, "target {frames}");
+        }
+    }
+
+    #[test]
+    fn exact_length() {
+        for len in [0usize, 1, 63, 64, 1000, 4096] {
+            assert_eq!(generate(1, len, 64).len(), len);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate(42, 2048, 56), generate(42, 2048, 56));
+        assert_ne!(generate(42, 2048, 56), generate(43, 2048, 56));
+    }
+
+    #[test]
+    fn sparse_but_not_empty() {
+        let data = generate(5, 8192, 64);
+        let zeros = data.iter().filter(|&&b| b == 0).count();
+        assert!(zeros > data.len() / 3, "not sparse: {zeros}/{}", data.len());
+        assert!(zeros < data.len(), "all zero");
+    }
+
+    #[test]
+    fn compressible_like_a_bitstream() {
+        // sanity: RLE on the filler should compress at least 1.3x
+        let data = generate(9, 16384, 64);
+        let mut rle = Vec::new();
+        let mut i = 0;
+        while i < data.len() {
+            let b = data[i];
+            let mut run = 1;
+            while run < 255 && i + run < data.len() && data[i + run] == b {
+                run += 1;
+            }
+            rle.push(run as u8);
+            rle.push(b);
+            i += run;
+        }
+        assert!(
+            (rle.len() as f64) < data.len() as f64 / 1.3,
+            "rle {} vs {}",
+            rle.len(),
+            data.len()
+        );
+    }
+
+    #[test]
+    fn tiny_motif_ok() {
+        assert_eq!(generate(1, 100, 0).len(), 100); // motif_len clamped to 1
+    }
+}

@@ -1,0 +1,124 @@
+//! The [`Kernel`] trait: one entry of the algorithm bank.
+
+use aaod_fabric::{DeviceGeometry, FunctionImage};
+use std::error::Error;
+use std::fmt;
+
+/// Errors from kernel execution or image construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AlgoError {
+    /// The bank has no kernel with this id.
+    UnknownAlgorithm(u16),
+    /// The parameter bytes do not instantiate this kernel.
+    BadParams {
+        /// Kernel name.
+        kernel: &'static str,
+        /// What was wrong.
+        reason: String,
+    },
+    /// The input cannot be processed (e.g. odd length for a 16-bit
+    /// sample stream).
+    BadInput {
+        /// Kernel name.
+        kernel: &'static str,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for AlgoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgoError::UnknownAlgorithm(id) => write!(f, "no algorithm with id {id}"),
+            AlgoError::BadParams { kernel, reason } => {
+                write!(f, "bad parameters for {kernel}: {reason}")
+            }
+            AlgoError::BadInput { kernel, reason } => {
+                write!(f, "bad input for {kernel}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for AlgoError {}
+
+/// One algorithm of the bank.
+///
+/// A kernel provides (a) a golden software implementation — used both
+/// as the host-side baseline and to verify hardware results, (b) the
+/// construction of its configuration [`FunctionImage`], and (c) cycle
+/// models for fabric and host execution.
+///
+/// Object-safe: the bank stores kernels as trait objects.
+pub trait Kernel: Send + Sync {
+    /// Stable identifier (see [`crate::ids`]).
+    fn algo_id(&self) -> u16;
+
+    /// Human-readable name.
+    fn name(&self) -> &'static str;
+
+    /// Parameters used when the caller does not supply any (e.g. a
+    /// default key or coefficient set). Must be accepted by
+    /// [`Kernel::execute`].
+    fn default_params(&self) -> Vec<u8>;
+
+    /// Golden software execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlgoError::BadParams`] or [`AlgoError::BadInput`].
+    fn execute(&self, params: &[u8], input: &[u8]) -> Result<Vec<u8>, AlgoError>;
+
+    /// Bytes per data-input transfer (the "multiple of the width of
+    /// the interface bus" of paper §2.3).
+    fn input_width(&self) -> u16;
+
+    /// Bytes per output transfer.
+    fn output_width(&self) -> u16;
+
+    /// Builds the configuration image for this kernel under `geom`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlgoError::BadParams`] if `params` cannot instantiate
+    /// the kernel.
+    fn build_image(
+        &self,
+        params: &[u8],
+        geom: DeviceGeometry,
+    ) -> Result<FunctionImage, AlgoError>;
+
+    /// Fabric cycles (100 MHz domain) to process `input_len` bytes
+    /// once configured.
+    fn fabric_cycles(&self, input_len: usize) -> u64;
+
+    /// Host-CPU cycles (software baseline) for the same work.
+    fn software_cycles(&self, input_len: usize) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(AlgoError::UnknownAlgorithm(3).to_string().contains("3"));
+        let e = AlgoError::BadParams {
+            kernel: "aes128",
+            reason: "key must be 16 bytes".into(),
+        };
+        assert!(e.to_string().contains("aes128"));
+    }
+
+    #[test]
+    fn kernel_is_object_safe() {
+        fn _takes(_k: &dyn Kernel) {}
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<AlgoError>();
+    }
+}

@@ -1,0 +1,313 @@
+//! True LUT-netlist kernels.
+//!
+//! These four kernels are synthesised gate by gate into
+//! [`aaod_fabric::Netlist`]s, serialised into configuration frames and
+//! *executed from the decoded frame bits*. They prove the fabric model
+//! is bit-faithful end to end: flip a configuration byte and the
+//! function's output changes or its image fails to decode. They are
+//! also the bank's smallest functions (1–2 frames), giving the
+//! replacement-policy experiments area diversity.
+
+use crate::ids;
+use crate::kernel::{AlgoError, Kernel};
+use aaod_fabric::{DeviceGeometry, FunctionImage, Netlist, NetlistBuilder, NetlistMode};
+
+/// CRC-8/ATM polynomial.
+const CRC8_POLY: u8 = 0x07;
+
+/// Golden software CRC-8/ATM (init 0, MSB-first, no reflection).
+pub fn crc8_reference(data: &[u8]) -> u8 {
+    let mut crc = 0u8;
+    for &b in data {
+        crc ^= b;
+        for _ in 0..8 {
+            crc = if crc & 0x80 != 0 {
+                (crc << 1) ^ CRC8_POLY
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
+}
+
+/// Synthesises the byte-parallel CRC-8 update as a streaming netlist:
+/// inputs are the 8 data bits plus the 8 state bits; outputs are the
+/// next state.
+pub fn crc8_netlist() -> Netlist {
+    let mut b = NetlistBuilder::new();
+    let data = b.inputs(8);
+    let state = b.inputs(8);
+    // cur = state ^ byte
+    let mut cur = b.xor_vec(&data, &state);
+    // 8 shift-and-conditionally-xor iterations, polynomial 0x07
+    for _ in 0..8 {
+        let msb = cur[7];
+        let mut next = Vec::with_capacity(8);
+        next.push(msb); // bit 0 of poly is set: 0 ^ msb
+        for (i, slot) in (1..8).enumerate() {
+            let shifted = cur[slot - 1];
+            let _ = i;
+            if CRC8_POLY >> slot & 1 == 1 {
+                next.push(b.xor2(shifted, msb));
+            } else {
+                next.push(shifted);
+            }
+        }
+        cur = next;
+    }
+    b.output_vec(&cur);
+    b.finish().expect("crc8 netlist is well-formed")
+}
+
+/// Synthesises an 8-bit ripple-carry adder: 16 inputs (a, b bytes) →
+/// 9 outputs (sum bits, carry).
+pub fn adder8_netlist() -> Netlist {
+    let mut b = NetlistBuilder::new();
+    let a = b.inputs(8);
+    let c = b.inputs(8);
+    let (sum, carry) = b.ripple_add(&a, &c);
+    b.output_vec(&sum);
+    b.output(carry);
+    b.finish().expect("adder netlist is well-formed")
+}
+
+/// Synthesises an 8-bit popcount: 8 inputs → 4-bit count.
+pub fn popcount8_netlist() -> Netlist {
+    let mut b = NetlistBuilder::new();
+    let bits = b.inputs(8);
+    let zero = b.zero();
+    // accumulate each bit into a 4-bit counter via ripple adds
+    let mut acc = vec![bits[0], zero, zero, zero];
+    for &bit in &bits[1..] {
+        let addend = vec![bit, zero, zero, zero];
+        let (sum, _) = b.ripple_add(&acc, &addend);
+        acc = sum;
+    }
+    b.output_vec(&acc);
+    b.finish().expect("popcount netlist is well-formed")
+}
+
+/// Synthesises an 8-bit parity: 8 inputs → 1 output.
+pub fn parity8_netlist() -> Netlist {
+    let mut b = NetlistBuilder::new();
+    let bits = b.inputs(8);
+    let p = b.xor_reduce(&bits);
+    b.output(p);
+    b.finish().expect("parity netlist is well-formed")
+}
+
+/// Shared plumbing for the four netlist kernels.
+macro_rules! netlist_kernel {
+    (
+        $(#[$doc:meta])*
+        $name:ident, $id:expr, $label:literal, $build:path, $mode:expr,
+        exec: $exec:expr,
+        fabric: $fabric:expr,
+        soft: $soft:expr
+    ) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+        pub struct $name;
+
+        impl Kernel for $name {
+            fn algo_id(&self) -> u16 {
+                $id
+            }
+
+            fn name(&self) -> &'static str {
+                $label
+            }
+
+            fn default_params(&self) -> Vec<u8> {
+                Vec::new()
+            }
+
+            fn execute(&self, params: &[u8], input: &[u8]) -> Result<Vec<u8>, AlgoError> {
+                if !params.is_empty() {
+                    return Err(AlgoError::BadParams {
+                        kernel: $label,
+                        reason: "takes no parameters".into(),
+                    });
+                }
+                #[allow(clippy::redundant_closure_call)]
+                Ok(($exec)(input))
+            }
+
+            fn input_width(&self) -> u16 {
+                1
+            }
+
+            fn output_width(&self) -> u16 {
+                1
+            }
+
+            fn build_image(
+                &self,
+                params: &[u8],
+                _geom: DeviceGeometry,
+            ) -> Result<FunctionImage, AlgoError> {
+                if !params.is_empty() {
+                    return Err(AlgoError::BadParams {
+                        kernel: $label,
+                        reason: "takes no parameters".into(),
+                    });
+                }
+                // synthesise, then optimise: frames are the scarce
+                // resource, so ship the smallest equivalent netlist
+                let (netlist, _stats) = aaod_fabric::opt::optimize(&$build())
+                    .expect("builder netlists are valid");
+                Ok(FunctionImage::from_netlist(
+                    $id,
+                    netlist,
+                    $mode,
+                    self.input_width(),
+                    self.output_width(),
+                ))
+            }
+
+            fn fabric_cycles(&self, input_len: usize) -> u64 {
+                #[allow(clippy::redundant_closure_call)]
+                ($fabric)(input_len)
+            }
+
+            fn software_cycles(&self, input_len: usize) -> u64 {
+                #[allow(clippy::redundant_closure_call)]
+                ($soft)(input_len)
+            }
+        }
+    };
+}
+
+netlist_kernel!(
+    /// CRC-8/ATM as a streaming LUT netlist (one byte per fabric cycle).
+    Crc8Kernel, ids::CRC8, "crc8", crc8_netlist, NetlistMode::Streaming,
+    exec: |input: &[u8]| vec![crc8_reference(input)],
+    fabric: |len: usize| len as u64 + 1,
+    soft: |len: usize| 9 * len as u64 + 20
+);
+
+netlist_kernel!(
+    /// 8-bit adder as a combinational LUT netlist: each 2-byte chunk
+    /// `(a, b)` yields the 16-bit little-endian sum `a + b`.
+    Adder8Kernel, ids::ADDER8, "adder8", adder8_netlist, NetlistMode::Combinational,
+    exec: |input: &[u8]| {
+        let mut out = Vec::with_capacity(input.len().div_ceil(2) * 2);
+        for chunk in input.chunks(2) {
+            let a = chunk[0] as u16;
+            let b = *chunk.get(1).unwrap_or(&0) as u16;
+            out.extend_from_slice(&(a + b).to_le_bytes());
+        }
+        out
+    },
+    fabric: |len: usize| len.div_ceil(2) as u64 + 1,
+    soft: |len: usize| len as u64 + 10
+);
+
+netlist_kernel!(
+    /// 8-bit popcount as a combinational LUT netlist: one count byte
+    /// per input byte.
+    Popcount8Kernel, ids::POPCNT8, "popcount8", popcount8_netlist, NetlistMode::Combinational,
+    exec: |input: &[u8]| input.iter().map(|b| b.count_ones() as u8).collect::<Vec<u8>>(),
+    fabric: |len: usize| len as u64 + 1,
+    soft: |len: usize| 2 * len as u64 + 10
+);
+
+netlist_kernel!(
+    /// 8-bit parity as a combinational LUT netlist: 0 or 1 per byte.
+    Parity8Kernel, ids::PARITY8, "parity8", parity8_netlist, NetlistMode::Combinational,
+    exec: |input: &[u8]| input.iter().map(|b| (b.count_ones() % 2) as u8).collect::<Vec<u8>>(),
+    fabric: |len: usize| len as u64 + 1,
+    soft: |len: usize| 2 * len as u64 + 10
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aaod_sim::SplitMix64;
+
+    #[test]
+    fn crc8_reference_check_value() {
+        // CRC-8/ATM ("SMBus") check value for "123456789" is 0xF4.
+        assert_eq!(crc8_reference(b"123456789"), 0xF4);
+    }
+
+    #[test]
+    fn crc8_netlist_matches_reference() {
+        let img = Crc8Kernel.build_image(&[], DeviceGeometry::default()).unwrap();
+        let mut rng = SplitMix64::new(0xCC);
+        for len in [0usize, 1, 2, 16, 100] {
+            let mut data = vec![0u8; len];
+            rng.fill(&mut data);
+            let hw = img.run_netlist(&data).unwrap();
+            assert_eq!(hw, vec![crc8_reference(&data)], "len {len}");
+        }
+    }
+
+    #[test]
+    fn adder_netlist_matches_reference_exhaustively_sampled() {
+        let img = Adder8Kernel
+            .build_image(&[], DeviceGeometry::default())
+            .unwrap();
+        let mut rng = SplitMix64::new(0xAD);
+        let mut input = vec![0u8; 64];
+        rng.fill(&mut input);
+        let hw = img.run_netlist(&input).unwrap();
+        let sw = Adder8Kernel.execute(&[], &input).unwrap();
+        assert_eq!(hw, sw);
+    }
+
+    #[test]
+    fn popcount_netlist_all_bytes() {
+        let img = Popcount8Kernel
+            .build_image(&[], DeviceGeometry::default())
+            .unwrap();
+        let input: Vec<u8> = (0..=255).collect();
+        let hw = img.run_netlist(&input).unwrap();
+        let sw = Popcount8Kernel.execute(&[], &input).unwrap();
+        assert_eq!(hw, sw);
+    }
+
+    #[test]
+    fn parity_netlist_all_bytes() {
+        let img = Parity8Kernel
+            .build_image(&[], DeviceGeometry::default())
+            .unwrap();
+        let input: Vec<u8> = (0..=255).collect();
+        let hw = img.run_netlist(&input).unwrap();
+        let sw = Parity8Kernel.execute(&[], &input).unwrap();
+        assert_eq!(hw, sw);
+    }
+
+    #[test]
+    fn netlist_kernels_are_small() {
+        let geom = DeviceGeometry::default();
+        for (img, max_frames) in [
+            (Crc8Kernel.build_image(&[], geom).unwrap(), 2),
+            (Adder8Kernel.build_image(&[], geom).unwrap(), 2),
+            (Popcount8Kernel.build_image(&[], geom).unwrap(), 2),
+            (Parity8Kernel.build_image(&[], geom).unwrap(), 1),
+        ] {
+            assert!(
+                img.frames_needed(geom) <= max_frames,
+                "{} frames for algo {}",
+                img.frames_needed(geom),
+                img.algo_id()
+            );
+        }
+    }
+
+    #[test]
+    fn netlist_sizes_reasonable() {
+        assert!(crc8_netlist().n_luts() <= 32);
+        assert!(parity8_netlist().n_luts() <= 4);
+        assert!(adder8_netlist().n_luts() == 16);
+        assert!(popcount8_netlist().n_luts() <= 64);
+    }
+
+    #[test]
+    fn params_rejected() {
+        assert!(Crc8Kernel.execute(&[1], &[]).is_err());
+        assert!(Parity8Kernel.build_image(&[1], DeviceGeometry::default()).is_err());
+    }
+}

@@ -1,0 +1,133 @@
+//! E10 (extension) — configuration scrubbing under single-event
+//! upsets.
+//!
+//! Virtex-class configuration memory suffers bit upsets; the standard
+//! defence is periodic readback scrubbing. This experiment measures
+//! (a) the scrub-pass cost as the resident set grows, and (b) a fault
+//! campaign: SEUs injected at increasing rates with scrubbing
+//! repairing in the background, reporting how many corruptions the
+//! digest caught at scrub time vs at invocation time.
+
+use aaod_algos::ids;
+use aaod_bench::criterion_fast;
+use aaod_core::CoProcessor;
+use aaod_mcu::{MiniOs, MiniOsConfig};
+use aaod_sim::report::Table;
+use aaod_sim::SplitMix64;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Flips one random bit in one random frame of the device.
+fn inject_seu(os: &mut MiniOs, rng: &mut SplitMix64) {
+    let geom = os.geometry();
+    let frame = aaod_fabric::FrameAddress(rng.index(geom.frames()) as u16);
+    let offset = rng.index(geom.frame_bytes());
+    let bit = rng.index(8) as u8;
+    let mut bytes = os.device().read_frame(frame).expect("in range").to_vec();
+    bytes[offset] ^= 1 << bit;
+    os.device_mut()
+        .write_frame(frame, &bytes)
+        .expect("in range");
+}
+
+fn print_tables() {
+    // (a) scrub cost vs resident set
+    let mut t = Table::new(
+        "E10: scrub-pass cost vs resident set",
+        &["resident functions", "frames checked", "scrub time"],
+    );
+    let sets: [&[u16]; 3] = [
+        &[ids::CRC32],
+        &[ids::CRC32, ids::SHA1, ids::XTEA],
+        &[ids::CRC32, ids::SHA1, ids::XTEA, ids::AES128, ids::SHA256],
+    ];
+    for set in sets {
+        let mut os = MiniOs::new(MiniOsConfig::default());
+        for &id in set {
+            os.install(id).expect("install");
+            os.invoke(id, &[0u8; 16]).expect("warm");
+        }
+        let report = os.scrub().expect("scrub");
+        t.row_owned(vec![
+            set.len().to_string(),
+            report.frames_checked.to_string(),
+            report.time.to_string(),
+        ]);
+    }
+    println!("{t}");
+
+    // (b) fault campaign: SEUs between scrubs
+    let mut t = Table::new(
+        "E10b: SEU campaign (200 invokes, scrub every 20)",
+        &["seu per period", "repaired by scrub", "caught at invoke", "wrong results"],
+    );
+    for seus in [1usize, 4, 16] {
+        let mut os = MiniOs::new(MiniOsConfig::default());
+        for &id in &[ids::SHA1, ids::CRC32, ids::XTEA] {
+            os.install(id).expect("install");
+            os.invoke(id, &[0u8; 16]).expect("warm");
+        }
+        let mut rng = SplitMix64::new(0x5E0);
+        let mut repaired = 0u64;
+        let mut caught = 0u64;
+        let mut wrong = 0u64;
+        let golden = aaod_algos::AlgorithmBank::standard();
+        for i in 0..200usize {
+            let id = [ids::SHA1, ids::CRC32, ids::XTEA][i % 3];
+            let input = vec![(i % 251) as u8; 64];
+            match os.invoke(id, &input) {
+                Ok((out, _)) => {
+                    let expect = golden.execute_software(id, &input).expect("golden");
+                    if out != expect {
+                        wrong += 1;
+                    }
+                }
+                Err(_) => {
+                    caught += 1;
+                    // recover the function so the campaign continues
+                    let _ = os.evict(id);
+                    let _ = os.invoke(id, &input);
+                }
+            }
+            if i % 20 == 19 {
+                for _ in 0..seus {
+                    inject_seu(&mut os, &mut rng);
+                }
+                repaired += os.scrub().expect("scrub").repaired.len() as u64;
+            }
+        }
+        t.row_owned(vec![
+            seus.to_string(),
+            repaired.to_string(),
+            caught.to_string(),
+            wrong.to_string(),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "expected shape: scrub cost grows linearly with resident frames; the\n\
+         digest guarantees zero wrong results — upsets are either repaired\n\
+         by the next scrub or rejected at invocation, never silent.\n"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    let mut group = c.benchmark_group("e10_scrub");
+    let mut cp = CoProcessor::default();
+    for id in [ids::SHA1, ids::AES128, ids::CRC32] {
+        cp.install(id).expect("install");
+        cp.invoke(id, &[0u8; 16]).expect("warm");
+    }
+    group.bench_function("scrub_three_resident", |b| {
+        b.iter(|| black_box(cp.scrub().expect("scrub")));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_fast();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! E2 — bitstream compression: ratio vs decompression cost per codec.
+//!
+//! Regenerates the compression table over the whole algorithm bank
+//! (modelled numbers; see also `examples/compression_survey.rs` for
+//! the per-function breakdown), then Criterion-measures real
+//! compress/decompress wall-clock throughput of each codec on the
+//! AES-128 bitstream.
+
+use aaod_algos::{ids, AlgorithmBank};
+use aaod_bench::criterion_fast;
+use aaod_bitstream::codec::{decompress_all, registry};
+use aaod_bitstream::{Bitstream, CompressionStats};
+use aaod_fabric::DeviceGeometry;
+use aaod_sim::report::{f2, Table};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bank_flats(geom: DeviceGeometry) -> Vec<(u16, Vec<u8>)> {
+    let bank = AlgorithmBank::standard();
+    bank.iter()
+        .map(|k| {
+            let image = bank.build_image(k.algo_id(), geom).expect("image");
+            (k.algo_id(), Bitstream::from_image(&image, geom).flat())
+        })
+        .collect()
+}
+
+fn print_table() {
+    let geom = DeviceGeometry::default();
+    let flats = bank_flats(geom);
+    let raw_total: usize = flats.iter().map(|(_, f)| f.len()).sum();
+    let mut t = Table::new(
+        "E2: whole-bank compression by codec",
+        &["codec", "bank KiB", "ratio", "model cycles/B", "decompress MB/s @50MHz"],
+    );
+    for codec in registry::all(geom.frame_bytes()) {
+        let compressed: usize = flats
+            .iter()
+            .map(|(_, f)| CompressionStats::measure(codec.as_ref(), f).compressed)
+            .sum();
+        let cpb = codec.cycles_per_output_byte();
+        t.row_owned(vec![
+            codec.id().to_string(),
+            format!("{:.1}", compressed as f64 / 1024.0),
+            f2(raw_total as f64 / compressed as f64),
+            cpb.to_string(),
+            f2(50.0 / cpb as f64),
+        ]);
+    }
+    println!("{t}");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let geom = DeviceGeometry::default();
+    let flats = bank_flats(geom);
+    let aes_flat = &flats
+        .iter()
+        .find(|(id, _)| *id == ids::AES128)
+        .expect("aes present")
+        .1;
+
+    let mut group = c.benchmark_group("e2_compression");
+    for codec in registry::all(geom.frame_bytes()) {
+        let name = codec.id().to_string();
+        group.bench_function(format!("compress_aes_{name}"), |b| {
+            b.iter(|| black_box(codec.compress(black_box(aes_flat))));
+        });
+        let compressed = codec.compress(aes_flat);
+        group.bench_function(format!("decompress_aes_{name}"), |b| {
+            b.iter(|| black_box(decompress_all(codec.as_ref(), black_box(&compressed)).expect("roundtrip")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_fast();
+    targets = bench
+}
+criterion_main!(benches);

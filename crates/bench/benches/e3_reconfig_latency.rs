@@ -1,0 +1,84 @@
+//! E3 — reconfiguration latency: partial vs full, compressed vs raw,
+//! as a function of function size in frames.
+//!
+//! The central claim of the paper's architecture: partial
+//! reconfiguration makes swap-in cost proportional to the *function*
+//! size rather than the *device* size, and ROM compression trades MCU
+//! decompression cycles against ROM-fetch volume.
+
+use aaod_algos::ids;
+use aaod_bench::criterion_fast;
+use aaod_bitstream::codec::CodecId;
+use aaod_core::{CoProcessor, ReconfigMode};
+use aaod_sim::report::Table;
+use aaod_sim::SimTime;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// (first) swap-in reconfiguration time for one algorithm under the
+/// given codec and mode.
+fn swap_in_time(algo: u16, codec: CodecId, mode: ReconfigMode) -> (usize, SimTime) {
+    let mut cp = CoProcessor::builder().codec(codec).mode(mode).build();
+    cp.install(algo).expect("install");
+    let (_, report) = cp.invoke(algo, &[0u8; 64]).expect("invoke");
+    let frames = cp.os().rom().lookup(algo).expect("record").n_frames as usize;
+    (frames, report.os.reconfig_time + report.os.rom_time)
+}
+
+fn print_table() {
+    let mut t = Table::new(
+        "E3: swap-in latency vs function size (96-frame device)",
+        &[
+            "function",
+            "frames",
+            "partial+lzss",
+            "partial+raw",
+            "full+lzss",
+            "full/partial",
+        ],
+    );
+    for algo in [ids::PARITY8, ids::CRC32, ids::XTEA, ids::SHA1, ids::SHA256, ids::AES128, ids::MATMUL8] {
+        let (frames, p_lzss) = swap_in_time(algo, CodecId::Lzss, ReconfigMode::Partial);
+        let (_, p_raw) = swap_in_time(algo, CodecId::Null, ReconfigMode::Partial);
+        let (_, f_lzss) = swap_in_time(algo, CodecId::Lzss, ReconfigMode::Full);
+        t.row_owned(vec![
+            format!("algo {algo}"),
+            frames.to_string(),
+            p_lzss.to_string(),
+            p_raw.to_string(),
+            f_lzss.to_string(),
+            format!("{:.1}x", f_lzss.as_ns() / p_lzss.as_ns()),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "expected shape: partial latency grows with frame count; full-device\n\
+         reconfiguration is flat (device-sized) and dominates small functions.\n"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("e3_reconfig");
+    // wall-clock of a full swap-in cycle (evict + reconfigure) in the
+    // simulator, small vs large function
+    for (label, algo) in [("small_crc32", ids::CRC32), ("large_aes", ids::AES128)] {
+        let mut cp = CoProcessor::default();
+        cp.install(algo).expect("install");
+        group.bench_function(format!("swap_cycle_{label}"), |b| {
+            b.iter(|| {
+                let (_, r) = cp.invoke(algo, black_box(&[0u8; 64])).expect("invoke");
+                cp.os_mut().evict(algo).expect("evict");
+                black_box(r.total())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_fast();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! E7 — PCI transfer efficiency: burst length vs effective bandwidth,
+//! and the width-multiple padding overhead of the data modules.
+//!
+//! The card "can be fitted to a standard desktop computer" over PCI;
+//! every host↔card byte crosses this bus, so its burst behaviour caps
+//! the whole system. Compares the paper-era 32-bit/33 MHz slot with
+//! the Stratix board's 64-bit/66 MHz interface.
+
+use aaod_bench::criterion_fast;
+use aaod_mcu::data_modules::pad_to_width;
+use aaod_pci::{Direction, PciBus, PciConfig};
+use aaod_sim::report::{f2, pct, Table};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn print_tables() {
+    let mut t = Table::new(
+        "E7: effective PCI bandwidth (MB/s) vs burst length, 64 KiB writes",
+        &["burst words", "pci 32/33", "pci 64/66", "% of 64/66 peak"],
+    );
+    for burst in [4u64, 16, 64, 256] {
+        let legacy = PciConfig {
+            max_burst_words: burst,
+            ..PciConfig::pci33_32()
+        };
+        let modern = PciConfig {
+            max_burst_words: burst,
+            ..PciConfig::default()
+        };
+        let bw_legacy = PciBus::new(legacy).effective_bandwidth(64 * 1024, Direction::Write);
+        let bw_modern = PciBus::new(modern).effective_bandwidth(64 * 1024, Direction::Write);
+        t.row_owned(vec![
+            burst.to_string(),
+            f2(bw_legacy / 1e6),
+            f2(bw_modern / 1e6),
+            pct(bw_modern / modern.peak_bandwidth()),
+        ]);
+    }
+    println!("{t}");
+
+    let mut t = Table::new(
+        "E7b: width-multiple padding overhead (paper §2.3)",
+        &["payload bytes", "width 4", "width 16", "width 64", "width 128"],
+    );
+    for len in [1usize, 20, 100, 1500] {
+        let mut row = vec![len.to_string()];
+        for width in [4u16, 16, 64, 128] {
+            let padded = pad_to_width(len, width);
+            row.push(format!(
+                "{padded} (+{})",
+                padded - len
+            ));
+        }
+        t.row_owned(row);
+    }
+    println!("{t}");
+    println!(
+        "expected shape: bandwidth saturates with burst length and tops out\n\
+         below peak (per-transaction overheads); padding overhead is worst\n\
+         for small payloads on wide records.\n"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    let mut group = c.benchmark_group("e7_pci");
+    let mut bus = PciBus::new(PciConfig::default());
+    group.bench_function("model_64KiB_write", |b| {
+        b.iter(|| black_box(bus.write(black_box(64 * 1024))));
+    });
+    let mut legacy = PciBus::new(PciConfig::pci33_32());
+    group.bench_function("model_64KiB_write_legacy", |b| {
+        b.iter(|| black_box(legacy.write(black_box(64 * 1024))));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_fast();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! E9 (extension) — speculative-configuration ablation.
+//!
+//! The paper's controller is purely reactive; this extension lets the
+//! mini-OS pre-configure the Markov-predicted next algorithm into free
+//! frames during idle time. The ablation compares hit rate and mean
+//! service time with prefetching on and off, across workload shapes —
+//! prefetching helps predictable streams (alternation, phases) and is
+//! harmless noise on random ones.
+
+use aaod_bench::criterion_fast;
+use aaod_core::{run_workload, CoProcessor};
+use aaod_fabric::DeviceGeometry;
+use aaod_sim::report::Table;
+use aaod_workload::{mixes, Workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn run(prefetch: bool, w: &Workload, algos: &[u16], frames: u16) -> (f64, String, u64) {
+    let mut cp = CoProcessor::builder()
+        .geometry(DeviceGeometry::new(frames, 16))
+        .prefetch(prefetch)
+        .build();
+    for &id in algos {
+        cp.install(id).expect("install");
+    }
+    let r = run_workload(&mut cp, w, false).expect("run");
+    let s = cp.stats();
+    (
+        r.hit_rate().unwrap_or(0.0),
+        r.mean_latency().to_string(),
+        s.prefetch_hits,
+    )
+}
+
+fn print_table() {
+    let algos = mixes::crypto_mix();
+    // a device that holds roughly half the crypto bank: eviction is
+    // constant, so prediction quality matters
+    let frames = 52u16;
+    // AES(24) + 3DES(18) + SHA-256(16) = 58 frames > 52: strict
+    // rotation misses every time reactively, but is perfectly
+    // predictable for the prefetcher.
+    let big_three = [
+        aaod_algos::ids::AES128,
+        aaod_algos::ids::TDES,
+        aaod_algos::ids::SHA256,
+    ];
+    let workloads = vec![
+        Workload::round_robin(&big_three, 240, 512),
+        Workload::phased(&algos, 240, 30, 2, 512, 91),
+        Workload::bursty(&algos, 240, 8, 512, 92),
+        Workload::uniform(&algos, 240, 512, 93),
+    ];
+    let mut t = Table::new(
+        "E9: prefetch ablation (52-frame device, crypto bank)",
+        &[
+            "workload",
+            "hit% off",
+            "hit% on",
+            "mean off",
+            "mean on",
+            "prefetch hits",
+        ],
+    );
+    for w in workloads {
+        let (h_off, m_off, _) = run(false, &w, &algos, frames);
+        let (h_on, m_on, ph) = run(true, &w, &algos, frames);
+        t.row_owned(vec![
+            w.name().to_string(),
+            format!("{:.0}%", h_off * 100.0),
+            format!("{:.0}%", h_on * 100.0),
+            m_off,
+            m_on,
+            ph.to_string(),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "expected shape: predictable over-committed streams (round-robin)\n\
+         jump from ~0% to near-perfect hit rates; uniform streams gain a\n\
+         little; phase boundaries can cost a mispredicted swap.\n"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let algos = mixes::crypto_mix();
+    let w = Workload::round_robin(
+        &[aaod_algos::ids::AES128, aaod_algos::ids::TDES, aaod_algos::ids::SHA256],
+        80,
+        512,
+    );
+    let mut group = c.benchmark_group("e9_prefetch");
+    for prefetch in [false, true] {
+        group.bench_function(format!("round_robin_prefetch_{prefetch}"), |b| {
+            b.iter(|| {
+                let mut cp = CoProcessor::builder()
+                    .geometry(DeviceGeometry::new(52, 16))
+                    .prefetch(prefetch)
+                    .build();
+                for &id in &algos {
+                    cp.install(id).expect("install");
+                }
+                black_box(run_workload(&mut cp, &w, false).expect("run"))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_fast();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,172 @@
+//! Frame-delta XOR codec — the paper's open problem.
+//!
+//! The conclusion of the paper asks for compression "that can exploit
+//! the symmetry in the CLB architectures of FPGAs". Adjacent
+//! configuration frames configure identical CLB columns, so they are
+//! near-copies of each other: XORing each frame with its predecessor
+//! turns that symmetry into long zero runs, which a cheap RLE pass then
+//! collapses. The first frame is XORed with zero (stored as-is).
+//!
+//! Decompression keeps exactly one previous frame of state — bounded
+//! memory, streamable window by window.
+
+use super::rle::Rle;
+use super::{Codec, CodecId, Decompressor};
+use crate::error::BitstreamError;
+
+/// Frame-XOR + RLE codec. `frame_bytes` must match the geometry of the
+/// frames being compressed (the ROM record supplies it at decode time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameXor {
+    frame_bytes: usize,
+}
+
+impl FrameXor {
+    /// Creates the codec for a given frame size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame_bytes` is zero.
+    pub fn new(frame_bytes: usize) -> Self {
+        assert!(frame_bytes > 0, "frame size must be non-zero");
+        FrameXor { frame_bytes }
+    }
+
+    /// The frame size this codec deltas across.
+    pub fn frame_bytes(&self) -> usize {
+        self.frame_bytes
+    }
+}
+
+impl Codec for FrameXor {
+    fn id(&self) -> CodecId {
+        CodecId::FrameXor
+    }
+
+    fn compress(&self, data: &[u8]) -> Vec<u8> {
+        let mut delta = Vec::with_capacity(data.len());
+        for (i, &b) in data.iter().enumerate() {
+            let prev = if i >= self.frame_bytes {
+                data[i - self.frame_bytes]
+            } else {
+                0
+            };
+            delta.push(b ^ prev);
+        }
+        Rle.compress(&delta)
+    }
+
+    fn decompressor<'a>(&self, data: &'a [u8]) -> Box<dyn Decompressor + 'a> {
+        Box::new(FrameXorDecompressor {
+            inner: Rle.decompressor(data),
+            prev: vec![0u8; self.frame_bytes],
+            cur: vec![0u8; self.frame_bytes],
+            pos: 0,
+        })
+    }
+
+    fn cycles_per_output_byte(&self) -> u64 {
+        2
+    }
+}
+
+struct FrameXorDecompressor<'a> {
+    inner: Box<dyn Decompressor + 'a>,
+    prev: Vec<u8>,
+    cur: Vec<u8>,
+    pos: usize,
+}
+
+impl Decompressor for FrameXorDecompressor<'_> {
+    fn read(&mut self, out: &mut [u8]) -> Result<usize, BitstreamError> {
+        let mut produced = 0;
+        while produced < out.len() {
+            // pull at most to the end of the current frame so the swap
+            // happens at exactly the frame boundary
+            let room = (out.len() - produced).min(self.prev.len() - self.pos);
+            let n = self.inner.read(&mut out[produced..produced + room])?;
+            if n == 0 {
+                break;
+            }
+            for b in &mut out[produced..produced + n] {
+                *b ^= self.prev[self.pos];
+                self.cur[self.pos] = *b;
+                self.pos += 1;
+            }
+            if self.pos == self.prev.len() {
+                std::mem::swap(&mut self.prev, &mut self.cur);
+                self.pos = 0;
+            }
+            produced += n;
+        }
+        Ok(produced)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::decompress_all;
+    use aaod_sim::SplitMix64;
+
+    #[test]
+    fn identical_frames_collapse() {
+        // 16 identical 64-byte frames: everything after frame 0 XORs to zero.
+        let frame: Vec<u8> = (0..64u8).collect();
+        let mut data = Vec::new();
+        for _ in 0..16 {
+            data.extend_from_slice(&frame);
+        }
+        let c = FrameXor::new(64);
+        let compressed = c.compress(&data);
+        assert!(
+            compressed.len() < 200,
+            "symmetry not exploited: {}",
+            compressed.len()
+        );
+        assert_eq!(decompress_all(&c, &compressed).unwrap(), data);
+    }
+
+    #[test]
+    fn beats_plain_rle_on_repeated_nonzero_frames() {
+        let mut rng = SplitMix64::new(9);
+        let mut frame = vec![0u8; 128];
+        rng.fill(&mut frame);
+        let mut data = Vec::new();
+        for _ in 0..32 {
+            data.extend_from_slice(&frame);
+        }
+        let fx = FrameXor::new(128).compress(&data);
+        let rle = Rle.compress(&data);
+        assert!(fx.len() < rle.len() / 4, "fx {} rle {}", fx.len(), rle.len());
+    }
+
+    #[test]
+    fn roundtrip_random_unaligned_tail() {
+        let mut rng = SplitMix64::new(10);
+        let mut data = vec![0u8; 1000]; // not a multiple of 64
+        rng.fill(&mut data);
+        let c = FrameXor::new(64);
+        assert_eq!(decompress_all(&c, &c.compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_small_inputs() {
+        let c = FrameXor::new(64);
+        for data in [vec![], vec![1], vec![9; 63], vec![7; 64], vec![3; 65]] {
+            assert_eq!(decompress_all(&c, &c.compress(&data)).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn corrupt_inner_stream_propagates() {
+        let c = FrameXor::new(8);
+        assert!(decompress_all(&c, &[0, 1]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_frame_size_panics() {
+        let _ = FrameXor::new(0);
+    }
+}

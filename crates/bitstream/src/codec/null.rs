@@ -1,0 +1,60 @@
+//! Stored (identity) codec — the uncompressed baseline for E2/E3.
+
+use super::{Codec, CodecId, Decompressor};
+use crate::error::BitstreamError;
+
+/// The identity codec: output equals input.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Null;
+
+impl Codec for Null {
+    fn id(&self) -> CodecId {
+        CodecId::Null
+    }
+
+    fn compress(&self, data: &[u8]) -> Vec<u8> {
+        data.to_vec()
+    }
+
+    fn decompressor<'a>(&self, data: &'a [u8]) -> Box<dyn Decompressor + 'a> {
+        Box::new(NullDecompressor { data, pos: 0 })
+    }
+
+    fn cycles_per_output_byte(&self) -> u64 {
+        1
+    }
+}
+
+struct NullDecompressor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl Decompressor for NullDecompressor<'_> {
+    fn read(&mut self, out: &mut [u8]) -> Result<usize, BitstreamError> {
+        let n = out.len().min(self.data.len() - self.pos);
+        out[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::decompress_all;
+
+    #[test]
+    fn identity() {
+        let data = b"abcdef".to_vec();
+        let c = Null;
+        assert_eq!(c.compress(&data), data);
+        assert_eq!(decompress_all(&c, &data).unwrap(), data);
+    }
+
+    #[test]
+    fn empty() {
+        let c = Null;
+        assert_eq!(decompress_all(&c, &[]).unwrap(), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,146 @@
+//! Byte run-length encoding.
+//!
+//! Configuration bitstreams are dominated by long zero runs (unused
+//! LUTs and routing), which plain RLE already exploits well; it is also
+//! the cheapest decoder, which matters on the 50 MHz microcontroller.
+//!
+//! Wire format: a sequence of `(count, byte)` pairs where `count` is
+//! `1..=255`. Runs longer than 255 are split.
+
+use super::{Codec, CodecId, Decompressor};
+use crate::error::BitstreamError;
+
+/// Byte-wise run-length codec.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Rle;
+
+impl Codec for Rle {
+    fn id(&self) -> CodecId {
+        CodecId::Rle
+    }
+
+    fn compress(&self, data: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < data.len() {
+            let byte = data[i];
+            let mut run = 1usize;
+            while run < 255 && i + run < data.len() && data[i + run] == byte {
+                run += 1;
+            }
+            out.push(run as u8);
+            out.push(byte);
+            i += run;
+        }
+        out
+    }
+
+    fn decompressor<'a>(&self, data: &'a [u8]) -> Box<dyn Decompressor + 'a> {
+        Box::new(RleDecompressor {
+            data,
+            pos: 0,
+            run_byte: 0,
+            run_left: 0,
+        })
+    }
+
+    fn cycles_per_output_byte(&self) -> u64 {
+        1
+    }
+}
+
+struct RleDecompressor<'a> {
+    data: &'a [u8],
+    pos: usize,
+    run_byte: u8,
+    run_left: usize,
+}
+
+impl Decompressor for RleDecompressor<'_> {
+    fn read(&mut self, out: &mut [u8]) -> Result<usize, BitstreamError> {
+        let mut produced = 0;
+        while produced < out.len() {
+            if self.run_left == 0 {
+                if self.pos == self.data.len() {
+                    break;
+                }
+                if self.pos + 2 > self.data.len() {
+                    return Err(BitstreamError::CorruptPayload(
+                        "rle pair truncated".into(),
+                    ));
+                }
+                let count = self.data[self.pos] as usize;
+                if count == 0 {
+                    return Err(BitstreamError::CorruptPayload("rle zero count".into()));
+                }
+                self.run_byte = self.data[self.pos + 1];
+                self.run_left = count;
+                self.pos += 2;
+            }
+            let n = self.run_left.min(out.len() - produced);
+            out[produced..produced + n].fill(self.run_byte);
+            produced += n;
+            self.run_left -= n;
+        }
+        Ok(produced)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::decompress_all;
+
+    #[test]
+    fn compresses_zero_runs_well() {
+        let data = vec![0u8; 10_000];
+        let compressed = Rle.compress(&data);
+        assert!(compressed.len() < 100, "len {}", compressed.len());
+        assert_eq!(decompress_all(&Rle, &compressed).unwrap(), data);
+    }
+
+    #[test]
+    fn expands_random_data_by_at_most_2x() {
+        let data: Vec<u8> = (0..=255).collect();
+        let compressed = Rle.compress(&data);
+        assert_eq!(compressed.len(), data.len() * 2);
+        assert_eq!(decompress_all(&Rle, &compressed).unwrap(), data);
+    }
+
+    #[test]
+    fn run_longer_than_255_splits() {
+        let data = vec![7u8; 300];
+        let compressed = Rle.compress(&data);
+        assert_eq!(compressed, vec![255, 7, 45, 7]);
+    }
+
+    #[test]
+    fn truncated_pair_is_corrupt() {
+        let err = decompress_all(&Rle, &[5]).unwrap_err();
+        assert!(matches!(err, BitstreamError::CorruptPayload(_)));
+    }
+
+    #[test]
+    fn zero_count_is_corrupt() {
+        let err = decompress_all(&Rle, &[0, 1]).unwrap_err();
+        assert!(matches!(err, BitstreamError::CorruptPayload(_)));
+    }
+
+    #[test]
+    fn windowed_read_split_mid_run() {
+        let data = vec![9u8; 100];
+        let compressed = Rle.compress(&data);
+        let mut d = Rle.decompressor(&compressed);
+        let mut buf = [0u8; 33];
+        let mut total = 0;
+        loop {
+            let n = d.read(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            assert!(buf[..n].iter().all(|&b| b == 9));
+            total += n;
+        }
+        assert_eq!(total, 100);
+    }
+}

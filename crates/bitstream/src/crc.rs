@@ -1,0 +1,105 @@
+//! CRC-32 (IEEE 802.3, reflected) over bitstream payloads.
+//!
+//! Also serves as the golden model for the algorithm bank's CRC-32
+//! kernel, so hardware results can be checked against an independent
+//! implementation path.
+
+/// Reflected polynomial for CRC-32/ISO-HDLC.
+const POLY: u32 = 0xEDB8_8320;
+
+/// Computes CRC-32 (IEEE) of `data`, table-free bitwise variant.
+///
+/// # Examples
+///
+/// ```
+/// use aaod_bitstream::crc::crc32;
+///
+/// assert_eq!(crc32(b"123456789"), 0xCBF43926); // standard check value
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(data);
+    crc.finish()
+}
+
+/// Incremental CRC-32 state.
+///
+/// # Examples
+///
+/// ```
+/// use aaod_bitstream::crc::{crc32, Crc32};
+///
+/// let mut c = Crc32::new();
+/// c.update(b"1234");
+/// c.update(b"56789");
+/// assert_eq!(c.finish(), crc32(b"123456789"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Fresh CRC state.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Absorbs bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        for &b in data {
+            self.state ^= b as u32;
+            for _ in 0..8 {
+                let lsb = self.state & 1;
+                self.state >>= 1;
+                if lsb != 0 {
+                    self.state ^= POLY;
+                }
+            }
+        }
+    }
+
+    /// Final CRC value.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data: Vec<u8> = (0..200u8).collect();
+        for split in [0, 1, 99, 200] {
+            let mut c = Crc32::new();
+            c.update(&data[..split]);
+            c.update(&data[split..]);
+            assert_eq!(c.finish(), crc32(&data));
+        }
+    }
+
+    #[test]
+    fn detects_single_byte_change() {
+        let a = crc32(b"hello world");
+        let b = crc32(b"hello worle");
+        assert_ne!(a, b);
+    }
+}

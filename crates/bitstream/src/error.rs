@@ -1,0 +1,69 @@
+//! Bitstream error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from bitstream parsing, decompression or validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BitstreamError {
+    /// The sync word or header structure is wrong.
+    Malformed(String),
+    /// The header names a codec this build does not know.
+    UnknownCodec(u8),
+    /// The payload CRC check failed.
+    CrcMismatch {
+        /// CRC stored in the header.
+        stored: u32,
+        /// CRC computed over the payload.
+        computed: u32,
+    },
+    /// The compressed payload is corrupt (a decoder hit an impossible
+    /// token or ran out of input mid-token).
+    CorruptPayload(String),
+    /// Decompressed data does not divide into whole frames of the
+    /// stated frame size.
+    FrameMisaligned {
+        /// Total decompressed length.
+        len: usize,
+        /// Frame size from the header.
+        frame_bytes: usize,
+    },
+}
+
+impl fmt::Display for BitstreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BitstreamError::Malformed(msg) => write!(f, "malformed bitstream: {msg}"),
+            BitstreamError::UnknownCodec(id) => write!(f, "unknown codec id {id}"),
+            BitstreamError::CrcMismatch { stored, computed } => write!(
+                f,
+                "payload crc mismatch (stored {stored:#010x}, computed {computed:#010x})"
+            ),
+            BitstreamError::CorruptPayload(msg) => write!(f, "corrupt payload: {msg}"),
+            BitstreamError::FrameMisaligned { len, frame_bytes } => write!(
+                f,
+                "decompressed length {len} is not a multiple of frame size {frame_bytes}"
+            ),
+        }
+    }
+}
+
+impl Error for BitstreamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(BitstreamError::UnknownCodec(7).to_string().contains("7"));
+        assert!(BitstreamError::Malformed("x".into()).to_string().contains("x"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<BitstreamError>();
+    }
+}

@@ -1,0 +1,45 @@
+//! Configuration bitstream format and compression codecs.
+//!
+//! The paper stores *compressed configuration bit-streams* in the
+//! co-processor's ROM and decompresses them "window by window" inside
+//! the configuration module (§2.3); its conclusion poses
+//! symmetry-exploiting compression as an open problem. This crate
+//! provides:
+//!
+//! * [`Bitstream`] — a packetised serialisation of a function's
+//!   configuration frames (sync word, header, CRC-protected compressed
+//!   payload), modelled on the Virtex-II SelectMAP stream.
+//! * [`codec`] — pluggable compression codecs with **streaming
+//!   decompressors** whose working memory is bounded, so the
+//!   configuration module can honour the paper's windowed design:
+//!   byte-wise RLE, LZSS with a 4 KiB history window, canonical
+//!   Huffman, and a frame-XOR codec that exploits inter-frame CLB
+//!   symmetry (the paper's open problem), plus a stored/null codec.
+//! * [`crc`] — the CRC-32 used to protect payloads (and reused by the
+//!   algorithm bank's CRC kernel as a golden model).
+//!
+//! # Examples
+//!
+//! ```
+//! use aaod_bitstream::{codec::{registry, CodecId}, Bitstream};
+//!
+//! let frames = vec![vec![0u8; 128]; 4];
+//! let bs = Bitstream::new(3, 8, 8, 128, frames).unwrap();
+//! let codec = registry::codec(CodecId::Rle, 128);
+//! let rom_bytes = bs.encode(codec.as_ref());
+//! let back = Bitstream::decode(&rom_bytes).unwrap();
+//! assert_eq!(back, bs);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod crc;
+pub mod error;
+pub mod format;
+pub mod stats;
+
+pub use error::BitstreamError;
+pub use format::{Bitstream, BitstreamHeader, HEADER_BYTES, SYNC_WORD};
+pub use stats::CompressionStats;

@@ -1,0 +1,98 @@
+//! Compression measurement helpers for experiment E2.
+
+use crate::codec::Codec;
+use std::fmt;
+
+/// The outcome of compressing one bitstream with one codec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompressionStats {
+    /// Uncompressed payload bytes.
+    pub original: usize,
+    /// Compressed payload bytes.
+    pub compressed: usize,
+    /// Modelled decompression cycles (codec cost × output bytes).
+    pub decompress_cycles: u64,
+}
+
+impl CompressionStats {
+    /// Compresses `data` with `codec` and records the sizes and the
+    /// modelled decompression cost.
+    pub fn measure(codec: &dyn Codec, data: &[u8]) -> Self {
+        let compressed = codec.compress(data);
+        CompressionStats {
+            original: data.len(),
+            compressed: compressed.len(),
+            decompress_cycles: codec.cycles_per_output_byte() * data.len() as u64,
+        }
+    }
+
+    /// Compression ratio (`original / compressed`); ∞-safe: returns
+    /// 0 when nothing was compressed.
+    pub fn ratio(&self) -> f64 {
+        if self.compressed == 0 {
+            0.0
+        } else {
+            self.original as f64 / self.compressed as f64
+        }
+    }
+
+    /// Space saving as a fraction (`1 - compressed/original`).
+    pub fn saving(&self) -> f64 {
+        if self.original == 0 {
+            0.0
+        } else {
+            1.0 - self.compressed as f64 / self.original as f64
+        }
+    }
+}
+
+impl fmt::Display for CompressionStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} -> {} bytes (ratio {:.2})",
+            self.original,
+            self.compressed,
+            self.ratio()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::registry;
+    use crate::codec::CodecId;
+
+    #[test]
+    fn measures_sizes() {
+        let codec = registry::codec(CodecId::Rle, 64);
+        let s = CompressionStats::measure(codec.as_ref(), &[0u8; 1000]);
+        assert_eq!(s.original, 1000);
+        assert!(s.compressed < 20);
+        assert!(s.ratio() > 50.0);
+        assert!(s.saving() > 0.9);
+        assert_eq!(s.decompress_cycles, 1000);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let s = CompressionStats {
+            original: 0,
+            compressed: 0,
+            decompress_cycles: 0,
+        };
+        assert_eq!(s.ratio(), 0.0);
+        assert_eq!(s.saving(), 0.0);
+    }
+
+    #[test]
+    fn display() {
+        let s = CompressionStats {
+            original: 100,
+            compressed: 50,
+            decompress_cycles: 200,
+        };
+        assert!(s.to_string().contains("ratio 2.00"));
+    }
+}

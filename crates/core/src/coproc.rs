@@ -1,0 +1,364 @@
+//! The host-facing co-processor: PCI + microcontroller + fabric.
+
+use crate::error::CoreError;
+use aaod_algos::AlgorithmBank;
+use aaod_bitstream::codec::CodecId;
+use aaod_fabric::DeviceGeometry;
+use aaod_mcu::{
+    InvokeReport, LruPolicy, MiniOs, MiniOsConfig, OsStats, ReconfigMode, ReplacementPolicy,
+};
+use aaod_pci::{PciBus, PciConfig};
+use aaod_sim::SimTime;
+
+/// Host-visible timing of one invocation: the card-internal breakdown
+/// plus the PCI transfers that bracket it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostReport {
+    /// Host→card operand transfer time.
+    pub pci_input_time: SimTime,
+    /// Card→host result transfer time.
+    pub pci_output_time: SimTime,
+    /// The controller's own breakdown.
+    pub os: InvokeReport,
+}
+
+impl HostReport {
+    /// Total host-observed service time.
+    pub fn total(&self) -> SimTime {
+        self.pci_input_time + self.pci_output_time + self.os.total()
+    }
+
+    /// Whether the function was already resident.
+    pub fn hit(&self) -> bool {
+        self.os.hit
+    }
+}
+
+/// Builder for [`CoProcessor`].
+///
+/// # Examples
+///
+/// ```
+/// use aaod_core::CoProcessor;
+/// use aaod_fabric::DeviceGeometry;
+///
+/// let cp = CoProcessor::builder()
+///     .geometry(DeviceGeometry::new(48, 16))
+///     .window(128)
+///     .build();
+/// assert_eq!(cp.geometry().frames(), 48);
+/// ```
+pub struct CoProcessorBuilder {
+    os: MiniOsConfig,
+    pci: PciConfig,
+}
+
+impl CoProcessorBuilder {
+    /// Starts from the default configuration (96×16 device, LZSS,
+    /// 256-byte window, LRU, partial reconfiguration, 33 MHz PCI).
+    pub fn new() -> Self {
+        CoProcessorBuilder {
+            os: MiniOsConfig::default(),
+            pci: PciConfig::default(),
+        }
+    }
+
+    /// Sets the device geometry.
+    pub fn geometry(mut self, geometry: DeviceGeometry) -> Self {
+        self.os.geometry = geometry;
+        self
+    }
+
+    /// Sets the decompression window (bytes).
+    pub fn window(mut self, window: usize) -> Self {
+        self.os.window = window;
+        self
+    }
+
+    /// Sets the bitstream codec used for installs.
+    pub fn codec(mut self, codec: CodecId) -> Self {
+        self.os.codec = codec;
+        self
+    }
+
+    /// Sets the replacement policy.
+    pub fn policy(mut self, policy: Box<dyn ReplacementPolicy>) -> Self {
+        self.os.policy = policy;
+        self
+    }
+
+    /// Sets partial (paper) or full (baseline) reconfiguration.
+    pub fn mode(mut self, mode: ReconfigMode) -> Self {
+        self.os.mode = mode;
+        self
+    }
+
+    /// Sets the algorithm bank.
+    pub fn bank(mut self, bank: AlgorithmBank) -> Self {
+        self.os.bank = bank;
+        self
+    }
+
+    /// Sets the ROM capacity in bytes.
+    pub fn rom_capacity(mut self, bytes: usize) -> Self {
+        self.os.rom_capacity = bytes;
+        self
+    }
+
+    /// Sets the local RAM size in bytes.
+    pub fn ram_size(mut self, bytes: usize) -> Self {
+        self.os.ram_size = bytes;
+        self
+    }
+
+    /// Sets the PCI bus parameters.
+    pub fn pci(mut self, pci: PciConfig) -> Self {
+        self.pci = pci;
+        self
+    }
+
+    /// Enables speculative (prefetch) configuration of the predicted
+    /// next algorithm during idle time.
+    pub fn prefetch(mut self, enabled: bool) -> Self {
+        self.os.prefetch = enabled;
+        self
+    }
+
+    /// Builds the co-processor.
+    pub fn build(self) -> CoProcessor {
+        CoProcessor {
+            os: MiniOs::new(self.os),
+            bus: PciBus::new(self.pci),
+        }
+    }
+}
+
+impl Default for CoProcessorBuilder {
+    fn default() -> Self {
+        CoProcessorBuilder::new()
+    }
+}
+
+/// The assembled card, as seen from the host.
+#[derive(Debug)]
+pub struct CoProcessor {
+    os: MiniOs,
+    bus: PciBus,
+}
+
+impl CoProcessor {
+    /// Starts building a co-processor.
+    pub fn builder() -> CoProcessorBuilder {
+        CoProcessorBuilder::new()
+    }
+
+    /// Encodes and downloads a bank algorithm's bitstream over PCI
+    /// into the card's ROM. Returns the modelled time (PCI transfer +
+    /// ROM programming).
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller errors (unknown algorithm, full ROM,
+    /// duplicates…).
+    pub fn install(&mut self, algo_id: u16) -> Result<SimTime, CoreError> {
+        let encoded = self.os.encode_bitstream(algo_id)?;
+        let pci = self.bus.write(encoded.len() as u64);
+        let rom = self.os.download(&encoded)?;
+        Ok(pci + rom)
+    }
+
+    /// Invokes an installed function on `input`, returning the result
+    /// bytes and the host-level timing report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller errors; see
+    /// [`aaod_mcu::MiniOs::invoke`].
+    pub fn invoke(&mut self, algo_id: u16, input: &[u8]) -> Result<(Vec<u8>, HostReport), CoreError> {
+        let pci_input_time = self.bus.write(input.len() as u64);
+        let (output, os_report) = self.os.invoke(algo_id, input)?;
+        let pci_output_time = self.bus.read(output.len() as u64);
+        Ok((
+            output,
+            HostReport {
+                pci_input_time,
+                pci_output_time,
+                os: os_report,
+            },
+        ))
+    }
+
+    /// Issues one instruction to the microcontroller over PCI — the
+    /// paper's §2.1 operating model. The command bytes cross the bus
+    /// host→card and the response bytes card→host; the returned time
+    /// is the full round trip including the controller's work.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller errors.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aaod_core::CoProcessor;
+    /// use aaod_mcu::{Command, Response};
+    ///
+    /// let mut cp = CoProcessor::default();
+    /// let (resp, _) = cp.send_command(Command::QueryResident)?;
+    /// assert_eq!(resp, Response::Resident(vec![]));
+    /// # Ok::<(), aaod_core::CoreError>(())
+    /// ```
+    pub fn send_command(
+        &mut self,
+        command: aaod_mcu::Command,
+    ) -> Result<(aaod_mcu::Response, SimTime), CoreError> {
+        let cmd_time = self.bus.write(command.wire_len() as u64);
+        let (response, os_time) = self.os.dispatch(command)?;
+        let resp_time = self.bus.read(response.wire_len() as u64);
+        Ok((response, cmd_time + os_time + resp_time))
+    }
+
+    /// Installed-and-resident algorithm ids.
+    pub fn resident(&self) -> Vec<u16> {
+        self.os.resident()
+    }
+
+    /// Runs a readback-scrub pass over the resident functions,
+    /// repairing any corrupted configuration from ROM. See
+    /// [`aaod_mcu::MiniOs::scrub`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates repair failures.
+    pub fn scrub(&mut self) -> Result<aaod_mcu::ScrubReport, CoreError> {
+        Ok(self.os.scrub()?)
+    }
+
+    /// Controller statistics.
+    pub fn stats(&self) -> OsStats {
+        self.os.stats()
+    }
+
+    /// PCI bus statistics.
+    pub fn pci_stats(&self) -> aaod_pci::PciStats {
+        self.bus.stats()
+    }
+
+    /// Device geometry.
+    pub fn geometry(&self) -> DeviceGeometry {
+        self.os.geometry()
+    }
+
+    /// The controller (inspection / fault injection in tests).
+    pub fn os(&self) -> &MiniOs {
+        &self.os
+    }
+
+    /// Mutable controller access (fault injection in tests).
+    pub fn os_mut(&mut self) -> &mut MiniOs {
+        &mut self.os
+    }
+
+    /// Builds the default agile co-processor with the given policy and
+    /// everything else standard.
+    pub fn with_policy(policy: Box<dyn ReplacementPolicy>) -> Self {
+        CoProcessor::builder().policy(policy).build()
+    }
+}
+
+impl Default for CoProcessor {
+    fn default() -> Self {
+        CoProcessor::builder().policy(Box::new(LruPolicy)).build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aaod_algos::ids;
+
+    #[test]
+    fn install_and_invoke() {
+        let mut cp = CoProcessor::default();
+        let t = cp.install(ids::CRC32).unwrap();
+        assert!(t > SimTime::ZERO);
+        let (out, report) = cp.invoke(ids::CRC32, b"123456789").unwrap();
+        assert_eq!(out, 0xCBF4_3926u32.to_le_bytes().to_vec());
+        assert!(!report.hit());
+        assert!(report.pci_input_time > SimTime::ZERO);
+        assert!(report.pci_output_time > SimTime::ZERO);
+        assert!(report.total() > report.os.total());
+    }
+
+    #[test]
+    fn pci_traffic_is_counted() {
+        let mut cp = CoProcessor::default();
+        cp.install(ids::PARITY8).unwrap();
+        cp.invoke(ids::PARITY8, &[0xFF; 100]).unwrap();
+        let s = cp.pci_stats();
+        assert!(s.bytes_written > 100); // bitstream + input
+        assert!(s.bytes_read > 0); // result
+    }
+
+    #[test]
+    fn builder_options_apply() {
+        let cp = CoProcessor::builder()
+            .geometry(DeviceGeometry::new(32, 8))
+            .window(64)
+            .codec(CodecId::Rle)
+            .mode(ReconfigMode::Full)
+            .build();
+        assert_eq!(cp.geometry().frames(), 32);
+    }
+
+    #[test]
+    fn command_interface_matches_direct_calls() {
+        use aaod_mcu::{Command, Response};
+        let mut direct = CoProcessor::default();
+        direct.install(ids::CRC32).unwrap();
+        let (expected, _) = direct.invoke(ids::CRC32, b"123456789").unwrap();
+
+        let mut driven = CoProcessor::default();
+        let bitstream = driven.os().encode_bitstream(ids::CRC32).unwrap();
+        let (resp, t) = driven
+            .send_command(Command::Download { bitstream })
+            .unwrap();
+        assert_eq!(resp, Response::Done);
+        assert!(t > SimTime::ZERO);
+        let (resp, _) = driven
+            .send_command(Command::Invoke {
+                algo_id: ids::CRC32,
+                input: b"123456789".to_vec(),
+            })
+            .unwrap();
+        assert_eq!(resp, Response::Output(expected));
+        let (resp, _) = driven.send_command(Command::QueryResident).unwrap();
+        assert_eq!(resp, Response::Resident(vec![ids::CRC32]));
+        let (resp, _) = driven.send_command(Command::QueryStats).unwrap();
+        assert!(matches!(resp, Response::Stats { requests: 1, .. }));
+        let (resp, _) = driven
+            .send_command(Command::Evict { algo_id: ids::CRC32 })
+            .unwrap();
+        assert_eq!(resp, Response::Done);
+        let (resp, _) = driven.send_command(Command::Reset).unwrap();
+        assert_eq!(resp, Response::Done);
+        assert!(driven.resident().is_empty());
+        // ROM survives the reset: the function is still installable
+        let (resp, _) = driven
+            .send_command(Command::Invoke {
+                algo_id: ids::CRC32,
+                input: b"123456789".to_vec(),
+            })
+            .unwrap();
+        assert!(matches!(resp, Response::Output(_)));
+    }
+
+    #[test]
+    fn invoke_before_install_fails() {
+        let mut cp = CoProcessor::default();
+        assert!(matches!(
+            cp.invoke(ids::SHA1, b"x"),
+            Err(CoreError::Mcu(_))
+        ));
+    }
+}

@@ -1,0 +1,197 @@
+//! The configuration port: the timed write path into the device.
+//!
+//! Modelled on the Virtex-II SelectMAP interface: `width` bytes are
+//! accepted per configuration-clock cycle, with a fixed per-frame
+//! overhead for the frame-address setup and a larger one-off overhead
+//! for a full-device reconfiguration (house-cleaning, CRC reset).
+//! All mutation of the device by higher layers goes through this port
+//! so configuration time is always accounted.
+
+use crate::device::Device;
+use crate::error::FabricError;
+use crate::geometry::{DeviceGeometry, FrameAddress};
+use aaod_sim::{Clock, SimTime};
+
+/// A timed configuration interface to a [`Device`].
+///
+/// # Examples
+///
+/// ```
+/// use aaod_fabric::{ConfigPort, Device, DeviceGeometry, FrameAddress};
+///
+/// let geom = DeviceGeometry::new(8, 2);
+/// let mut dev = Device::new(geom);
+/// let port = ConfigPort::selectmap8();
+/// let frame = vec![1u8; geom.frame_bytes()];
+/// let t = port.write_frame(&mut dev, FrameAddress(0), &frame).unwrap();
+/// assert!(t.as_ns() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConfigPort {
+    clock: Clock,
+    width_bytes: u64,
+    frame_overhead_cycles: u64,
+    full_overhead_cycles: u64,
+}
+
+impl ConfigPort {
+    /// A SelectMAP-style 8-bit port at the 50 MHz configuration clock.
+    pub fn selectmap8() -> Self {
+        ConfigPort {
+            clock: aaod_sim::clock::domains::mcu(),
+            width_bytes: 1,
+            frame_overhead_cycles: 6,
+            full_overhead_cycles: 1200,
+        }
+    }
+
+    /// Creates a port with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width_bytes` is zero.
+    pub fn new(
+        clock: Clock,
+        width_bytes: u64,
+        frame_overhead_cycles: u64,
+        full_overhead_cycles: u64,
+    ) -> Self {
+        assert!(width_bytes > 0, "port width must be non-zero");
+        ConfigPort {
+            clock,
+            width_bytes,
+            frame_overhead_cycles,
+            full_overhead_cycles,
+        }
+    }
+
+    /// The port's clock domain.
+    pub fn clock(&self) -> Clock {
+        self.clock
+    }
+
+    /// Cycles to shift in one frame of `geom`.
+    pub fn frame_cycles(&self, geom: DeviceGeometry) -> u64 {
+        (geom.frame_bytes() as u64).div_ceil(self.width_bytes) + self.frame_overhead_cycles
+    }
+
+    /// Time to write `n` frames of `geom` (partial reconfiguration).
+    pub fn frames_time(&self, geom: DeviceGeometry, n: usize) -> SimTime {
+        self.clock.cycles(self.frame_cycles(geom) * n as u64)
+    }
+
+    /// Time for a full-device reconfiguration of `geom`.
+    pub fn full_time(&self, geom: DeviceGeometry) -> SimTime {
+        self.clock
+            .cycles(self.frame_cycles(geom) * geom.frames() as u64 + self.full_overhead_cycles)
+    }
+
+    /// Writes one frame through the port, returning the time taken.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Device::write_frame`] errors.
+    pub fn write_frame(
+        &self,
+        device: &mut Device,
+        addr: FrameAddress,
+        bytes: &[u8],
+    ) -> Result<SimTime, FabricError> {
+        device.write_frame(addr, bytes)?;
+        Ok(self.clock.cycles(self.frame_cycles(device.geometry())))
+    }
+
+    /// Erases one frame, at the same cost as writing it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Device::clear_frame`] errors.
+    pub fn clear_frame(
+        &self,
+        device: &mut Device,
+        addr: FrameAddress,
+    ) -> Result<SimTime, FabricError> {
+        device.clear_frame(addr)?;
+        Ok(self.clock.cycles(self.frame_cycles(device.geometry())))
+    }
+
+    /// Performs a full reconfiguration, returning the (much larger)
+    /// time taken.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Device::full_configure`] errors.
+    pub fn full_configure(
+        &self,
+        device: &mut Device,
+        frames: &[Vec<u8>],
+    ) -> Result<SimTime, FabricError> {
+        device.full_configure(frames)?;
+        Ok(self.full_time(device.geometry()))
+    }
+}
+
+impl Default for ConfigPort {
+    fn default() -> Self {
+        ConfigPort::selectmap8()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_time_scales_with_size() {
+        let port = ConfigPort::selectmap8();
+        let small = DeviceGeometry::new(4, 1);
+        let large = DeviceGeometry::new(4, 8);
+        assert!(port.frames_time(large, 1) > port.frames_time(small, 1));
+        assert_eq!(
+            port.frames_time(small, 4).as_ps(),
+            port.frames_time(small, 1).as_ps() * 4
+        );
+    }
+
+    #[test]
+    fn full_config_costs_more_than_all_frames() {
+        let port = ConfigPort::selectmap8();
+        let geom = DeviceGeometry::new(16, 4);
+        assert!(port.full_time(geom) > port.frames_time(geom, geom.frames()));
+    }
+
+    #[test]
+    fn wide_port_is_faster() {
+        let clock = aaod_sim::clock::domains::mcu();
+        let narrow = ConfigPort::new(clock, 1, 6, 0);
+        let wide = ConfigPort::new(clock, 4, 6, 0);
+        let geom = DeviceGeometry::new(4, 8);
+        assert!(wide.frames_time(geom, 1) < narrow.frames_time(geom, 1));
+    }
+
+    #[test]
+    fn write_frame_mutates_and_times() {
+        let geom = DeviceGeometry::new(4, 1);
+        let mut dev = Device::new(geom);
+        let port = ConfigPort::selectmap8();
+        let t = port
+            .write_frame(&mut dev, FrameAddress(2), &vec![9; geom.frame_bytes()])
+            .unwrap();
+        assert_eq!(t, port.frames_time(geom, 1));
+        assert_eq!(dev.read_frame(FrameAddress(2)).unwrap()[0], 9);
+    }
+
+    #[test]
+    fn errors_propagate_without_timing() {
+        let geom = DeviceGeometry::new(4, 1);
+        let mut dev = Device::new(geom);
+        let port = ConfigPort::selectmap8();
+        assert!(port.write_frame(&mut dev, FrameAddress(9), &[]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be non-zero")]
+    fn zero_width_panics() {
+        let _ = ConfigPort::new(aaod_sim::clock::domains::mcu(), 0, 0, 0);
+    }
+}

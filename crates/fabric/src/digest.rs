@@ -1,0 +1,111 @@
+//! FNV-1a integrity digest.
+//!
+//! Function images store a 64-bit digest over their body so the
+//! executor can detect corrupted, torn or stale configuration frames
+//! before dispatching a behavioural kernel. FNV-1a is sufficient for
+//! fault detection (it is not a cryptographic MAC, and does not need to
+//! be: the threat model is configuration-plane corruption, not an
+//! adversary).
+
+/// FNV-1a offset basis.
+const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Computes the 64-bit FNV-1a digest of `data`.
+///
+/// # Examples
+///
+/// ```
+/// use aaod_fabric::digest::fnv1a64;
+///
+/// assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+/// assert_ne!(fnv1a64(b"a"), fnv1a64(b"b"));
+/// ```
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h = OFFSET;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Incremental FNV-1a hasher for digesting data that arrives in chunks
+/// (the configuration module streams windows).
+///
+/// # Examples
+///
+/// ```
+/// use aaod_fabric::digest::{fnv1a64, Fnv1a};
+///
+/// let mut h = Fnv1a::new();
+/// h.update(b"hello ");
+/// h.update(b"world");
+/// assert_eq!(h.finish(), fnv1a64(b"hello world"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+impl Fnv1a {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Fnv1a { state: OFFSET }
+    }
+
+    /// Absorbs a chunk of data.
+    pub fn update(&mut self, data: &[u8]) {
+        for &b in data {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(PRIME);
+        }
+    }
+
+    /// Returns the digest of everything absorbed so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..=255).collect();
+        for split in [0usize, 1, 17, 128, 255, 256] {
+            let mut h = Fnv1a::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finish(), fnv1a64(&data));
+        }
+    }
+
+    #[test]
+    fn single_bit_flip_changes_digest() {
+        let mut data = vec![0u8; 64];
+        let base = fnv1a64(&data);
+        for i in 0..64 {
+            data[i] ^= 1;
+            assert_ne!(fnv1a64(&data), base, "flip at {i} undetected");
+            data[i] ^= 1;
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Fabric error type.
+
+use crate::geometry::FrameAddress;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the fabric model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FabricError {
+    /// A frame address beyond the device's frame count.
+    FrameOutOfRange {
+        /// The offending address.
+        addr: FrameAddress,
+        /// Number of frames in the device.
+        frames: usize,
+    },
+    /// A frame payload whose length differs from the geometry's frame size.
+    FrameSizeMismatch {
+        /// Bytes supplied.
+        got: usize,
+        /// Bytes required by the geometry.
+        expected: usize,
+    },
+    /// A function image could not be decoded from configuration bytes.
+    ImageDecode(String),
+    /// A function image failed its integrity digest — the configured
+    /// bits do not describe a coherent function (e.g. a frame was
+    /// corrupted or only partially written).
+    DigestMismatch {
+        /// Digest stored in the image descriptor.
+        stored: u64,
+        /// Digest computed over the configured bytes.
+        computed: u64,
+    },
+    /// A netlist failed structural validation.
+    NetlistInvalid(String),
+    /// A netlist or image too large for the requested resources.
+    CapacityExceeded {
+        /// Resource that overflowed (e.g. "LUT slots", "frames").
+        what: &'static str,
+        /// Amount required.
+        needed: usize,
+        /// Amount available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricError::FrameOutOfRange { addr, frames } => {
+                write!(f, "frame address {addr} outside device with {frames} frames")
+            }
+            FabricError::FrameSizeMismatch { got, expected } => {
+                write!(f, "frame payload of {got} bytes, geometry requires {expected}")
+            }
+            FabricError::ImageDecode(msg) => write!(f, "cannot decode function image: {msg}"),
+            FabricError::DigestMismatch { stored, computed } => write!(
+                f,
+                "image digest mismatch (stored {stored:#018x}, computed {computed:#018x})"
+            ),
+            FabricError::NetlistInvalid(msg) => write!(f, "invalid netlist: {msg}"),
+            FabricError::CapacityExceeded {
+                what,
+                needed,
+                available,
+            } => write!(f, "{what} exceeded: need {needed}, have {available}"),
+        }
+    }
+}
+
+impl Error for FabricError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = FabricError::FrameOutOfRange {
+            addr: FrameAddress(9),
+            frames: 4,
+        };
+        assert_eq!(e.to_string(), "frame address F9 outside device with 4 frames");
+        let e = FabricError::DigestMismatch {
+            stored: 1,
+            computed: 2,
+        };
+        assert!(e.to_string().contains("digest mismatch"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<FabricError>();
+    }
+}

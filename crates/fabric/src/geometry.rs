@@ -1,0 +1,203 @@
+//! Device geometry: frames, CLBs and configuration sizes.
+//!
+//! A frame is the atomic unit of (partial) reconfiguration. Following
+//! the paper's footnote — "Frames are a prespecified number of Logic
+//! Blocks and the relevant Switch Blocks" — a frame here covers a column
+//! of `clbs_per_frame` CLBs. Each CLB contributes a fixed number of
+//! configuration bytes ([`CLB_CONFIG_BYTES`]) covering its four 4-input
+//! LUTs, flip-flop controls and the adjacent switch-block routing words.
+
+use crate::error::FabricError;
+use std::fmt;
+
+/// Configuration bytes per CLB.
+///
+/// Budget: 4 LUT4 truth tables (2 B each) + 4x4 LUT input-mux routing
+/// words (2 B each) + 4 output routing words (2 B each) + FF control
+/// byte + 7 reserved bytes = 56 bytes.
+pub const CLB_CONFIG_BYTES: usize = 56;
+
+/// Address of a single configuration frame within the device.
+///
+/// Frame addresses are dense indices `0..geometry.frames()`, mirroring
+/// the major/minor frame addressing of real devices flattened to one
+/// dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct FrameAddress(pub u16);
+
+impl FrameAddress {
+    /// The numeric index of this frame.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FrameAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F{}", self.0)
+    }
+}
+
+impl From<u16> for FrameAddress {
+    fn from(v: u16) -> Self {
+        FrameAddress(v)
+    }
+}
+
+/// The static shape of a device: how many frames it has and how many
+/// CLBs each frame covers.
+///
+/// # Examples
+///
+/// ```
+/// use aaod_fabric::DeviceGeometry;
+///
+/// let geom = DeviceGeometry::new(96, 16);
+/// assert_eq!(geom.frame_bytes(), 16 * aaod_fabric::CLB_CONFIG_BYTES);
+/// assert_eq!(geom.device_bytes(), 96 * geom.frame_bytes());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DeviceGeometry {
+    frames: u16,
+    clbs_per_frame: u16,
+}
+
+impl DeviceGeometry {
+    /// Creates a geometry with `frames` frames of `clbs_per_frame` CLBs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(frames: u16, clbs_per_frame: u16) -> Self {
+        assert!(frames > 0, "device must have at least one frame");
+        assert!(clbs_per_frame > 0, "frame must cover at least one CLB");
+        DeviceGeometry {
+            frames,
+            clbs_per_frame,
+        }
+    }
+
+    /// A geometry sized like the paper's proof-of-concept device class
+    /// (a mid-size Virtex-II): 96 frames of 16 CLBs.
+    pub fn virtex_ii_like() -> Self {
+        DeviceGeometry::new(96, 16)
+    }
+
+    /// Number of frames in the device.
+    pub fn frames(&self) -> usize {
+        self.frames as usize
+    }
+
+    /// CLBs covered by each frame.
+    pub fn clbs_per_frame(&self) -> usize {
+        self.clbs_per_frame as usize
+    }
+
+    /// Configuration bytes in one frame.
+    pub fn frame_bytes(&self) -> usize {
+        self.clbs_per_frame() * CLB_CONFIG_BYTES
+    }
+
+    /// Total configuration bytes in the device.
+    pub fn device_bytes(&self) -> usize {
+        self.frames() * self.frame_bytes()
+    }
+
+    /// Total CLB count.
+    pub fn clbs(&self) -> usize {
+        self.frames() * self.clbs_per_frame()
+    }
+
+    /// Number of frames needed to hold `bytes` of function image.
+    pub fn frames_for_bytes(&self, bytes: usize) -> usize {
+        bytes.div_ceil(self.frame_bytes()).max(1)
+    }
+
+    /// Validates that `addr` is inside the device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::FrameOutOfRange`] if the address is not a
+    /// valid frame index.
+    pub fn check(&self, addr: FrameAddress) -> Result<(), FabricError> {
+        if addr.index() < self.frames() {
+            Ok(())
+        } else {
+            Err(FabricError::FrameOutOfRange {
+                addr,
+                frames: self.frames(),
+            })
+        }
+    }
+}
+
+impl Default for DeviceGeometry {
+    fn default() -> Self {
+        DeviceGeometry::virtex_ii_like()
+    }
+}
+
+impl fmt::Display for DeviceGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{} CLB fabric ({} B/frame)",
+            self.frames,
+            self.clbs_per_frame,
+            self.frame_bytes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_multiply_out() {
+        let g = DeviceGeometry::new(10, 4);
+        assert_eq!(g.frame_bytes(), 4 * CLB_CONFIG_BYTES);
+        assert_eq!(g.device_bytes(), 10 * 4 * CLB_CONFIG_BYTES);
+        assert_eq!(g.clbs(), 40);
+    }
+
+    #[test]
+    fn frames_for_bytes_rounds_up() {
+        let g = DeviceGeometry::new(10, 1); // 56 B frames
+        assert_eq!(g.frames_for_bytes(0), 1);
+        assert_eq!(g.frames_for_bytes(1), 1);
+        assert_eq!(g.frames_for_bytes(56), 1);
+        assert_eq!(g.frames_for_bytes(57), 2);
+        assert_eq!(g.frames_for_bytes(112), 2);
+    }
+
+    #[test]
+    fn check_bounds() {
+        let g = DeviceGeometry::new(4, 1);
+        assert!(g.check(FrameAddress(3)).is_ok());
+        assert!(matches!(
+            g.check(FrameAddress(4)),
+            Err(FabricError::FrameOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_frames_panics() {
+        let _ = DeviceGeometry::new(0, 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(FrameAddress(7).to_string(), "F7");
+        let g = DeviceGeometry::new(2, 3);
+        assert!(g.to_string().contains("2x3"));
+    }
+
+    #[test]
+    fn default_is_virtex_like() {
+        let g = DeviceGeometry::default();
+        assert_eq!(g.frames(), 96);
+        assert_eq!(g.clbs_per_frame(), 16);
+    }
+}

@@ -1,0 +1,600 @@
+//! Function images: what a configured region's bits *mean*.
+//!
+//! A [`FunctionImage`] is the serialised form of one co-processor
+//! function as it lives in configuration frames. It starts with a fixed
+//! descriptor (magic, kind, algorithm id, I/O widths, body length,
+//! integrity digest) followed by a body:
+//!
+//! * **Netlist images** carry a fully serialised LUT netlist. After
+//!   configuration the device re-decodes the netlist *from the frame
+//!   bytes* and evaluates it — the bits are the behaviour.
+//! * **Behavioural images** carry kernel parameters (e.g. an AES key
+//!   schedule or FIR coefficients) plus structured filler standing in
+//!   for the real LUT/routing data of a large core. The descriptor's
+//!   digest covers the whole image, so any frame corruption is detected before
+//!   the kernel is dispatched.
+//!
+//! Images are frame-relocatable: they carry no absolute frame
+//! addresses, so the mini-OS may place them in any — possibly
+//! non-contiguous — set of free frames, exactly as §2.5 of the paper
+//! requires.
+
+use crate::digest::fnv1a64;
+use crate::error::FabricError;
+use crate::geometry::DeviceGeometry;
+use crate::netlist::{bits_to_bytes, bytes_to_bits, Lut, NetId, Netlist};
+
+/// Image magic bytes.
+const MAGIC: [u8; 4] = *b"AAOD";
+/// Image format version.
+const VERSION: u8 = 1;
+/// Fixed descriptor length in bytes.
+pub const DESCRIPTOR_BYTES: usize = 40;
+
+/// How a netlist image consumes input data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetlistMode {
+    /// Blockwise: each `n_inputs/8`-byte chunk of input produces one
+    /// `ceil(n_outputs/8)`-byte chunk of output.
+    Combinational,
+    /// Byte-streaming with feedback: inputs are `8 + n_outputs` bits
+    /// (data byte + state); each byte updates the state; the final
+    /// state is the output (CRC-style kernels).
+    Streaming,
+}
+
+impl NetlistMode {
+    fn to_byte(self) -> u8 {
+        match self {
+            NetlistMode::Combinational => 0,
+            NetlistMode::Streaming => 1,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, FabricError> {
+        match b {
+            0 => Ok(NetlistMode::Combinational),
+            1 => Ok(NetlistMode::Streaming),
+            other => Err(FabricError::ImageDecode(format!(
+                "unknown netlist mode {other}"
+            ))),
+        }
+    }
+}
+
+/// The decoded payload of a function image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FunctionKind {
+    /// A true LUT netlist, evaluable from the configured bits.
+    Netlist {
+        /// The decoded netlist.
+        netlist: Netlist,
+        /// Input framing mode.
+        mode: NetlistMode,
+    },
+    /// A behavioural kernel identified by the algorithm id, with its
+    /// instantiation parameters.
+    Behavioral {
+        /// Kernel parameters (key schedule, coefficients, …).
+        params: Vec<u8>,
+    },
+}
+
+/// A function image: descriptor + body, convertible to and from the
+/// frame bytes of a configured region.
+///
+/// # Examples
+///
+/// ```
+/// use aaod_fabric::{DeviceGeometry, FunctionImage, NetlistBuilder, NetlistMode};
+///
+/// let mut b = NetlistBuilder::new();
+/// let x = b.input();
+/// let o = b.not(x);
+/// b.output(o);
+/// let image = FunctionImage::from_netlist(7, b.finish().unwrap(), NetlistMode::Combinational, 1, 1);
+/// let geom = DeviceGeometry::new(8, 4);
+/// let frames = image.encode(geom);
+/// let back = FunctionImage::decode_frames(&frames, geom).unwrap();
+/// assert_eq!(back.algo_id(), 7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionImage {
+    algo_id: u16,
+    input_width: u16,
+    output_width: u16,
+    kind_byte: u8,
+    body: Vec<u8>,
+}
+
+impl FunctionImage {
+    /// Builds an image around a LUT netlist.
+    ///
+    /// `input_width` / `output_width` are the data-bus transfer widths
+    /// in bytes recorded in the ROM function record (paper §2.2).
+    pub fn from_netlist(
+        algo_id: u16,
+        netlist: Netlist,
+        mode: NetlistMode,
+        input_width: u16,
+        output_width: u16,
+    ) -> Self {
+        let mut body = Vec::new();
+        body.extend_from_slice(&(netlist.n_inputs() as u16).to_le_bytes());
+        body.extend_from_slice(&(netlist.n_luts() as u16).to_le_bytes());
+        body.extend_from_slice(&(netlist.n_outputs() as u16).to_le_bytes());
+        body.push(mode.to_byte());
+        body.push(0); // reserved
+        for out in netlist.outputs() {
+            body.extend_from_slice(&out.0.to_le_bytes());
+        }
+        for lut in netlist.luts() {
+            body.extend_from_slice(&lut.truth.to_le_bytes());
+            for inp in lut.inputs {
+                body.extend_from_slice(&inp.0.to_le_bytes());
+            }
+        }
+        FunctionImage {
+            algo_id,
+            input_width,
+            output_width,
+            kind_byte: 0,
+            body,
+        }
+    }
+
+    /// Builds a behavioural image: `params` instantiate the kernel,
+    /// `filler` stands in for the core's LUT/routing configuration
+    /// (its statistics drive compression results; its bytes are covered
+    /// by the digest).
+    pub fn from_behavioral(
+        algo_id: u16,
+        params: &[u8],
+        filler: &[u8],
+        input_width: u16,
+        output_width: u16,
+    ) -> Self {
+        let mut body = Vec::with_capacity(2 + params.len() + filler.len());
+        body.extend_from_slice(&(params.len() as u16).to_le_bytes());
+        body.extend_from_slice(params);
+        body.extend_from_slice(filler);
+        FunctionImage {
+            algo_id,
+            input_width,
+            output_width,
+            kind_byte: 1,
+            body,
+        }
+    }
+
+    /// The algorithm identifier this image implements.
+    pub fn algo_id(&self) -> u16 {
+        self.algo_id
+    }
+
+    /// Data-input transfer width in bytes (paper §2.3: every transfer
+    /// is a multiple of this).
+    pub fn input_width(&self) -> u16 {
+        self.input_width
+    }
+
+    /// Output transfer width in bytes.
+    pub fn output_width(&self) -> u16 {
+        self.output_width
+    }
+
+    /// Total serialised length (descriptor + body).
+    pub fn total_bytes(&self) -> usize {
+        DESCRIPTOR_BYTES + self.body.len()
+    }
+
+    /// Number of frames the image occupies under `geom`.
+    pub fn frames_needed(&self, geom: DeviceGeometry) -> usize {
+        geom.frames_for_bytes(self.total_bytes())
+    }
+
+    /// Serialises the image into a flat byte vector
+    /// (descriptor + body, no frame padding).
+    ///
+    /// The digest at descriptor bytes 16..24 covers the *entire*
+    /// image — descriptor fields and body — computed with the digest
+    /// field itself zeroed, so corruption anywhere in the configured
+    /// bytes is detectable.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.total_bytes());
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        out.push(self.kind_byte);
+        out.extend_from_slice(&self.algo_id.to_le_bytes());
+        out.extend_from_slice(&self.input_width.to_le_bytes());
+        out.extend_from_slice(&self.output_width.to_le_bytes());
+        out.extend_from_slice(&(self.body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&[0u8; 8]); // digest placeholder
+        // 24..40 reserved
+        out.extend_from_slice(&[0u8; DESCRIPTOR_BYTES - 24]);
+        out.extend_from_slice(&self.body);
+        let digest = fnv1a64(&out);
+        out[16..24].copy_from_slice(&digest.to_le_bytes());
+        out
+    }
+
+    /// Serialises into frame-sized chunks for `geom`, zero-padding the
+    /// last frame. These are the bytes written through the
+    /// configuration port.
+    pub fn encode(&self, geom: DeviceGeometry) -> Vec<Vec<u8>> {
+        let flat = self.to_bytes();
+        let fb = geom.frame_bytes();
+        let n = geom.frames_for_bytes(flat.len());
+        let mut frames = Vec::with_capacity(n);
+        for i in 0..n {
+            let start = i * fb;
+            let end = (start + fb).min(flat.len());
+            let mut frame = vec![0u8; fb];
+            if start < flat.len() {
+                frame[..end - start].copy_from_slice(&flat[start..end]);
+            }
+            frames.push(frame);
+        }
+        frames
+    }
+
+    /// Decodes an image from a flat byte buffer (the concatenated
+    /// frames of a configured region).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::ImageDecode`] for malformed bytes and
+    /// [`FabricError::DigestMismatch`] when the body digest does not
+    /// match the descriptor — i.e. the configuration is corrupt or
+    /// torn.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, FabricError> {
+        if data.len() < DESCRIPTOR_BYTES {
+            return Err(FabricError::ImageDecode(format!(
+                "{} bytes is shorter than the descriptor",
+                data.len()
+            )));
+        }
+        if data[0..4] != MAGIC {
+            return Err(FabricError::ImageDecode("bad magic".into()));
+        }
+        if data[4] != VERSION {
+            return Err(FabricError::ImageDecode(format!(
+                "unsupported version {}",
+                data[4]
+            )));
+        }
+        let kind_byte = data[5];
+        if kind_byte > 1 {
+            return Err(FabricError::ImageDecode(format!(
+                "unknown function kind {kind_byte}"
+            )));
+        }
+        let algo_id = u16::from_le_bytes([data[6], data[7]]);
+        let input_width = u16::from_le_bytes([data[8], data[9]]);
+        let output_width = u16::from_le_bytes([data[10], data[11]]);
+        let body_len = u32::from_le_bytes([data[12], data[13], data[14], data[15]]) as usize;
+        let stored = u64::from_le_bytes(
+            data[16..24]
+                .try_into()
+                .expect("slice length checked above"),
+        );
+        let body_start = DESCRIPTOR_BYTES;
+        if data.len() < body_start + body_len {
+            return Err(FabricError::ImageDecode(format!(
+                "body truncated: need {body_len} bytes, have {}",
+                data.len() - body_start
+            )));
+        }
+        let body = data[body_start..body_start + body_len].to_vec();
+        // digest spans descriptor + body, with the digest field zeroed
+        let mut hasher = crate::digest::Fnv1a::new();
+        hasher.update(&data[..16]);
+        hasher.update(&[0u8; 8]);
+        hasher.update(&data[24..body_start + body_len]);
+        let computed = hasher.finish();
+        if computed != stored {
+            return Err(FabricError::DigestMismatch { stored, computed });
+        }
+        Ok(FunctionImage {
+            algo_id,
+            input_width,
+            output_width,
+            kind_byte,
+            body,
+        })
+    }
+
+    /// Decodes an image from a set of frames in placement order.
+    ///
+    /// # Errors
+    ///
+    /// As [`FunctionImage::from_bytes`]; additionally returns
+    /// [`FabricError::FrameSizeMismatch`] if any frame has the wrong
+    /// length for `geom`.
+    pub fn decode_frames(frames: &[Vec<u8>], geom: DeviceGeometry) -> Result<Self, FabricError> {
+        let fb = geom.frame_bytes();
+        let mut flat = Vec::with_capacity(frames.len() * fb);
+        for frame in frames {
+            if frame.len() != fb {
+                return Err(FabricError::FrameSizeMismatch {
+                    got: frame.len(),
+                    expected: fb,
+                });
+            }
+            flat.extend_from_slice(frame);
+        }
+        FunctionImage::from_bytes(&flat)
+    }
+
+    /// Decodes the payload into an executable [`FunctionKind`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::ImageDecode`] or
+    /// [`FabricError::NetlistInvalid`] for malformed bodies.
+    pub fn kind(&self) -> Result<FunctionKind, FabricError> {
+        match self.kind_byte {
+            0 => {
+                let b = &self.body;
+                if b.len() < 8 {
+                    return Err(FabricError::ImageDecode("netlist header truncated".into()));
+                }
+                let n_inputs = u16::from_le_bytes([b[0], b[1]]);
+                let n_luts = u16::from_le_bytes([b[2], b[3]]) as usize;
+                let n_outputs = u16::from_le_bytes([b[4], b[5]]) as usize;
+                let mode = NetlistMode::from_byte(b[6])?;
+                let mut off = 8;
+                let need = off + n_outputs * 2 + n_luts * 10;
+                if b.len() < need {
+                    return Err(FabricError::ImageDecode(format!(
+                        "netlist body truncated: need {need} bytes, have {}",
+                        b.len()
+                    )));
+                }
+                let mut outputs = Vec::with_capacity(n_outputs);
+                for _ in 0..n_outputs {
+                    outputs.push(NetId(u16::from_le_bytes([b[off], b[off + 1]])));
+                    off += 2;
+                }
+                let mut luts = Vec::with_capacity(n_luts);
+                for _ in 0..n_luts {
+                    let truth = u16::from_le_bytes([b[off], b[off + 1]]);
+                    off += 2;
+                    let mut inputs = [NetId::ZERO; 4];
+                    for slot in &mut inputs {
+                        *slot = NetId(u16::from_le_bytes([b[off], b[off + 1]]));
+                        off += 2;
+                    }
+                    luts.push(Lut { inputs, truth });
+                }
+                let netlist = Netlist::from_parts(n_inputs, luts, outputs)?;
+                Ok(FunctionKind::Netlist { netlist, mode })
+            }
+            1 => {
+                let b = &self.body;
+                if b.len() < 2 {
+                    return Err(FabricError::ImageDecode("params header truncated".into()));
+                }
+                let plen = u16::from_le_bytes([b[0], b[1]]) as usize;
+                if b.len() < 2 + plen {
+                    return Err(FabricError::ImageDecode("params truncated".into()));
+                }
+                Ok(FunctionKind::Behavioral {
+                    params: b[2..2 + plen].to_vec(),
+                })
+            }
+            other => Err(FabricError::ImageDecode(format!(
+                "unknown function kind {other}"
+            ))),
+        }
+    }
+
+    /// Executes a netlist image on `input`, returning the output bytes.
+    ///
+    /// For [`NetlistMode::Combinational`] the input is consumed in
+    /// `n_inputs/8`-byte blocks (zero-padded at the tail); for
+    /// [`NetlistMode::Streaming`] each byte updates an
+    /// `n_outputs`-bit state initialised to zero, and the final state is
+    /// returned.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoding errors from [`FunctionImage::kind`], and
+    /// returns [`FabricError::ImageDecode`] if called on a behavioural
+    /// image or the netlist's widths are inconsistent with its mode.
+    pub fn run_netlist(&self, input: &[u8]) -> Result<Vec<u8>, FabricError> {
+        let FunctionKind::Netlist { netlist, mode } = self.kind()? else {
+            return Err(FabricError::ImageDecode(
+                "run_netlist called on a behavioural image".into(),
+            ));
+        };
+        match mode {
+            NetlistMode::Combinational => {
+                if netlist.n_inputs() % 8 != 0 || netlist.n_inputs() == 0 {
+                    return Err(FabricError::ImageDecode(format!(
+                        "combinational netlist input width {} is not byte aligned",
+                        netlist.n_inputs()
+                    )));
+                }
+                let in_bytes = netlist.n_inputs() / 8;
+                let out_bytes = netlist.n_outputs().div_ceil(8);
+                let mut out = Vec::with_capacity(input.len().div_ceil(in_bytes) * out_bytes);
+                for chunk in input.chunks(in_bytes) {
+                    let mut block = chunk.to_vec();
+                    block.resize(in_bytes, 0);
+                    let bits = bytes_to_bits(&block);
+                    out.extend_from_slice(&bits_to_bytes(&netlist.eval(&bits)));
+                }
+                Ok(out)
+            }
+            NetlistMode::Streaming => {
+                let state_bits = netlist.n_outputs();
+                if netlist.n_inputs() != 8 + state_bits {
+                    return Err(FabricError::ImageDecode(format!(
+                        "streaming netlist must have 8+state inputs, has {} with {} outputs",
+                        netlist.n_inputs(),
+                        state_bits
+                    )));
+                }
+                let mut state = vec![false; state_bits];
+                for &byte in input {
+                    let mut bits = bytes_to_bits(&[byte]);
+                    bits.extend_from_slice(&state);
+                    state = netlist.eval(&bits);
+                }
+                Ok(bits_to_bytes(&state))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::NetlistBuilder;
+
+    fn tiny_netlist() -> Netlist {
+        let mut b = NetlistBuilder::new();
+        let ins = b.inputs(8);
+        let outs: Vec<_> = {
+            let mut v = Vec::new();
+            for &i in &ins {
+                v.push(i);
+            }
+            v
+        };
+        // identity byte with one inverted bit to make it non-trivial
+        let inv = b.not(outs[0]);
+        b.output(inv);
+        b.output_vec(&outs[1..]);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn netlist_image_roundtrip() {
+        let nl = tiny_netlist();
+        let img = FunctionImage::from_netlist(42, nl.clone(), NetlistMode::Combinational, 1, 1);
+        let geom = DeviceGeometry::new(16, 2);
+        let frames = img.encode(geom);
+        assert_eq!(frames.len(), img.frames_needed(geom));
+        let back = FunctionImage::decode_frames(&frames, geom).unwrap();
+        assert_eq!(back, img);
+        match back.kind().unwrap() {
+            FunctionKind::Netlist { netlist, mode } => {
+                assert_eq!(netlist, nl);
+                assert_eq!(mode, NetlistMode::Combinational);
+            }
+            other => panic!("wrong kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn behavioral_image_roundtrip() {
+        let img = FunctionImage::from_behavioral(9, &[1, 2, 3], &[0u8; 500], 16, 16);
+        let geom = DeviceGeometry::new(16, 2);
+        let back = FunctionImage::decode_frames(&img.encode(geom), geom).unwrap();
+        assert_eq!(back.algo_id(), 9);
+        assert_eq!(back.input_width(), 16);
+        match back.kind().unwrap() {
+            FunctionKind::Behavioral { params } => assert_eq!(params, vec![1, 2, 3]),
+            other => panic!("wrong kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let img = FunctionImage::from_behavioral(9, &[7; 10], &[0xAB; 300], 8, 8);
+        let geom = DeviceGeometry::new(16, 2);
+        let mut frames = img.encode(geom);
+        // flip one byte in the body region of the second frame
+        let fb = geom.frame_bytes();
+        assert!(frames.len() >= 2, "image should span multiple frames");
+        frames[1][fb / 2] ^= 0x01;
+        let err = FunctionImage::decode_frames(&frames, geom).unwrap_err();
+        assert!(matches!(err, FabricError::DigestMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn truncated_descriptor_rejected() {
+        let err = FunctionImage::from_bytes(&[0u8; 10]).unwrap_err();
+        assert!(matches!(err, FabricError::ImageDecode(_)));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let img = FunctionImage::from_behavioral(1, &[], &[], 1, 1);
+        let mut bytes = img.to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            FunctionImage::from_bytes(&bytes).unwrap_err(),
+            FabricError::ImageDecode(_)
+        ));
+    }
+
+    #[test]
+    fn combinational_execution_from_decoded_bits() {
+        let nl = tiny_netlist();
+        let img = FunctionImage::from_netlist(1, nl, NetlistMode::Combinational, 1, 1);
+        let geom = DeviceGeometry::new(16, 2);
+        let back = FunctionImage::decode_frames(&img.encode(geom), geom).unwrap();
+        // function inverts bit 0 of each byte
+        let out = back.run_netlist(&[0x00, 0xFF, 0x10]).unwrap();
+        assert_eq!(out, vec![0x01, 0xFE, 0x11]);
+    }
+
+    #[test]
+    fn streaming_execution_xors_bytes() {
+        // 8-bit running XOR: state' = byte ^ state
+        let mut b = NetlistBuilder::new();
+        let data = b.inputs(8);
+        let state = b.inputs(8);
+        let next = b.xor_vec(&data, &state);
+        b.output_vec(&next);
+        let img = FunctionImage::from_netlist(
+            2,
+            b.finish().unwrap(),
+            NetlistMode::Streaming,
+            1,
+            1,
+        );
+        let out = img.run_netlist(&[0xA5, 0x5A, 0xFF]).unwrap();
+        assert_eq!(out, vec![0xA5 ^ 0x5A ^ 0xFF]);
+    }
+
+    #[test]
+    fn run_netlist_on_behavioral_errors() {
+        let img = FunctionImage::from_behavioral(1, &[], &[], 1, 1);
+        assert!(img.run_netlist(&[1]).is_err());
+    }
+
+    #[test]
+    fn frame_size_mismatch_detected() {
+        let img = FunctionImage::from_behavioral(1, &[], &[0; 100], 1, 1);
+        let geom = DeviceGeometry::new(16, 2);
+        let mut frames = img.encode(geom);
+        frames[0].pop();
+        assert!(matches!(
+            FunctionImage::decode_frames(&frames, geom).unwrap_err(),
+            FabricError::FrameSizeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn trailing_frame_padding_is_ignored() {
+        // Padding after the body must not affect decode (frames are
+        // zero-padded to frame size).
+        let img = FunctionImage::from_behavioral(3, &[9], &[1, 2, 3], 4, 4);
+        let geom = DeviceGeometry::new(4, 4);
+        let mut frames = img.encode(geom);
+        // corrupt a byte beyond descriptor+body in the last frame: harmless
+        let total = img.total_bytes();
+        let fb = geom.frame_bytes();
+        let pad_offset = total % fb;
+        if pad_offset != 0 {
+            let last = frames.len() - 1;
+            frames[last][pad_offset] = 0xEE;
+            let back = FunctionImage::decode_frames(&frames, geom).unwrap();
+            assert_eq!(back.algo_id(), 3);
+        }
+    }
+}

@@ -1,0 +1,432 @@
+//! Netlist optimisation: constant folding, dead-logic elimination and
+//! common-subexpression merging.
+//!
+//! The gate-level builders in [`crate::netlist`] favour clarity over
+//! area — a popcount built from ripple adders seeds half its adder
+//! inputs with constant zero. Real synthesis cleans that up before
+//! mapping, and frames are the co-processor's scarce resource, so this
+//! pass does the same:
+//!
+//! 1. **Constant propagation** — inputs tied to the constant nets are
+//!    folded into the truth table; LUTs whose truth collapses to a
+//!    constant disappear entirely.
+//! 2. **Support reduction / wire aliasing** — inputs the truth table
+//!    does not depend on are detached; a LUT that merely forwards one
+//!    input becomes a wire.
+//! 3. **Structural CSE** — LUTs with identical truth tables and input
+//!    nets are merged.
+//! 4. **Dead-logic elimination** — LUTs that no output transitively
+//!    reads are dropped.
+//!
+//! The pass is semantics-preserving; `tests/properties.rs` checks
+//! optimised netlists against the originals on random inputs.
+
+use crate::error::FabricError;
+use crate::netlist::{NetId, Netlist, NetlistBuilder};
+use std::collections::HashMap;
+
+/// What the optimiser did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// LUT count before.
+    pub luts_before: usize,
+    /// LUT count after.
+    pub luts_after: usize,
+    /// LUTs whose output folded to a constant or an existing wire.
+    pub folded: usize,
+    /// LUTs merged into an identical earlier LUT.
+    pub merged: usize,
+    /// LUTs removed because nothing read them.
+    pub dead: usize,
+}
+
+impl OptStats {
+    /// Fractional area saving.
+    pub fn saving(&self) -> f64 {
+        if self.luts_before == 0 {
+            0.0
+        } else {
+            1.0 - self.luts_after as f64 / self.luts_before as f64
+        }
+    }
+}
+
+/// Where an original net ended up after optimisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Value {
+    /// A known constant.
+    Const(bool),
+    /// A net in the rebuilt netlist, possibly logically inverted —
+    /// inversions are free because they fold into the consuming LUT's
+    /// truth table.
+    Net(NetId, bool),
+}
+
+/// Fixes input position `k` of a truth table to constant `v`.
+fn fix_input(truth: u16, k: usize, v: bool) -> u16 {
+    let mut out = 0u16;
+    for p in 0..16usize {
+        let mut q = p & !(1 << k);
+        if v {
+            q |= 1 << k;
+        }
+        if truth >> q & 1 == 1 {
+            out |= 1 << p;
+        }
+    }
+    out
+}
+
+/// Inverts input position `k` of a truth table.
+fn invert_input(truth: u16, k: usize) -> u16 {
+    let mut out = 0u16;
+    for p in 0..16usize {
+        if truth >> (p ^ (1 << k)) & 1 == 1 {
+            out |= 1 << p;
+        }
+    }
+    out
+}
+
+/// Whether the truth table depends on input position `k`.
+fn depends_on(truth: u16, k: usize) -> bool {
+    for p in 0..16usize {
+        let flipped = p ^ (1 << k);
+        if (truth >> p & 1) != (truth >> flipped & 1) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Optimises `netlist`, returning the smaller equivalent and a report.
+///
+/// # Errors
+///
+/// Returns [`FabricError::NetlistInvalid`] only if reconstruction
+/// fails, which would indicate an internal bug; the input is already
+/// validated.
+///
+/// # Examples
+///
+/// ```
+/// use aaod_fabric::{NetlistBuilder, opt::optimize};
+///
+/// let mut b = NetlistBuilder::new();
+/// let x = b.input();
+/// let zero = b.zero();
+/// let dead = b.and2(x, zero);  // always 0
+/// let keep = b.or2(x, dead);   // == x
+/// b.output(keep);
+/// let (opt, stats) = optimize(&b.finish()?)?;
+/// assert_eq!(opt.n_luts(), 0); // the output is just the input wire
+/// assert!(stats.saving() > 0.0);
+/// # Ok::<(), aaod_fabric::FabricError>(())
+/// ```
+pub fn optimize(netlist: &Netlist) -> Result<(Netlist, OptStats), FabricError> {
+    // folding can orphan logic that the pre-pass reachability kept, so
+    // iterate to a fixed point (bounded; each pass strictly shrinks)
+    let mut current = netlist.clone();
+    let mut total = OptStats {
+        luts_before: netlist.n_luts(),
+        ..OptStats::default()
+    };
+    loop {
+        let (next, stats) = optimize_once(&current)?;
+        total.folded += stats.folded;
+        total.merged += stats.merged;
+        total.dead += stats.dead;
+        let shrunk = next.n_luts() < current.n_luts();
+        current = next;
+        if !shrunk {
+            break;
+        }
+    }
+    total.luts_after = current.n_luts();
+    Ok((current, total))
+}
+
+/// One optimisation pass (see [`optimize`]).
+fn optimize_once(netlist: &Netlist) -> Result<(Netlist, OptStats), FabricError> {
+    let n_inputs = netlist.n_inputs();
+    let first_lut_net = 2 + n_inputs;
+    let mut stats = OptStats {
+        luts_before: netlist.n_luts(),
+        ..OptStats::default()
+    };
+
+    // Backward reachability: which original LUTs feed an output?
+    let mut needed = vec![false; first_lut_net + netlist.n_luts()];
+    for out in netlist.outputs() {
+        needed[out.index()] = true;
+    }
+    for (i, lut) in netlist.luts().iter().enumerate().rev() {
+        if needed[first_lut_net + i] {
+            for inp in lut.inputs {
+                needed[inp.index()] = true;
+            }
+        }
+    }
+
+    let mut builder = NetlistBuilder::new();
+    let mut value: Vec<Value> = Vec::with_capacity(first_lut_net + netlist.n_luts());
+    value.push(Value::Const(false));
+    value.push(Value::Const(true));
+    for _ in 0..n_inputs {
+        let net = builder.input();
+        value.push(Value::Net(net, false));
+    }
+    let mut cse: HashMap<(u16, [NetId; 4]), NetId> = HashMap::new();
+
+    for (i, lut) in netlist.luts().iter().enumerate() {
+        if !needed[first_lut_net + i] {
+            stats.dead += 1;
+            value.push(Value::Const(false)); // placeholder, never read
+            continue;
+        }
+        // resolve inputs, folding constants into the truth table
+        let mut truth = lut.truth;
+        let mut inputs = [NetId::ZERO; 4];
+        for (k, inp) in lut.inputs.iter().enumerate() {
+            match value[inp.index()] {
+                Value::Const(v) => {
+                    truth = fix_input(truth, k, v);
+                    inputs[k] = NetId::ZERO;
+                }
+                Value::Net(net, inv) => {
+                    if inv {
+                        truth = invert_input(truth, k);
+                    }
+                    inputs[k] = net;
+                }
+            }
+        }
+        // tie duplicate inputs together: if positions j and k carry
+        // the same net, make k mirror j in the truth table so k
+        // becomes a don't-care (this is what folds xor(x, x) to 0)
+        for j in 0..4 {
+            for k in j + 1..4 {
+                if inputs[j] == inputs[k] && inputs[j] != NetId::ZERO {
+                    let mut tied = 0u16;
+                    for p in 0..16usize {
+                        let bj = p >> j & 1;
+                        let q = (p & !(1 << k)) | (bj << k);
+                        if truth >> q & 1 == 1 {
+                            tied |= 1 << p;
+                        }
+                    }
+                    truth = tied;
+                    inputs[k] = NetId::ZERO;
+                }
+            }
+        }
+        // detach inputs outside the support
+        for (k, slot) in inputs.iter_mut().enumerate() {
+            if !depends_on(truth, k) {
+                truth = fix_input(truth, k, false);
+                *slot = NetId::ZERO;
+            }
+        }
+        let support: Vec<usize> = (0..4).filter(|&k| depends_on(truth, k)).collect();
+        let out_value = if support.is_empty() {
+            stats.folded += 1;
+            Value::Const(truth & 1 == 1)
+        } else if support.len() == 1 {
+            let k = support[0];
+            let identity = (0..16usize).all(|p| (truth >> p & 1 == 1) == (p >> k & 1 == 1));
+            let negation = (0..16usize).all(|p| (truth >> p & 1 == 1) != (p >> k & 1 == 1));
+            if identity {
+                stats.folded += 1;
+                Value::Net(inputs[k], false)
+            } else if negation {
+                // inverters are free: fold into the consumers
+                stats.folded += 1;
+                Value::Net(inputs[k], true)
+            } else {
+                emit(&mut builder, &mut cse, truth, inputs, &mut stats)
+            }
+        } else {
+            emit(&mut builder, &mut cse, truth, inputs, &mut stats)
+        };
+        value.push(out_value);
+    }
+
+    for out in netlist.outputs() {
+        let net = match value[out.index()] {
+            Value::Const(false) => builder.zero(),
+            Value::Const(true) => builder.one(),
+            Value::Net(net, false) => net,
+            Value::Net(net, true) => {
+                // an inversion that reaches a primary output must be
+                // materialised as a NOT lut (shared via cse)
+                let not_truth = 0x5555u16;
+                let inputs = [net, NetId::ZERO, NetId::ZERO, NetId::ZERO];
+                match emit(&mut builder, &mut cse, not_truth, inputs, &mut stats) {
+                    Value::Net(n, _) => n,
+                    Value::Const(_) => unreachable!("emit never returns a constant"),
+                }
+            }
+        };
+        builder.output(net);
+    }
+    let optimized = builder.finish()?;
+    stats.luts_after = optimized.n_luts();
+    Ok((optimized, stats))
+}
+
+/// Emits a LUT, reusing an identical one when possible.
+fn emit(
+    builder: &mut NetlistBuilder,
+    cse: &mut HashMap<(u16, [NetId; 4]), NetId>,
+    truth: u16,
+    inputs: [NetId; 4],
+    stats: &mut OptStats,
+) -> Value {
+    if let Some(&net) = cse.get(&(truth, inputs)) {
+        stats.merged += 1;
+        return Value::Net(net, false);
+    }
+    let net = builder.lut4(truth, inputs);
+    cse.insert((truth, inputs), net);
+    Value::Net(net, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aaod_sim::SplitMix64;
+
+    fn equivalent(a: &Netlist, b: &Netlist, samples: usize, seed: u64) {
+        assert_eq!(a.n_inputs(), b.n_inputs());
+        assert_eq!(a.n_outputs(), b.n_outputs());
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..samples {
+            let inputs: Vec<bool> = (0..a.n_inputs()).map(|_| rng.chance(0.5)).collect();
+            assert_eq!(a.eval(&inputs), b.eval(&inputs), "inputs {inputs:?}");
+        }
+    }
+
+    #[test]
+    fn folds_constants() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input();
+        let one = b.one();
+        let t = b.and2(x, one); // == x
+        let f = b.and2(t, b.zero()); // == 0
+        let o = b.or2(x, f); // == x
+        b.output(o);
+        let nl = b.finish().unwrap();
+        let (opt, stats) = optimize(&nl).unwrap();
+        assert_eq!(opt.n_luts(), 0);
+        assert!(stats.folded >= 2);
+        equivalent(&nl, &opt, 4, 1);
+    }
+
+    #[test]
+    fn removes_dead_logic() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let _unused = b.xor2(x, y);
+        let o = b.and2(x, y);
+        b.output(o);
+        let nl = b.finish().unwrap();
+        let (opt, stats) = optimize(&nl).unwrap();
+        assert_eq!(opt.n_luts(), 1);
+        assert_eq!(stats.dead, 1);
+        equivalent(&nl, &opt, 8, 2);
+    }
+
+    #[test]
+    fn merges_duplicates() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let a1 = b.and2(x, y);
+        let a2 = b.and2(x, y); // identical
+        let o = b.xor2(a1, a2); // == 0 after merge
+        b.output(o);
+        let nl = b.finish().unwrap();
+        let (opt, stats) = optimize(&nl).unwrap();
+        assert!(stats.merged >= 1);
+        // after the merge, xor(a, a) ties to constant zero and the
+        // shared AND is left unread by the single output
+        assert_eq!(opt.n_luts(), 0);
+        equivalent(&nl, &opt, 8, 3);
+    }
+
+    #[test]
+    fn constant_output_maps_to_const_net() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input();
+        let nx = b.not(x);
+        let o = b.or2(x, nx); // tautology
+        b.output(o);
+        let nl = b.finish().unwrap();
+        let (opt, _) = optimize(&nl).unwrap();
+        assert_eq!(opt.n_luts(), 0);
+        assert!(opt.eval(&[false])[0]);
+        assert!(opt.eval(&[true])[0]);
+    }
+
+    #[test]
+    fn xor_with_self_is_zero() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input();
+        let o = b.xor2(x, x);
+        b.output(o);
+        let (opt, _) = optimize(&b.finish().unwrap()).unwrap();
+        assert_eq!(opt.n_luts(), 0);
+        assert!(!opt.eval(&[true])[0]);
+    }
+
+    #[test]
+    fn shrinks_popcount_substantially() {
+        // popcount built from ripple adders wastes many constant-zero
+        // adder stages; the optimiser must reclaim them.
+        let mut b = NetlistBuilder::new();
+        let bits = b.inputs(8);
+        let zero = b.zero();
+        let mut acc = vec![bits[0], zero, zero, zero];
+        for &bit in &bits[1..] {
+            let addend = vec![bit, zero, zero, zero];
+            let (sum, _) = b.ripple_add(&acc, &addend);
+            acc = sum;
+        }
+        b.output_vec(&acc);
+        let nl = b.finish().unwrap();
+        let (opt, stats) = optimize(&nl).unwrap();
+        assert!(
+            (opt.n_luts() as f64) <= nl.n_luts() as f64 * 0.75,
+            "expected >=25% shrink: {} -> {}",
+            nl.n_luts(),
+            opt.n_luts()
+        );
+        assert!(stats.saving() >= 0.25);
+        equivalent(&nl, &opt, 64, 4);
+    }
+
+    #[test]
+    fn optimizing_twice_is_idempotent_in_size() {
+        let mut b = NetlistBuilder::new();
+        let ins = b.inputs(8);
+        let p = b.xor_reduce(&ins);
+        b.output(p);
+        let nl = b.finish().unwrap();
+        let (o1, _) = optimize(&nl).unwrap();
+        let (o2, _) = optimize(&o1).unwrap();
+        assert_eq!(o1.n_luts(), o2.n_luts());
+        equivalent(&nl, &o2, 32, 5);
+    }
+
+    #[test]
+    fn fix_input_and_depends_on() {
+        // truth = AND of inputs 0 and 1
+        let truth = 0x8888u16;
+        assert!(depends_on(truth, 0));
+        assert!(depends_on(truth, 1));
+        assert!(!depends_on(truth, 2));
+        assert_eq!(fix_input(truth, 0, true), 0xCCCC); // reduces to input 1
+        assert_eq!(fix_input(truth, 0, false), 0x0000);
+    }
+}

@@ -1,0 +1,341 @@
+//! The host-visible command ISA.
+//!
+//! "The system can be operated by issuing instructions to the
+//! microcontroller through the PCI" (paper §2.1). This module defines
+//! that instruction set and its wire encoding: the host driver
+//! serialises a [`Command`], ships it across PCI, and the controller
+//! [`crate::MiniOs::dispatch`]es it, returning a serialised
+//! [`Response`].
+//!
+//! Wire format (little-endian): `opcode u8 · payload_len u32 ·
+//! payload`. Responses: `status u8 (0 = ok) · payload_len u32 ·
+//! payload`.
+
+use crate::error::McuError;
+
+/// Command opcodes.
+const OP_DOWNLOAD: u8 = 1;
+const OP_INVOKE: u8 = 2;
+const OP_EVICT: u8 = 3;
+const OP_QUERY_RESIDENT: u8 = 4;
+const OP_QUERY_STATS: u8 = 5;
+const OP_RESET: u8 = 6;
+
+/// An instruction the host issues to the microcontroller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Store a compressed bitstream (with its record) in the ROM.
+    Download {
+        /// The encoded bitstream (header + payload).
+        bitstream: Vec<u8>,
+    },
+    /// Execute a function on the given operand bytes.
+    Invoke {
+        /// Function to run.
+        algo_id: u16,
+        /// Operand bytes.
+        input: Vec<u8>,
+    },
+    /// Remove a resident function from the fabric.
+    Evict {
+        /// Function to evict.
+        algo_id: u16,
+    },
+    /// Ask which functions are currently configured.
+    QueryResident,
+    /// Ask for the controller's counters.
+    QueryStats,
+    /// Power-cycle the fabric: erase the device, clear the ledgers and
+    /// counters. The ROM (flash) survives.
+    Reset,
+}
+
+impl Command {
+    /// Serialises the command to its wire form.
+    pub fn encode(&self) -> Vec<u8> {
+        let (op, payload): (u8, Vec<u8>) = match self {
+            Command::Download { bitstream } => (OP_DOWNLOAD, bitstream.clone()),
+            Command::Invoke { algo_id, input } => {
+                let mut p = algo_id.to_le_bytes().to_vec();
+                p.extend_from_slice(input);
+                (OP_INVOKE, p)
+            }
+            Command::Evict { algo_id } => (OP_EVICT, algo_id.to_le_bytes().to_vec()),
+            Command::QueryResident => (OP_QUERY_RESIDENT, Vec::new()),
+            Command::QueryStats => (OP_QUERY_STATS, Vec::new()),
+            Command::Reset => (OP_RESET, Vec::new()),
+        };
+        let mut out = Vec::with_capacity(5 + payload.len());
+        out.push(op);
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Parses a command from its wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McuError::RecordMismatch`] (the controller's generic
+    /// protocol-error channel) for truncated or unknown encodings.
+    pub fn decode(bytes: &[u8]) -> Result<Self, McuError> {
+        if bytes.len() < 5 {
+            return Err(McuError::RecordMismatch(
+                "command shorter than its header".into(),
+            ));
+        }
+        let op = bytes[0];
+        let len = u32::from_le_bytes([bytes[1], bytes[2], bytes[3], bytes[4]]) as usize;
+        if bytes.len() < 5 + len {
+            return Err(McuError::RecordMismatch(format!(
+                "command payload truncated: declared {len}, have {}",
+                bytes.len() - 5
+            )));
+        }
+        let payload = &bytes[5..5 + len];
+        match op {
+            OP_DOWNLOAD => Ok(Command::Download {
+                bitstream: payload.to_vec(),
+            }),
+            OP_INVOKE => {
+                if payload.len() < 2 {
+                    return Err(McuError::RecordMismatch(
+                        "invoke payload missing algorithm id".into(),
+                    ));
+                }
+                Ok(Command::Invoke {
+                    algo_id: u16::from_le_bytes([payload[0], payload[1]]),
+                    input: payload[2..].to_vec(),
+                })
+            }
+            OP_EVICT => {
+                if payload.len() != 2 {
+                    return Err(McuError::RecordMismatch(
+                        "evict payload must be an algorithm id".into(),
+                    ));
+                }
+                Ok(Command::Evict {
+                    algo_id: u16::from_le_bytes([payload[0], payload[1]]),
+                })
+            }
+            OP_QUERY_RESIDENT => Ok(Command::QueryResident),
+            OP_QUERY_STATS => Ok(Command::QueryStats),
+            OP_RESET => Ok(Command::Reset),
+            other => Err(McuError::RecordMismatch(format!(
+                "unknown command opcode {other}"
+            ))),
+        }
+    }
+
+    /// Wire size of the encoded command (what crosses the PCI bus).
+    pub fn wire_len(&self) -> usize {
+        self.encode().len()
+    }
+}
+
+/// The controller's reply to a [`Command`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Command completed with no data (download, evict, reset).
+    Done,
+    /// Invocation output bytes.
+    Output(Vec<u8>),
+    /// Resident algorithm ids.
+    Resident(Vec<u16>),
+    /// Controller counters: requests, hits, misses, evictions.
+    Stats {
+        /// Total requests serviced.
+        requests: u64,
+        /// Residency hits.
+        hits: u64,
+        /// Residency misses.
+        misses: u64,
+        /// Evictions performed.
+        evictions: u64,
+    },
+}
+
+impl Response {
+    /// Serialises the response to its wire form.
+    pub fn encode(&self) -> Vec<u8> {
+        let payload: Vec<u8> = match self {
+            Response::Done => Vec::new(),
+            Response::Output(data) => {
+                let mut p = vec![1u8];
+                p.extend_from_slice(data);
+                p
+            }
+            Response::Resident(ids) => {
+                let mut p = vec![2u8];
+                for id in ids {
+                    p.extend_from_slice(&id.to_le_bytes());
+                }
+                p
+            }
+            Response::Stats {
+                requests,
+                hits,
+                misses,
+                evictions,
+            } => {
+                let mut p = vec![3u8];
+                for v in [requests, hits, misses, evictions] {
+                    p.extend_from_slice(&v.to_le_bytes());
+                }
+                p
+            }
+        };
+        let mut out = Vec::with_capacity(5 + payload.len());
+        out.push(0); // status ok
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Parses a response from its wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McuError::RecordMismatch`] for malformed encodings.
+    pub fn decode(bytes: &[u8]) -> Result<Self, McuError> {
+        if bytes.len() < 5 || bytes[0] != 0 {
+            return Err(McuError::RecordMismatch("malformed response".into()));
+        }
+        let len = u32::from_le_bytes([bytes[1], bytes[2], bytes[3], bytes[4]]) as usize;
+        if bytes.len() < 5 + len {
+            return Err(McuError::RecordMismatch("response truncated".into()));
+        }
+        let payload = &bytes[5..5 + len];
+        if payload.is_empty() {
+            return Ok(Response::Done);
+        }
+        match payload[0] {
+            1 => Ok(Response::Output(payload[1..].to_vec())),
+            2 => {
+                if !(payload.len() - 1).is_multiple_of(2) {
+                    return Err(McuError::RecordMismatch(
+                        "resident list is not whole u16s".into(),
+                    ));
+                }
+                Ok(Response::Resident(
+                    payload[1..]
+                        .chunks_exact(2)
+                        .map(|c| u16::from_le_bytes([c[0], c[1]]))
+                        .collect(),
+                ))
+            }
+            3 => {
+                if payload.len() != 1 + 32 {
+                    return Err(McuError::RecordMismatch("stats payload wrong size".into()));
+                }
+                let mut vals = [0u64; 4];
+                for (i, v) in vals.iter_mut().enumerate() {
+                    *v = u64::from_le_bytes(
+                        payload[1 + i * 8..9 + i * 8]
+                            .try_into()
+                            .expect("length checked"),
+                    );
+                }
+                Ok(Response::Stats {
+                    requests: vals[0],
+                    hits: vals[1],
+                    misses: vals[2],
+                    evictions: vals[3],
+                })
+            }
+            other => Err(McuError::RecordMismatch(format!(
+                "unknown response tag {other}"
+            ))),
+        }
+    }
+
+    /// Wire size of the encoded response.
+    pub fn wire_len(&self) -> usize {
+        self.encode().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(cmd: Command) {
+        let bytes = cmd.encode();
+        assert_eq!(Command::decode(&bytes).unwrap(), cmd);
+    }
+
+    #[test]
+    fn command_roundtrips() {
+        roundtrip(Command::Download {
+            bitstream: vec![1, 2, 3, 4, 5],
+        });
+        roundtrip(Command::Invoke {
+            algo_id: 7,
+            input: b"payload".to_vec(),
+        });
+        roundtrip(Command::Invoke {
+            algo_id: 7,
+            input: Vec::new(),
+        });
+        roundtrip(Command::Evict { algo_id: 300 });
+        roundtrip(Command::QueryResident);
+        roundtrip(Command::QueryStats);
+        roundtrip(Command::Reset);
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        for resp in [
+            Response::Done,
+            Response::Output(vec![9; 40]),
+            Response::Output(Vec::new()),
+            Response::Resident(vec![1, 2, 3]),
+            Response::Resident(Vec::new()),
+            Response::Stats {
+                requests: 10,
+                hits: 7,
+                misses: 3,
+                evictions: 1,
+            },
+        ] {
+            let bytes = resp.encode();
+            assert_eq!(Response::decode(&bytes).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn truncated_command_rejected() {
+        assert!(Command::decode(&[1, 2]).is_err());
+        let mut enc = Command::Invoke {
+            algo_id: 1,
+            input: vec![1, 2, 3],
+        }
+        .encode();
+        enc.truncate(enc.len() - 1);
+        assert!(Command::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        assert!(Command::decode(&[99, 0, 0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn empty_resident_decodes_as_done() {
+        // An empty Resident list encodes a 1-byte tag; a Done encodes
+        // nothing — they stay distinguishable.
+        let done = Response::Done.encode();
+        let empty = Response::Resident(Vec::new()).encode();
+        assert_ne!(done, empty);
+        assert_eq!(Response::decode(&empty).unwrap(), Response::Resident(Vec::new()));
+    }
+
+    #[test]
+    fn wire_len_matches_encoding() {
+        let cmd = Command::Invoke {
+            algo_id: 3,
+            input: vec![0; 100],
+        };
+        assert_eq!(cmd.wire_len(), cmd.encode().len());
+    }
+}

@@ -1,0 +1,266 @@
+//! The configuration module (paper §2.3).
+//!
+//! "The configuration module decompresses the compressed bit-stream
+//! window by window and passes the configuration bit-stream to the
+//! FPGA to configure it." [`ConfigModule`] does exactly that: it holds
+//! a fixed decompression window buffer, pulls windows from the codec's
+//! streaming decoder, assembles them into whole frames, and writes each
+//! completed frame through the [`ConfigPort`] to its assigned (possibly
+//! non-contiguous) frame address.
+//!
+//! The window size bounds on-card buffer memory; experiment E8 sweeps
+//! it to expose the window/latency trade-off.
+
+use crate::error::McuError;
+use aaod_bitstream::{BitstreamError, BitstreamHeader, HEADER_BYTES};
+use aaod_fabric::{ConfigPort, Device, FrameAddress};
+use aaod_sim::{Clock, SimTime};
+
+/// Fixed per-window management overhead (buffer pointer updates,
+/// handshake with the port) in microcontroller cycles.
+const WINDOW_OVERHEAD_CYCLES: u64 = 20;
+
+/// Timing breakdown of one configuration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfigReport {
+    /// Time spent decompressing (microcontroller domain).
+    pub decompress_time: SimTime,
+    /// Time spent shifting frames through the configuration port.
+    pub port_time: SimTime,
+    /// Number of decompression windows pulled.
+    pub windows: u64,
+    /// Frames written.
+    pub frames_written: usize,
+    /// Decompressed bytes produced.
+    pub bytes: usize,
+}
+
+impl ConfigReport {
+    /// Total configuration time.
+    pub fn total(&self) -> SimTime {
+        self.decompress_time + self.port_time
+    }
+}
+
+/// The windowed decompress-and-configure engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConfigModule {
+    window: usize,
+    clock: Clock,
+}
+
+impl ConfigModule {
+    /// Creates a module with a `window`-byte decompression buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize, clock: Clock) -> Self {
+        assert!(window > 0, "window must be non-zero");
+        ConfigModule { window, clock }
+    }
+
+    /// The window buffer size in bytes.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Decompresses `encoded` (header + payload, as stored in ROM) and
+    /// configures `device` at `addrs` through `port`.
+    ///
+    /// `addrs` must supply exactly the number of frames the header
+    /// declares; frames are written in order as they complete, so a
+    /// failure mid-stream leaves a *torn* configuration — which the
+    /// image digest will catch at execution time, exactly the hazard
+    /// the digest exists for.
+    ///
+    /// # Errors
+    ///
+    /// Returns header/CRC/codec errors from the bitstream layer,
+    /// [`McuError::RecordMismatch`] if `addrs` disagrees with the
+    /// header's frame count, and fabric errors from the port writes.
+    pub fn configure(
+        &self,
+        encoded: &[u8],
+        device: &mut Device,
+        port: &ConfigPort,
+        addrs: &[FrameAddress],
+    ) -> Result<ConfigReport, McuError> {
+        let header = BitstreamHeader::parse(encoded)?;
+        let payload = &encoded[HEADER_BYTES..];
+        header.verify_payload(payload)?;
+        if addrs.len() != header.n_frames as usize {
+            return Err(McuError::RecordMismatch(format!(
+                "{} frame addresses supplied for a {}-frame bitstream",
+                addrs.len(),
+                header.n_frames
+            )));
+        }
+        let frame_bytes = header.frame_bytes as usize;
+        if frame_bytes != device.geometry().frame_bytes() {
+            return Err(McuError::RecordMismatch(format!(
+                "bitstream frame size {} != device frame size {}",
+                frame_bytes,
+                device.geometry().frame_bytes()
+            )));
+        }
+        let codec = header.make_codec();
+        let mut decoder = codec.decompressor(payload);
+        let mut window_buf = vec![0u8; self.window];
+        let mut frame_buf = Vec::with_capacity(frame_bytes);
+        let mut report = ConfigReport::default();
+        let mut next_frame = 0usize;
+
+        loop {
+            let n = decoder.read(&mut window_buf)?;
+            if n == 0 {
+                break;
+            }
+            report.windows += 1;
+            report.bytes += n;
+            let mut off = 0;
+            while off < n {
+                let take = (frame_bytes - frame_buf.len()).min(n - off);
+                frame_buf.extend_from_slice(&window_buf[off..off + take]);
+                off += take;
+                if frame_buf.len() == frame_bytes {
+                    if next_frame >= addrs.len() {
+                        return Err(McuError::Bitstream(BitstreamError::CorruptPayload(
+                            "payload expands past the declared frame count".into(),
+                        )));
+                    }
+                    report.port_time += port.write_frame(device, addrs[next_frame], &frame_buf)?;
+                    next_frame += 1;
+                    frame_buf.clear();
+                }
+            }
+        }
+        if !frame_buf.is_empty() || next_frame != addrs.len() {
+            return Err(McuError::Bitstream(BitstreamError::CorruptPayload(
+                format!(
+                    "payload ended after {next_frame} frames + {} bytes, expected {} frames",
+                    frame_buf.len(),
+                    addrs.len()
+                ),
+            )));
+        }
+        let decompress_cycles = codec.cycles_per_output_byte() * report.bytes as u64
+            + WINDOW_OVERHEAD_CYCLES * report.windows;
+        report.decompress_time = self.clock.cycles(decompress_cycles);
+        report.frames_written = next_frame;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aaod_bitstream::codec::{registry, CodecId};
+    use aaod_bitstream::Bitstream;
+    use aaod_fabric::{DeviceGeometry, FunctionImage};
+
+    fn setup() -> (DeviceGeometry, Device, ConfigPort, Vec<u8>, usize) {
+        let geom = DeviceGeometry::new(16, 2);
+        let device = Device::new(geom);
+        let port = ConfigPort::selectmap8();
+        let image = FunctionImage::from_behavioral(3, &[9, 9], &[0x5A; 300], 8, 8);
+        let n = image.frames_needed(geom);
+        let bs = Bitstream::from_image(&image, geom);
+        let encoded = bs.encode(registry::codec(CodecId::Rle, geom.frame_bytes()).as_ref());
+        (geom, device, port, encoded, n)
+    }
+
+    #[test]
+    fn configures_and_decodes_back() {
+        let (_geom, mut device, port, encoded, n) = setup();
+        let addrs: Vec<FrameAddress> = (0..n as u16).map(FrameAddress).collect();
+        let module = ConfigModule::new(64, aaod_sim::clock::domains::mcu());
+        let report = module
+            .configure(&encoded, &mut device, &port, &addrs)
+            .unwrap();
+        assert_eq!(report.frames_written, n);
+        assert!(report.decompress_time > SimTime::ZERO);
+        assert!(report.port_time > SimTime::ZERO);
+        let img = device.decode_function(&addrs).unwrap();
+        assert_eq!(img.algo_id(), 3);
+    }
+
+    #[test]
+    fn non_contiguous_placement_works() {
+        let (_geom, mut device, port, encoded, n) = setup();
+        // scatter across the device, reversed order of even frames
+        let addrs: Vec<FrameAddress> = (0..16u16)
+            .rev()
+            .filter(|i| i % 2 == 0)
+            .take(n)
+            .map(FrameAddress)
+            .collect();
+        assert_eq!(addrs.len(), n, "test needs {n} even frames");
+        let module = ConfigModule::new(32, aaod_sim::clock::domains::mcu());
+        module
+            .configure(&encoded, &mut device, &port, &addrs)
+            .unwrap();
+        let img = device.decode_function(&addrs).unwrap();
+        assert_eq!(img.algo_id(), 3);
+    }
+
+    #[test]
+    fn window_size_changes_window_count_not_result() {
+        let (_geom, _d, port, encoded, n) = setup();
+        let addrs: Vec<FrameAddress> = (0..n as u16).map(FrameAddress).collect();
+        let mut counts = Vec::new();
+        for window in [8usize, 64, 1024] {
+            let mut device = Device::new(DeviceGeometry::new(16, 2));
+            let module = ConfigModule::new(window, aaod_sim::clock::domains::mcu());
+            let report = module
+                .configure(&encoded, &mut device, &port, &addrs)
+                .unwrap();
+            counts.push(report.windows);
+            assert_eq!(device.decode_function(&addrs).unwrap().algo_id(), 3);
+        }
+        assert!(counts[0] > counts[1], "smaller window => more windows");
+        assert!(counts[1] >= counts[2]);
+    }
+
+    #[test]
+    fn wrong_address_count_rejected() {
+        let (_geom, mut device, port, encoded, n) = setup();
+        let addrs: Vec<FrameAddress> = (0..(n as u16 - 1)).map(FrameAddress).collect();
+        let module = ConfigModule::new(64, aaod_sim::clock::domains::mcu());
+        assert!(matches!(
+            module.configure(&encoded, &mut device, &port, &addrs),
+            Err(McuError::RecordMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_geometry_rejected() {
+        let (_geom, _device, port, encoded, n) = setup();
+        let mut other = Device::new(DeviceGeometry::new(16, 4)); // different frame size
+        let addrs: Vec<FrameAddress> = (0..n as u16).map(FrameAddress).collect();
+        let module = ConfigModule::new(64, aaod_sim::clock::domains::mcu());
+        assert!(matches!(
+            module.configure(&encoded, &mut other, &port, &addrs),
+            Err(McuError::RecordMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_payload_rejected_by_crc() {
+        let (_geom, mut device, port, mut encoded, n) = setup();
+        let last = encoded.len() - 1;
+        encoded[last] ^= 1;
+        let addrs: Vec<FrameAddress> = (0..n as u16).map(FrameAddress).collect();
+        let module = ConfigModule::new(64, aaod_sim::clock::domains::mcu());
+        assert!(matches!(
+            module.configure(&encoded, &mut device, &port, &addrs),
+            Err(McuError::Bitstream(BitstreamError::CrcMismatch { .. }))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be non-zero")]
+    fn zero_window_panics() {
+        let _ = ConfigModule::new(0, aaod_sim::clock::domains::mcu());
+    }
+}

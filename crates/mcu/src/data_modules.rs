@@ -1,0 +1,187 @@
+//! Data input and output collection modules (paper §2.3).
+//!
+//! "The data transfer to and from the FPGA takes place through the data
+//! input/output modules. Each data transfer is a multiple of the width
+//! of the interface bus as specified by the function record present in
+//! the ROM." These modules stage data in the local RAM, pad it to a
+//! whole number of bus words, and account the RAM and FPGA-bus time.
+
+use crate::error::McuError;
+use aaod_mem::{LocalRam, MemTiming};
+use aaod_sim::{Clock, SimTime};
+
+/// Bytes the MCU↔FPGA data bus moves per microcontroller cycle
+/// (a 64-bit on-card bus).
+const FPGA_BUS_BYTES_PER_CYCLE: u64 = 8;
+
+/// Fixed DMA-descriptor setup cost per staged transfer.
+const SETUP_CYCLES: u64 = 16;
+
+/// Rounds `len` up to a multiple of the record's interface width.
+/// A zero width (malformed record) is treated as 1.
+pub fn pad_to_width(len: usize, width: u16) -> usize {
+    let w = width.max(1) as usize;
+    len.div_ceil(w) * w
+}
+
+/// Moves host-supplied operands RAM → FPGA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataInputModule {
+    clock: Clock,
+}
+
+impl DataInputModule {
+    /// Creates the module in the microcontroller clock domain.
+    pub fn new(clock: Clock) -> Self {
+        DataInputModule { clock }
+    }
+
+    /// Stages `input` into RAM at `offset`, pads to `width`, and
+    /// returns the padded length plus the modelled staging time
+    /// (RAM write + RAM read-back + FPGA-bus transfer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McuError::RamTooSmall`] if the padded input does not
+    /// fit the RAM region.
+    pub fn stage(
+        &self,
+        ram: &mut LocalRam,
+        timing: &MemTiming,
+        offset: usize,
+        input: &[u8],
+        width: u16,
+    ) -> Result<(usize, SimTime), McuError> {
+        let padded = pad_to_width(input.len(), width);
+        if offset + padded > ram.size() {
+            return Err(McuError::RamTooSmall {
+                needed: offset + padded,
+                capacity: ram.size(),
+            });
+        }
+        ram.write(offset, input).map_err(McuError::Mem)?;
+        if padded > input.len() {
+            // explicit zero pad so the FPGA sees whole words
+            let pad = vec![0u8; padded - input.len()];
+            ram.write(offset + input.len(), &pad).map_err(McuError::Mem)?;
+        }
+        // DMA-style overlap: the RAM fill and the FPGA-bus drain
+        // proceed concurrently, so the slower of the two dominates,
+        // plus a fixed descriptor-setup cost.
+        let ram_time = timing.ram_time(padded as u64);
+        let bus_time = self
+            .clock
+            .cycles((padded as u64).div_ceil(FPGA_BUS_BYTES_PER_CYCLE));
+        Ok((padded, ram_time.max(bus_time) + self.clock.cycles(SETUP_CYCLES)))
+    }
+}
+
+/// Collects results FPGA → RAM → (later) host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutputCollectionModule {
+    clock: Clock,
+}
+
+impl OutputCollectionModule {
+    /// Creates the module in the microcontroller clock domain.
+    pub fn new(clock: Clock) -> Self {
+        OutputCollectionModule { clock }
+    }
+
+    /// Stores `output` into RAM at `offset` (padded to `width`) and
+    /// returns the padded length plus the modelled collection time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McuError::RamTooSmall`] if the padded output does not
+    /// fit the RAM region.
+    pub fn collect(
+        &self,
+        ram: &mut LocalRam,
+        timing: &MemTiming,
+        offset: usize,
+        output: &[u8],
+        width: u16,
+    ) -> Result<(usize, SimTime), McuError> {
+        let padded = pad_to_width(output.len(), width);
+        if offset + padded > ram.size() {
+            return Err(McuError::RamTooSmall {
+                needed: offset + padded,
+                capacity: ram.size(),
+            });
+        }
+        ram.write(offset, output).map_err(McuError::Mem)?;
+        if padded > output.len() {
+            let pad = vec![0u8; padded - output.len()];
+            ram.write(offset + output.len(), &pad).map_err(McuError::Mem)?;
+        }
+        let ram_time = timing.ram_time(padded as u64);
+        let bus_time = self
+            .clock
+            .cycles((padded as u64).div_ceil(FPGA_BUS_BYTES_PER_CYCLE));
+        Ok((padded, ram_time.max(bus_time) + self.clock.cycles(SETUP_CYCLES)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pad_rounds_up() {
+        assert_eq!(pad_to_width(0, 8), 0);
+        assert_eq!(pad_to_width(1, 8), 8);
+        assert_eq!(pad_to_width(8, 8), 8);
+        assert_eq!(pad_to_width(9, 8), 16);
+        assert_eq!(pad_to_width(5, 0), 5); // degenerate width treated as 1
+    }
+
+    #[test]
+    fn stage_pads_and_times() {
+        let module = DataInputModule::new(aaod_sim::clock::domains::mcu());
+        let mut ram = LocalRam::new(64);
+        let timing = MemTiming::default();
+        let (padded, t) = module
+            .stage(&mut ram, &timing, 0, &[0xFF; 5], 8)
+            .unwrap();
+        assert_eq!(padded, 8);
+        assert!(t > SimTime::ZERO);
+        // pad bytes are zero
+        assert_eq!(ram.read(0, 8).unwrap(), &[255, 255, 255, 255, 255, 0, 0, 0]);
+    }
+
+    #[test]
+    fn stage_rejects_overflow() {
+        let module = DataInputModule::new(aaod_sim::clock::domains::mcu());
+        let mut ram = LocalRam::new(16);
+        let timing = MemTiming::default();
+        assert!(matches!(
+            module.stage(&mut ram, &timing, 8, &[0; 12], 4),
+            Err(McuError::RamTooSmall { needed: 20, capacity: 16 })
+        ));
+    }
+
+    #[test]
+    fn collect_mirrors_stage() {
+        let module = OutputCollectionModule::new(aaod_sim::clock::domains::mcu());
+        let mut ram = LocalRam::new(64);
+        let timing = MemTiming::default();
+        let (padded, t) = module
+            .collect(&mut ram, &timing, 32, &[1, 2, 3], 4)
+            .unwrap();
+        assert_eq!(padded, 4);
+        assert!(t > SimTime::ZERO);
+        assert_eq!(ram.read(32, 4).unwrap(), &[1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn wider_transfers_cost_more_padding() {
+        let module = DataInputModule::new(aaod_sim::clock::domains::mcu());
+        let timing = MemTiming::default();
+        let mut ram = LocalRam::new(4096);
+        let (p_narrow, _) = module.stage(&mut ram, &timing, 0, &[0; 100], 4).unwrap();
+        let (p_wide, _) = module.stage(&mut ram, &timing, 1024, &[0; 100], 64).unwrap();
+        assert_eq!(p_narrow, 100);
+        assert_eq!(p_wide, 128);
+    }
+}

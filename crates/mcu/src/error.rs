@@ -1,0 +1,126 @@
+//! Microcontroller error type.
+
+use aaod_algos::AlgoError;
+use aaod_bitstream::BitstreamError;
+use aaod_fabric::FabricError;
+use aaod_mem::MemError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the mini-OS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum McuError {
+    /// A fabric-level failure (bad frame address, corrupt image…).
+    Fabric(FabricError),
+    /// A bitstream parse/decompress failure.
+    Bitstream(BitstreamError),
+    /// A ROM or RAM failure.
+    Mem(MemError),
+    /// An algorithm-bank failure.
+    Algo(AlgoError),
+    /// The function needs more frames than the whole device has, so no
+    /// amount of eviction can make it resident.
+    FunctionTooLarge {
+        /// The function.
+        algo_id: u16,
+        /// Frames it needs.
+        frames: usize,
+        /// Frames in the device.
+        device_frames: usize,
+    },
+    /// The ROM record and the stored bitstream header disagree — the
+    /// ROM image is inconsistent.
+    RecordMismatch(String),
+    /// The staged data exceeds the local RAM.
+    RamTooSmall {
+        /// Bytes that had to be staged.
+        needed: usize,
+        /// RAM capacity.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for McuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            McuError::Fabric(e) => write!(f, "fabric: {e}"),
+            McuError::Bitstream(e) => write!(f, "bitstream: {e}"),
+            McuError::Mem(e) => write!(f, "memory: {e}"),
+            McuError::Algo(e) => write!(f, "algorithm: {e}"),
+            McuError::FunctionTooLarge {
+                algo_id,
+                frames,
+                device_frames,
+            } => write!(
+                f,
+                "function {algo_id} needs {frames} frames but the device has only {device_frames}"
+            ),
+            McuError::RecordMismatch(msg) => write!(f, "rom record mismatch: {msg}"),
+            McuError::RamTooSmall { needed, capacity } => {
+                write!(f, "local ram too small: need {needed} bytes, have {capacity}")
+            }
+        }
+    }
+}
+
+impl Error for McuError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            McuError::Fabric(e) => Some(e),
+            McuError::Bitstream(e) => Some(e),
+            McuError::Mem(e) => Some(e),
+            McuError::Algo(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FabricError> for McuError {
+    fn from(e: FabricError) -> Self {
+        McuError::Fabric(e)
+    }
+}
+
+impl From<BitstreamError> for McuError {
+    fn from(e: BitstreamError) -> Self {
+        McuError::Bitstream(e)
+    }
+}
+
+impl From<MemError> for McuError {
+    fn from(e: MemError) -> Self {
+        McuError::Mem(e)
+    }
+}
+
+impl From<AlgoError> for McuError {
+    fn from(e: AlgoError) -> Self {
+        McuError::Algo(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = McuError::from(MemError::RecordNotFound(4));
+        assert!(e.to_string().contains("memory"));
+        assert!(e.source().is_some());
+        let e = McuError::FunctionTooLarge {
+            algo_id: 1,
+            frames: 200,
+            device_frames: 96,
+        };
+        assert!(e.to_string().contains("200"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<McuError>();
+    }
+}

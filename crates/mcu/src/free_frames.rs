@@ -1,0 +1,186 @@
+//! The Free Frame List (paper §2.5).
+//!
+//! "The micro-controller's mini OS maintains … Frames in the FPGA which
+//! are currently not used to realize any logic and are thus potentially
+//! programmable without any intervention to the functions currently
+//! being executed, called the Free Frame List."
+//!
+//! Allocation is first-fit over frame indices and may return a
+//! *non-contiguous* set — the paper explicitly allows "a set of
+//! contiguous frames or a set of non-contiguous frames".
+
+use aaod_fabric::FrameAddress;
+
+/// Tracks which frames of the device are free.
+///
+/// # Examples
+///
+/// ```
+/// use aaod_mcu::FreeFrameList;
+///
+/// let mut list = FreeFrameList::new(8);
+/// let a = list.allocate(3).expect("8 frames free");
+/// assert_eq!(list.free_count(), 5);
+/// list.release(&a);
+/// assert_eq!(list.free_count(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FreeFrameList {
+    free: Vec<bool>,
+}
+
+impl FreeFrameList {
+    /// Creates a list with all `frames` frames free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is zero.
+    pub fn new(frames: usize) -> Self {
+        assert!(frames > 0, "device must have at least one frame");
+        FreeFrameList {
+            free: vec![true; frames],
+        }
+    }
+
+    /// Number of frames tracked.
+    pub fn total(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Number of currently free frames.
+    pub fn free_count(&self) -> usize {
+        self.free.iter().filter(|&&f| f).count()
+    }
+
+    /// Whether `addr` is free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the device.
+    pub fn is_free(&self, addr: FrameAddress) -> bool {
+        self.free[addr.index()]
+    }
+
+    /// Allocates `n` frames first-fit (possibly non-contiguous) and
+    /// marks them used. Returns `None` — allocating nothing — when
+    /// fewer than `n` frames are free.
+    pub fn allocate(&mut self, n: usize) -> Option<Vec<FrameAddress>> {
+        if n == 0 {
+            return Some(Vec::new());
+        }
+        if self.free_count() < n {
+            return None;
+        }
+        let mut out = Vec::with_capacity(n);
+        for (i, slot) in self.free.iter_mut().enumerate() {
+            if *slot {
+                *slot = false;
+                out.push(FrameAddress(i as u16));
+                if out.len() == n {
+                    break;
+                }
+            }
+        }
+        Some(out)
+    }
+
+    /// Returns frames to the free list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a frame is already free (double release indicates a
+    /// bookkeeping bug) or out of range.
+    pub fn release(&mut self, frames: &[FrameAddress]) {
+        for &addr in frames {
+            assert!(
+                !self.free[addr.index()],
+                "double release of frame {addr}"
+            );
+            self.free[addr.index()] = true;
+        }
+    }
+
+    /// Marks specific frames as used (for restoring a known layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a frame is already used or out of range.
+    pub fn reserve(&mut self, frames: &[FrameAddress]) {
+        for &addr in frames {
+            assert!(self.free[addr.index()], "frame {addr} already reserved");
+            self.free[addr.index()] = false;
+        }
+    }
+
+    /// Frees every frame.
+    pub fn reset(&mut self) {
+        self.free.fill(true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_first_fit() {
+        let mut list = FreeFrameList::new(6);
+        let a = list.allocate(2).unwrap();
+        assert_eq!(a, vec![FrameAddress(0), FrameAddress(1)]);
+        let b = list.allocate(2).unwrap();
+        assert_eq!(b, vec![FrameAddress(2), FrameAddress(3)]);
+    }
+
+    #[test]
+    fn allocation_can_be_non_contiguous() {
+        let mut list = FreeFrameList::new(6);
+        let a = list.allocate(2).unwrap(); // 0,1
+        let _b = list.allocate(2).unwrap(); // 2,3
+        list.release(&a); // 0,1 free again
+        let c = list.allocate(3).unwrap(); // 0,1,4 — hole-spanning
+        assert_eq!(c, vec![FrameAddress(0), FrameAddress(1), FrameAddress(4)]);
+    }
+
+    #[test]
+    fn insufficient_allocation_changes_nothing() {
+        let mut list = FreeFrameList::new(4);
+        let _ = list.allocate(3).unwrap();
+        let before = list.clone();
+        assert!(list.allocate(2).is_none());
+        assert_eq!(list, before);
+    }
+
+    #[test]
+    fn zero_allocation_is_empty() {
+        let mut list = FreeFrameList::new(2);
+        assert_eq!(list.allocate(0).unwrap(), Vec::<FrameAddress>::new());
+        assert_eq!(list.free_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "double release")]
+    fn double_release_panics() {
+        let mut list = FreeFrameList::new(2);
+        let a = list.allocate(1).unwrap();
+        list.release(&a);
+        list.release(&a);
+    }
+
+    #[test]
+    fn reserve_and_reset() {
+        let mut list = FreeFrameList::new(4);
+        list.reserve(&[FrameAddress(1), FrameAddress(3)]);
+        assert_eq!(list.free_count(), 2);
+        assert!(!list.is_free(FrameAddress(3)));
+        list.reset();
+        assert_eq!(list.free_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "already reserved")]
+    fn double_reserve_panics() {
+        let mut list = FreeFrameList::new(2);
+        list.reserve(&[FrameAddress(0)]);
+        list.reserve(&[FrameAddress(0)]);
+    }
+}

@@ -1,0 +1,1122 @@
+//! The mini-OS: the paper's on-demand algorithm controller (§2.5).
+//!
+//! "When the host requests the execution of a particular algorithm …
+//! the micro-controller is responsible for configuring the FPGA with
+//! that relevant configuration bit-stream if the function is not
+//! already present on the FPGA." [`MiniOs::invoke`] implements the
+//! full request path:
+//!
+//! 1. look the function up in the ROM record table;
+//! 2. if it is not resident, allocate frames from the Free Frame List —
+//!    evicting per the replacement policy when the list is
+//!    insufficient — and configure them window by window;
+//! 3. stage the operands through the data-input module;
+//! 4. execute **from the configured frame bits** (netlist evaluation or
+//!    digest-checked behavioural dispatch);
+//! 5. collect the result through the output-collection module.
+//!
+//! Every step contributes to a per-invocation [`InvokeReport`] and the
+//! cumulative [`OsStats`].
+
+use crate::config_module::ConfigModule;
+use crate::data_modules::{DataInputModule, OutputCollectionModule};
+use crate::error::McuError;
+use crate::free_frames::FreeFrameList;
+use crate::replacement::{LruPolicy, ReplacementPolicy, ReplacementTable};
+use crate::stats::OsStats;
+use aaod_algos::{AlgoError, AlgorithmBank};
+use aaod_bitstream::codec::{registry, CodecId};
+use aaod_bitstream::{Bitstream, BitstreamHeader};
+use aaod_fabric::{ConfigPort, Device, DeviceGeometry, FunctionKind};
+use aaod_mem::{LocalRam, MemError, MemTiming, RecordFields, Rom, RECORD_BYTES};
+use aaod_sim::{Clock, SimTime};
+
+/// How the controller reconfigures the device on a miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReconfigMode {
+    /// Partial reconfiguration: only the victim/new frames change —
+    /// the paper's design.
+    Partial,
+    /// Full reconfiguration: the whole device is erased and rewritten
+    /// on every miss (the baseline a non-partially-reconfigurable
+    /// FPGA forces); at most one function is resident at a time.
+    Full,
+}
+
+/// Construction parameters for [`MiniOs`].
+pub struct MiniOsConfig {
+    /// Device shape.
+    pub geometry: DeviceGeometry,
+    /// Configuration ROM capacity in bytes.
+    pub rom_capacity: usize,
+    /// Local RAM size in bytes.
+    pub ram_size: usize,
+    /// Decompression window in bytes (paper §2.3).
+    pub window: usize,
+    /// Codec used by [`MiniOs::encode_bitstream`].
+    pub codec: CodecId,
+    /// Frame replacement policy.
+    pub policy: Box<dyn ReplacementPolicy>,
+    /// The algorithm bank behavioural images dispatch into.
+    pub bank: AlgorithmBank,
+    /// Partial (paper) or full (baseline) reconfiguration.
+    pub mode: ReconfigMode,
+    /// Speculatively pre-configure the predicted next algorithm
+    /// during idle time (extension; see [`crate::prefetch`]). May
+    /// evict per the replacement policy, but never the just-invoked
+    /// function.
+    pub prefetch: bool,
+}
+
+impl Default for MiniOsConfig {
+    fn default() -> Self {
+        MiniOsConfig {
+            geometry: DeviceGeometry::default(),
+            rom_capacity: 512 * 1024,
+            ram_size: 64 * 1024,
+            window: 256,
+            codec: CodecId::Lzss,
+            policy: Box::new(LruPolicy),
+            bank: AlgorithmBank::standard(),
+            mode: ReconfigMode::Partial,
+            prefetch: false,
+        }
+    }
+}
+
+impl std::fmt::Debug for MiniOsConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MiniOsConfig")
+            .field("geometry", &self.geometry)
+            .field("rom_capacity", &self.rom_capacity)
+            .field("ram_size", &self.ram_size)
+            .field("window", &self.window)
+            .field("codec", &self.codec)
+            .field("policy", &self.policy.name())
+            .field("mode", &self.mode)
+            .field("prefetch", &self.prefetch)
+            .finish()
+    }
+}
+
+/// Timing and outcome of one invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvokeReport {
+    /// The function invoked.
+    pub algo_id: u16,
+    /// Whether the function was already resident.
+    pub hit: bool,
+    /// Algorithms evicted to make room (empty on a hit).
+    pub evicted: Vec<u16>,
+    /// Record-table lookup time.
+    pub lookup_time: SimTime,
+    /// ROM bitstream fetch time (zero on a hit).
+    pub rom_time: SimTime,
+    /// Decompression + configuration time (zero on a hit).
+    pub reconfig_time: SimTime,
+    /// Input staging time.
+    pub input_time: SimTime,
+    /// Fabric execution time.
+    pub exec_time: SimTime,
+    /// Output collection time.
+    pub output_time: SimTime,
+}
+
+impl InvokeReport {
+    /// Total service time of the invocation.
+    pub fn total(&self) -> SimTime {
+        self.lookup_time
+            + self.rom_time
+            + self.reconfig_time
+            + self.input_time
+            + self.exec_time
+            + self.output_time
+    }
+}
+
+/// The outcome of one scrub pass over the resident functions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Frames read back and checked.
+    pub frames_checked: usize,
+    /// Functions found corrupt and reconfigured from ROM.
+    pub repaired: Vec<u16>,
+    /// Total readback + repair time.
+    pub time: SimTime,
+}
+
+/// The complete microcontroller: memories, modules, ledgers and policy.
+pub struct MiniOs {
+    device: Device,
+    port: ConfigPort,
+    rom: Rom,
+    ram: LocalRam,
+    mem_timing: MemTiming,
+    config_module: ConfigModule,
+    data_in: DataInputModule,
+    data_out: OutputCollectionModule,
+    free: FreeFrameList,
+    table: ReplacementTable,
+    policy: Box<dyn ReplacementPolicy>,
+    bank: AlgorithmBank,
+    codec: CodecId,
+    mode: ReconfigMode,
+    mcu_clock: Clock,
+    fabric_clock: Clock,
+    now: SimTime,
+    stats: OsStats,
+    prefetch_enabled: bool,
+    predictor: crate::prefetch::MarkovPredictor,
+    prefetched: std::collections::BTreeSet<u16>,
+    last_invoked: Option<u16>,
+}
+
+impl std::fmt::Debug for MiniOs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MiniOs")
+            .field("geometry", &self.device.geometry())
+            .field("policy", &self.policy.name())
+            .field("mode", &self.mode)
+            .field("resident", &self.table.resident_ids())
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+impl MiniOs {
+    /// Builds the controller from its configuration.
+    pub fn new(config: MiniOsConfig) -> Self {
+        let mcu_clock = aaod_sim::clock::domains::mcu();
+        let fabric_clock = aaod_sim::clock::domains::fabric();
+        MiniOs {
+            device: Device::new(config.geometry),
+            port: ConfigPort::selectmap8(),
+            rom: Rom::new(config.rom_capacity),
+            ram: LocalRam::new(config.ram_size),
+            mem_timing: MemTiming::default(),
+            config_module: ConfigModule::new(config.window, mcu_clock),
+            data_in: DataInputModule::new(mcu_clock),
+            data_out: OutputCollectionModule::new(mcu_clock),
+            free: FreeFrameList::new(config.geometry.frames()),
+            table: ReplacementTable::new(),
+            policy: config.policy,
+            bank: config.bank,
+            codec: config.codec,
+            mode: config.mode,
+            mcu_clock,
+            fabric_clock,
+            now: SimTime::ZERO,
+            stats: OsStats::default(),
+            prefetch_enabled: config.prefetch,
+            predictor: crate::prefetch::MarkovPredictor::new(),
+            prefetched: std::collections::BTreeSet::new(),
+            last_invoked: None,
+        }
+    }
+
+    /// Encodes the ROM bitstream for a bank algorithm with its default
+    /// parameters and this controller's codec — the host-side tooling
+    /// step that precedes [`MiniOs::download`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McuError::Algo`] for unknown ids or parameter errors.
+    pub fn encode_bitstream(&self, algo_id: u16) -> Result<Vec<u8>, McuError> {
+        let geom = self.device.geometry();
+        let image = self.bank.build_image(algo_id, geom)?;
+        let bs = Bitstream::from_image(&image, geom);
+        let codec = registry::codec(self.codec, geom.frame_bytes());
+        Ok(bs.encode(codec.as_ref()))
+    }
+
+    /// Downloads an encoded bitstream into the ROM, deriving the
+    /// function record from its header. Returns the modelled download
+    /// time (ROM programming is ~4× slower than reading).
+    ///
+    /// # Errors
+    ///
+    /// Returns bitstream errors for a malformed stream and ROM errors
+    /// for duplicates or a full ROM.
+    pub fn download(&mut self, encoded: &[u8]) -> Result<SimTime, McuError> {
+        let header = BitstreamHeader::parse(encoded)?;
+        let fields = RecordFields {
+            algo_id: header.algo_id,
+            uncompressed_len: header.uncompressed_len,
+            codec: header.codec.to_byte(),
+            input_width: header.input_width,
+            output_width: header.output_width,
+            n_frames: header.n_frames,
+        };
+        self.rom.download(fields, encoded)?;
+        let t = self.mem_timing.rom_read_time(encoded.len() as u64) * 4;
+        self.now += t;
+        Ok(t)
+    }
+
+    /// Convenience: encode + download a bank algorithm.
+    ///
+    /// # Errors
+    ///
+    /// As [`MiniOs::encode_bitstream`] and [`MiniOs::download`].
+    pub fn install(&mut self, algo_id: u16) -> Result<SimTime, McuError> {
+        let encoded = self.encode_bitstream(algo_id)?;
+        self.download(&encoded)
+    }
+
+    /// Services one host request: ensures the function is resident and
+    /// executes it on `input`.
+    ///
+    /// # Errors
+    ///
+    /// * [`McuError::Mem`] with [`MemError::RecordNotFound`] if the
+    ///   function was never downloaded.
+    /// * [`McuError::FunctionTooLarge`] if it cannot fit the device.
+    /// * Fabric/bitstream errors if the configuration is corrupt.
+    /// * [`McuError::Algo`] for kernel-level input errors.
+    pub fn invoke(
+        &mut self,
+        algo_id: u16,
+        input: &[u8],
+    ) -> Result<(Vec<u8>, InvokeReport), McuError> {
+        self.policy.on_request(algo_id);
+        self.predictor.observe(algo_id);
+
+        // 1. record lookup
+        let probes_before = self.rom.record_probes();
+        let record = self
+            .rom
+            .lookup(algo_id)
+            .ok_or(McuError::Mem(MemError::RecordNotFound(algo_id)))?;
+        let probes = self.rom.record_probes() - probes_before;
+        let lookup_time = self
+            .mem_timing
+            .rom_read_time(probes * RECORD_BYTES as u64);
+
+        // 2. residency
+        let hit = self.table.contains(algo_id);
+        let mut evicted = Vec::new();
+        let mut rom_time = SimTime::ZERO;
+        let mut reconfig_time = SimTime::ZERO;
+        if !hit {
+            let needed = record.n_frames as usize;
+            if needed > self.device.geometry().frames() {
+                return Err(McuError::FunctionTooLarge {
+                    algo_id,
+                    frames: needed,
+                    device_frames: self.device.geometry().frames(),
+                });
+            }
+            let encoded = {
+                let bytes = self.rom.bitstream_bytes(&record).to_vec();
+                rom_time = self.mem_timing.rom_read_time(bytes.len() as u64);
+                bytes
+            };
+            match self.mode {
+                ReconfigMode::Partial => {
+                    while self.free.free_count() < needed {
+                        let victim = self
+                            .policy
+                            .victim(&self.table)
+                            .expect("non-empty table when frames are insufficient");
+                        let residency = self
+                            .table
+                            .remove(victim)
+                            .expect("policy returned a resident algorithm");
+                        self.free.release(&residency.frames);
+                        self.prefetched.remove(&victim);
+                        evicted.push(victim);
+                        self.stats.evictions += 1;
+                    }
+                    let frames = self
+                        .free
+                        .allocate(needed)
+                        .expect("free count verified above");
+                    let report = match self.config_module.configure(
+                        &encoded,
+                        &mut self.device,
+                        &self.port,
+                        &frames,
+                    ) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            // a failed configuration must not leak the
+                            // frames it was given
+                            self.free.release(&frames);
+                            return Err(e);
+                        }
+                    };
+                    reconfig_time = report.total();
+                    self.stats.frames_configured += report.frames_written as u64;
+                    self.table.insert(algo_id, frames, self.now);
+                }
+                ReconfigMode::Full => {
+                    // Everything resident is lost on a full reconfig.
+                    for id in self.table.resident_ids() {
+                        self.table.remove(id);
+                        evicted.push(id);
+                        self.stats.evictions += 1;
+                    }
+                    self.free.reset();
+                    let frames = self
+                        .free
+                        .allocate(needed)
+                        .expect("fresh free list fits any checked function");
+                    // decompress (windowed, same engine), then pay the
+                    // full-device configuration cost instead of the
+                    // per-frame cost.
+                    let report = match self.config_module.configure(
+                        &encoded,
+                        &mut self.device,
+                        &self.port,
+                        &frames,
+                    ) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            self.free.release(&frames);
+                            return Err(e);
+                        }
+                    };
+                    let full_penalty = self
+                        .port
+                        .full_time(self.device.geometry())
+                        .saturating_sub(report.port_time);
+                    reconfig_time = report.total() + full_penalty;
+                    self.stats.frames_configured += self.device.geometry().frames() as u64;
+                    self.table.insert(algo_id, frames, self.now);
+                }
+            }
+            self.stats.misses += 1;
+        } else {
+            self.stats.hits += 1;
+            if self.prefetched.remove(&algo_id) {
+                self.stats.prefetch_hits += 1;
+            }
+        }
+
+        // 3. stage input
+        let (_, input_time) = self.data_in.stage(
+            &mut self.ram,
+            &self.mem_timing,
+            0,
+            input,
+            record.input_width,
+        )?;
+
+        // 4. execute from the configured bits
+        let frames = self
+            .table
+            .get(algo_id)
+            .expect("function resident at this point")
+            .frames
+            .clone();
+        let image = self.device.decode_function(&frames)?;
+        if image.algo_id() != algo_id {
+            return Err(McuError::RecordMismatch(format!(
+                "frames decode to algorithm {}, record says {algo_id}",
+                image.algo_id()
+            )));
+        }
+        let output = match image.kind()? {
+            FunctionKind::Netlist { .. } => image.run_netlist(input)?,
+            FunctionKind::Behavioral { params } => {
+                let kernel = self
+                    .bank
+                    .kernel(algo_id)
+                    .ok_or(McuError::Algo(AlgoError::UnknownAlgorithm(algo_id)))?;
+                kernel.execute(&params, input)?
+            }
+        };
+        let exec_cycles = match self.bank.kernel(algo_id) {
+            Some(k) => k.fabric_cycles(input.len()),
+            None => input.len() as u64 + 8,
+        };
+        let exec_time = self.fabric_clock.cycles(exec_cycles);
+
+        // 5. collect output
+        let out_offset = self.ram.size() / 2;
+        let (_, output_time) = self.data_out.collect(
+            &mut self.ram,
+            &self.mem_timing,
+            out_offset,
+            &output,
+            record.output_width,
+        )?;
+
+        let report = InvokeReport {
+            algo_id,
+            hit,
+            evicted,
+            lookup_time,
+            rom_time,
+            reconfig_time,
+            input_time,
+            exec_time,
+            output_time,
+        };
+        self.now += report.total();
+        self.table.touch(algo_id, self.now);
+        self.stats.requests += 1;
+        self.stats.lookup_time += lookup_time;
+        self.stats.rom_time += rom_time;
+        self.stats.reconfig_time += reconfig_time;
+        self.stats.input_time += input_time;
+        self.stats.exec_time += exec_time;
+        self.stats.output_time += output_time;
+        self.last_invoked = Some(algo_id);
+        if self.prefetch_enabled && self.mode == ReconfigMode::Partial {
+            self.maybe_prefetch();
+        }
+        Ok((output, report))
+    }
+
+    /// Best-effort speculative configuration of the predicted next
+    /// algorithm. Runs off the critical path — the configuration
+    /// happens in host think-time, so it costs
+    /// [`OsStats::prefetch_time`] but does not delay any request.
+    ///
+    /// Prefetch may evict per the replacement policy (configuration
+    /// prefetching is pointless on a full device otherwise), but it
+    /// refuses to evict the function that was just invoked or the
+    /// prediction target, and aborts rather than force either out.
+    fn maybe_prefetch(&mut self) {
+        let Some(next) = self.predictor.predict() else {
+            return;
+        };
+        if self.table.contains(next) {
+            return;
+        }
+        let Some(record) = self.rom.lookup(next) else {
+            return;
+        };
+        let needed = record.n_frames as usize;
+        if needed > self.device.geometry().frames() {
+            return;
+        }
+        let mut evicted_for_prefetch: Vec<(u16, Vec<aaod_fabric::FrameAddress>)> = Vec::new();
+        while self.free.free_count() < needed {
+            let Some(victim) = self.policy.victim(&self.table) else {
+                break;
+            };
+            if Some(victim) == self.last_invoked || victim == next {
+                break; // never displace the active or target function
+            }
+            let residency = self
+                .table
+                .remove(victim)
+                .expect("policy returned a resident algorithm");
+            self.free.release(&residency.frames);
+            self.prefetched.remove(&victim);
+            evicted_for_prefetch.push((victim, residency.frames));
+        }
+        if self.free.free_count() < needed {
+            // could not make room without touching protected functions:
+            // roll the speculative evictions back (nothing was erased)
+            for (victim, frames) in evicted_for_prefetch {
+                self.free.reserve(&frames);
+                self.table.insert(victim, frames, self.now);
+            }
+            return;
+        }
+        self.stats.evictions += evicted_for_prefetch.len() as u64;
+        let encoded = self.rom.bitstream_bytes(&record).to_vec();
+        let rom_time = self.mem_timing.rom_read_time(encoded.len() as u64);
+        let Some(frames) = self.free.allocate(needed) else {
+            return;
+        };
+        match self
+            .config_module
+            .configure(&encoded, &mut self.device, &self.port, &frames)
+        {
+            Ok(report) => {
+                self.stats.frames_configured += report.frames_written as u64;
+                self.stats.prefetches += 1;
+                self.stats.prefetch_time += rom_time + report.total();
+                self.table.insert(next, frames, self.now);
+                self.prefetched.insert(next);
+            }
+            Err(_) => {
+                // speculative work is best-effort: give the frames back
+                self.free.release(&frames);
+            }
+        }
+    }
+
+    /// Executes one host [`Command`](crate::command::Command),
+    /// returning its [`Response`](crate::command::Response) and the
+    /// controller time consumed. This is the instruction interface of
+    /// paper §2.1; the host driver in `aaod-core` ships these over
+    /// PCI.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying operation's error.
+    pub fn dispatch(
+        &mut self,
+        command: crate::command::Command,
+    ) -> Result<(crate::command::Response, SimTime), McuError> {
+        use crate::command::{Command, Response};
+        // fixed decode/dispatch overhead on the controller
+        let overhead = self.mcu_clock.cycles(32);
+        match command {
+            Command::Download { bitstream } => {
+                let t = self.download(&bitstream)?;
+                Ok((Response::Done, t + overhead))
+            }
+            Command::Invoke { algo_id, input } => {
+                let (output, report) = self.invoke(algo_id, &input)?;
+                Ok((Response::Output(output), report.total() + overhead))
+            }
+            Command::Evict { algo_id } => {
+                let t = self.evict(algo_id)?;
+                Ok((Response::Done, t + overhead))
+            }
+            Command::QueryResident => {
+                Ok((Response::Resident(self.resident()), overhead))
+            }
+            Command::QueryStats => Ok((
+                Response::Stats {
+                    requests: self.stats.requests,
+                    hits: self.stats.hits,
+                    misses: self.stats.misses,
+                    evictions: self.stats.evictions,
+                },
+                overhead,
+            )),
+            Command::Reset => {
+                let t = self.reset();
+                Ok((Response::Done, t + overhead))
+            }
+        }
+    }
+
+    /// Power-cycles the fabric: erases every frame, clears the free
+    /// frame list, replacement table and counters. The ROM contents
+    /// (flash) survive, so downloaded functions remain installable.
+    /// Returns the time of the full-device erase.
+    pub fn reset(&mut self) -> SimTime {
+        let geom = self.device.geometry();
+        self.device = Device::new(geom);
+        self.free.reset();
+        self.table = ReplacementTable::new();
+        self.stats = OsStats::default();
+        self.predictor.clear();
+        self.prefetched.clear();
+        self.last_invoked = None;
+        let t = self.port.full_time(geom);
+        self.now += t;
+        t
+    }
+
+    /// Readback scrubbing: re-reads every resident function's frames,
+    /// verifies the image digest, and repairs any corrupted function
+    /// by reconfiguring it in place from its ROM bitstream.
+    ///
+    /// Real Virtex-class devices suffer configuration-memory upsets
+    /// (SEUs); periodic scrubbing is the standard defence, and the
+    /// image digest gives this controller an end-to-end check that
+    /// readback-CRC hardware would provide on silicon.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only if a repair itself fails (e.g. the ROM
+    /// copy is also corrupt); detection alone never fails.
+    pub fn scrub(&mut self) -> Result<ScrubReport, McuError> {
+        let geom = self.device.geometry();
+        let ids = self.table.resident_ids();
+        let mut report = ScrubReport::default();
+        for id in ids {
+            let frames = self
+                .table
+                .get(id)
+                .expect("resident id from the table")
+                .frames
+                .clone();
+            // readback cost: pulling the frames back through the port
+            report.time += self.port.frames_time(geom, frames.len());
+            report.frames_checked += frames.len();
+            let healthy = matches!(
+                self.device.decode_function(&frames),
+                Ok(img) if img.algo_id() == id
+            );
+            if healthy {
+                continue;
+            }
+            // repair in place from ROM
+            let record = self
+                .rom
+                .lookup(id)
+                .ok_or(McuError::Mem(MemError::RecordNotFound(id)))?;
+            let encoded = self.rom.bitstream_bytes(&record).to_vec();
+            report.time += self.mem_timing.rom_read_time(encoded.len() as u64);
+            let config =
+                self.config_module
+                    .configure(&encoded, &mut self.device, &self.port, &frames)?;
+            report.time += config.total();
+            report.repaired.push(id);
+        }
+        self.now += report.time;
+        self.stats.scrubs += 1;
+        self.stats.scrub_repairs += report.repaired.len() as u64;
+        self.stats.scrub_time += report.time;
+        Ok(report)
+    }
+
+    /// Manually evicts a resident function, erasing its frames.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McuError::Mem`] with [`MemError::RecordNotFound`] if
+    /// the function is not resident.
+    pub fn evict(&mut self, algo_id: u16) -> Result<SimTime, McuError> {
+        let residency = self
+            .table
+            .remove(algo_id)
+            .ok_or(McuError::Mem(MemError::RecordNotFound(algo_id)))?;
+        let mut t = SimTime::ZERO;
+        for &addr in &residency.frames {
+            t += self.port.clear_frame(&mut self.device, addr)?;
+        }
+        self.free.release(&residency.frames);
+        self.prefetched.remove(&algo_id);
+        self.now += t;
+        Ok(t)
+    }
+
+    /// Currently resident algorithm ids.
+    pub fn resident(&self) -> Vec<u16> {
+        self.table.resident_ids()
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> OsStats {
+        self.stats
+    }
+
+    /// The controller's monotonic simulated clock.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The replacement policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// The device geometry.
+    pub fn geometry(&self) -> DeviceGeometry {
+        self.device.geometry()
+    }
+
+    /// Free frames currently available.
+    pub fn free_frames(&self) -> usize {
+        self.free.free_count()
+    }
+
+    /// Immutable view of the device (inspection/tests).
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Mutable view of the device — the fault-injection hook used by
+    /// tests to corrupt configured frames.
+    pub fn device_mut(&mut self) -> &mut Device {
+        &mut self.device
+    }
+
+    /// Immutable view of the ROM.
+    pub fn rom(&self) -> &Rom {
+        &self.rom
+    }
+
+    /// The frame replacement table.
+    pub fn table(&self) -> &ReplacementTable {
+        &self.table
+    }
+
+    /// The bank the controller dispatches into.
+    pub fn bank(&self) -> &AlgorithmBank {
+        &self.bank
+    }
+
+    /// The mini-OS clock domain.
+    pub fn mcu_clock(&self) -> Clock {
+        self.mcu_clock
+    }
+
+    /// Renders the device's frame ownership as a one-line-per-16-frames
+    /// text map: `.` = free, otherwise the owning algorithm id modulo
+    /// 16 as a hex digit. Purely diagnostic.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aaod_mcu::{MiniOs, MiniOsConfig};
+    ///
+    /// let os = MiniOs::new(MiniOsConfig::default());
+    /// assert!(os.frame_map().chars().filter(|&c| c == '.').count() >= 96);
+    /// ```
+    pub fn frame_map(&self) -> String {
+        let frames = self.device.geometry().frames();
+        let mut owner = vec![None::<u16>; frames];
+        for (id, residency) in self.table.iter() {
+            for f in &residency.frames {
+                owner[f.index()] = Some(id);
+            }
+        }
+        let mut out = String::with_capacity(frames + frames / 16 * 8);
+        for (i, slot) in owner.iter().enumerate() {
+            if i % 16 == 0 {
+                if i > 0 {
+                    out.push('\n');
+                }
+                out.push_str(&format!("{i:>4}  "));
+            }
+            match slot {
+                None => out.push('.'),
+                Some(id) => {
+                    out.push(char::from_digit((id % 16) as u32, 16).expect("mod 16 digit"))
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aaod_algos::ids;
+
+    fn small_os(frames: u16, policy: Box<dyn ReplacementPolicy>) -> MiniOs {
+        MiniOs::new(MiniOsConfig {
+            geometry: DeviceGeometry::new(frames, 16),
+            policy,
+            ..MiniOsConfig::default()
+        })
+    }
+
+    fn os_with(algos: &[u16]) -> MiniOs {
+        let mut os = MiniOs::new(MiniOsConfig::default());
+        for &id in algos {
+            os.install(id).unwrap();
+        }
+        os
+    }
+
+    #[test]
+    fn end_to_end_crc32() {
+        let mut os = os_with(&[ids::CRC32]);
+        let (out, report) = os.invoke(ids::CRC32, b"123456789").unwrap();
+        assert_eq!(out, 0xCBF4_3926u32.to_le_bytes().to_vec());
+        assert!(!report.hit);
+        assert!(report.reconfig_time > SimTime::ZERO);
+        let (_, report2) = os.invoke(ids::CRC32, b"123456789").unwrap();
+        assert!(report2.hit);
+        assert_eq!(report2.reconfig_time, SimTime::ZERO);
+        assert!(report2.total() < report.total());
+    }
+
+    #[test]
+    fn netlist_function_executes_from_bits() {
+        let mut os = os_with(&[ids::CRC8]);
+        let (out, _) = os.invoke(ids::CRC8, b"123456789").unwrap();
+        assert_eq!(out, vec![0xF4]);
+    }
+
+    #[test]
+    fn aes_on_demand_matches_software() {
+        let mut os = os_with(&[ids::AES128]);
+        let input = b"exactly 16 bytes";
+        let (hw, _) = os.invoke(ids::AES128, input).unwrap();
+        let sw = os.bank().execute_software(ids::AES128, input).unwrap();
+        assert_eq!(hw, sw);
+    }
+
+    #[test]
+    fn unknown_function_errors() {
+        let mut os = os_with(&[]);
+        assert!(matches!(
+            os.invoke(777, b"x"),
+            Err(McuError::Mem(MemError::RecordNotFound(777)))
+        ));
+    }
+
+    #[test]
+    fn eviction_under_pressure_lru() {
+        // Device with 40 frames: AES (24) + SHA1 (12) fit; adding
+        // SHA256 (16) must evict the least recently used (AES).
+        let mut os = small_os(40, Box::new(LruPolicy));
+        for id in [ids::AES128, ids::SHA1, ids::SHA256] {
+            os.install(id).unwrap();
+        }
+        os.invoke(ids::AES128, &[0; 16]).unwrap();
+        os.invoke(ids::SHA1, b"x").unwrap(); // SHA1 more recent than AES
+        let (_, report) = os.invoke(ids::SHA256, b"y").unwrap();
+        assert_eq!(report.evicted, vec![ids::AES128]);
+        assert_eq!(os.resident(), vec![ids::SHA1, ids::SHA256]);
+        // AES comes back on demand
+        let (_, report) = os.invoke(ids::AES128, &[0; 16]).unwrap();
+        assert!(!report.hit);
+    }
+
+    #[test]
+    fn multiple_evictions_when_one_is_not_enough() {
+        // 30 frames; CRC32 (2) + XTEA (6) + SHA1 (12) resident = 20 used.
+        // AES needs 24 -> must evict enough algorithms to free 14+ frames.
+        let mut os = small_os(30, Box::new(LruPolicy));
+        for id in [ids::CRC32, ids::XTEA, ids::SHA1, ids::AES128] {
+            os.install(id).unwrap();
+        }
+        os.invoke(ids::CRC32, b"a").unwrap();
+        os.invoke(ids::XTEA, &[0; 8]).unwrap();
+        os.invoke(ids::SHA1, b"b").unwrap();
+        let (_, report) = os.invoke(ids::AES128, &[0; 16]).unwrap();
+        assert!(report.evicted.len() >= 2, "evicted {:?}", report.evicted);
+        assert!(os.resident().contains(&ids::AES128));
+    }
+
+    #[test]
+    fn function_too_large_rejected() {
+        let mut os = small_os(8, Box::new(LruPolicy));
+        os.install(ids::AES128).unwrap(); // needs 24 > 8
+        assert!(matches!(
+            os.invoke(ids::AES128, &[0; 16]),
+            Err(McuError::FunctionTooLarge { frames: 24, .. })
+        ));
+    }
+
+    #[test]
+    fn full_mode_keeps_single_resident() {
+        let mut os = MiniOs::new(MiniOsConfig {
+            mode: ReconfigMode::Full,
+            ..MiniOsConfig::default()
+        });
+        for id in [ids::CRC32, ids::XTEA] {
+            os.install(id).unwrap();
+        }
+        os.invoke(ids::CRC32, b"a").unwrap();
+        assert_eq!(os.resident(), vec![ids::CRC32]);
+        let (_, report) = os.invoke(ids::XTEA, &[0; 8]).unwrap();
+        assert_eq!(report.evicted, vec![ids::CRC32]);
+        assert_eq!(os.resident(), vec![ids::XTEA]);
+    }
+
+    #[test]
+    fn full_mode_costs_more_than_partial() {
+        let mut partial = os_with(&[ids::CRC32]);
+        let mut full = MiniOs::new(MiniOsConfig {
+            mode: ReconfigMode::Full,
+            ..MiniOsConfig::default()
+        });
+        full.install(ids::CRC32).unwrap();
+        let (_, rp) = partial.invoke(ids::CRC32, b"a").unwrap();
+        let (_, rf) = full.invoke(ids::CRC32, b"a").unwrap();
+        assert!(
+            rf.reconfig_time > rp.reconfig_time * 3,
+            "full {} vs partial {}",
+            rf.reconfig_time,
+            rp.reconfig_time
+        );
+    }
+
+    #[test]
+    fn corrupted_frame_detected_at_execution() {
+        let mut os = os_with(&[ids::SHA1]);
+        os.invoke(ids::SHA1, b"seed").unwrap();
+        // corrupt one byte of one frame SHA1 occupies
+        let frames = os.table().get(ids::SHA1).unwrap().frames.clone();
+        let addr = frames[frames.len() / 2];
+        let mut bytes = os.device().read_frame(addr).unwrap().to_vec();
+        bytes[7] ^= 0x40;
+        os.device_mut().write_frame(addr, &bytes).unwrap();
+        let err = os.invoke(ids::SHA1, b"seed").unwrap_err();
+        assert!(
+            matches!(err, McuError::Fabric(_)),
+            "corruption slipped through: {err}"
+        );
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut os = os_with(&[ids::CRC32, ids::PARITY8]);
+        os.invoke(ids::CRC32, b"a").unwrap();
+        os.invoke(ids::CRC32, b"b").unwrap();
+        os.invoke(ids::PARITY8, b"c").unwrap();
+        let s = os.stats();
+        assert_eq!(s.requests, 3);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-9);
+        assert!(s.total_time() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn manual_evict_clears_frames() {
+        let mut os = os_with(&[ids::CRC32]);
+        os.invoke(ids::CRC32, b"a").unwrap();
+        let frames = os.table().get(ids::CRC32).unwrap().frames.clone();
+        let free_before = os.free_frames();
+        os.evict(ids::CRC32).unwrap();
+        assert_eq!(os.free_frames(), free_before + frames.len());
+        assert!(os.resident().is_empty());
+        for addr in frames {
+            assert!(os
+                .device()
+                .read_frame(addr)
+                .unwrap()
+                .iter()
+                .all(|&b| b == 0));
+        }
+        assert!(os.evict(ids::CRC32).is_err());
+    }
+
+    #[test]
+    fn time_is_monotonic() {
+        let mut os = os_with(&[ids::CRC32]);
+        let t0 = os.now();
+        os.invoke(ids::CRC32, b"a").unwrap();
+        let t1 = os.now();
+        os.invoke(ids::CRC32, b"b").unwrap();
+        let t2 = os.now();
+        assert!(t0 < t1 && t1 < t2);
+    }
+
+    #[test]
+    fn prefetch_preconfigures_predicted_next() {
+        // Alternate XTEA/MATMUL8 so the predictor learns the pattern;
+        // after evicting MATMUL8 and invoking XTEA, the controller
+        // should speculatively bring MATMUL8 back.
+        let mut os = MiniOs::new(MiniOsConfig {
+            prefetch: true,
+            ..MiniOsConfig::default()
+        });
+        os.install(ids::XTEA).unwrap();
+        os.install(ids::MATMUL8).unwrap();
+        os.invoke(ids::XTEA, &[0; 8]).unwrap();
+        os.invoke(ids::MATMUL8, &[0; 128]).unwrap();
+        os.evict(ids::MATMUL8).unwrap();
+        os.invoke(ids::XTEA, &[0; 8]).unwrap();
+        assert!(
+            os.resident().contains(&ids::MATMUL8),
+            "predicted next function was not prefetched: {:?}",
+            os.resident()
+        );
+        let (_, report) = os.invoke(ids::MATMUL8, &[0; 128]).unwrap();
+        assert!(report.hit, "prefetched function should hit");
+        let s = os.stats();
+        assert!(s.prefetches >= 1);
+        assert_eq!(s.prefetch_hits, 1);
+        assert!(s.prefetch_time > SimTime::ZERO);
+    }
+
+    #[test]
+    fn prefetch_never_evicts_and_keeps_ledgers_consistent() {
+        // Device too small for both big functions: prefetch must
+        // refuse to displace the resident one.
+        let mut os = MiniOs::new(MiniOsConfig {
+            geometry: DeviceGeometry::new(26, 16),
+            prefetch: true,
+            ..MiniOsConfig::default()
+        });
+        os.install(ids::AES128).unwrap(); // 24 frames
+        os.install(ids::SHA1).unwrap(); // 12 frames
+        for _ in 0..3 {
+            os.invoke(ids::AES128, &[0; 16]).unwrap();
+            os.invoke(ids::SHA1, b"x").unwrap();
+        }
+        let resident = os.resident();
+        let used: usize = resident
+            .iter()
+            .map(|&id| os.table().get(id).unwrap().frames.len())
+            .sum();
+        assert_eq!(used + os.free_frames(), 26, "frame ledger out of balance");
+        // correctness under prefetch pressure
+        let (out, _) = os.invoke(ids::SHA1, b"abc").unwrap();
+        assert_eq!(out.len(), 20);
+    }
+
+    #[test]
+    fn prefetch_disabled_by_default() {
+        let mut os = os_with(&[ids::XTEA, ids::CRC32]);
+        for _ in 0..4 {
+            os.invoke(ids::XTEA, &[0; 8]).unwrap();
+            os.invoke(ids::CRC32, b"x").unwrap();
+        }
+        assert_eq!(os.stats().prefetches, 0);
+    }
+
+    #[test]
+    fn scrub_clean_device_repairs_nothing() {
+        let mut os = os_with(&[ids::SHA1, ids::CRC8]);
+        os.invoke(ids::SHA1, b"x").unwrap();
+        os.invoke(ids::CRC8, b"y").unwrap();
+        let report = os.scrub().unwrap();
+        assert!(report.repaired.is_empty());
+        assert_eq!(report.frames_checked, 13); // 12 + 1
+        assert!(report.time > SimTime::ZERO);
+        assert_eq!(os.stats().scrubs, 1);
+    }
+
+    #[test]
+    fn scrub_repairs_seu_corruption_in_place() {
+        let mut os = os_with(&[ids::SHA256]);
+        os.invoke(ids::SHA256, b"x").unwrap();
+        let frames = os.table().get(ids::SHA256).unwrap().frames.clone();
+        let mut bytes = os.device().read_frame(frames[3]).unwrap().to_vec();
+        bytes[100] ^= 0x08; // single-event upset
+        os.device_mut().write_frame(frames[3], &bytes).unwrap();
+        let report = os.scrub().unwrap();
+        assert_eq!(report.repaired, vec![ids::SHA256]);
+        assert_eq!(os.stats().scrub_repairs, 1);
+        // the function works again, still at the same placement
+        let (out, r) = os.invoke(ids::SHA256, b"abc").unwrap();
+        assert!(r.hit);
+        assert_eq!(out[..4], [0xba, 0x78, 0x16, 0xbf]);
+        assert_eq!(os.table().get(ids::SHA256).unwrap().frames, frames);
+    }
+
+    #[test]
+    fn reset_clears_fabric_but_not_rom() {
+        let mut os = os_with(&[ids::CRC32]);
+        os.invoke(ids::CRC32, b"x").unwrap();
+        let t = os.reset();
+        assert!(t > SimTime::ZERO);
+        assert!(os.resident().is_empty());
+        assert_eq!(os.free_frames(), os.geometry().frames());
+        assert_eq!(os.stats().requests, 0);
+        // ROM survives: re-invoke reconfigures without re-download
+        let (out, r) = os.invoke(ids::CRC32, b"123456789").unwrap();
+        assert!(!r.hit);
+        assert_eq!(out, 0xCBF4_3926u32.to_le_bytes().to_vec());
+    }
+
+    #[test]
+    fn download_requires_valid_stream() {
+        let mut os = os_with(&[]);
+        assert!(os.download(&[0u8; 10]).is_err());
+    }
+
+    #[test]
+    fn frame_map_shows_ownership() {
+        let mut os = os_with(&[ids::CRC32, ids::SHA1]);
+        os.invoke(ids::CRC32, b"a").unwrap(); // id 5, 2 frames
+        os.invoke(ids::SHA1, b"b").unwrap(); // id 3, 12 frames
+        let cells: String = os
+            .frame_map()
+            .lines()
+            .map(|l| &l[6..]) // strip the "  NNN  " index prefix
+            .collect();
+        assert_eq!(cells.matches('5').count(), 2);
+        assert_eq!(cells.matches('3').count(), 12);
+        assert_eq!(cells.matches('.').count(), 96 - 14);
+    }
+
+    #[test]
+    fn duplicate_download_rejected() {
+        let mut os = os_with(&[ids::CRC32]);
+        assert!(matches!(
+            os.install(ids::CRC32),
+            Err(McuError::Mem(MemError::DuplicateFunction(_)))
+        ));
+    }
+}

@@ -1,0 +1,99 @@
+//! Mini-OS statistics.
+
+use aaod_sim::SimTime;
+
+/// Running counters the mini-OS maintains across requests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OsStats {
+    /// Invocations serviced.
+    pub requests: u64,
+    /// Invocations whose function was already resident.
+    pub hits: u64,
+    /// Invocations that required (re)configuration.
+    pub misses: u64,
+    /// Algorithms evicted to make room.
+    pub evictions: u64,
+    /// Frames written through the configuration port.
+    pub frames_configured: u64,
+    /// Cumulative time in record lookups.
+    pub lookup_time: SimTime,
+    /// Cumulative time reading bitstreams from ROM.
+    pub rom_time: SimTime,
+    /// Cumulative time decompressing + configuring.
+    pub reconfig_time: SimTime,
+    /// Cumulative time staging inputs.
+    pub input_time: SimTime,
+    /// Cumulative execution time on the fabric.
+    pub exec_time: SimTime,
+    /// Cumulative time collecting outputs.
+    pub output_time: SimTime,
+    /// Speculative configurations performed (extension).
+    pub prefetches: u64,
+    /// Hits served from a speculatively configured function.
+    pub prefetch_hits: u64,
+    /// Idle time spent on speculative configuration (not on the
+    /// request critical path).
+    pub prefetch_time: SimTime,
+    /// Scrub passes performed (extension).
+    pub scrubs: u64,
+    /// Functions repaired from ROM by scrubbing.
+    pub scrub_repairs: u64,
+    /// Time spent in readback scrubbing.
+    pub scrub_time: SimTime,
+}
+
+impl OsStats {
+    /// Fraction of requests served without reconfiguration.
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.requests as f64
+        }
+    }
+
+    /// Total accounted time across all categories.
+    pub fn total_time(&self) -> SimTime {
+        self.lookup_time
+            + self.rom_time
+            + self.reconfig_time
+            + self.input_time
+            + self.exec_time
+            + self.output_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_empty() {
+        assert_eq!(OsStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_fraction() {
+        let s = OsStats {
+            requests: 4,
+            hits: 3,
+            misses: 1,
+            ..OsStats::default()
+        };
+        assert_eq!(s.hit_rate(), 0.75);
+    }
+
+    #[test]
+    fn total_time_sums_categories() {
+        let s = OsStats {
+            lookup_time: SimTime::from_ns(1),
+            rom_time: SimTime::from_ns(2),
+            reconfig_time: SimTime::from_ns(3),
+            input_time: SimTime::from_ns(4),
+            exec_time: SimTime::from_ns(5),
+            output_time: SimTime::from_ns(6),
+            ..OsStats::default()
+        };
+        assert_eq!(s.total_time(), SimTime::from_ns(21));
+    }
+}

@@ -1,0 +1,82 @@
+//! Memory subsystem error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the ROM and local RAM models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MemError {
+    /// A download would make the bitstream region and the record table
+    /// collide (paper §2.2: they grow toward each other).
+    RomFull {
+        /// Bytes the download needs (bitstream + record entry).
+        needed: usize,
+        /// Bytes left between the two regions.
+        free: usize,
+    },
+    /// A function with this id is already recorded in the ROM.
+    DuplicateFunction(u16),
+    /// No record exists for this function id.
+    RecordNotFound(u16),
+    /// An access beyond the end of a memory.
+    OutOfBounds {
+        /// Which memory was accessed.
+        what: &'static str,
+        /// First byte of the access.
+        offset: usize,
+        /// Length of the access.
+        len: usize,
+        /// Size of the memory.
+        size: usize,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::RomFull { needed, free } => {
+                write!(f, "rom regions would collide: need {needed} bytes, {free} free")
+            }
+            MemError::DuplicateFunction(id) => {
+                write!(f, "function {id} already present in rom")
+            }
+            MemError::RecordNotFound(id) => write!(f, "no rom record for function {id}"),
+            MemError::OutOfBounds {
+                what,
+                offset,
+                len,
+                size,
+            } => write!(
+                f,
+                "{what} access [{offset}, {}) outside size {size}",
+                offset + len
+            ),
+        }
+    }
+}
+
+impl Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(MemError::DuplicateFunction(5).to_string().contains("5"));
+        let e = MemError::OutOfBounds {
+            what: "ram",
+            offset: 10,
+            len: 4,
+            size: 12,
+        };
+        assert!(e.to_string().contains("[10, 14)"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<MemError>();
+    }
+}

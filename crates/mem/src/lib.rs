@@ -1,0 +1,51 @@
+//! Memory subsystem of the co-processor card.
+//!
+//! Models §2.2 of *"FPGA based Agile Algorithm-On-Demand Co-Processor"*:
+//!
+//! * [`Rom`] — holds the compressed configuration bitstreams, loaded
+//!   from one end, and the function **record table** (start address,
+//!   sizes, I/O widths per function) populated from the *other* end.
+//!   The two regions grow toward each other; a download that would make
+//!   them collide is rejected.
+//! * [`FunctionRecord`] — the fixed-size table entry the
+//!   microcontroller reads to locate and describe a function.
+//! * [`LocalRam`] — the scratch memory where the microcontroller
+//!   buffers function inputs (host → RAM → FPGA) and outputs
+//!   (FPGA → RAM → host).
+//! * [`MemTiming`] — cycle costs for ROM and RAM accesses in the
+//!   microcontroller clock domain.
+//!
+//! # Examples
+//!
+//! ```
+//! use aaod_mem::{Rom, RecordFields};
+//!
+//! let mut rom = Rom::new(4096);
+//! let fields = RecordFields {
+//!     algo_id: 3,
+//!     uncompressed_len: 512,
+//!     codec: 1,
+//!     input_width: 8,
+//!     output_width: 8,
+//!     n_frames: 4,
+//! };
+//! rom.download(fields, &[0xAB; 100])?;
+//! let rec = rom.lookup(3).expect("function present");
+//! assert_eq!(rom.bitstream_bytes(&rec), &[0xAB; 100][..]);
+//! # Ok::<(), aaod_mem::MemError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod ram;
+pub mod record;
+pub mod rom;
+pub mod timing;
+
+pub use error::MemError;
+pub use ram::LocalRam;
+pub use record::{FunctionRecord, RecordFields, RECORD_BYTES};
+pub use rom::Rom;
+pub use timing::MemTiming;

@@ -1,0 +1,145 @@
+//! The microcontroller's local RAM.
+//!
+//! Per §2.3 of the paper, the microcontroller "takes inputs for the
+//! functions from the host through the PCI and stores them in the local
+//! RAM", and symmetrically stages outputs there before returning them.
+//! [`LocalRam`] is a flat byte memory with bounds-checked access and
+//! traffic counters that feed the timing model.
+
+use crate::error::MemError;
+
+/// Local scratch RAM.
+///
+/// # Examples
+///
+/// ```
+/// use aaod_mem::LocalRam;
+///
+/// let mut ram = LocalRam::new(256);
+/// ram.write(16, b"payload")?;
+/// assert_eq!(ram.read(16, 7)?, b"payload");
+/// # Ok::<(), aaod_mem::MemError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalRam {
+    data: Vec<u8>,
+    bytes_written: u64,
+    bytes_read: std::cell::Cell<u64>,
+}
+
+impl LocalRam {
+    /// Creates a zeroed RAM of `size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "ram must be non-empty");
+        LocalRam {
+            data: vec![0u8; size],
+            bytes_written: 0,
+            bytes_read: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Writes `data` at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if the write exceeds the RAM.
+    pub fn write(&mut self, offset: usize, data: &[u8]) -> Result<(), MemError> {
+        let end = offset.checked_add(data.len()).ok_or(MemError::OutOfBounds {
+            what: "ram",
+            offset,
+            len: data.len(),
+            size: self.size(),
+        })?;
+        if end > self.size() {
+            return Err(MemError::OutOfBounds {
+                what: "ram",
+                offset,
+                len: data.len(),
+                size: self.size(),
+            });
+        }
+        self.data[offset..end].copy_from_slice(data);
+        self.bytes_written += data.len() as u64;
+        Ok(())
+    }
+
+    /// Reads `len` bytes from `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if the read exceeds the RAM.
+    pub fn read(&self, offset: usize, len: usize) -> Result<&[u8], MemError> {
+        let end = offset.checked_add(len).ok_or(MemError::OutOfBounds {
+            what: "ram",
+            offset,
+            len,
+            size: self.size(),
+        })?;
+        if end > self.size() {
+            return Err(MemError::OutOfBounds {
+                what: "ram",
+                offset,
+                len,
+                size: self.size(),
+            });
+        }
+        self.bytes_read.set(self.bytes_read.get() + len as u64);
+        Ok(&self.data[offset..end])
+    }
+
+    /// Total bytes written (timing input).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Total bytes read (timing input).
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut ram = LocalRam::new(64);
+        ram.write(10, &[1, 2, 3]).unwrap();
+        assert_eq!(ram.read(10, 3).unwrap(), &[1, 2, 3]);
+        assert_eq!(ram.read(9, 1).unwrap(), &[0]);
+    }
+
+    #[test]
+    fn bounds_enforced() {
+        let mut ram = LocalRam::new(16);
+        assert!(ram.write(15, &[1, 2]).is_err());
+        assert!(ram.read(16, 1).is_err());
+        assert!(ram.write(16, &[]).is_ok()); // zero-length at end is fine
+        assert!(ram.read(usize::MAX, 2).is_err()); // overflow guarded
+    }
+
+    #[test]
+    fn counters() {
+        let mut ram = LocalRam::new(32);
+        ram.write(0, &[0; 8]).unwrap();
+        let _ = ram.read(0, 4).unwrap();
+        assert_eq!(ram.bytes_written(), 8);
+        assert_eq!(ram.bytes_read(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_size_panics() {
+        let _ = LocalRam::new(0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Function records — the ROM's table entries.
+//!
+//! Per §2.2 of the paper, the ROM "contains records that holds the
+//! start address of each function's compressed configuration bit-stream
+//! on the ROM, its size and the input/output size of the functions".
+//! Records are fixed-size so the microcontroller can index the table
+//! directly from the top of the ROM.
+
+/// Serialised size of one record.
+pub const RECORD_BYTES: usize = 24;
+
+/// The caller-supplied part of a record (the ROM fills in the start
+/// address and compressed length during download).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RecordFields {
+    /// Function identifier.
+    pub algo_id: u16,
+    /// Decompressed bitstream length in bytes.
+    pub uncompressed_len: u32,
+    /// Compression codec id (see `aaod_bitstream::codec::CodecId`).
+    pub codec: u8,
+    /// Data-input transfer width in bytes.
+    pub input_width: u16,
+    /// Output transfer width in bytes.
+    pub output_width: u16,
+    /// Configuration frames the function occupies.
+    pub n_frames: u16,
+}
+
+/// A complete ROM record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FunctionRecord {
+    /// Function identifier.
+    pub algo_id: u16,
+    /// Byte offset of the compressed bitstream within the ROM.
+    pub start: u32,
+    /// Compressed bitstream length in bytes.
+    pub compressed_len: u32,
+    /// Decompressed bitstream length in bytes.
+    pub uncompressed_len: u32,
+    /// Compression codec id.
+    pub codec: u8,
+    /// Data-input transfer width in bytes.
+    pub input_width: u16,
+    /// Output transfer width in bytes.
+    pub output_width: u16,
+    /// Configuration frames the function occupies.
+    pub n_frames: u16,
+}
+
+impl FunctionRecord {
+    /// Serialises the record to its fixed ROM layout.
+    pub fn to_bytes(&self) -> [u8; RECORD_BYTES] {
+        let mut out = [0u8; RECORD_BYTES];
+        out[0..2].copy_from_slice(&self.algo_id.to_le_bytes());
+        out[2..6].copy_from_slice(&self.start.to_le_bytes());
+        out[6..10].copy_from_slice(&self.compressed_len.to_le_bytes());
+        out[10..14].copy_from_slice(&self.uncompressed_len.to_le_bytes());
+        out[14] = self.codec;
+        out[16..18].copy_from_slice(&self.input_width.to_le_bytes());
+        out[18..20].copy_from_slice(&self.output_width.to_le_bytes());
+        out[20..22].copy_from_slice(&self.n_frames.to_le_bytes());
+        out
+    }
+
+    /// Deserialises a record from its ROM layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is shorter than [`RECORD_BYTES`]; the ROM
+    /// always hands whole table slots to this function.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        assert!(bytes.len() >= RECORD_BYTES, "record slot too short");
+        FunctionRecord {
+            algo_id: u16::from_le_bytes([bytes[0], bytes[1]]),
+            start: u32::from_le_bytes([bytes[2], bytes[3], bytes[4], bytes[5]]),
+            compressed_len: u32::from_le_bytes([bytes[6], bytes[7], bytes[8], bytes[9]]),
+            uncompressed_len: u32::from_le_bytes([bytes[10], bytes[11], bytes[12], bytes[13]]),
+            codec: bytes[14],
+            input_width: u16::from_le_bytes([bytes[16], bytes[17]]),
+            output_width: u16::from_le_bytes([bytes[18], bytes[19]]),
+            n_frames: u16::from_le_bytes([bytes[20], bytes[21]]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let rec = FunctionRecord {
+            algo_id: 300,
+            start: 0x1234,
+            compressed_len: 999,
+            uncompressed_len: 2048,
+            codec: 4,
+            input_width: 16,
+            output_width: 32,
+            n_frames: 12,
+        };
+        assert_eq!(FunctionRecord::from_bytes(&rec.to_bytes()), rec);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot too short")]
+    fn short_slot_panics() {
+        let _ = FunctionRecord::from_bytes(&[0u8; 5]);
+    }
+}

@@ -1,0 +1,292 @@
+//! The dual-ended configuration ROM.
+//!
+//! Bitstreams are "loaded from one end of the ROM while the record
+//! table is populated from the other end" (paper §2.2). [`Rom`] models
+//! exactly that layout: the bitstream region grows upward from byte 0,
+//! the record table grows downward from the top, and a download that
+//! would make them overlap fails with [`MemError::RomFull`].
+
+use crate::error::MemError;
+use crate::record::{FunctionRecord, RecordFields, RECORD_BYTES};
+
+/// The co-processor's configuration ROM image.
+///
+/// # Examples
+///
+/// ```
+/// use aaod_mem::{RecordFields, Rom};
+///
+/// let mut rom = Rom::new(1024);
+/// let fields = RecordFields {
+///     algo_id: 1, uncompressed_len: 64, codec: 0,
+///     input_width: 8, output_width: 8, n_frames: 1,
+/// };
+/// rom.download(fields, b"stream")?;
+/// assert_eq!(rom.record_count(), 1);
+/// # Ok::<(), aaod_mem::MemError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rom {
+    data: Vec<u8>,
+    /// First free byte of the bitstream region (grows upward).
+    bitstream_end: usize,
+    /// Number of records in the table (grows downward from the top).
+    n_records: usize,
+    /// Bytes read from the ROM since creation (for timing/statistics).
+    bytes_read: std::cell::Cell<u64>,
+    /// Record-table probes performed by lookups (E6 metric).
+    record_probes: std::cell::Cell<u64>,
+}
+
+impl Rom {
+    /// Creates an empty ROM of `capacity` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` cannot hold even one record.
+    pub fn new(capacity: usize) -> Self {
+        assert!(
+            capacity > RECORD_BYTES,
+            "rom must be larger than one record"
+        );
+        Rom {
+            data: vec![0u8; capacity],
+            bitstream_end: 0,
+            n_records: 0,
+            bytes_read: std::cell::Cell::new(0),
+            record_probes: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Bytes used by the bitstream region.
+    pub fn bitstream_bytes_used(&self) -> usize {
+        self.bitstream_end
+    }
+
+    /// Bytes used by the record table.
+    pub fn table_bytes_used(&self) -> usize {
+        self.n_records * RECORD_BYTES
+    }
+
+    /// Bytes still free between the two regions.
+    pub fn free_bytes(&self) -> usize {
+        self.capacity() - self.bitstream_bytes_used() - self.table_bytes_used()
+    }
+
+    /// Number of functions recorded.
+    pub fn record_count(&self) -> usize {
+        self.n_records
+    }
+
+    /// Downloads a compressed bitstream plus its record.
+    ///
+    /// The bitstream is appended to the low region; the record is
+    /// prepended to the high region, with the start address and
+    /// compressed length filled in.
+    ///
+    /// # Errors
+    ///
+    /// * [`MemError::RomFull`] if the regions would collide.
+    /// * [`MemError::DuplicateFunction`] if `fields.algo_id` is already
+    ///   recorded.
+    pub fn download(&mut self, fields: RecordFields, bitstream: &[u8]) -> Result<(), MemError> {
+        if self.lookup_silent(fields.algo_id).is_some() {
+            return Err(MemError::DuplicateFunction(fields.algo_id));
+        }
+        let needed = bitstream.len() + RECORD_BYTES;
+        if needed > self.free_bytes() {
+            return Err(MemError::RomFull {
+                needed,
+                free: self.free_bytes(),
+            });
+        }
+        let record = FunctionRecord {
+            algo_id: fields.algo_id,
+            start: self.bitstream_end as u32,
+            compressed_len: bitstream.len() as u32,
+            uncompressed_len: fields.uncompressed_len,
+            codec: fields.codec,
+            input_width: fields.input_width,
+            output_width: fields.output_width,
+            n_frames: fields.n_frames,
+        };
+        self.data[self.bitstream_end..self.bitstream_end + bitstream.len()]
+            .copy_from_slice(bitstream);
+        self.bitstream_end += bitstream.len();
+        let slot = self.capacity() - (self.n_records + 1) * RECORD_BYTES;
+        self.data[slot..slot + RECORD_BYTES].copy_from_slice(&record.to_bytes());
+        self.n_records += 1;
+        Ok(())
+    }
+
+    fn record_at(&self, i: usize) -> FunctionRecord {
+        let slot = self.capacity() - (i + 1) * RECORD_BYTES;
+        FunctionRecord::from_bytes(&self.data[slot..slot + RECORD_BYTES])
+    }
+
+    fn lookup_silent(&self, algo_id: u16) -> Option<FunctionRecord> {
+        (0..self.n_records)
+            .map(|i| self.record_at(i))
+            .find(|r| r.algo_id == algo_id)
+    }
+
+    /// Finds the record for `algo_id` by scanning the table, as the
+    /// microcontroller does. Each probe is counted toward
+    /// [`Rom::record_probes`].
+    pub fn lookup(&self, algo_id: u16) -> Option<FunctionRecord> {
+        for i in 0..self.n_records {
+            self.record_probes.set(self.record_probes.get() + 1);
+            let r = self.record_at(i);
+            if r.algo_id == algo_id {
+                return Some(r);
+            }
+        }
+        None
+    }
+
+    /// Iterates over all records in download order.
+    pub fn records(&self) -> Vec<FunctionRecord> {
+        (0..self.n_records).map(|i| self.record_at(i)).collect()
+    }
+
+    /// The compressed bitstream bytes for `record`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record does not describe a region inside the
+    /// ROM — records produced by [`Rom::lookup`] always do.
+    pub fn bitstream_bytes(&self, record: &FunctionRecord) -> &[u8] {
+        let start = record.start as usize;
+        let end = start + record.compressed_len as usize;
+        assert!(end <= self.bitstream_end, "record outside bitstream region");
+        self.bytes_read
+            .set(self.bytes_read.get() + record.compressed_len as u64);
+        &self.data[start..end]
+    }
+
+    /// Total payload bytes read so far (timing input).
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.get()
+    }
+
+    /// Record-table probes performed so far (E6 metric).
+    pub fn record_probes(&self) -> u64 {
+        self.record_probes.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fields(id: u16) -> RecordFields {
+        RecordFields {
+            algo_id: id,
+            uncompressed_len: 100,
+            codec: 1,
+            input_width: 8,
+            output_width: 8,
+            n_frames: 2,
+        }
+    }
+
+    #[test]
+    fn download_and_lookup() {
+        let mut rom = Rom::new(1024);
+        rom.download(fields(1), &[1u8; 50]).unwrap();
+        rom.download(fields(2), &[2u8; 60]).unwrap();
+        let r1 = rom.lookup(1).unwrap();
+        let r2 = rom.lookup(2).unwrap();
+        assert_eq!(r1.start, 0);
+        assert_eq!(r2.start, 50);
+        assert_eq!(rom.bitstream_bytes(&r1), &[1u8; 50][..]);
+        assert_eq!(rom.bitstream_bytes(&r2), &[2u8; 60][..]);
+        assert!(rom.lookup(3).is_none());
+    }
+
+    #[test]
+    fn regions_grow_toward_each_other() {
+        let mut rom = Rom::new(1024);
+        rom.download(fields(1), &[0u8; 100]).unwrap();
+        assert_eq!(rom.bitstream_bytes_used(), 100);
+        assert_eq!(rom.table_bytes_used(), RECORD_BYTES);
+        assert_eq!(rom.free_bytes(), 1024 - 100 - RECORD_BYTES);
+    }
+
+    #[test]
+    fn collision_rejected_exactly() {
+        let mut rom = Rom::new(200);
+        // free = 200; first download: 100 + 24 = 124 -> ok, free = 76
+        rom.download(fields(1), &[0u8; 100]).unwrap();
+        // second: needs 60 + 24 = 84 > 76 -> reject
+        let err = rom.download(fields(2), &[0u8; 60]).unwrap_err();
+        assert!(matches!(err, MemError::RomFull { needed: 84, free: 76 }));
+        // a 52-byte stream (52+24=76) fits exactly
+        rom.download(fields(2), &[0u8; 52]).unwrap();
+        assert_eq!(rom.free_bytes(), 0);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut rom = Rom::new(1024);
+        rom.download(fields(7), &[0u8; 10]).unwrap();
+        assert!(matches!(
+            rom.download(fields(7), &[0u8; 10]),
+            Err(MemError::DuplicateFunction(7))
+        ));
+    }
+
+    #[test]
+    fn failed_download_leaves_rom_unchanged() {
+        let mut rom = Rom::new(200);
+        rom.download(fields(1), &[0u8; 100]).unwrap();
+        let before = rom.clone();
+        let _ = rom.download(fields(2), &[0u8; 150]);
+        assert_eq!(rom, before);
+    }
+
+    #[test]
+    fn lookup_counts_probes() {
+        let mut rom = Rom::new(4096);
+        for i in 0..10 {
+            rom.download(fields(i), &[0u8; 8]).unwrap();
+        }
+        let before = rom.record_probes();
+        rom.lookup(9).unwrap(); // last downloaded = 10th probe
+        assert_eq!(rom.record_probes() - before, 10);
+        let before = rom.record_probes();
+        rom.lookup(0).unwrap();
+        assert_eq!(rom.record_probes() - before, 1);
+    }
+
+    #[test]
+    fn records_in_download_order() {
+        let mut rom = Rom::new(4096);
+        for i in [5u16, 3, 9] {
+            rom.download(fields(i), &[0u8; 4]).unwrap();
+        }
+        let ids: Vec<u16> = rom.records().iter().map(|r| r.algo_id).collect();
+        assert_eq!(ids, vec![5, 3, 9]);
+    }
+
+    #[test]
+    fn bytes_read_accumulates() {
+        let mut rom = Rom::new(1024);
+        rom.download(fields(1), &[0u8; 30]).unwrap();
+        let r = rom.lookup(1).unwrap();
+        let _ = rom.bitstream_bytes(&r);
+        let _ = rom.bitstream_bytes(&r);
+        assert_eq!(rom.bytes_read(), 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than one record")]
+    fn tiny_rom_panics() {
+        let _ = Rom::new(10);
+    }
+}

@@ -1,0 +1,100 @@
+//! Memory access timing in the microcontroller clock domain.
+
+use aaod_sim::{Clock, SimTime};
+
+/// Cycle costs of the on-card memories.
+///
+/// Defaults model a slow parallel flash ROM (16-bit data bus, 4 cycles
+/// per word at 50 MHz ≈ 25 MB/s) and fast SRAM (32-bit, 1 cycle per
+/// word ≈ 200 MB/s).
+///
+/// # Examples
+///
+/// ```
+/// use aaod_mem::MemTiming;
+///
+/// let t = MemTiming::default();
+/// assert!(t.rom_read_time(1024) > t.ram_time(1024));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemTiming {
+    clock: Clock,
+    rom_word_bytes: u64,
+    rom_cycles_per_word: u64,
+    ram_word_bytes: u64,
+    ram_cycles_per_word: u64,
+}
+
+impl MemTiming {
+    /// Creates a timing model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any word size is zero.
+    pub fn new(
+        clock: Clock,
+        rom_word_bytes: u64,
+        rom_cycles_per_word: u64,
+        ram_word_bytes: u64,
+        ram_cycles_per_word: u64,
+    ) -> Self {
+        assert!(rom_word_bytes > 0 && ram_word_bytes > 0, "word sizes must be non-zero");
+        MemTiming {
+            clock,
+            rom_word_bytes,
+            rom_cycles_per_word,
+            ram_word_bytes,
+            ram_cycles_per_word,
+        }
+    }
+
+    /// Time to read `bytes` from the ROM.
+    pub fn rom_read_time(&self, bytes: u64) -> SimTime {
+        self.clock
+            .cycles(bytes.div_ceil(self.rom_word_bytes) * self.rom_cycles_per_word)
+    }
+
+    /// Time to read or write `bytes` of local RAM.
+    pub fn ram_time(&self, bytes: u64) -> SimTime {
+        self.clock
+            .cycles(bytes.div_ceil(self.ram_word_bytes) * self.ram_cycles_per_word)
+    }
+}
+
+impl Default for MemTiming {
+    fn default() -> Self {
+        // 16-bit flash ROM at 4 cycles/word; 64-bit SRAM at 1 cycle/word.
+        MemTiming::new(aaod_sim::clock::domains::mcu(), 2, 4, 8, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rom_slower_than_ram() {
+        let t = MemTiming::default();
+        assert!(t.rom_read_time(4096) > t.ram_time(4096));
+    }
+
+    #[test]
+    fn scales_linearly() {
+        let t = MemTiming::default();
+        assert_eq!(t.ram_time(8).as_ps() * 2, t.ram_time(16).as_ps());
+    }
+
+    #[test]
+    fn partial_words_round_up() {
+        let t = MemTiming::default();
+        assert_eq!(t.rom_read_time(1), t.rom_read_time(2));
+        assert!(t.rom_read_time(3) > t.rom_read_time(2));
+    }
+
+    #[test]
+    fn zero_bytes_zero_time() {
+        let t = MemTiming::default();
+        assert_eq!(t.rom_read_time(0), SimTime::ZERO);
+        assert_eq!(t.ram_time(0), SimTime::ZERO);
+    }
+}

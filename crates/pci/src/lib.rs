@@ -1,0 +1,292 @@
+//! Transaction-level PCI bus model.
+//!
+//! The paper's card "sits on a PCI card which can be fitted to a
+//! standard desktop computer" and is "operated by issuing instructions
+//! to the microcontroller through the PCI". This crate models the
+//! 33 MHz / 32-bit PCI 2.2 bus at transaction level: every host↔card
+//! transfer is broken into burst transactions with arbitration,
+//! address-phase, wait-state and turnaround cycles, and the bus keeps
+//! running totals so experiments can report effective bandwidth
+//! (experiment E7).
+//!
+//! # Examples
+//!
+//! ```
+//! use aaod_pci::{PciBus, PciConfig};
+//!
+//! let mut bus = PciBus::new(PciConfig::default());
+//! let t = bus.write(4096); // host -> card, 4 KiB
+//! assert!(t.as_us() > 0.0);
+//! assert_eq!(bus.stats().bytes_written, 4096);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use aaod_sim::{Clock, SimTime};
+
+/// Direction of a PCI transfer, from the host's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Host writes to the card.
+    Write,
+    /// Host reads from the card.
+    Read,
+}
+
+/// Static bus parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PciConfig {
+    /// Bus clock (33 MHz for PCI 2.2).
+    pub clock: Clock,
+    /// Data bus width in bytes (4 for 32-bit PCI).
+    pub width_bytes: u64,
+    /// Maximum data phases per burst before the transaction is split
+    /// (models the latency timer / target disconnect).
+    pub max_burst_words: u64,
+    /// Cycles of arbitration before each transaction.
+    pub arbitration_cycles: u64,
+    /// Address-phase cycles per transaction.
+    pub address_cycles: u64,
+    /// Target initial-latency (wait-state) cycles per transaction;
+    /// reads pay an extra turnaround cycle on top.
+    pub wait_cycles: u64,
+    /// Idle turnaround cycles after each transaction.
+    pub turnaround_cycles: u64,
+}
+
+impl Default for PciConfig {
+    /// 64-bit / 66 MHz PCI, as supported by the Altera Stratix PCI
+    /// development board the paper's proof-of-concept uses.
+    fn default() -> Self {
+        PciConfig {
+            clock: Clock::from_mhz(66),
+            width_bytes: 8,
+            max_burst_words: 64,
+            arbitration_cycles: 2,
+            address_cycles: 1,
+            wait_cycles: 3,
+            turnaround_cycles: 1,
+        }
+    }
+}
+
+impl PciConfig {
+    /// Legacy 32-bit / 33 MHz PCI 2.2 (desktop slots of the era); the
+    /// comparison point for experiment E7.
+    pub fn pci33_32() -> Self {
+        PciConfig {
+            clock: aaod_sim::clock::domains::pci(),
+            width_bytes: 4,
+            ..PciConfig::default()
+        }
+    }
+
+    /// Theoretical peak bandwidth in bytes/second (width × clock).
+    pub fn peak_bandwidth(&self) -> f64 {
+        self.width_bytes as f64 * self.clock.freq_hz() as f64
+    }
+}
+
+/// Running totals of bus activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PciStats {
+    /// Bytes moved host → card.
+    pub bytes_written: u64,
+    /// Bytes moved card → host.
+    pub bytes_read: u64,
+    /// Transactions issued (after burst splitting).
+    pub transactions: u64,
+    /// Total bus-busy cycles.
+    pub busy_cycles: u64,
+}
+
+/// The bus itself: converts transfer sizes into time and keeps stats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PciBus {
+    config: PciConfig,
+    stats: PciStats,
+}
+
+impl PciBus {
+    /// Creates a bus with the given parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width or burst limit is zero.
+    pub fn new(config: PciConfig) -> Self {
+        assert!(config.width_bytes > 0, "bus width must be non-zero");
+        assert!(config.max_burst_words > 0, "burst limit must be non-zero");
+        PciBus {
+            config,
+            stats: PciStats::default(),
+        }
+    }
+
+    /// The bus parameters.
+    pub fn config(&self) -> PciConfig {
+        self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> PciStats {
+        self.stats
+    }
+
+    /// Cycles one transaction of `words` data phases takes.
+    fn transaction_cycles(&self, words: u64, dir: Direction) -> u64 {
+        let read_turnaround = match dir {
+            Direction::Read => 1,
+            Direction::Write => 0,
+        };
+        self.config.arbitration_cycles
+            + self.config.address_cycles
+            + self.config.wait_cycles
+            + read_turnaround
+            + words
+            + self.config.turnaround_cycles
+    }
+
+    /// Transfers `bytes` in `dir`, splitting into bursts, and returns
+    /// the bus time consumed. Zero-byte transfers take zero time.
+    pub fn transfer(&mut self, bytes: u64, dir: Direction) -> SimTime {
+        if bytes == 0 {
+            return SimTime::ZERO;
+        }
+        let words = bytes.div_ceil(self.config.width_bytes);
+        let full = words / self.config.max_burst_words;
+        let tail = words % self.config.max_burst_words;
+        let mut cycles = full * self.transaction_cycles(self.config.max_burst_words, dir);
+        let mut transactions = full;
+        if tail > 0 {
+            cycles += self.transaction_cycles(tail, dir);
+            transactions += 1;
+        }
+        self.stats.transactions += transactions;
+        self.stats.busy_cycles += cycles;
+        match dir {
+            Direction::Write => self.stats.bytes_written += bytes,
+            Direction::Read => self.stats.bytes_read += bytes,
+        }
+        self.config.clock.cycles(cycles)
+    }
+
+    /// Host-to-card transfer.
+    pub fn write(&mut self, bytes: u64) -> SimTime {
+        self.transfer(bytes, Direction::Write)
+    }
+
+    /// Card-to-host transfer.
+    pub fn read(&mut self, bytes: u64) -> SimTime {
+        self.transfer(bytes, Direction::Read)
+    }
+
+    /// Effective bandwidth (bytes/s) a transfer of `bytes` achieves
+    /// under the current parameters, without touching the stats.
+    pub fn effective_bandwidth(&self, bytes: u64, dir: Direction) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        let mut probe = PciBus::new(self.config);
+        let t = probe.transfer(bytes, dir);
+        bytes as f64 / t.as_secs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_word_write_cost() {
+        let mut bus = PciBus::new(PciConfig::default());
+        let t = bus.write(4);
+        // 2 arb + 1 addr + 3 wait + 1 data + 1 turnaround = 8 cycles
+        assert_eq!(t, PciConfig::default().clock.cycles(8));
+        assert_eq!(bus.stats().transactions, 1);
+    }
+
+    #[test]
+    fn reads_cost_one_extra_cycle() {
+        let mut bus = PciBus::new(PciConfig::default());
+        let w = bus.write(4);
+        let r = bus.read(4);
+        let period = PciConfig::default().clock.period();
+        assert_eq!(r, w + period);
+    }
+
+    #[test]
+    fn burst_splitting() {
+        let cfg = PciConfig {
+            max_burst_words: 16,
+            ..PciConfig::default()
+        };
+        let mut bus = PciBus::new(cfg);
+        let w = cfg.width_bytes;
+        bus.write(16 * w * 3 + w); // 3 full bursts + 1 word
+        assert_eq!(bus.stats().transactions, 4);
+    }
+
+    #[test]
+    fn larger_bursts_are_more_efficient() {
+        let small = PciConfig {
+            max_burst_words: 4,
+            ..PciConfig::default()
+        };
+        let large = PciConfig {
+            max_burst_words: 256,
+            ..PciConfig::default()
+        };
+        let bytes = 64 * 1024;
+        let bw_small = PciBus::new(small).effective_bandwidth(bytes, Direction::Write);
+        let bw_large = PciBus::new(large).effective_bandwidth(bytes, Direction::Write);
+        assert!(bw_large > bw_small * 1.5, "{bw_large} vs {bw_small}");
+        assert!(bw_large < small.peak_bandwidth());
+    }
+
+    #[test]
+    fn zero_transfer_is_free() {
+        let mut bus = PciBus::new(PciConfig::default());
+        assert_eq!(bus.write(0), SimTime::ZERO);
+        assert_eq!(bus.stats().transactions, 0);
+    }
+
+    #[test]
+    fn partial_word_rounds_up() {
+        let mut bus = PciBus::new(PciConfig::default());
+        let t3 = bus.write(3);
+        let mut bus2 = PciBus::new(PciConfig::default());
+        let t4 = bus2.write(4);
+        assert_eq!(t3, t4);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut bus = PciBus::new(PciConfig::default());
+        bus.write(100);
+        bus.read(200);
+        let s = bus.stats();
+        assert_eq!(s.bytes_written, 100);
+        assert_eq!(s.bytes_read, 200);
+        assert!(s.busy_cycles > 0);
+    }
+
+    #[test]
+    fn effective_bandwidth_below_peak() {
+        let bus = PciBus::new(PciConfig::default());
+        let bw = bus.effective_bandwidth(1 << 20, Direction::Write);
+        let peak = PciConfig::default().peak_bandwidth();
+        assert!(bw < peak);
+        assert!(bw > peak * 0.5, "bandwidth collapsed: {bw}");
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be non-zero")]
+    fn zero_width_panics() {
+        let cfg = PciConfig {
+            width_bytes: 0,
+            ..PciConfig::default()
+        };
+        let _ = PciBus::new(cfg);
+    }
+}

@@ -1,0 +1,159 @@
+//! Clock domains.
+//!
+//! The co-processor card spans three clock domains: the PCI bus
+//! (33 MHz), the microcontroller and configuration port (50 MHz), and
+//! the fabric user clock (100 MHz). A [`Clock`] converts cycle counts of
+//! one domain into [`SimTime`] so latencies from different domains can
+//! be summed.
+
+use crate::SimTime;
+use std::fmt;
+
+/// A clock domain defined by its frequency.
+///
+/// # Examples
+///
+/// ```
+/// use aaod_sim::Clock;
+///
+/// let mcu = Clock::from_mhz(50);
+/// assert_eq!(mcu.period().as_ps(), 20_000); // 20 ns
+/// assert_eq!(mcu.cycles(5).as_ns(), 100.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Clock {
+    freq_hz: u64,
+}
+
+impl Clock {
+    /// Creates a clock from a frequency in hertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_hz` is zero.
+    pub fn from_hz(freq_hz: u64) -> Self {
+        assert!(freq_hz > 0, "clock frequency must be non-zero");
+        Clock { freq_hz }
+    }
+
+    /// Creates a clock from a frequency in megahertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_mhz` is zero.
+    pub fn from_mhz(freq_mhz: u64) -> Self {
+        Clock::from_hz(freq_mhz * 1_000_000)
+    }
+
+    /// The clock frequency in hertz.
+    pub fn freq_hz(&self) -> u64 {
+        self.freq_hz
+    }
+
+    /// The duration of a single cycle.
+    pub fn period(&self) -> SimTime {
+        self.cycles(1)
+    }
+
+    /// Converts a cycle count in this domain to simulated time.
+    ///
+    /// Rounds to the nearest picosecond, computing in u128 to avoid
+    /// overflow for large cycle counts.
+    pub fn cycles(&self, n: u64) -> SimTime {
+        let ps = (n as u128 * 1_000_000_000_000u128 + self.freq_hz as u128 / 2)
+            / self.freq_hz as u128;
+        SimTime::from_ps(ps as u64)
+    }
+
+    /// Converts a simulated duration to the number of whole cycles of
+    /// this clock that fit in it (rounding up, as hardware must wait for
+    /// the edge).
+    pub fn cycles_in(&self, t: SimTime) -> u64 {
+        let num = t.as_ps() as u128 * self.freq_hz as u128;
+        num.div_ceil(1_000_000_000_000u128) as u64
+    }
+}
+
+impl fmt::Display for Clock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.freq_hz.is_multiple_of(1_000_000) {
+            write!(f, "{}MHz", self.freq_hz / 1_000_000)
+        } else {
+            write!(f, "{}Hz", self.freq_hz)
+        }
+    }
+}
+
+/// The standard clock domains of the modelled card.
+pub mod domains {
+    use super::Clock;
+
+    /// 33 MHz PCI bus clock (PCI 2.2, 32-bit).
+    pub fn pci() -> Clock {
+        Clock::from_mhz(33)
+    }
+
+    /// 50 MHz microcontroller / configuration-port clock.
+    pub fn mcu() -> Clock {
+        Clock::from_mhz(50)
+    }
+
+    /// 100 MHz fabric user clock.
+    pub fn fabric() -> Clock {
+        Clock::from_mhz(100)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mhz_period() {
+        assert_eq!(Clock::from_mhz(100).period(), SimTime::from_ns(10));
+        assert_eq!(Clock::from_mhz(50).period(), SimTime::from_ns(20));
+    }
+
+    #[test]
+    fn pci_period_is_fractional_ns() {
+        // 1/33MHz = 30.303..ns: picosecond resolution keeps it close.
+        let p = domains::pci().period();
+        assert_eq!(p.as_ps(), 30_303);
+    }
+
+    #[test]
+    fn cycles_roundtrip() {
+        let c = Clock::from_mhz(50);
+        for n in [0u64, 1, 7, 1000, 123_456] {
+            assert_eq!(c.cycles_in(c.cycles(n)), n);
+        }
+    }
+
+    #[test]
+    fn cycles_in_rounds_up() {
+        let c = Clock::from_mhz(100); // 10ns period
+        assert_eq!(c.cycles_in(SimTime::from_ns(25)), 3);
+        assert_eq!(c.cycles_in(SimTime::from_ns(30)), 3);
+        assert_eq!(c.cycles_in(SimTime::ZERO), 0);
+    }
+
+    #[test]
+    fn large_cycle_counts_do_not_overflow() {
+        let c = Clock::from_mhz(33);
+        // A billion cycles ~ 30s; must not overflow the intermediate math.
+        let t = c.cycles(1_000_000_000);
+        assert!((t.as_secs() - 30.303).abs() < 0.001);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_frequency_panics() {
+        let _ = Clock::from_hz(0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(domains::pci().to_string(), "33MHz");
+        assert_eq!(Clock::from_hz(1234).to_string(), "1234Hz");
+    }
+}

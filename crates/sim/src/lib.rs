@@ -1,0 +1,39 @@
+//! Simulation foundation for the `aaod` co-processor workspace.
+//!
+//! This crate provides the shared, dependency-free building blocks every
+//! hardware model in the workspace uses:
+//!
+//! * [`SimTime`] — picosecond-resolution simulated time, the unit every
+//!   component reports latency in.
+//! * [`Clock`] — a clock domain that converts between cycles and
+//!   [`SimTime`]. The co-processor models three domains (PCI 33 MHz,
+//!   microcontroller/configuration 50 MHz, fabric 100 MHz).
+//! * [`SplitMix64`] — a tiny deterministic RNG so every experiment is
+//!   reproducible from a seed, without external dependencies.
+//! * [`stats`] — mean / percentile / histogram helpers used by the
+//!   workload metrics.
+//! * [`report`] — fixed-width table rendering used by the benches and
+//!   examples to print paper-style result tables.
+//!
+//! # Examples
+//!
+//! ```
+//! use aaod_sim::{Clock, SimTime};
+//!
+//! let pci = Clock::from_hz(33_000_000);
+//! let t = pci.cycles(33_000_000); // one second of PCI cycles
+//! assert_eq!(t, SimTime::from_secs(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod report;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use clock::Clock;
+pub use rng::SplitMix64;
+pub use time::SimTime;

@@ -1,0 +1,237 @@
+//! Summary statistics for experiment metrics.
+//!
+//! The workload harness records per-request latencies and summarises
+//! them with [`Summary`]; benches print the summaries as table rows.
+
+use crate::SimTime;
+
+/// An online accumulator over `f64` samples.
+///
+/// # Examples
+///
+/// ```
+/// use aaod_sim::stats::Accumulator;
+///
+/// let mut acc = Accumulator::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     acc.push(x);
+/// }
+/// assert_eq!(acc.mean(), 2.0);
+/// assert_eq!(acc.count(), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Accumulator {
+    samples: Vec<f64>,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Accumulator::default()
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        self.samples.push(x);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Arithmetic mean; 0 for an empty accumulator.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Smallest sample; 0 for an empty accumulator.
+    pub fn min(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min).min(f64::INFINITY)
+            .min_finite_or_zero()
+    }
+
+    /// Largest sample; 0 for an empty accumulator.
+    pub fn max(&self) -> f64 {
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+            .max_finite_or_zero()
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) by nearest-rank; 0 when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+        sorted[rank]
+    }
+
+    /// Produces an immutable [`Summary`] of the samples.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count(),
+            mean: self.mean(),
+            min: self.min(),
+            max: self.max(),
+            p50: self.quantile(0.5),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// Helper for min/max over possibly empty sample sets.
+trait FiniteOrZero {
+    fn min_finite_or_zero(self) -> f64;
+    fn max_finite_or_zero(self) -> f64;
+}
+
+impl FiniteOrZero for f64 {
+    fn min_finite_or_zero(self) -> f64 {
+        if self.is_finite() {
+            self
+        } else {
+            0.0
+        }
+    }
+    fn max_finite_or_zero(self) -> f64 {
+        if self.is_finite() {
+            self
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A frozen statistical summary of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (nearest rank).
+    pub p50: f64,
+    /// 95th percentile (nearest rank).
+    pub p95: f64,
+    /// 99th percentile (nearest rank).
+    pub p99: f64,
+}
+
+/// Accumulates [`SimTime`] samples, summarising in nanoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use aaod_sim::{stats::TimeAccumulator, SimTime};
+///
+/// let mut acc = TimeAccumulator::new();
+/// acc.push(SimTime::from_ns(100));
+/// acc.push(SimTime::from_ns(300));
+/// assert_eq!(acc.summary_ns().mean, 200.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimeAccumulator {
+    inner: Accumulator,
+    total: SimTime,
+}
+
+impl TimeAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        TimeAccumulator::default()
+    }
+
+    /// Adds a duration sample.
+    pub fn push(&mut self, t: SimTime) {
+        self.inner.push(t.as_ns());
+        self.total += t;
+    }
+
+    /// Sum of all samples.
+    pub fn total(&self) -> SimTime {
+        self.total
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.inner.count()
+    }
+
+    /// Summary with all fields in nanoseconds.
+    pub fn summary_ns(&self) -> Summary {
+        self.inner.summary()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_accumulator_is_zeroed() {
+        let acc = Accumulator::new();
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.min(), 0.0);
+        assert_eq!(acc.max(), 0.0);
+        assert_eq!(acc.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn summary_fields() {
+        let mut acc = Accumulator::new();
+        for x in 1..=100 {
+            acc.push(x as f64);
+        }
+        let s = acc.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.mean, 50.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.p50, 51.0); // nearest-rank: round(99 * 0.5) = 50 -> value 51
+        assert_eq!(s.p95, 95.0);
+        assert_eq!(s.p99, 99.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn quantile_out_of_range_panics() {
+        Accumulator::new().quantile(1.5);
+    }
+
+    #[test]
+    fn time_accumulator_totals() {
+        let mut acc = TimeAccumulator::new();
+        acc.push(SimTime::from_ns(10));
+        acc.push(SimTime::from_ns(30));
+        assert_eq!(acc.total(), SimTime::from_ns(40));
+        assert_eq!(acc.count(), 2);
+        assert_eq!(acc.summary_ns().max, 30.0);
+    }
+
+    #[test]
+    fn quantile_single_sample() {
+        let mut acc = Accumulator::new();
+        acc.push(42.0);
+        assert_eq!(acc.quantile(0.0), 42.0);
+        assert_eq!(acc.quantile(1.0), 42.0);
+    }
+}

@@ -1,0 +1,352 @@
+//! Request-stream generators for the co-processor experiments.
+//!
+//! The paper's host "requests the execution of a particular algorithm,
+//! from a bank of algorithms" — the interesting system behaviour
+//! (hit rates, evictions, agility payoff) depends entirely on the
+//! *pattern* of those requests. This crate generates deterministic
+//! request streams with the shapes the experiments need:
+//!
+//! * [`Workload::uniform`] — every algorithm equally likely,
+//! * [`Workload::zipf`] — skewed popularity (realistic: a few hot
+//!   ciphers, a long tail),
+//! * [`Workload::round_robin`] — the worst case for any cache,
+//! * [`Workload::phased`] — working-set shifts (an IPSec gateway
+//!   renegotiating cipher suites),
+//! * [`Workload::bursty`] — long runs of one algorithm,
+//! * [`Workload::from_trace`] — replay an explicit id sequence.
+//!
+//! # Examples
+//!
+//! ```
+//! use aaod_workload::Workload;
+//!
+//! let w = Workload::zipf(&[1, 2, 3, 4], 100, 1.1, 256, 42);
+//! assert_eq!(w.len(), 100);
+//! let trace = w.algo_trace(); // feed to BeladyPolicy
+//! assert_eq!(trace.len(), 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use aaod_sim::SplitMix64;
+
+pub mod mixes;
+
+/// One host request: which algorithm, on how many input bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Request {
+    /// Algorithm id to invoke.
+    pub algo_id: u16,
+    /// Input payload length in bytes.
+    pub input_len: usize,
+}
+
+/// Deterministic input payload for request number `index` of a
+/// workload seeded with `seed`.
+pub fn request_input(seed: u64, index: usize, len: usize) -> Vec<u8> {
+    let mut rng = SplitMix64::new(seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut buf = vec![0u8; len];
+    rng.fill(&mut buf);
+    buf
+}
+
+/// A finite request stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Workload {
+    name: String,
+    seed: u64,
+    requests: Vec<Request>,
+}
+
+impl Workload {
+    fn with_name(name: String, seed: u64, requests: Vec<Request>) -> Self {
+        Workload {
+            name,
+            seed,
+            requests,
+        }
+    }
+
+    /// Uniform-random algorithm choice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `algos` is empty.
+    pub fn uniform(algos: &[u16], n: usize, input_len: usize, seed: u64) -> Self {
+        assert!(!algos.is_empty(), "need at least one algorithm");
+        let mut rng = SplitMix64::new(seed);
+        let requests = (0..n)
+            .map(|_| Request {
+                algo_id: algos[rng.index(algos.len())],
+                input_len,
+            })
+            .collect();
+        Workload::with_name("uniform".into(), seed, requests)
+    }
+
+    /// Zipf-distributed popularity with exponent `s` (larger = more
+    /// skewed). Rank 1 is the first algorithm in `algos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `algos` is empty or `s` is not finite and positive.
+    pub fn zipf(algos: &[u16], n: usize, s: f64, input_len: usize, seed: u64) -> Self {
+        assert!(!algos.is_empty(), "need at least one algorithm");
+        assert!(s.is_finite() && s > 0.0, "zipf exponent must be positive");
+        let weights: Vec<f64> = (1..=algos.len())
+            .map(|rank| 1.0 / (rank as f64).powf(s))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut cdf = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w / total;
+            cdf.push(acc);
+        }
+        let mut rng = SplitMix64::new(seed);
+        let requests = (0..n)
+            .map(|_| {
+                let u = rng.next_f64();
+                let idx = cdf.partition_point(|&c| c < u).min(algos.len() - 1);
+                Request {
+                    algo_id: algos[idx],
+                    input_len,
+                }
+            })
+            .collect();
+        Workload::with_name(format!("zipf(s={s})"), seed, requests)
+    }
+
+    /// Strict rotation through `algos` — defeats every non-clairvoyant
+    /// policy once the working set exceeds the device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `algos` is empty.
+    pub fn round_robin(algos: &[u16], n: usize, input_len: usize) -> Self {
+        assert!(!algos.is_empty(), "need at least one algorithm");
+        let requests = (0..n)
+            .map(|i| Request {
+                algo_id: algos[i % algos.len()],
+                input_len,
+            })
+            .collect();
+        Workload::with_name("round-robin".into(), 0, requests)
+    }
+
+    /// Phased working sets: every `phase_len` requests, a fresh subset
+    /// of `working_set` algorithms becomes the active set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `algos` is empty, or `working_set` is zero or larger
+    /// than `algos`.
+    pub fn phased(
+        algos: &[u16],
+        n: usize,
+        phase_len: usize,
+        working_set: usize,
+        input_len: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(!algos.is_empty(), "need at least one algorithm");
+        assert!(
+            (1..=algos.len()).contains(&working_set),
+            "working set must be within the algorithm list"
+        );
+        let phase_len = phase_len.max(1);
+        let mut rng = SplitMix64::new(seed);
+        let mut active: Vec<u16> = Vec::new();
+        let mut requests = Vec::with_capacity(n);
+        for i in 0..n {
+            if i % phase_len == 0 || active.is_empty() {
+                let mut pool = algos.to_vec();
+                rng.shuffle(&mut pool);
+                active = pool[..working_set].to_vec();
+            }
+            requests.push(Request {
+                algo_id: active[rng.index(active.len())],
+                input_len,
+            });
+        }
+        Workload::with_name(
+            format!("phased(ws={working_set},len={phase_len})"),
+            seed,
+            requests,
+        )
+    }
+
+    /// Bursts: pick an algorithm, issue `burst_len` consecutive
+    /// requests to it, repeat.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `algos` is empty.
+    pub fn bursty(algos: &[u16], n: usize, burst_len: usize, input_len: usize, seed: u64) -> Self {
+        assert!(!algos.is_empty(), "need at least one algorithm");
+        let burst_len = burst_len.max(1);
+        let mut rng = SplitMix64::new(seed);
+        let mut requests = Vec::with_capacity(n);
+        while requests.len() < n {
+            let algo = algos[rng.index(algos.len())];
+            for _ in 0..burst_len.min(n - requests.len()) {
+                requests.push(Request {
+                    algo_id: algo,
+                    input_len,
+                });
+            }
+        }
+        Workload::with_name(format!("bursty(len={burst_len})"), seed, requests)
+    }
+
+    /// Replays an explicit id trace with a fixed input length.
+    pub fn from_trace<I: IntoIterator<Item = u16>>(trace: I, input_len: usize) -> Self {
+        let requests = trace
+            .into_iter()
+            .map(|algo_id| Request { algo_id, input_len })
+            .collect();
+        Workload::with_name("trace".into(), 0, requests)
+    }
+
+    /// The workload's descriptive name (for experiment tables).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The seed the stream was generated from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// The requests in order.
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// Just the algorithm ids, in order — the trace a
+    /// Belady oracle needs.
+    pub fn algo_trace(&self) -> Vec<u16> {
+        self.requests.iter().map(|r| r.algo_id).collect()
+    }
+
+    /// Deterministic input payload for request `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn input(&self, index: usize) -> Vec<u8> {
+        let r = self.requests[index];
+        request_input(self.seed, index, r.input_len)
+    }
+
+    /// Distinct algorithms referenced, sorted.
+    pub fn distinct_algos(&self) -> Vec<u16> {
+        let mut ids = self.algo_trace();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALGOS: [u16; 5] = [1, 2, 3, 4, 5];
+
+    #[test]
+    fn generators_produce_n_requests() {
+        assert_eq!(Workload::uniform(&ALGOS, 50, 8, 1).len(), 50);
+        assert_eq!(Workload::zipf(&ALGOS, 50, 1.0, 8, 1).len(), 50);
+        assert_eq!(Workload::round_robin(&ALGOS, 50, 8).len(), 50);
+        assert_eq!(Workload::phased(&ALGOS, 50, 10, 2, 8, 1).len(), 50);
+        assert_eq!(Workload::bursty(&ALGOS, 50, 7, 8, 1).len(), 50);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Workload::zipf(&ALGOS, 200, 1.2, 16, 9);
+        let b = Workload::zipf(&ALGOS, 200, 1.2, 16, 9);
+        assert_eq!(a, b);
+        let c = Workload::zipf(&ALGOS, 200, 1.2, 16, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_rank_one() {
+        let w = Workload::zipf(&ALGOS, 10_000, 1.5, 8, 3);
+        let count_1 = w.algo_trace().iter().filter(|&&a| a == 1).count();
+        let count_5 = w.algo_trace().iter().filter(|&&a| a == 5).count();
+        assert!(
+            count_1 > count_5 * 3,
+            "rank 1: {count_1}, rank 5: {count_5}"
+        );
+    }
+
+    #[test]
+    fn uniform_is_roughly_balanced() {
+        let w = Workload::uniform(&ALGOS, 10_000, 8, 4);
+        for &a in &ALGOS {
+            let count = w.algo_trace().iter().filter(|&&x| x == a).count();
+            assert!((1600..2400).contains(&count), "algo {a}: {count}");
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let w = Workload::round_robin(&[7, 8], 5, 4);
+        assert_eq!(w.algo_trace(), vec![7, 8, 7, 8, 7]);
+    }
+
+    #[test]
+    fn bursty_has_runs() {
+        let w = Workload::bursty(&ALGOS, 100, 10, 4, 5);
+        let trace = w.algo_trace();
+        assert!(trace[..10].iter().all(|&a| a == trace[0]));
+    }
+
+    #[test]
+    fn phased_uses_small_working_set_within_phase() {
+        let w = Workload::phased(&ALGOS, 100, 25, 2, 4, 6);
+        let trace = w.algo_trace();
+        for phase in trace.chunks(25) {
+            let mut distinct = phase.to_vec();
+            distinct.sort_unstable();
+            distinct.dedup();
+            assert!(distinct.len() <= 2, "phase used {distinct:?}");
+        }
+    }
+
+    #[test]
+    fn trace_replay_and_inputs() {
+        let w = Workload::from_trace([9u16, 9, 3], 5);
+        assert_eq!(w.algo_trace(), vec![9, 9, 3]);
+        assert_eq!(w.input(0).len(), 5);
+        assert_eq!(w.input(0), w.input(0));
+        assert_ne!(w.input(0), w.input(1));
+        assert_eq!(w.distinct_algos(), vec![3, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one algorithm")]
+    fn empty_algos_panics() {
+        let _ = Workload::uniform(&[], 10, 8, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "working set")]
+    fn bad_working_set_panics() {
+        let _ = Workload::phased(&ALGOS, 10, 5, 9, 8, 0);
+    }
+}

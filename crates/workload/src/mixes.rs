@@ -1,0 +1,65 @@
+//! Standard algorithm mixes and realistic per-algorithm input sizes.
+//!
+//! The experiments repeatedly need "the crypto subset of the bank" or
+//! "everything", and a plausible payload size per kernel (an IPSec
+//! packet for ciphers/hashes, a sample window for the FIR, …).
+
+use aaod_algos::ids;
+
+/// The crypto subset — the paper's motivating IPSec-style bank.
+pub fn crypto_mix() -> Vec<u16> {
+    vec![ids::AES128, ids::TDES, ids::XTEA, ids::SHA1, ids::SHA256, ids::HMAC_SHA1, ids::CRC32]
+}
+
+/// Every algorithm in the standard bank.
+pub fn full_bank() -> Vec<u16> {
+    ids::ALL.to_vec()
+}
+
+/// The small netlist-backed functions.
+pub fn netlist_mix() -> Vec<u16> {
+    vec![ids::CRC8, ids::ADDER8, ids::POPCNT8, ids::PARITY8]
+}
+
+/// A realistic input length for one invocation of `algo_id`
+/// (an Ethernet-MTU packet for packet-processing kernels, a filter
+/// window for DSP, one matrix pair for the multiplier).
+pub fn default_input_len(algo_id: u16) -> usize {
+    match algo_id {
+        ids::AES128 => 1504,  // packet padded to 16
+        ids::XTEA => 1504,
+        ids::SHA1 => 1500,
+        ids::SHA256 => 1500,
+        ids::CRC32 => 1500,
+        ids::FIR => 1024,     // 512 i16 samples
+        ids::MATMUL8 => 1280, // 10 matrix pairs
+        ids::CRC8 => 256,
+        ids::ADDER8 => 256,
+        ids::POPCNT8 => 256,
+        ids::PARITY8 => 256,
+        ids::TDES => 1504,
+        ids::HMAC_SHA1 => 1500,
+        _ => 256,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixes_are_subsets_of_the_bank() {
+        for id in crypto_mix().into_iter().chain(netlist_mix()) {
+            assert!(full_bank().contains(&id));
+        }
+    }
+
+    #[test]
+    fn input_lengths_respect_block_shapes() {
+        assert_eq!(default_input_len(ids::AES128) % 16, 0);
+        assert_eq!(default_input_len(ids::XTEA) % 8, 0);
+        assert_eq!(default_input_len(ids::FIR) % 2, 0);
+        assert_eq!(default_input_len(ids::MATMUL8) % 128, 0);
+        assert!(default_input_len(9999) > 0);
+    }
+}

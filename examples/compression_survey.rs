@@ -1,0 +1,72 @@
+//! Bitstream compression survey (experiment E2).
+//!
+//! The paper stores *compressed* configuration bitstreams in ROM and
+//! leaves the codec open ("explore advanced techniques for compression
+//! that can exploit the symmetry in the CLB architectures"). This
+//! survey compresses every algorithm's bitstream with every codec and
+//! reports ratio, ROM footprint and modelled decompression time on the
+//! 50 MHz microcontroller — the trade-off the configuration module
+//! lives on.
+//!
+//! Run with: `cargo run --example compression_survey`
+
+use aaod_algos::AlgorithmBank;
+use aaod_bitstream::codec::{registry, CodecId};
+use aaod_bitstream::{Bitstream, CompressionStats};
+use aaod_fabric::DeviceGeometry;
+use aaod_sim::report::{f2, Table};
+use aaod_sim::Clock;
+
+fn main() {
+    let geom = DeviceGeometry::default();
+    let bank = AlgorithmBank::standard();
+    let mcu = aaod_sim::clock::domains::mcu();
+
+    let mut t = Table::new(
+        "E2: compression ratio by codec (rows: function bitstreams)",
+        &["function", "raw KiB", "null", "rle", "lzss", "huffman", "frame-xor"],
+    );
+    let mut totals = vec![0usize; CodecId::ALL.len()];
+    let mut raw_total = 0usize;
+    for kernel in bank.iter() {
+        let image = bank.build_image(kernel.algo_id(), geom).expect("bank image");
+        let bs = Bitstream::from_image(&image, geom);
+        let flat = bs.flat();
+        raw_total += flat.len();
+        let mut row = vec![
+            kernel.name().to_string(),
+            format!("{:.1}", flat.len() as f64 / 1024.0),
+        ];
+        for (i, codec) in registry::all(geom.frame_bytes()).iter().enumerate() {
+            let stats = CompressionStats::measure(codec.as_ref(), &flat);
+            totals[i] += stats.compressed;
+            row.push(f2(stats.ratio()));
+        }
+        t.row_owned(row);
+    }
+    println!("{t}");
+
+    let mut t = Table::new(
+        "E2b: whole-bank ROM footprint and decompression speed",
+        &["codec", "bank KiB", "overall ratio", "decompress MB/s @50MHz"],
+    );
+    for (i, codec) in registry::all(geom.frame_bytes()).iter().enumerate() {
+        let ratio = raw_total as f64 / totals[i] as f64;
+        let mb_s = throughput_mb_s(mcu, codec.cycles_per_output_byte());
+        t.row_owned(vec![
+            codec.id().to_string(),
+            format!("{:.1}", totals[i] as f64 / 1024.0),
+            f2(ratio),
+            f2(mb_s),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "expected shape: frame-xor (CLB-column symmetry) and lzss lead on\n\
+         ratio; rle decompresses fastest; huffman pays the most MCU cycles."
+    );
+}
+
+fn throughput_mb_s(clock: Clock, cycles_per_byte: u64) -> f64 {
+    clock.freq_hz() as f64 / cycles_per_byte as f64 / 1e6
+}

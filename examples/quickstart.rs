@@ -1,0 +1,88 @@
+//! Quickstart: the paper's Figure 1 path, end to end.
+//!
+//! Builds the co-processor card (PCI + microcontroller + partially
+//! reconfigurable FPGA), downloads a few compressed bitstreams into the
+//! dual-ended ROM, then invokes functions on demand and prints the
+//! per-block latency breakdown — host → PCI → record lookup →
+//! ROM fetch → windowed decompression → configuration port → data
+//! input module → fabric → output collection → PCI → host.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use aaod_algos::ids;
+use aaod_core::{CoProcessor, CoreError};
+use aaod_sim::report::Table;
+
+fn main() -> Result<(), CoreError> {
+    let mut cp = CoProcessor::default();
+    println!("device: {}\n", cp.geometry());
+
+    // Download the compressed bitstreams into the card's ROM (§2.2).
+    let mut t = Table::new(
+        "ROM downloads (compressed bitstreams + record table)",
+        &["function", "frames", "download time"],
+    );
+    for id in [ids::AES128, ids::SHA1, ids::CRC32, ids::CRC8] {
+        let time = cp.install(id)?;
+        let rec = cp.os().rom().lookup(id).expect("just downloaded");
+        t.row_owned(vec![
+            format!("algo {id}"),
+            rec.n_frames.to_string(),
+            time.to_string(),
+        ]);
+    }
+    println!("{t}");
+
+    // First invocation: miss -> swap-in (decompress window by window,
+    // write frames through the configuration port), then execute.
+    let mut t = Table::new(
+        "on-demand invocations (miss = swap-in, hit = resident)",
+        &[
+            "function", "hit", "lookup", "rom", "reconfig", "input", "exec", "output", "total",
+        ],
+    );
+    let requests: [(u16, &[u8]); 6] = [
+        (ids::SHA1, b"abc"),
+        (ids::SHA1, b"abc"),
+        (ids::AES128, b"exactly 16 bytes"),
+        (ids::CRC32, b"123456789"),
+        (ids::CRC8, b"123456789"),
+        (ids::SHA1, b"abc"),
+    ];
+    for (id, input) in requests {
+        let (out, report) = cp.invoke(id, input)?;
+        t.row_owned(vec![
+            format!("algo {id}"),
+            if report.hit() { "hit" } else { "MISS" }.into(),
+            report.os.lookup_time.to_string(),
+            report.os.rom_time.to_string(),
+            report.os.reconfig_time.to_string(),
+            report.os.input_time.to_string(),
+            report.os.exec_time.to_string(),
+            report.os.output_time.to_string(),
+            report.total().to_string(),
+        ]);
+        if id == ids::CRC32 {
+            assert_eq!(out, 0xCBF4_3926u32.to_le_bytes().to_vec());
+        }
+        if id == ids::CRC8 {
+            assert_eq!(out, vec![0xF4], "netlist CRC-8 executed from frame bits");
+        }
+    }
+    println!("{t}");
+
+    let s = cp.stats();
+    println!(
+        "requests: {}  hits: {}  misses: {}  evictions: {}  resident now: {:?}",
+        s.requests,
+        s.hits,
+        s.misses,
+        s.evictions,
+        cp.resident()
+    );
+    println!(
+        "\nframe ownership map ('.' = free, hex digit = algo id mod 16):\n{}",
+        cp.os().frame_map()
+    );
+    Ok(())
+}

@@ -1,0 +1,162 @@
+//! Fault-injection tests: the card must *detect* corruption, never
+//! silently compute garbage.
+//!
+//! The fabric model is bit-faithful — behaviour is decoded from the
+//! configured frame bytes — so these tests flip real configuration
+//! bits and check the failure surfaces the paper's design implies:
+//! the bitstream CRC (in ROM / in flight) and the function-image
+//! digest (on the device).
+
+use aaod_algos::ids;
+use aaod_bitstream::HEADER_BYTES;
+use aaod_core::{CoProcessor, CoreError};
+use aaod_mcu::{McuError, MiniOs, MiniOsConfig};
+use aaod_sim::SplitMix64;
+
+/// Flipping any byte of a resident function's frames must make the
+/// next invocation fail (digest mismatch or decode error) — sampled
+/// across all of its frames.
+#[test]
+fn frame_corruption_always_detected() {
+    let mut os = MiniOs::new(MiniOsConfig::default());
+    os.install(ids::SHA256).unwrap();
+    os.invoke(ids::SHA256, b"baseline").unwrap();
+    let frame_bytes = os.geometry().frame_bytes();
+    let n_frames = os.table().get(ids::SHA256).unwrap().frames.len();
+    let mut rng = SplitMix64::new(0xFA11);
+    for round in 0..n_frames {
+        // re-read placement each round: recovery below re-places the
+        // function
+        let current = os.table().get(ids::SHA256).unwrap().frames.clone();
+        let target = current[round];
+        // corrupt a pseudo-random offset; the image tail is zero
+        // padding, so restrict the last frame to its used head
+        let limit = if round + 1 == current.len() {
+            64
+        } else {
+            frame_bytes
+        };
+        let offset = rng.index(limit);
+        let mut bytes = os.device().read_frame(target).unwrap().to_vec();
+        bytes[offset] ^= 1 << rng.index(8);
+        os.device_mut().write_frame(target, &bytes).unwrap();
+        let err = os.invoke(ids::SHA256, b"baseline").unwrap_err();
+        assert!(
+            matches!(err, McuError::Fabric(_)),
+            "frame {target} offset {offset}: corruption undetected ({err})"
+        );
+        // recover: evict and reconfigure from ROM
+        os.evict(ids::SHA256).unwrap();
+        os.invoke(ids::SHA256, b"baseline").unwrap();
+    }
+}
+
+/// A corrupted ROM payload is caught by the bitstream CRC during
+/// configuration, before a single frame is written.
+#[test]
+fn rom_payload_corruption_caught_by_crc() {
+    let mut os = MiniOs::new(MiniOsConfig::default());
+    let mut encoded = os.encode_bitstream(ids::CRC32).unwrap();
+    let idx = HEADER_BYTES + encoded.len() / 2;
+    encoded[idx] ^= 0x10;
+    // header is untouched, so the download itself succeeds
+    os.download(&encoded).unwrap();
+    let err = os.invoke(ids::CRC32, b"data").unwrap_err();
+    assert!(
+        matches!(
+            err,
+            McuError::Bitstream(aaod_bitstream::BitstreamError::CrcMismatch { .. })
+        ),
+        "{err}"
+    );
+    // no frames were consumed by the failed configuration
+    assert_eq!(os.free_frames(), os.geometry().frames());
+    assert!(os.resident().is_empty());
+}
+
+/// A corrupted header is rejected at download time.
+#[test]
+fn header_corruption_rejected_at_download() {
+    let mut os = MiniOs::new(MiniOsConfig::default());
+    let mut encoded = os.encode_bitstream(ids::CRC32).unwrap();
+    encoded[0] ^= 0xFF; // sync word
+    assert!(os.download(&encoded).is_err());
+}
+
+/// A torn (half-written) configuration must not execute.
+#[test]
+fn torn_configuration_detected() {
+    let mut os = MiniOs::new(MiniOsConfig::default());
+    os.install(ids::SHA1).unwrap();
+    os.invoke(ids::SHA1, b"x").unwrap();
+    let frames = os.table().get(ids::SHA1).unwrap().frames.clone();
+    // zero the second half of the frames, as if reconfiguration died
+    for &addr in &frames[frames.len() / 2..] {
+        os.device_mut().clear_frame(addr).unwrap();
+    }
+    let err = os.invoke(ids::SHA1, b"x").unwrap_err();
+    assert!(matches!(err, McuError::Fabric(_)), "{err}");
+}
+
+/// After a detected fault, evicting and re-invoking reconfigures from
+/// ROM and fully recovers.
+#[test]
+fn recovery_after_corruption() {
+    let mut os = MiniOs::new(MiniOsConfig::default());
+    os.install(ids::CRC8).unwrap();
+    let (good, _) = os.invoke(ids::CRC8, b"123456789").unwrap();
+    assert_eq!(good, vec![0xF4]);
+    let frames = os.table().get(ids::CRC8).unwrap().frames.clone();
+    let mut bytes = os.device().read_frame(frames[0]).unwrap().to_vec();
+    bytes[50] ^= 0xFF;
+    os.device_mut().write_frame(frames[0], &bytes).unwrap();
+    assert!(os.invoke(ids::CRC8, b"123456789").is_err());
+    // recover
+    os.evict(ids::CRC8).unwrap();
+    let (again, report) = os.invoke(ids::CRC8, b"123456789").unwrap();
+    assert_eq!(again, vec![0xF4]);
+    assert!(!report.hit, "recovery must reconfigure");
+}
+
+/// Netlist kernels are equally protected: corrupt a LUT byte and the
+/// digest refuses to execute it.
+#[test]
+fn netlist_truth_table_corruption_detected() {
+    let mut cp = CoProcessor::default();
+    cp.install(ids::ADDER8).unwrap();
+    cp.invoke(ids::ADDER8, &[1, 2]).unwrap();
+    let frames = cp.os().table().get(ids::ADDER8).unwrap().frames.clone();
+    let mut bytes = cp.os().device().read_frame(frames[0]).unwrap().to_vec();
+    // the netlist body starts right after the 40-byte descriptor;
+    // corrupt a LUT record byte
+    bytes[80] ^= 0x04;
+    cp.os_mut()
+        .device_mut()
+        .write_frame(frames[0], &bytes)
+        .unwrap();
+    let err = cp.invoke(ids::ADDER8, &[1, 2]).unwrap_err();
+    assert!(matches!(err, CoreError::Mcu(McuError::Fabric(_))), "{err}");
+}
+
+/// Invoking a function whose frames were hijacked by writing another
+/// function's image is caught by the algo-id cross-check.
+#[test]
+fn wrong_function_in_frames_detected() {
+    let mut os = MiniOs::new(MiniOsConfig::default());
+    os.install(ids::PARITY8).unwrap();
+    os.install(ids::POPCNT8).unwrap();
+    os.invoke(ids::PARITY8, &[1]).unwrap();
+    let parity_frames = os.table().get(ids::PARITY8).unwrap().frames.clone();
+    // overwrite parity's frame with the popcount image (valid digest,
+    // wrong identity)
+    let popcnt_image = os
+        .bank()
+        .build_image(ids::POPCNT8, os.geometry())
+        .unwrap();
+    let popcnt_frames = popcnt_image.encode(os.geometry());
+    os.device_mut()
+        .write_frame(parity_frames[0], &popcnt_frames[0])
+        .unwrap();
+    let err = os.invoke(ids::PARITY8, &[1]).unwrap_err();
+    assert!(matches!(err, McuError::RecordMismatch(_)), "{err}");
+}

@@ -1,0 +1,262 @@
+//! Property-based tests over the core data structures and invariants.
+
+use aaod_bitstream::codec::{decompress_all, registry, CodecId};
+use aaod_bitstream::Bitstream;
+use aaod_fabric::{DeviceGeometry, FunctionImage, NetlistMode};
+use aaod_mcu::FreeFrameList;
+use aaod_mem::{RecordFields, Rom};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every codec round-trips arbitrary data.
+    #[test]
+    fn codec_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..4096),
+                       codec_idx in 0usize..CodecId::ALL.len(),
+                       frame_bytes in 1usize..512) {
+        let codec = registry::codec(CodecId::ALL[codec_idx], frame_bytes);
+        let compressed = codec.compress(&data);
+        let back = decompress_all(codec.as_ref(), &compressed).unwrap();
+        prop_assert_eq!(back, data);
+    }
+
+    /// Windowed decompression equals bulk decompression for any
+    /// window size.
+    #[test]
+    fn windowed_equals_bulk(data in proptest::collection::vec(any::<u8>(), 0..2048),
+                            codec_idx in 0usize..CodecId::ALL.len(),
+                            window in 1usize..777) {
+        let codec = registry::codec(CodecId::ALL[codec_idx], 64);
+        let compressed = codec.compress(&data);
+        let mut decoder = codec.decompressor(&compressed);
+        let mut out = Vec::new();
+        let mut buf = vec![0u8; window];
+        loop {
+            let n = decoder.read(&mut buf).unwrap();
+            if n == 0 { break; }
+            out.extend_from_slice(&buf[..n]);
+        }
+        prop_assert_eq!(out, data);
+    }
+
+    /// Bitstream encode/decode is the identity for any frames.
+    #[test]
+    fn bitstream_roundtrip(frame_bytes in 1usize..256,
+                           n_frames in 1usize..12,
+                           codec_idx in 0usize..CodecId::ALL.len(),
+                           seed in any::<u64>()) {
+        let mut rng = aaod_sim::SplitMix64::new(seed);
+        let frames: Vec<Vec<u8>> = (0..n_frames).map(|_| {
+            let mut f = vec![0u8; frame_bytes];
+            rng.fill(&mut f);
+            f
+        }).collect();
+        let bs = Bitstream::new(9, 4, 4, frame_bytes, frames).unwrap();
+        let codec = registry::codec(CodecId::ALL[codec_idx], frame_bytes);
+        let encoded = bs.encode(codec.as_ref());
+        prop_assert_eq!(Bitstream::decode(&encoded).unwrap(), bs);
+    }
+
+    /// Flipping any single bit of an image's used bytes is detected
+    /// at decode time (digest or structural failure) — the image never
+    /// silently decodes to a *different valid* identity.
+    #[test]
+    fn image_single_bit_corruption_detected(
+        params in proptest::collection::vec(any::<u8>(), 0..32),
+        filler in proptest::collection::vec(any::<u8>(), 0..256),
+        byte_idx in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let img = FunctionImage::from_behavioral(5, &params, &filler, 4, 4);
+        let mut bytes = img.to_bytes();
+        let idx = byte_idx % bytes.len();
+        bytes[idx] ^= 1 << bit;
+        match FunctionImage::from_bytes(&bytes) {
+            Err(_) => {} // detected
+            Ok(other) => {
+                // accepting corrupt bytes is only allowed if they
+                // decode to the identical image (cannot happen for a
+                // real flip, so fail loudly)
+                prop_assert_eq!(other, img, "corruption silently accepted");
+                prop_assert!(false, "flip at {} bit {} changed nothing?", idx, bit);
+            }
+        }
+    }
+
+    /// Netlist adder image computes u8 addition from decoded bits for
+    /// arbitrary operand streams.
+    #[test]
+    fn adder_image_matches_arithmetic(pairs in proptest::collection::vec(any::<(u8, u8)>(), 1..64)) {
+        let img = FunctionImage::from_netlist(
+            1,
+            aaod_algos::netlists::adder8_netlist(),
+            NetlistMode::Combinational,
+            1,
+            1,
+        );
+        let geom = DeviceGeometry::new(8, 16);
+        let decoded = FunctionImage::decode_frames(&img.encode(geom), geom).unwrap();
+        let input: Vec<u8> = pairs.iter().flat_map(|&(a, b)| [a, b]).collect();
+        let out = decoded.run_netlist(&input).unwrap();
+        for (i, &(a, b)) in pairs.iter().enumerate() {
+            let got = u16::from_le_bytes([out[i * 2], out[i * 2 + 1]]);
+            prop_assert_eq!(got, a as u16 + b as u16);
+        }
+    }
+
+    /// CRC-8 netlist equals the reference implementation on arbitrary
+    /// inputs.
+    #[test]
+    fn crc8_image_matches_reference(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let img = FunctionImage::from_netlist(
+            2,
+            aaod_algos::netlists::crc8_netlist(),
+            NetlistMode::Streaming,
+            1,
+            1,
+        );
+        let out = img.run_netlist(&data).unwrap();
+        prop_assert_eq!(out, vec![aaod_algos::netlists::crc8_reference(&data)]);
+    }
+
+    /// FreeFrameList: any interleaving of allocations and releases
+    /// conserves frames and never double-allocates.
+    #[test]
+    fn free_frame_list_conserves_frames(ops in proptest::collection::vec(any::<(bool, u8)>(), 1..64)) {
+        let total = 32usize;
+        let mut list = FreeFrameList::new(total);
+        let mut held: Vec<Vec<aaod_fabric::FrameAddress>> = Vec::new();
+        for (alloc, amount) in ops {
+            if alloc {
+                let n = (amount as usize) % 8;
+                if let Some(frames) = list.allocate(n) {
+                    prop_assert_eq!(frames.len(), n);
+                    // no frame may be handed out twice
+                    for f in &frames {
+                        for h in &held {
+                            prop_assert!(!h.contains(f), "frame {} double-allocated", f);
+                        }
+                    }
+                    if !frames.is_empty() {
+                        held.push(frames);
+                    }
+                }
+            } else if !held.is_empty() {
+                let frames = held.remove((amount as usize) % held.len());
+                list.release(&frames);
+            }
+            let held_count: usize = held.iter().map(Vec::len).sum();
+            prop_assert_eq!(list.free_count() + held_count, total);
+        }
+    }
+
+    /// ROM: any download sequence preserves the dual-ended layout
+    /// invariant and lookups return exactly what was stored.
+    #[test]
+    fn rom_layout_invariant(sizes in proptest::collection::vec(1usize..500, 1..20)) {
+        let mut rom = Rom::new(4096);
+        let mut stored: Vec<(u16, Vec<u8>)> = Vec::new();
+        for (i, size) in sizes.into_iter().enumerate() {
+            let payload = vec![(i % 251) as u8; size];
+            let fields = RecordFields {
+                algo_id: i as u16,
+                uncompressed_len: size as u32 * 2,
+                codec: 1,
+                input_width: 4,
+                output_width: 4,
+                n_frames: 1,
+            };
+            match rom.download(fields, &payload) {
+                Ok(()) => stored.push((i as u16, payload)),
+                Err(_) => break, // full: acceptable, layout must survive
+            }
+            prop_assert_eq!(
+                rom.bitstream_bytes_used() + rom.table_bytes_used() + rom.free_bytes(),
+                rom.capacity()
+            );
+        }
+        for (id, payload) in &stored {
+            let rec = rom.lookup(*id).expect("stored function must be found");
+            prop_assert_eq!(rom.bitstream_bytes(&rec), &payload[..]);
+        }
+    }
+
+    /// The netlist optimiser preserves semantics on randomly built
+    /// netlists.
+    #[test]
+    fn optimizer_preserves_semantics(seed in any::<u64>(), n_inputs in 1usize..10, n_gates in 1usize..60) {
+        use aaod_fabric::{NetId, NetlistBuilder};
+        let mut rng = aaod_sim::SplitMix64::new(seed);
+        let mut b = NetlistBuilder::new();
+        let inputs = b.inputs(n_inputs);
+        let mut nets: Vec<NetId> = vec![b.zero(), b.one()];
+        nets.extend(&inputs);
+        for _ in 0..n_gates {
+            let pick = |rng: &mut aaod_sim::SplitMix64, nets: &[NetId]| nets[rng.index(nets.len())];
+            let truth = rng.next_u64() as u16;
+            let ins = [
+                pick(&mut rng, &nets),
+                pick(&mut rng, &nets),
+                pick(&mut rng, &nets),
+                pick(&mut rng, &nets),
+            ];
+            let out = b.lut4(truth, ins);
+            nets.push(out);
+        }
+        // choose a few outputs from anywhere in the design
+        let n_outputs = 1 + rng.index(4);
+        for _ in 0..n_outputs {
+            let net = nets[rng.index(nets.len())];
+            b.output(net);
+        }
+        let original = b.finish().unwrap();
+        let (optimized, stats) = aaod_fabric::opt::optimize(&original).unwrap();
+        prop_assert!(optimized.n_luts() <= original.n_luts());
+        prop_assert_eq!(stats.luts_after, optimized.n_luts());
+        for _ in 0..16 {
+            let ins: Vec<bool> = (0..n_inputs).map(|_| rng.chance(0.5)).collect();
+            prop_assert_eq!(original.eval(&ins), optimized.eval(&ins));
+        }
+    }
+
+    /// Streaming decompressors never panic on arbitrary (garbage)
+    /// compressed input — they either produce bytes or fail cleanly.
+    #[test]
+    fn decompressors_never_panic_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..2048),
+                                            codec_idx in 0usize..CodecId::ALL.len()) {
+        let codec = registry::codec(CodecId::ALL[codec_idx], 64);
+        let mut decoder = codec.decompressor(&data);
+        let mut buf = [0u8; 257];
+        // bound the pull: garbage RLE can legitimately expand a lot
+        for _ in 0..64 {
+            match decoder.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+    }
+
+    /// Zipf workloads honour the algorithm universe and length.
+    #[test]
+    fn workload_well_formed(n in 1usize..300, s in 0.2f64..2.5, seed in any::<u64>()) {
+        let algos = [3u16, 7, 11, 13];
+        let w = aaod_workload::Workload::zipf(&algos, n, s, 16, seed);
+        prop_assert_eq!(w.len(), n);
+        for r in w.requests() {
+            prop_assert!(algos.contains(&r.algo_id));
+            prop_assert_eq!(r.input_len, 16);
+        }
+    }
+
+    /// SimTime arithmetic is consistent with picosecond integers.
+    #[test]
+    fn simtime_arithmetic(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        use aaod_sim::SimTime;
+        let ta = SimTime::from_ps(a);
+        let tb = SimTime::from_ps(b);
+        prop_assert_eq!((ta + tb).as_ps(), a + b);
+        prop_assert_eq!(ta.saturating_sub(tb).as_ps(), a.saturating_sub(b));
+        prop_assert_eq!(ta.max(tb).as_ps(), a.max(b));
+    }
+}
