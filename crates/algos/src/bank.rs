@@ -136,7 +136,10 @@ impl Default for AlgorithmBank {
 impl std::fmt::Debug for AlgorithmBank {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("AlgorithmBank")
-            .field("kernels", &self.kernels.iter().map(|k| k.name()).collect::<Vec<_>>())
+            .field(
+                "kernels",
+                &self.kernels.iter().map(|k| k.name()).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
@@ -177,7 +180,11 @@ mod tests {
         let geom = DeviceGeometry::default();
         let total: usize = bank
             .iter()
-            .map(|k| bank.build_image(k.algo_id(), geom).unwrap().frames_needed(geom))
+            .map(|k| {
+                bank.build_image(k.algo_id(), geom)
+                    .unwrap()
+                    .frames_needed(geom)
+            })
             .sum();
         // The full bank should overcommit the device (otherwise the
         // replacement policy would never trigger) but each function

@@ -47,11 +47,7 @@ impl Kernel for Crc32Kernel {
         4
     }
 
-    fn build_image(
-        &self,
-        params: &[u8],
-        geom: DeviceGeometry,
-    ) -> Result<FunctionImage, AlgoError> {
+    fn build_image(&self, params: &[u8], geom: DeviceGeometry) -> Result<FunctionImage, AlgoError> {
         if !params.is_empty() {
             return Err(AlgoError::BadParams {
                 kernel: "crc32",

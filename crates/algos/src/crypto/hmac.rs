@@ -74,11 +74,7 @@ impl Kernel for HmacSha1 {
         20
     }
 
-    fn build_image(
-        &self,
-        params: &[u8],
-        geom: DeviceGeometry,
-    ) -> Result<FunctionImage, AlgoError> {
+    fn build_image(&self, params: &[u8], geom: DeviceGeometry) -> Result<FunctionImage, AlgoError> {
         check_key(params)?;
         // SHA-1 core + the HMAC wrapper state: ~14 frames.
         Ok(behavioral_image(
@@ -138,7 +134,10 @@ mod tests {
     #[test]
     fn long_key_is_hashed() {
         let key = [0xAAu8; 80];
-        let mac = hmac_sha1(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        let mac = hmac_sha1(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
         assert_eq!(hex(&mac), "aa4ae5e15272d00e95705637ce8a3b55ed402112");
     }
 

@@ -112,11 +112,7 @@ impl Kernel for Xtea {
         8
     }
 
-    fn build_image(
-        &self,
-        params: &[u8],
-        geom: DeviceGeometry,
-    ) -> Result<FunctionImage, AlgoError> {
+    fn build_image(&self, params: &[u8], geom: DeviceGeometry) -> Result<FunctionImage, AlgoError> {
         parse_key(params)?;
         // A loop-rolled XTEA core is small: ~6 frames.
         Ok(behavioral_image(

@@ -22,7 +22,10 @@ fn parse_coeffs(params: &[u8]) -> Result<Vec<i16>, AlgoError> {
     if params.is_empty() || !params.len().is_multiple_of(2) {
         return Err(AlgoError::BadParams {
             kernel: "fir",
-            reason: format!("coefficients must be non-empty i16 pairs, got {} bytes", params.len()),
+            reason: format!(
+                "coefficients must be non-empty i16 pairs, got {} bytes",
+                params.len()
+            ),
         });
     }
     let taps = params.len() / 2;
@@ -83,11 +86,7 @@ impl Kernel for Fir {
         2
     }
 
-    fn build_image(
-        &self,
-        params: &[u8],
-        geom: DeviceGeometry,
-    ) -> Result<FunctionImage, AlgoError> {
+    fn build_image(&self, params: &[u8], geom: DeviceGeometry) -> Result<FunctionImage, AlgoError> {
         let coeffs = parse_coeffs(params)?;
         // One MAC column per tap: frames scale with tap count.
         let frames = 2 + coeffs.len() / 4;
@@ -167,11 +166,7 @@ impl Kernel for MatMul8 {
         64
     }
 
-    fn build_image(
-        &self,
-        params: &[u8],
-        geom: DeviceGeometry,
-    ) -> Result<FunctionImage, AlgoError> {
+    fn build_image(&self, params: &[u8], geom: DeviceGeometry) -> Result<FunctionImage, AlgoError> {
         if !params.is_empty() {
             return Err(AlgoError::BadParams {
                 kernel: "matmul8",
@@ -238,7 +233,7 @@ mod tests {
         assert!(Fir.execute(&[], &[0, 0]).is_err()); // no taps
         assert!(Fir.execute(&[1], &[0, 0]).is_err()); // odd params
         assert!(Fir.execute(&[0u8; 130], &[]).is_err()); // >64 taps
-        // odd input byte is zero-padded into a final sample
+                                                         // odd input byte is zero-padded into a final sample
         let out = Fir.execute(&Fir.default_params(), &[1]).unwrap();
         assert_eq!(out.len(), 2);
     }

@@ -94,13 +94,7 @@ pub fn behavioral_image(
     // period = frame size, so adjacent frames are near-copies — the
     // inter-frame CLB symmetry the paper's conclusion highlights
     let filler = generate(0xA160_0000 | algo_id as u64, filler_len, geom.frame_bytes());
-    aaod_fabric::FunctionImage::from_behavioral(
-        algo_id,
-        params,
-        &filler,
-        input_width,
-        output_width,
-    )
+    aaod_fabric::FunctionImage::from_behavioral(algo_id, params, &filler, input_width, output_width)
 }
 
 #[cfg(test)]

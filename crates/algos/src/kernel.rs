@@ -83,11 +83,7 @@ pub trait Kernel: Send + Sync {
     ///
     /// Returns [`AlgoError::BadParams`] if `params` cannot instantiate
     /// the kernel.
-    fn build_image(
-        &self,
-        params: &[u8],
-        geom: DeviceGeometry,
-    ) -> Result<FunctionImage, AlgoError>;
+    fn build_image(&self, params: &[u8], geom: DeviceGeometry) -> Result<FunctionImage, AlgoError>;
 
     /// Fabric cycles (100 MHz domain) to process `input_len` bytes
     /// once configured.

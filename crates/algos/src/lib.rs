@@ -79,7 +79,7 @@ pub mod ids {
 
     /// Every id in the standard bank, in id order.
     pub const ALL: [u16; 13] = [
-        AES128, XTEA, SHA1, SHA256, CRC32, FIR, MATMUL8, CRC8, ADDER8, POPCNT8, PARITY8,
-        TDES, HMAC_SHA1,
+        AES128, XTEA, SHA1, SHA256, CRC32, FIR, MATMUL8, CRC8, ADDER8, POPCNT8, PARITY8, TDES,
+        HMAC_SHA1,
     ];
 }

@@ -234,7 +234,9 @@ mod tests {
 
     #[test]
     fn crc8_netlist_matches_reference() {
-        let img = Crc8Kernel.build_image(&[], DeviceGeometry::default()).unwrap();
+        let img = Crc8Kernel
+            .build_image(&[], DeviceGeometry::default())
+            .unwrap();
         let mut rng = SplitMix64::new(0xCC);
         for len in [0usize, 1, 2, 16, 100] {
             let mut data = vec![0u8; len];
@@ -308,6 +310,8 @@ mod tests {
     #[test]
     fn params_rejected() {
         assert!(Crc8Kernel.execute(&[1], &[]).is_err());
-        assert!(Parity8Kernel.build_image(&[1], DeviceGeometry::default()).is_err());
+        assert!(Parity8Kernel
+            .build_image(&[1], DeviceGeometry::default())
+            .is_err());
     }
 }

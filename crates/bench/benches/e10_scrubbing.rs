@@ -59,7 +59,12 @@ fn print_tables() {
     // (b) fault campaign: SEUs between scrubs
     let mut t = Table::new(
         "E10b: SEU campaign (200 invokes, scrub every 20)",
-        &["seu per period", "repaired by scrub", "caught at invoke", "wrong results"],
+        &[
+            "seu per period",
+            "repaired by scrub",
+            "caught at invoke",
+            "wrong results",
+        ],
     );
     for seus in [1usize, 4, 16] {
         let mut os = MiniOs::new(MiniOsConfig::default());

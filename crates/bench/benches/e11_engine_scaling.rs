@@ -1,0 +1,206 @@
+//! E11 (extension) — concurrent serving engine scaling.
+//!
+//! Shards a skewed (Zipf) request stream over the full algorithm bank
+//! across a pool of co-processor cards and compares the modelled
+//! makespan against a single card serving the same stream serially.
+//! The full bank (~134 frames) over-commits one 96-frame fabric, so a
+//! single card thrashes; sharding both parallelises service *and*
+//! shrinks each card's working set.
+//!
+//! Second table: decoded-bitstream cache ablation. A round-robin
+//! stream over the three largest crypto functions on a 52-frame device
+//! evicts on every request; with the cache on, every re-miss skips the
+//! ROM fetch and window-by-window decompression and pays only the
+//! configuration-port cost.
+
+use aaod_bench::criterion_fast;
+use aaod_core::{run_workload, CoProcessor, Engine, EngineConfig, ShardPolicy};
+use aaod_fabric::DeviceGeometry;
+use aaod_sim::report::Table;
+use aaod_workload::{mixes, Workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn serving_workload() -> Workload {
+    Workload::zipf(&mixes::full_bank(), 600, 1.1, 256, 1711)
+}
+
+fn serial_baseline(w: &Workload) -> aaod_core::RunResult {
+    let mut cp = CoProcessor::default();
+    for &id in &w.distinct_algos() {
+        cp.install(id).expect("install");
+    }
+    run_workload(&mut cp, w, false).expect("serial run")
+}
+
+fn print_scaling_table() {
+    let w = serving_workload();
+    let serial = serial_baseline(&w);
+    let serial_ns = serial.total_time.as_ns();
+    let mut t = Table::new(
+        "E11: engine scaling, zipf(s=1.1) over the full bank (600 reqs)",
+        &[
+            "config",
+            "makespan",
+            "speedup",
+            "throughput",
+            "hit%",
+            "p99 latency",
+            "batches",
+        ],
+    );
+    t.row_owned(vec![
+        "serial (1 card)".into(),
+        serial.total_time.to_string(),
+        "1.00x".into(),
+        format!("{:.2} MB/s", serial.throughput_mb_s()),
+        format!("{:.0}%", serial.hit_rate().unwrap_or(0.0) * 100.0),
+        format!("{:.1}us", serial.latency.summary_ns().p99 / 1000.0),
+        "-".into(),
+    ]);
+    let mut json_rows = vec![format!(
+        "{{\"config\":\"serial\",\"makespan_ns\":{:.0},\"speedup\":1.0,\"hit_rate\":{:.4}}}",
+        serial_ns,
+        serial.hit_rate().unwrap_or(0.0)
+    )];
+    let mut speedup_at_4 = 0.0;
+    for workers in [1usize, 2, 4, 8] {
+        let engine = Engine::new(EngineConfig {
+            workers,
+            collect_outputs: false,
+            shard: ShardPolicy::Balanced,
+            ..EngineConfig::default()
+        });
+        let r = engine.serve(&w).expect("engine serve");
+        let speedup = serial_ns / r.makespan.as_ns();
+        if workers == 4 {
+            speedup_at_4 = speedup;
+        }
+        t.row_owned(vec![
+            format!("engine x{workers} (balanced)"),
+            r.makespan.to_string(),
+            format!("{speedup:.2}x"),
+            format!("{:.2} MB/s", r.throughput_mb_s()),
+            format!("{:.0}%", r.hit_rate() * 100.0),
+            format!("{:.1}us", r.latency.summary_ns().p99 / 1000.0),
+            format!("{} ({} coalesced)", r.batches, r.coalesced),
+        ]);
+        json_rows.push(format!(
+            "{{\"config\":\"engine_x{}\",\"makespan_ns\":{:.0},\"speedup\":{:.3},\"hit_rate\":{:.4},\"batches\":{},\"coalesced\":{}}}",
+            workers,
+            r.makespan.as_ns(),
+            speedup,
+            r.hit_rate(),
+            r.batches,
+            r.coalesced
+        ));
+    }
+    println!("{t}");
+    assert!(
+        speedup_at_4 >= 2.5,
+        "regression: engine x4 modelled speedup {speedup_at_4:.2}x < 2.5x over serial"
+    );
+    println!(
+        "BENCH_JSON {{\"experiment\":\"e11_engine_scaling\",\"rows\":[{}]}}",
+        json_rows.join(",")
+    );
+}
+
+fn thrash_coproc(decoded_cache_bytes: usize) -> CoProcessor {
+    CoProcessor::builder()
+        .geometry(DeviceGeometry::new(52, 16))
+        .decoded_cache_bytes(decoded_cache_bytes)
+        .build()
+}
+
+fn print_decoded_cache_table() {
+    // AES(24) + 3DES(18) + SHA-256(16) = 58 frames on a 52-frame
+    // device: strict rotation misses every request after the first
+    // cycle, so the decoded cache is exercised on every re-miss.
+    let big_three = [
+        aaod_algos::ids::AES128,
+        aaod_algos::ids::TDES,
+        aaod_algos::ids::SHA256,
+    ];
+    let w = Workload::round_robin(&big_three, 120, 256);
+    let mut t = Table::new(
+        "E11b: decoded-bitstream cache on a thrashing 52-frame device",
+        &[
+            "cache",
+            "decoded hit%",
+            "mean reconfig/miss",
+            "mean rom/miss",
+            "bytes saved",
+        ],
+    );
+    let mut json_rows = Vec::new();
+    let mut reconfig_per_miss = [0.0f64; 2];
+    for (i, cache_bytes) in [0usize, 64 * 1024].into_iter().enumerate() {
+        let mut cp = thrash_coproc(cache_bytes);
+        for &id in &big_three {
+            cp.install(id).expect("install");
+        }
+        run_workload(&mut cp, &w, false).expect("run");
+        let s = cp.stats();
+        let misses = s.misses.max(1);
+        reconfig_per_miss[i] = s.reconfig_time.as_ns() / misses as f64;
+        let rom_per_miss = s.rom_time.as_ns() / misses as f64;
+        t.row_owned(vec![
+            if cache_bytes == 0 {
+                "off".into()
+            } else {
+                format!("{} KiB", cache_bytes / 1024)
+            },
+            format!("{:.0}%", s.decoded_hit_rate() * 100.0),
+            format!("{:.1}us", reconfig_per_miss[i] / 1000.0),
+            format!("{:.1}us", rom_per_miss / 1000.0),
+            s.decoded_bytes_saved.to_string(),
+        ]);
+        json_rows.push(format!(
+            "{{\"cache_bytes\":{},\"decoded_hit_rate\":{:.4},\"reconfig_ns_per_miss\":{:.0},\"rom_ns_per_miss\":{:.0},\"bytes_saved\":{}}}",
+            cache_bytes,
+            s.decoded_hit_rate(),
+            reconfig_per_miss[i],
+            rom_per_miss,
+            s.decoded_bytes_saved
+        ));
+    }
+    println!("{t}");
+    assert!(
+        reconfig_per_miss[1] < reconfig_per_miss[0],
+        "regression: decoded cache did not reduce mean miss reconfig time \
+         ({:.0}ns on vs {:.0}ns off)",
+        reconfig_per_miss[1],
+        reconfig_per_miss[0]
+    );
+    println!(
+        "BENCH_JSON {{\"experiment\":\"e11_decoded_cache\",\"rows\":[{}]}}",
+        json_rows.join(",")
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_scaling_table();
+    print_decoded_cache_table();
+    let w = serving_workload();
+    let mut group = c.benchmark_group("e11_engine_scaling");
+    for workers in [1usize, 4] {
+        let engine = Engine::new(EngineConfig {
+            workers,
+            collect_outputs: false,
+            shard: ShardPolicy::Balanced,
+            ..EngineConfig::default()
+        });
+        group.bench_function(format!("zipf_full_bank_x{workers}"), |b| {
+            b.iter(|| black_box(engine.serve(&w).expect("serve")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_fast();
+    targets = bench
+}
+criterion_main!(benches);

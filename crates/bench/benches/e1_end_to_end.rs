@@ -24,8 +24,8 @@ fn print_table() {
     let mut t = Table::new(
         "E1 (Fig.1): per-block latency, cold then warm",
         &[
-            "function", "state", "pci-in", "lookup", "rom", "reconfig", "input", "exec",
-            "output", "pci-out", "total",
+            "function", "state", "pci-in", "lookup", "rom", "reconfig", "input", "exec", "output",
+            "pci-out", "total",
         ],
     );
     for (id, input) in [
@@ -59,11 +59,7 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e1_end_to_end");
 
     // warm path: function resident
-    let mut cp = installed_coproc(
-        DeviceGeometry::default(),
-        Box::new(LruPolicy),
-        &[ids::SHA1],
-    );
+    let mut cp = installed_coproc(DeviceGeometry::default(), Box::new(LruPolicy), &[ids::SHA1]);
     cp.invoke(ids::SHA1, b"warm-up").expect("warm-up");
     group.bench_function("invoke_hit_sha1_1500B", |b| {
         let input = vec![0u8; 1500];
@@ -78,7 +74,9 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut cp = CoProcessor::default();
             cp.install(ids::CRC32).expect("install");
-            let (out, _) = cp.invoke(ids::CRC32, black_box(b"123456789" as &[u8])).expect("invoke");
+            let (out, _) = cp
+                .invoke(ids::CRC32, black_box(b"123456789" as &[u8]))
+                .expect("invoke");
             black_box(out)
         });
     });

@@ -31,7 +31,13 @@ fn print_table() {
     let raw_total: usize = flats.iter().map(|(_, f)| f.len()).sum();
     let mut t = Table::new(
         "E2: whole-bank compression by codec",
-        &["codec", "bank KiB", "ratio", "model cycles/B", "decompress MB/s @50MHz"],
+        &[
+            "codec",
+            "bank KiB",
+            "ratio",
+            "model cycles/B",
+            "decompress MB/s @50MHz",
+        ],
     );
     for codec in registry::all(geom.frame_bytes()) {
         let compressed: usize = flats
@@ -68,7 +74,11 @@ fn bench(c: &mut Criterion) {
         });
         let compressed = codec.compress(aes_flat);
         group.bench_function(format!("decompress_aes_{name}"), |b| {
-            b.iter(|| black_box(decompress_all(codec.as_ref(), black_box(&compressed)).expect("roundtrip")));
+            b.iter(|| {
+                black_box(
+                    decompress_all(codec.as_ref(), black_box(&compressed)).expect("roundtrip"),
+                )
+            });
         });
     }
     group.finish();

@@ -37,7 +37,15 @@ fn print_table() {
             "full/partial",
         ],
     );
-    for algo in [ids::PARITY8, ids::CRC32, ids::XTEA, ids::SHA1, ids::SHA256, ids::AES128, ids::MATMUL8] {
+    for algo in [
+        ids::PARITY8,
+        ids::CRC32,
+        ids::XTEA,
+        ids::SHA1,
+        ids::SHA256,
+        ids::AES128,
+        ids::MATMUL8,
+    ] {
         let (frames, p_lzss) = swap_in_time(algo, CodecId::Lzss, ReconfigMode::Partial);
         let (_, p_raw) = swap_in_time(algo, CodecId::Null, ReconfigMode::Partial);
         let (_, f_lzss) = swap_in_time(algo, CodecId::Lzss, ReconfigMode::Full);

@@ -72,11 +72,7 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e4_replacement");
     group.bench_function("zipf_100req_lru_64frames", |b| {
         b.iter(|| {
-            let mut cp = installed_coproc(
-                DeviceGeometry::new(64, 16),
-                Box::new(LruPolicy),
-                &algos,
-            );
+            let mut cp = installed_coproc(DeviceGeometry::new(64, 16), Box::new(LruPolicy), &algos);
             black_box(run_workload(&mut cp, &w, false).expect("run"))
         });
     });

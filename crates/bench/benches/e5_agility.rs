@@ -24,7 +24,13 @@ fn print_tables() {
     // changes
     let mut t = Table::new(
         "E5: mean service time by system vs cipher-swap frequency",
-        &["phase len", "agile(lru)", "full-reconfig", "fixed(aes)", "software"],
+        &[
+            "phase len",
+            "agile(lru)",
+            "full-reconfig",
+            "fixed(aes)",
+            "software",
+        ],
     );
     for phase_len in [10usize, 40, 160] {
         let w = Workload::phased(&heavy_algos(), 320, phase_len, 2, 1504, 31);

@@ -40,16 +40,19 @@ fn print_tables() {
 
     let mut t = Table::new(
         "E7b: width-multiple padding overhead (paper §2.3)",
-        &["payload bytes", "width 4", "width 16", "width 64", "width 128"],
+        &[
+            "payload bytes",
+            "width 4",
+            "width 16",
+            "width 64",
+            "width 128",
+        ],
     );
     for len in [1usize, 20, 100, 1500] {
         let mut row = vec![len.to_string()];
         for width in [4u16, 16, 64, 128] {
             let padded = pad_to_width(len, width);
-            row.push(format!(
-                "{padded} (+{})",
-                padded - len
-            ));
+            row.push(format!("{padded} (+{})", padded - len));
         }
         t.row_owned(row);
     }

@@ -67,7 +67,9 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let mut cp = CoProcessor::builder().window(window).build();
                 cp.install(ids::AES128).expect("install");
-                let (out, _) = cp.invoke(ids::AES128, black_box(&[1u8; 64])).expect("invoke");
+                let (out, _) = cp
+                    .invoke(ids::AES128, black_box(&[1u8; 64]))
+                    .expect("invoke");
                 black_box(out)
             });
         });

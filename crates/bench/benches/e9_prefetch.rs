@@ -86,7 +86,11 @@ fn bench(c: &mut Criterion) {
     print_table();
     let algos = mixes::crypto_mix();
     let w = Workload::round_robin(
-        &[aaod_algos::ids::AES128, aaod_algos::ids::TDES, aaod_algos::ids::SHA256],
+        &[
+            aaod_algos::ids::AES128,
+            aaod_algos::ids::TDES,
+            aaod_algos::ids::SHA256,
+        ],
         80,
         512,
     );

@@ -138,7 +138,12 @@ mod tests {
         }
         let fx = FrameXor::new(128).compress(&data);
         let rle = Rle.compress(&data);
-        assert!(fx.len() < rle.len() / 4, "fx {} rle {}", fx.len(), rle.len());
+        assert!(
+            fx.len() < rle.len() / 4,
+            "fx {} rle {}",
+            fx.len(),
+            rle.len()
+        );
     }
 
     #[test]

@@ -332,7 +332,10 @@ mod tests {
     #[test]
     fn empty_input() {
         let compressed = Huffman.compress(&[]);
-        assert_eq!(decompress_all(&Huffman, &compressed).unwrap(), Vec::<u8>::new());
+        assert_eq!(
+            decompress_all(&Huffman, &compressed).unwrap(),
+            Vec::<u8>::new()
+        );
     }
 
     #[test]

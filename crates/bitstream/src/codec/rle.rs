@@ -65,9 +65,7 @@ impl Decompressor for RleDecompressor<'_> {
                     break;
                 }
                 if self.pos + 2 > self.data.len() {
-                    return Err(BitstreamError::CorruptPayload(
-                        "rle pair truncated".into(),
-                    ));
+                    return Err(BitstreamError::CorruptPayload("rle pair truncated".into()));
                 }
                 let count = self.data[self.pos] as usize;
                 if count == 0 {

@@ -58,7 +58,9 @@ mod tests {
     #[test]
     fn display() {
         assert!(BitstreamError::UnknownCodec(7).to_string().contains("7"));
-        assert!(BitstreamError::Malformed("x".into()).to_string().contains("x"));
+        assert!(BitstreamError::Malformed("x".into())
+            .to_string()
+            .contains("x"));
     }
 
     #[test]

@@ -345,8 +345,7 @@ mod tests {
         let bs = sample(12, 128, 1);
         for codec in registry::all(128) {
             let bytes = bs.encode(codec.as_ref());
-            let back = Bitstream::decode(&bytes)
-                .unwrap_or_else(|e| panic!("{}: {e}", codec.id()));
+            let back = Bitstream::decode(&bytes).unwrap_or_else(|e| panic!("{}: {e}", codec.id()));
             assert_eq!(back, bs, "{}", codec.id());
         }
     }
@@ -426,6 +425,11 @@ mod tests {
         let bs = sample(32, 256, 6);
         let raw = bs.encode(registry::codec(CodecId::Null, 256).as_ref());
         let rle = bs.encode(registry::codec(CodecId::Rle, 256).as_ref());
-        assert!(rle.len() < raw.len() / 2, "rle {} raw {}", rle.len(), raw.len());
+        assert!(
+            rle.len() < raw.len() / 2,
+            "rle {} raw {}",
+            rle.len(),
+            raw.len()
+        );
     }
 }

@@ -52,12 +52,9 @@ impl SoftwareExecutor {
     ///
     /// Returns [`CoreError::Algo`] for unknown ids or bad input.
     pub fn invoke(&mut self, algo_id: u16, input: &[u8]) -> Result<(Vec<u8>, SimTime), CoreError> {
-        let kernel = self
-            .bank
-            .kernel(algo_id)
-            .ok_or(CoreError::Algo(aaod_algos::AlgoError::UnknownAlgorithm(
-                algo_id,
-            )))?;
+        let kernel = self.bank.kernel(algo_id).ok_or(CoreError::Algo(
+            aaod_algos::AlgoError::UnknownAlgorithm(algo_id),
+        ))?;
         let output = kernel.execute(&kernel.default_params(), input)?;
         let t = self.clock.cycles(kernel.software_cycles(input.len()));
         self.total_time += t;

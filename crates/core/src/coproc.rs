@@ -124,6 +124,13 @@ impl CoProcessorBuilder {
         self
     }
 
+    /// Sets the decoded-bitstream cache budget in bytes (zero
+    /// disables it; see [`aaod_mcu::DecodedCache`]).
+    pub fn decoded_cache_bytes(mut self, bytes: usize) -> Self {
+        self.os.decoded_cache_bytes = bytes;
+        self
+    }
+
     /// Builds the co-processor.
     pub fn build(self) -> CoProcessor {
         CoProcessor {
@@ -174,7 +181,11 @@ impl CoProcessor {
     ///
     /// Propagates controller errors; see
     /// [`aaod_mcu::MiniOs::invoke`].
-    pub fn invoke(&mut self, algo_id: u16, input: &[u8]) -> Result<(Vec<u8>, HostReport), CoreError> {
+    pub fn invoke(
+        &mut self,
+        algo_id: u16,
+        input: &[u8],
+    ) -> Result<(Vec<u8>, HostReport), CoreError> {
         let pci_input_time = self.bus.write(input.len() as u64);
         let (output, os_report) = self.os.invoke(algo_id, input)?;
         let pci_output_time = self.bus.read(output.len() as u64);
@@ -186,6 +197,40 @@ impl CoProcessor {
                 os: os_report,
             },
         ))
+    }
+
+    /// Invokes an installed function on several inputs in one batch:
+    /// the controller pays the record lookup and any (re)configuration
+    /// once for the whole batch (see
+    /// [`aaod_mcu::MiniOs::invoke_batch`]), while each input and
+    /// output still crosses the PCI bus individually.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller errors.
+    pub fn invoke_batch(
+        &mut self,
+        algo_id: u16,
+        inputs: &[&[u8]],
+    ) -> Result<Vec<(Vec<u8>, HostReport)>, CoreError> {
+        let mut pci_input_times = Vec::with_capacity(inputs.len());
+        for input in inputs {
+            pci_input_times.push(self.bus.write(input.len() as u64));
+        }
+        let os_results = self.os.invoke_batch(algo_id, inputs)?;
+        let mut results = Vec::with_capacity(os_results.len());
+        for ((output, os_report), pci_input_time) in os_results.into_iter().zip(pci_input_times) {
+            let pci_output_time = self.bus.read(output.len() as u64);
+            results.push((
+                output,
+                HostReport {
+                    pci_input_time,
+                    pci_output_time,
+                    os: os_report,
+                },
+            ));
+        }
+        Ok(results)
     }
 
     /// Issues one instruction to the microcontroller over PCI — the
@@ -337,7 +382,9 @@ mod tests {
         let (resp, _) = driven.send_command(Command::QueryStats).unwrap();
         assert!(matches!(resp, Response::Stats { requests: 1, .. }));
         let (resp, _) = driven
-            .send_command(Command::Evict { algo_id: ids::CRC32 })
+            .send_command(Command::Evict {
+                algo_id: ids::CRC32,
+            })
             .unwrap();
         assert_eq!(resp, Response::Done);
         let (resp, _) = driven.send_command(Command::Reset).unwrap();
@@ -354,11 +401,33 @@ mod tests {
     }
 
     #[test]
+    fn batch_matches_serial_over_pci() {
+        let inputs: Vec<&[u8]> = vec![b"one", b"two", b"three"];
+        let mut serial = CoProcessor::default();
+        serial.install(ids::SHA1).unwrap();
+        let expected: Vec<Vec<u8>> = inputs
+            .iter()
+            .map(|&i| serial.invoke(ids::SHA1, i).unwrap().0)
+            .collect();
+        let mut batched = CoProcessor::default();
+        batched.install(ids::SHA1).unwrap();
+        let got = batched.invoke_batch(ids::SHA1, &inputs).unwrap();
+        assert_eq!(got.len(), 3);
+        for ((out, report), want) in got.iter().zip(&expected) {
+            assert_eq!(out, want);
+            assert!(report.pci_input_time > SimTime::ZERO);
+            assert!(report.pci_output_time > SimTime::ZERO);
+        }
+        assert!(!got[0].1.hit() && got[1].1.hit());
+        assert_eq!(
+            batched.pci_stats().bytes_read,
+            serial.pci_stats().bytes_read
+        );
+    }
+
+    #[test]
     fn invoke_before_install_fails() {
         let mut cp = CoProcessor::default();
-        assert!(matches!(
-            cp.invoke(ids::SHA1, b"x"),
-            Err(CoreError::Mcu(_))
-        ));
+        assert!(matches!(cp.invoke(ids::SHA1, b"x"), Err(CoreError::Mcu(_))));
     }
 }

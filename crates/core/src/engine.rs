@@ -1,0 +1,661 @@
+//! Concurrent serving engine: a sharded pool of co-processors.
+//!
+//! The paper models a single card serving one host. A serving
+//! deployment (e.g. a crypto gateway) runs many such cards and fans
+//! requests out across them. [`Engine`] reproduces that: it partitions
+//! a [`Workload`] across `N` independent [`CoProcessor`] shards, each
+//! driven by its own OS thread behind a bounded job queue, and
+//! reassembles the results in submission order — outputs are
+//! byte-identical to running the workload serially on one card.
+//!
+//! Two serving optimisations ride on the pool:
+//!
+//! * **miss batching** — a worker drains the run of consecutive queued
+//!   requests for the same algorithm and serves them with one
+//!   [`CoProcessor::invoke_batch`] call, paying the record lookup and
+//!   any (re)configuration once per run instead of once per request;
+//! * **sharding policies** ([`ShardPolicy`]) — requests can be routed
+//!   by `algo_id % N` (maximum locality), round-robin (maximum
+//!   spread), or by a balanced partition that splits hot algorithms
+//!   across shards when one algorithm alone would exceed a shard's
+//!   fair share of the load.
+//!
+//! Wall-clock parallelism is an artefact of the host machine; the
+//! engine's figure of merit is *modelled* time. Each shard accumulates
+//! the simulated busy time of the requests it served; the engine's
+//! makespan is the maximum over shards, and
+//! [`EngineResult::speedup`] compares that against the serial
+//! service-time sum.
+
+use crate::coproc::CoProcessor;
+use crate::error::CoreError;
+use aaod_mcu::OsStats;
+use aaod_sim::stats::TimeAccumulator;
+use aaod_sim::SimTime;
+use aaod_workload::Workload;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::{Condvar, Mutex};
+
+/// How requests are partitioned across the shard pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardPolicy {
+    /// `algo_id % workers`: every request for an algorithm lands on
+    /// the same shard, maximising residency locality. Throughput is
+    /// limited by the hottest shard.
+    #[default]
+    AlgoModulo,
+    /// `request index % workers`: perfect load spread, worst
+    /// locality — every shard ends up serving every algorithm.
+    RoundRobin,
+    /// Greedy weighted partition: algorithms are assigned whole to the
+    /// least-loaded shard, except that an algorithm whose total weight
+    /// exceeds a shard's fair share is *split* (replicated) across
+    /// just enough shards to fit. Balances skewed (Zipf) workloads
+    /// while keeping cold algorithms on a single shard.
+    Balanced,
+}
+
+impl ShardPolicy {
+    /// A short name for experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShardPolicy::AlgoModulo => "algo-mod",
+            ShardPolicy::RoundRobin => "round-robin",
+            ShardPolicy::Balanced => "balanced",
+        }
+    }
+
+    /// Computes the shard for every request of `workload`,
+    /// deterministically.
+    fn assign(self, workload: &Workload, workers: usize) -> Vec<usize> {
+        let requests = workload.requests();
+        match self {
+            ShardPolicy::AlgoModulo => requests
+                .iter()
+                .map(|r| r.algo_id as usize % workers)
+                .collect(),
+            ShardPolicy::RoundRobin => (0..requests.len()).map(|i| i % workers).collect(),
+            ShardPolicy::Balanced => {
+                // Per-algorithm service weight: payload plus a fixed
+                // per-request overhead so zero-length inputs still
+                // carry cost.
+                let mut weight: BTreeMap<u16, u64> = BTreeMap::new();
+                for r in requests {
+                    *weight.entry(r.algo_id).or_insert(0) += r.input_len as u64 + 64;
+                }
+                let total: u64 = weight.values().sum();
+                let target = (total / workers as u64).max(1);
+                let mut by_weight: Vec<(u16, u64)> = weight.into_iter().collect();
+                by_weight.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                let mut loads = vec![0u64; workers];
+                let mut algo_shards: BTreeMap<u16, Vec<usize>> = BTreeMap::new();
+                for (algo, w) in by_weight {
+                    let splits = (w.div_ceil(target) as usize).clamp(1, workers);
+                    let mut order: Vec<usize> = (0..workers).collect();
+                    order.sort_by_key(|&s| (loads[s], s));
+                    let chosen: Vec<usize> = order[..splits].to_vec();
+                    for &s in &chosen {
+                        loads[s] += w / splits as u64;
+                    }
+                    algo_shards.insert(algo, chosen);
+                }
+                let mut counters: BTreeMap<u16, usize> = BTreeMap::new();
+                requests
+                    .iter()
+                    .map(|r| {
+                        let shards = &algo_shards[&r.algo_id];
+                        let c = counters.entry(r.algo_id).or_insert(0);
+                        let shard = shards[*c % shards.len()];
+                        *c += 1;
+                        shard
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Engine tuning parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Shards (worker threads, each with its own co-processor).
+    pub workers: usize,
+    /// Bound of each shard's job queue (requests).
+    pub queue_depth: usize,
+    /// Longest same-algorithm run one `invoke_batch` call may absorb.
+    pub batch_max: usize,
+    /// Check every output against the golden software model.
+    pub verify: bool,
+    /// Keep the output bytes (disable for pure timing sweeps).
+    pub collect_outputs: bool,
+    /// Request partitioning policy.
+    pub shard: ShardPolicy,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 4,
+            queue_depth: 64,
+            batch_max: 16,
+            verify: false,
+            collect_outputs: true,
+            shard: ShardPolicy::AlgoModulo,
+        }
+    }
+}
+
+/// The outcome of serving one workload through the pool.
+#[derive(Debug, Clone)]
+pub struct EngineResult {
+    /// Shards that served the workload.
+    pub workers: usize,
+    /// Requests serviced.
+    pub requests: usize,
+    /// Input bytes processed.
+    pub input_bytes: u64,
+    /// Outputs in submission order (when collection was enabled).
+    pub outputs: Option<Vec<Vec<u8>>>,
+    /// Per-request residency-hit classification, submission order.
+    pub per_request_hit: Vec<bool>,
+    /// Per-request modelled service time distribution.
+    pub latency: TimeAccumulator,
+    /// Sum of every request's modelled service time (the serial cost
+    /// of the same work on these shards).
+    pub total_service_time: SimTime,
+    /// Modelled busy time of each shard.
+    pub shard_busy: Vec<SimTime>,
+    /// Modelled completion time: the busiest shard's clock.
+    pub makespan: SimTime,
+    /// Aggregated controller statistics across all shards.
+    pub stats: OsStats,
+    /// `invoke_batch` calls issued.
+    pub batches: u64,
+    /// Requests that rode along in a batch after its first request.
+    pub coalesced: u64,
+}
+
+impl EngineResult {
+    /// Modelled speedup over serial service: total service time
+    /// divided by the makespan.
+    pub fn speedup(&self) -> f64 {
+        if self.makespan.is_zero() {
+            0.0
+        } else {
+            self.total_service_time.as_ns() / self.makespan.as_ns()
+        }
+    }
+
+    /// Modelled throughput in input megabytes per simulated second of
+    /// makespan.
+    pub fn throughput_mb_s(&self) -> f64 {
+        if self.makespan.is_zero() {
+            0.0
+        } else {
+            self.input_bytes as f64 / 1e6 / self.makespan.as_secs()
+        }
+    }
+
+    /// Residency hit rate across all shards.
+    pub fn hit_rate(&self) -> f64 {
+        self.stats.hit_rate()
+    }
+}
+
+/// One queued request.
+struct Job {
+    index: usize,
+    algo_id: u16,
+    input: Vec<u8>,
+}
+
+/// A bounded FIFO of jobs: producers block while full, consumers
+/// block while empty, `close` wakes everyone for shutdown.
+struct BoundedQueue {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+impl BoundedQueue {
+    fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn push(&self, job: Job) {
+        let mut st = self.state.lock().expect("queue lock poisoned");
+        while st.jobs.len() >= self.capacity {
+            st = self.not_full.wait(st).expect("queue lock poisoned");
+        }
+        st.jobs.push_back(job);
+        drop(st);
+        self.not_empty.notify_one();
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("queue lock poisoned").closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Pops the run of consecutive same-algorithm jobs at the head of
+    /// the queue (at most `max`); `None` once the queue is closed and
+    /// drained.
+    fn pop_batch(&self, max: usize) -> Option<Vec<Job>> {
+        let mut st = self.state.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(first) = st.jobs.pop_front() {
+                let algo_id = first.algo_id;
+                let mut batch = vec![first];
+                while batch.len() < max && st.jobs.front().is_some_and(|j| j.algo_id == algo_id) {
+                    batch.push(st.jobs.pop_front().expect("front checked above"));
+                }
+                drop(st);
+                self.not_full.notify_all();
+                return Some(batch);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).expect("queue lock poisoned");
+        }
+    }
+}
+
+struct JobResult {
+    index: usize,
+    output: Vec<u8>,
+    hit: bool,
+    time: SimTime,
+}
+
+struct WorkerOutcome {
+    results: Vec<JobResult>,
+    busy: SimTime,
+    stats: OsStats,
+    batches: u64,
+    coalesced: u64,
+}
+
+/// The sharded co-processor pool.
+pub struct Engine {
+    config: EngineConfig,
+    factory: Box<dyn Fn() -> CoProcessor + Send + Sync>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// An engine whose shards are default co-processors.
+    pub fn new(config: EngineConfig) -> Self {
+        Engine::with_factory(config, CoProcessor::default)
+    }
+
+    /// An engine whose shards are built by `factory` — use this to
+    /// give every shard a custom geometry, policy, codec or
+    /// decoded-cache budget.
+    pub fn with_factory(
+        config: EngineConfig,
+        factory: impl Fn() -> CoProcessor + Send + Sync + 'static,
+    ) -> Self {
+        Engine {
+            config,
+            factory: Box::new(factory),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Serves every request of `workload` through the pool and
+    /// reassembles the results in submission order.
+    ///
+    /// Each shard installs only the algorithms routed to it (install
+    /// time is bring-up, not serving time), services its queue until
+    /// the producer closes it, and reports its modelled busy time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard error: install/invoke failures, or
+    /// [`CoreError::OutputMismatch`] when verification is on.
+    pub fn serve(&self, workload: &Workload) -> Result<EngineResult, CoreError> {
+        let workers = self.config.workers.max(1);
+        let requests = workload.requests();
+        let n = requests.len();
+        if n == 0 {
+            return Ok(EngineResult {
+                workers,
+                requests: 0,
+                input_bytes: 0,
+                outputs: self.config.collect_outputs.then(Vec::new),
+                per_request_hit: Vec::new(),
+                latency: TimeAccumulator::new(),
+                total_service_time: SimTime::ZERO,
+                shard_busy: vec![SimTime::ZERO; workers],
+                makespan: SimTime::ZERO,
+                stats: OsStats::default(),
+                batches: 0,
+                coalesced: 0,
+            });
+        }
+        let assignment = self.config.shard.assign(workload, workers);
+        let mut shard_algos: Vec<BTreeSet<u16>> = vec![BTreeSet::new(); workers];
+        for (req, &shard) in requests.iter().zip(&assignment) {
+            shard_algos[shard].insert(req.algo_id);
+        }
+        let queue_depth = self.config.queue_depth.max(1);
+        let batch_max = self.config.batch_max.max(1);
+        let verify = self.config.verify;
+        let collect = self.config.collect_outputs;
+        let factory = &self.factory;
+        let queues: Vec<BoundedQueue> = (0..workers)
+            .map(|_| BoundedQueue::new(queue_depth))
+            .collect();
+
+        let outcomes: Vec<Result<WorkerOutcome, CoreError>> =
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(workers);
+                for (shard, queue) in queues.iter().enumerate() {
+                    let algos = &shard_algos[shard];
+                    handles.push(scope.spawn(move || {
+                        worker_loop(factory, queue, algos, batch_max, verify, collect)
+                    }));
+                }
+                // This thread is the producer: push in submission order,
+                // blocking whenever a shard's queue is full.
+                for (i, req) in requests.iter().enumerate() {
+                    queues[assignment[i]].push(Job {
+                        index: i,
+                        algo_id: req.algo_id,
+                        input: workload.input(i),
+                    });
+                }
+                for queue in &queues {
+                    queue.close();
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("engine worker panicked"))
+                    .collect()
+            });
+
+        let mut outputs = collect.then(|| vec![Vec::new(); n]);
+        let mut per_request_hit = vec![false; n];
+        let mut times = vec![SimTime::ZERO; n];
+        let mut shard_busy = Vec::with_capacity(workers);
+        let mut stats = OsStats::default();
+        let mut batches = 0u64;
+        let mut coalesced = 0u64;
+        for outcome in outcomes {
+            let outcome = outcome?;
+            shard_busy.push(outcome.busy);
+            stats.merge(&outcome.stats);
+            batches += outcome.batches;
+            coalesced += outcome.coalesced;
+            for r in outcome.results {
+                per_request_hit[r.index] = r.hit;
+                times[r.index] = r.time;
+                if let Some(outs) = outputs.as_mut() {
+                    outs[r.index] = r.output;
+                }
+            }
+        }
+        let mut latency = TimeAccumulator::new();
+        let mut total_service_time = SimTime::ZERO;
+        for &t in &times {
+            latency.push(t);
+            total_service_time += t;
+        }
+        let makespan = shard_busy
+            .iter()
+            .copied()
+            .fold(SimTime::ZERO, |a, b| if b > a { b } else { a });
+        let input_bytes = requests.iter().map(|r| r.input_len as u64).sum();
+        Ok(EngineResult {
+            workers,
+            requests: n,
+            input_bytes,
+            outputs,
+            per_request_hit,
+            latency,
+            total_service_time,
+            shard_busy,
+            makespan,
+            stats,
+            batches,
+            coalesced,
+        })
+    }
+}
+
+fn worker_loop(
+    factory: &(dyn Fn() -> CoProcessor + Send + Sync),
+    queue: &BoundedQueue,
+    algos: &BTreeSet<u16>,
+    batch_max: usize,
+    verify: bool,
+    collect: bool,
+) -> Result<WorkerOutcome, CoreError> {
+    let mut cp = factory();
+    for &algo in algos {
+        cp.install(algo)?;
+    }
+    let golden = verify.then(aaod_algos::AlgorithmBank::standard);
+    let mut outcome = WorkerOutcome {
+        results: Vec::new(),
+        busy: SimTime::ZERO,
+        stats: OsStats::default(),
+        batches: 0,
+        coalesced: 0,
+    };
+    while let Some(batch) = queue.pop_batch(batch_max) {
+        let algo_id = batch[0].algo_id;
+        outcome.batches += 1;
+        outcome.coalesced += batch.len() as u64 - 1;
+        let inputs: Vec<&[u8]> = batch.iter().map(|j| j.input.as_slice()).collect();
+        let served = cp.invoke_batch(algo_id, &inputs)?;
+        for (job, (output, report)) in batch.iter().zip(served) {
+            if let Some(golden) = &golden {
+                let expected = golden
+                    .execute_software(algo_id, &job.input)
+                    .map_err(CoreError::Algo)?;
+                if output != expected {
+                    return Err(CoreError::OutputMismatch {
+                        algo_id,
+                        index: job.index,
+                    });
+                }
+            }
+            let time = report.total();
+            outcome.busy += time;
+            outcome.results.push(JobResult {
+                index: job.index,
+                output: if collect { output } else { Vec::new() },
+                hit: report.hit(),
+                time,
+            });
+        }
+    }
+    outcome.stats = cp.stats();
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aaod_algos::ids;
+
+    /// SHA1(12) + CRC32(2) + CRC8(<=2) + XTEA(6) frames all fit the
+    /// default 96-frame device: no evictions, so hit/miss
+    /// classification is position-independent.
+    const FIT_SET: [u16; 4] = [ids::SHA1, ids::CRC32, ids::CRC8, ids::XTEA];
+
+    fn serial_outputs(workload: &Workload) -> (Vec<Vec<u8>>, Vec<bool>) {
+        let mut cp = CoProcessor::default();
+        for &algo in &workload.distinct_algos() {
+            cp.install(algo).unwrap();
+        }
+        let mut outs = Vec::new();
+        let mut hits = Vec::new();
+        for (i, req) in workload.requests().iter().enumerate() {
+            let (out, report) = cp.invoke(req.algo_id, &workload.input(i)).unwrap();
+            outs.push(out);
+            hits.push(report.hit());
+        }
+        (outs, hits)
+    }
+
+    #[test]
+    fn outputs_identical_to_serial_across_policies_and_widths() {
+        let w = Workload::zipf(&FIT_SET, 60, 1.1, 48, 11);
+        let (expected, _) = serial_outputs(&w);
+        for shard in [
+            ShardPolicy::AlgoModulo,
+            ShardPolicy::RoundRobin,
+            ShardPolicy::Balanced,
+        ] {
+            for workers in [1, 2, 4] {
+                let engine = Engine::new(EngineConfig {
+                    workers,
+                    verify: true,
+                    shard,
+                    ..EngineConfig::default()
+                });
+                let r = engine.serve(&w).unwrap();
+                assert_eq!(
+                    r.outputs.as_ref().unwrap(),
+                    &expected,
+                    "{} x{workers} diverged",
+                    shard.name()
+                );
+                assert_eq!(r.requests, 60);
+                assert_eq!(r.stats.requests, 60);
+            }
+        }
+    }
+
+    #[test]
+    fn hit_classification_matches_serial_when_everything_fits() {
+        let w = Workload::zipf(&FIT_SET, 80, 1.1, 32, 3);
+        let (_, expected_hits) = serial_outputs(&w);
+        let engine = Engine::new(EngineConfig {
+            workers: 4,
+            shard: ShardPolicy::AlgoModulo,
+            ..EngineConfig::default()
+        });
+        let r = engine.serve(&w).unwrap();
+        assert_eq!(r.per_request_hit, expected_hits);
+    }
+
+    #[test]
+    fn makespan_bounded_by_total_and_speedup_sane() {
+        let w = Workload::zipf(&FIT_SET, 120, 1.1, 64, 5);
+        let engine = Engine::new(EngineConfig {
+            workers: 4,
+            shard: ShardPolicy::Balanced,
+            ..EngineConfig::default()
+        });
+        let r = engine.serve(&w).unwrap();
+        assert!(r.makespan <= r.total_service_time);
+        assert!(r.speedup() >= 1.0);
+        assert_eq!(r.shard_busy.len(), 4);
+        let busiest = r
+            .shard_busy
+            .iter()
+            .copied()
+            .fold(SimTime::ZERO, |a, b| if b > a { b } else { a });
+        assert_eq!(busiest, r.makespan);
+    }
+
+    #[test]
+    fn bursty_workload_batches_requests() {
+        let w = Workload::bursty(&FIT_SET, 64, 8, 32, 7);
+        let engine = Engine::new(EngineConfig {
+            workers: 2,
+            ..EngineConfig::default()
+        });
+        let r = engine.serve(&w).unwrap();
+        assert!(
+            r.batches < 64,
+            "64 requests in bursts of 8 must coalesce, got {} batches",
+            r.batches
+        );
+        assert!(r.coalesced > 0);
+        assert_eq!(r.batches + r.coalesced, 64);
+    }
+
+    #[test]
+    fn empty_workload_is_empty_result() {
+        let w = Workload::from_trace(std::iter::empty::<u16>(), 8);
+        let r = Engine::new(EngineConfig::default()).serve(&w).unwrap();
+        assert_eq!(r.requests, 0);
+        assert!(r.makespan.is_zero());
+        assert_eq!(r.speedup(), 0.0);
+        assert_eq!(r.outputs.unwrap().len(), 0);
+    }
+
+    #[test]
+    fn collect_outputs_off_keeps_classification() {
+        let w = Workload::uniform(&FIT_SET, 40, 16, 2);
+        let engine = Engine::new(EngineConfig {
+            collect_outputs: false,
+            ..EngineConfig::default()
+        });
+        let r = engine.serve(&w).unwrap();
+        assert!(r.outputs.is_none());
+        assert_eq!(r.per_request_hit.len(), 40);
+        assert_eq!(r.stats.hits + r.stats.misses, 40);
+    }
+
+    #[test]
+    fn balanced_splits_a_dominant_algorithm() {
+        // One algorithm carries ~90% of the load: balanced sharding
+        // must spread it over several shards.
+        let mut trace = vec![ids::SHA1; 90];
+        trace.extend_from_slice(&[ids::CRC32; 10]);
+        let w = Workload::from_trace(trace, 64);
+        let assignment = ShardPolicy::Balanced.assign(&w, 4);
+        let sha1_shards: BTreeSet<usize> = assignment[..90].iter().copied().collect();
+        assert!(
+            sha1_shards.len() >= 3,
+            "hot algorithm stayed on {sha1_shards:?}"
+        );
+    }
+
+    #[test]
+    fn custom_factory_configures_shards() {
+        let w = Workload::uniform(&[ids::CRC32, ids::CRC8], 20, 16, 9);
+        let engine = Engine::with_factory(
+            EngineConfig {
+                workers: 2,
+                verify: true,
+                ..EngineConfig::default()
+            },
+            || CoProcessor::builder().decoded_cache_bytes(0).build(),
+        );
+        let r = engine.serve(&w).unwrap();
+        assert_eq!(r.stats.decoded_misses, 0, "cache disabled in factory");
+        assert_eq!(r.requests, 20);
+    }
+}

@@ -39,10 +39,12 @@
 
 pub mod baselines;
 pub mod coproc;
+pub mod engine;
 pub mod error;
 pub mod runner;
 
 pub use coproc::{CoProcessor, CoProcessorBuilder, HostReport};
+pub use engine::{Engine, EngineConfig, EngineResult, ShardPolicy};
 pub use error::CoreError;
 pub use runner::{run_workload, Executor, RunResult};
 

@@ -27,6 +27,12 @@ pub trait Executor {
     fn cache_stats(&self) -> Option<(u64, u64, u64)> {
         None
     }
+
+    /// `(decoded_hits, decoded_misses, decoded_bytes_saved)` if the
+    /// executor keeps a decoded-bitstream cache; `None` otherwise.
+    fn decoded_stats(&self) -> Option<(u64, u64, u64)> {
+        None
+    }
 }
 
 impl Executor for CoProcessor {
@@ -42,6 +48,11 @@ impl Executor for CoProcessor {
     fn cache_stats(&self) -> Option<(u64, u64, u64)> {
         let s = self.stats();
         Some((s.hits, s.misses, s.evictions))
+    }
+
+    fn decoded_stats(&self) -> Option<(u64, u64, u64)> {
+        let s = self.stats();
+        Some((s.decoded_hits, s.decoded_misses, s.decoded_bytes_saved))
     }
 }
 
@@ -86,6 +97,12 @@ pub struct RunResult {
     pub misses: Option<u64>,
     /// Evictions, if applicable.
     pub evictions: Option<u64>,
+    /// Decoded-bitstream cache hits, if the executor keeps one.
+    pub decoded_hits: Option<u64>,
+    /// Decoded-bitstream cache misses, if applicable.
+    pub decoded_misses: Option<u64>,
+    /// Decompressed bytes the decoded cache avoided producing.
+    pub decoded_bytes_saved: Option<u64>,
 }
 
 impl RunResult {
@@ -103,6 +120,15 @@ impl RunResult {
             SimTime::ZERO
         } else {
             self.total_time / self.requests as u64
+        }
+    }
+
+    /// Fraction of misses whose decoded frames were already cached,
+    /// if the executor keeps a decoded-bitstream cache and saw a miss.
+    pub fn decoded_hit_rate(&self) -> Option<f64> {
+        match (self.decoded_hits, self.decoded_misses) {
+            (Some(h), Some(m)) if h + m > 0 => Some(h as f64 / (h + m) as f64),
+            _ => None,
         }
     }
 
@@ -133,6 +159,7 @@ pub fn run_workload(
 ) -> Result<RunResult, CoreError> {
     let golden = aaod_algos::AlgorithmBank::standard();
     let cache_before = executor.cache_stats();
+    let decoded_before = executor.decoded_stats();
     let mut latency = TimeAccumulator::new();
     let mut input_bytes = 0u64;
     for (i, req) in workload.requests().iter().enumerate() {
@@ -153,11 +180,20 @@ pub fn run_workload(
         }
     }
     let cache_after = executor.cache_stats();
-    let delta = |f: fn(&(u64, u64, u64)) -> u64| match (&cache_before, &cache_after) {
-        (Some(b), Some(a)) => Some(f(a) - f(b)),
-        (None, Some(a)) => Some(f(a)),
-        _ => None,
-    };
+    let decoded_after = executor.decoded_stats();
+    fn deltas(
+        before: &Option<(u64, u64, u64)>,
+        after: &Option<(u64, u64, u64)>,
+        f: fn(&(u64, u64, u64)) -> u64,
+    ) -> Option<u64> {
+        match (before, after) {
+            (Some(b), Some(a)) => Some(f(a) - f(b)),
+            (None, Some(a)) => Some(f(a)),
+            _ => None,
+        }
+    }
+    let delta = |f: fn(&(u64, u64, u64)) -> u64| deltas(&cache_before, &cache_after, f);
+    let decoded = |f: fn(&(u64, u64, u64)) -> u64| deltas(&decoded_before, &decoded_after, f);
     Ok(RunResult {
         executor: executor.name(),
         workload: workload.name().to_string(),
@@ -167,6 +203,9 @@ pub fn run_workload(
         hits: delta(|s| s.0),
         misses: delta(|s| s.1),
         evictions: delta(|s| s.2),
+        decoded_hits: decoded(|s| s.0),
+        decoded_misses: decoded(|s| s.1),
+        decoded_bytes_saved: decoded(|s| s.2),
         latency,
     })
 }
@@ -218,10 +257,31 @@ mod tests {
         let frames = cp.os().table().get(ids::POPCNT8).unwrap().frames.clone();
         let mut bytes = cp.os().device().read_frame(frames[0]).unwrap().to_vec();
         bytes[60] ^= 0xFF;
-        cp.os_mut().device_mut().write_frame(frames[0], &bytes).unwrap();
+        cp.os_mut()
+            .device_mut()
+            .write_frame(frames[0], &bytes)
+            .unwrap();
         let w = Workload::from_trace([ids::POPCNT8], 16);
         let err = run_workload(&mut cp, &w, true).unwrap_err();
         assert!(matches!(err, CoreError::Mcu(_)), "{err}");
+    }
+
+    #[test]
+    fn decoded_stats_surface_in_result() {
+        // Hit-after-eviction behaviour is covered in aaod-mcu; this
+        // only asserts the counters flow through the runner.
+        let mut cp = installed_coproc(&[ids::CRC32]);
+        let w = Workload::from_trace([ids::CRC32, ids::CRC32], 16);
+        let r = run_workload(&mut cp, &w, true).unwrap();
+        assert_eq!(r.decoded_hits, Some(0));
+        assert_eq!(r.decoded_misses, Some(1));
+        assert!(r.decoded_bytes_saved.is_some());
+        assert_eq!(r.decoded_hit_rate(), Some(0.0));
+
+        let mut sw = SoftwareExecutor::new();
+        let r = run_workload(&mut sw, &w, true).unwrap();
+        assert!(r.decoded_hits.is_none());
+        assert!(r.decoded_hit_rate().is_none());
     }
 
     #[test]

@@ -1,0 +1,251 @@
+//! A dependency-free, criterion-compatible benchmark harness.
+//!
+//! The experiment benches were written against the small slice of the
+//! `criterion` API below (`Criterion::default().sample_size(..)`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros). Pulling the real crate
+//! from crates.io is impossible in hermetic/offline build environments,
+//! so this crate provides the same surface with a simple wall-clock
+//! sampler: per benchmark it warms up, picks an iteration count that
+//! fills one sample, takes `sample_size` samples, and prints
+//! mean/min/max nanoseconds per iteration.
+//!
+//! When invoked with a `--test` argument (as `cargo test` does for
+//! `harness = false` bench targets) each benchmark body runs exactly
+//! once, keeping the test suite fast.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Runs one benchmark body repeatedly and records the elapsed time.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f` (or a single call in `--test` mode).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let iters = if self.test_mode { 1 } else { self.iters.max(1) };
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+/// Sampling configuration, mirroring `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up duration before sampling starts.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total measurement budget for one benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+        }
+    }
+
+    /// Runs a stand-alone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        let header = id.as_ref().to_owned();
+        self.run_one(&header, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&self, label: &str, mut f: F) {
+        if self.test_mode {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+                test_mode: true,
+            };
+            f(&mut b);
+            println!("bench {label}: ok (test mode, 1 iteration)");
+            return;
+        }
+        // Warm-up: also estimates the cost of one iteration.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+            test_mode: false,
+        };
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        let mut warm_elapsed = Duration::ZERO;
+        while warm_start.elapsed() < self.warm_up_time {
+            f(&mut b);
+            warm_iters += b.iters;
+            warm_elapsed += b.elapsed;
+        }
+        let per_iter = if warm_iters > 0 && !warm_elapsed.is_zero() {
+            warm_elapsed.as_secs_f64() / warm_iters as f64
+        } else {
+            1e-6
+        };
+        let sample_budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((sample_budget / per_iter) as u64).max(1);
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.iters = iters_per_sample;
+            f(&mut b);
+            samples_ns.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+        }
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let min = samples_ns.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples_ns.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "bench {label}: mean {mean:.0} ns/iter (min {min:.0}, max {max:.0}, \
+             {n} samples x {iters_per_sample} iters)",
+            n = samples_ns.len(),
+        );
+    }
+
+    /// Called by [`criterion_main!`] after all groups ran.
+    pub fn final_summary(&self) {}
+}
+
+/// A named collection of benchmarks sharing one [`Criterion`] config.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.as_ref());
+        self.criterion.run_one(&label, f);
+        self
+    }
+
+    /// Ends the group (provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Re-export of [`std::hint::black_box`], as the real crate provides.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_closure_and_counts() {
+        let mut calls = 0u64;
+        let mut b = Bencher {
+            iters: 5,
+            elapsed: Duration::ZERO,
+            test_mode: false,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 5);
+        assert_eq!(b.iters, 5);
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        c.test_mode = false;
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group.bench_function("f", |b| b.iter(|| ran = true));
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            ..Criterion::default()
+        };
+        let mut calls = 0u64;
+        c.bench_function("once", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+}

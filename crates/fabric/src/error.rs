@@ -50,10 +50,16 @@ impl fmt::Display for FabricError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FabricError::FrameOutOfRange { addr, frames } => {
-                write!(f, "frame address {addr} outside device with {frames} frames")
+                write!(
+                    f,
+                    "frame address {addr} outside device with {frames} frames"
+                )
             }
             FabricError::FrameSizeMismatch { got, expected } => {
-                write!(f, "frame payload of {got} bytes, geometry requires {expected}")
+                write!(
+                    f,
+                    "frame payload of {got} bytes, geometry requires {expected}"
+                )
             }
             FabricError::ImageDecode(msg) => write!(f, "cannot decode function image: {msg}"),
             FabricError::DigestMismatch { stored, computed } => write!(
@@ -82,7 +88,10 @@ mod tests {
             addr: FrameAddress(9),
             frames: 4,
         };
-        assert_eq!(e.to_string(), "frame address F9 outside device with 4 frames");
+        assert_eq!(
+            e.to_string(),
+            "frame address F9 outside device with 4 frames"
+        );
         let e = FabricError::DigestMismatch {
             stored: 1,
             computed: 2,

@@ -210,7 +210,7 @@ impl FunctionImage {
         out.extend_from_slice(&self.output_width.to_le_bytes());
         out.extend_from_slice(&(self.body.len() as u32).to_le_bytes());
         out.extend_from_slice(&[0u8; 8]); // digest placeholder
-        // 24..40 reserved
+                                          // 24..40 reserved
         out.extend_from_slice(&[0u8; DESCRIPTOR_BYTES - 24]);
         out.extend_from_slice(&self.body);
         let digest = fnv1a64(&out);
@@ -273,11 +273,8 @@ impl FunctionImage {
         let input_width = u16::from_le_bytes([data[8], data[9]]);
         let output_width = u16::from_le_bytes([data[10], data[11]]);
         let body_len = u32::from_le_bytes([data[12], data[13], data[14], data[15]]) as usize;
-        let stored = u64::from_le_bytes(
-            data[16..24]
-                .try_into()
-                .expect("slice length checked above"),
-        );
+        let stored =
+            u64::from_le_bytes(data[16..24].try_into().expect("slice length checked above"));
         let body_start = DESCRIPTOR_BYTES;
         if data.len() < body_start + body_len {
             return Err(FabricError::ImageDecode(format!(
@@ -550,13 +547,7 @@ mod tests {
         let state = b.inputs(8);
         let next = b.xor_vec(&data, &state);
         b.output_vec(&next);
-        let img = FunctionImage::from_netlist(
-            2,
-            b.finish().unwrap(),
-            NetlistMode::Streaming,
-            1,
-            1,
-        );
+        let img = FunctionImage::from_netlist(2, b.finish().unwrap(), NetlistMode::Streaming, 1, 1);
         let out = img.run_netlist(&[0xA5, 0x5A, 0xFF]).unwrap();
         assert_eq!(out, vec![0xA5 ^ 0x5A ^ 0xFF]);
     }

@@ -435,11 +435,18 @@ mod tests {
     fn basic_gates_truth_tables() {
         for (build, table) in [
             (
-                Box::new(|b: &mut NetlistBuilder, x, y| b.and2(x, y)) as Box<dyn Fn(&mut NetlistBuilder, NetId, NetId) -> NetId>,
+                Box::new(|b: &mut NetlistBuilder, x, y| b.and2(x, y))
+                    as Box<dyn Fn(&mut NetlistBuilder, NetId, NetId) -> NetId>,
                 [false, false, false, true],
             ),
-            (Box::new(|b: &mut NetlistBuilder, x, y| b.or2(x, y)), [false, true, true, true]),
-            (Box::new(|b: &mut NetlistBuilder, x, y| b.xor2(x, y)), [false, true, true, false]),
+            (
+                Box::new(|b: &mut NetlistBuilder, x, y| b.or2(x, y)),
+                [false, true, true, true],
+            ),
+            (
+                Box::new(|b: &mut NetlistBuilder, x, y| b.xor2(x, y)),
+                [false, true, true, false],
+            ),
         ] {
             let mut b = NetlistBuilder::new();
             let x = b.input();
@@ -527,7 +534,11 @@ mod tests {
         let nl = b.finish().unwrap();
         for byte in [0u8, 1, 3, 0xFF, 0xA5] {
             let bits = bytes_to_bits(&[byte]);
-            assert_eq!(eval1(&nl, &bits), byte.count_ones() % 2 == 1, "byte {byte:#x}");
+            assert_eq!(
+                eval1(&nl, &bits),
+                byte.count_ones() % 2 == 1,
+                "byte {byte:#x}"
+            );
         }
     }
 

@@ -327,7 +327,10 @@ mod tests {
         let done = Response::Done.encode();
         let empty = Response::Resident(Vec::new()).encode();
         assert_ne!(done, empty);
-        assert_eq!(Response::decode(&empty).unwrap(), Response::Resident(Vec::new()));
+        assert_eq!(
+            Response::decode(&empty).unwrap(),
+            Response::Resident(Vec::new())
+        );
     }
 
     #[test]

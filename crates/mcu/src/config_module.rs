@@ -86,6 +86,75 @@ impl ConfigModule {
         port: &ConfigPort,
         addrs: &[FrameAddress],
     ) -> Result<ConfigReport, McuError> {
+        self.configure_inner(encoded, device, port, addrs, false)
+            .map(|(report, _)| report)
+    }
+
+    /// As [`ConfigModule::configure`], but also returns the decoded
+    /// frames so the caller can retain them (the decoded-bitstream
+    /// cache does).
+    ///
+    /// # Errors
+    ///
+    /// As [`ConfigModule::configure`].
+    pub fn configure_collect(
+        &self,
+        encoded: &[u8],
+        device: &mut Device,
+        port: &ConfigPort,
+        addrs: &[FrameAddress],
+    ) -> Result<(ConfigReport, Vec<Vec<u8>>), McuError> {
+        self.configure_inner(encoded, device, port, addrs, true)
+    }
+
+    /// Configures `device` at `addrs` from already-decoded `frames`
+    /// (a decoded-bitstream cache hit): no ROM fetch and no
+    /// decompression happen, so the report carries configuration-port
+    /// time only.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McuError::RecordMismatch`] if the frame count or any
+    /// frame's size disagrees with `addrs`/the device geometry, and
+    /// fabric errors from the port writes.
+    pub fn configure_decoded(
+        &self,
+        frames: &[Vec<u8>],
+        device: &mut Device,
+        port: &ConfigPort,
+        addrs: &[FrameAddress],
+    ) -> Result<ConfigReport, McuError> {
+        if addrs.len() != frames.len() {
+            return Err(McuError::RecordMismatch(format!(
+                "{} frame addresses supplied for {} decoded frames",
+                addrs.len(),
+                frames.len()
+            )));
+        }
+        let frame_bytes = device.geometry().frame_bytes();
+        let mut report = ConfigReport::default();
+        for (frame, &addr) in frames.iter().zip(addrs) {
+            if frame.len() != frame_bytes {
+                return Err(McuError::RecordMismatch(format!(
+                    "decoded frame size {} != device frame size {frame_bytes}",
+                    frame.len()
+                )));
+            }
+            report.port_time += port.write_frame(device, addr, frame)?;
+            report.frames_written += 1;
+            report.bytes += frame.len();
+        }
+        Ok(report)
+    }
+
+    fn configure_inner(
+        &self,
+        encoded: &[u8],
+        device: &mut Device,
+        port: &ConfigPort,
+        addrs: &[FrameAddress],
+        collect: bool,
+    ) -> Result<(ConfigReport, Vec<Vec<u8>>), McuError> {
         let header = BitstreamHeader::parse(encoded)?;
         let payload = &encoded[HEADER_BYTES..];
         header.verify_payload(payload)?;
@@ -110,6 +179,7 @@ impl ConfigModule {
         let mut frame_buf = Vec::with_capacity(frame_bytes);
         let mut report = ConfigReport::default();
         let mut next_frame = 0usize;
+        let mut collected: Vec<Vec<u8>> = Vec::new();
 
         loop {
             let n = decoder.read(&mut window_buf)?;
@@ -130,6 +200,9 @@ impl ConfigModule {
                         )));
                     }
                     report.port_time += port.write_frame(device, addrs[next_frame], &frame_buf)?;
+                    if collect {
+                        collected.push(frame_buf.clone());
+                    }
                     next_frame += 1;
                     frame_buf.clear();
                 }
@@ -148,7 +221,7 @@ impl ConfigModule {
             + WINDOW_OVERHEAD_CYCLES * report.windows;
         report.decompress_time = self.clock.cycles(decompress_cycles);
         report.frames_written = next_frame;
-        Ok(report)
+        Ok((report, collected))
     }
 }
 
@@ -220,6 +293,60 @@ mod tests {
         }
         assert!(counts[0] > counts[1], "smaller window => more windows");
         assert!(counts[1] >= counts[2]);
+    }
+
+    #[test]
+    fn collect_returns_device_identical_frames() {
+        let (_geom, mut device, port, encoded, n) = setup();
+        let addrs: Vec<FrameAddress> = (0..n as u16).map(FrameAddress).collect();
+        let module = ConfigModule::new(64, aaod_sim::clock::domains::mcu());
+        let (report, frames) = module
+            .configure_collect(&encoded, &mut device, &port, &addrs)
+            .unwrap();
+        assert_eq!(frames.len(), n);
+        assert_eq!(report.frames_written, n);
+        for (frame, &addr) in frames.iter().zip(&addrs) {
+            assert_eq!(device.read_frame(addr).unwrap(), frame.as_slice());
+        }
+    }
+
+    #[test]
+    fn configure_decoded_skips_decompression_cost() {
+        let (_geom, mut device, port, encoded, n) = setup();
+        let addrs: Vec<FrameAddress> = (0..n as u16).map(FrameAddress).collect();
+        let module = ConfigModule::new(64, aaod_sim::clock::domains::mcu());
+        let (full, frames) = module
+            .configure_collect(&encoded, &mut device, &port, &addrs)
+            .unwrap();
+        // replay the decoded frames onto a fresh device
+        let mut fresh = Device::new(DeviceGeometry::new(16, 2));
+        let report = module
+            .configure_decoded(&frames, &mut fresh, &port, &addrs)
+            .unwrap();
+        assert_eq!(report.decompress_time, SimTime::ZERO);
+        assert_eq!(report.port_time, full.port_time);
+        assert_eq!(report.frames_written, n);
+        assert_eq!(fresh.decode_function(&addrs).unwrap().algo_id(), 3);
+    }
+
+    #[test]
+    fn configure_decoded_validates_shapes() {
+        let (_geom, mut device, port, encoded, n) = setup();
+        let addrs: Vec<FrameAddress> = (0..n as u16).map(FrameAddress).collect();
+        let module = ConfigModule::new(64, aaod_sim::clock::domains::mcu());
+        let (_, frames) = module
+            .configure_collect(&encoded, &mut device, &port, &addrs)
+            .unwrap();
+        assert!(matches!(
+            module.configure_decoded(&frames[1..], &mut device, &port, &addrs),
+            Err(McuError::RecordMismatch(_))
+        ));
+        let mut short = frames.clone();
+        short[0].pop();
+        assert!(matches!(
+            module.configure_decoded(&short, &mut device, &port, &addrs),
+            Err(McuError::RecordMismatch(_))
+        ));
     }
 
     #[test]

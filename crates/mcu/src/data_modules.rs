@@ -63,7 +63,8 @@ impl DataInputModule {
         if padded > input.len() {
             // explicit zero pad so the FPGA sees whole words
             let pad = vec![0u8; padded - input.len()];
-            ram.write(offset + input.len(), &pad).map_err(McuError::Mem)?;
+            ram.write(offset + input.len(), &pad)
+                .map_err(McuError::Mem)?;
         }
         // DMA-style overlap: the RAM fill and the FPGA-bus drain
         // proceed concurrently, so the slower of the two dominates,
@@ -72,7 +73,10 @@ impl DataInputModule {
         let bus_time = self
             .clock
             .cycles((padded as u64).div_ceil(FPGA_BUS_BYTES_PER_CYCLE));
-        Ok((padded, ram_time.max(bus_time) + self.clock.cycles(SETUP_CYCLES)))
+        Ok((
+            padded,
+            ram_time.max(bus_time) + self.clock.cycles(SETUP_CYCLES),
+        ))
     }
 }
 
@@ -113,13 +117,17 @@ impl OutputCollectionModule {
         ram.write(offset, output).map_err(McuError::Mem)?;
         if padded > output.len() {
             let pad = vec![0u8; padded - output.len()];
-            ram.write(offset + output.len(), &pad).map_err(McuError::Mem)?;
+            ram.write(offset + output.len(), &pad)
+                .map_err(McuError::Mem)?;
         }
         let ram_time = timing.ram_time(padded as u64);
         let bus_time = self
             .clock
             .cycles((padded as u64).div_ceil(FPGA_BUS_BYTES_PER_CYCLE));
-        Ok((padded, ram_time.max(bus_time) + self.clock.cycles(SETUP_CYCLES)))
+        Ok((
+            padded,
+            ram_time.max(bus_time) + self.clock.cycles(SETUP_CYCLES),
+        ))
     }
 }
 
@@ -141,9 +149,7 @@ mod tests {
         let module = DataInputModule::new(aaod_sim::clock::domains::mcu());
         let mut ram = LocalRam::new(64);
         let timing = MemTiming::default();
-        let (padded, t) = module
-            .stage(&mut ram, &timing, 0, &[0xFF; 5], 8)
-            .unwrap();
+        let (padded, t) = module.stage(&mut ram, &timing, 0, &[0xFF; 5], 8).unwrap();
         assert_eq!(padded, 8);
         assert!(t > SimTime::ZERO);
         // pad bytes are zero
@@ -157,7 +163,10 @@ mod tests {
         let timing = MemTiming::default();
         assert!(matches!(
             module.stage(&mut ram, &timing, 8, &[0; 12], 4),
-            Err(McuError::RamTooSmall { needed: 20, capacity: 16 })
+            Err(McuError::RamTooSmall {
+                needed: 20,
+                capacity: 16
+            })
         ));
     }
 
@@ -180,7 +189,9 @@ mod tests {
         let timing = MemTiming::default();
         let mut ram = LocalRam::new(4096);
         let (p_narrow, _) = module.stage(&mut ram, &timing, 0, &[0; 100], 4).unwrap();
-        let (p_wide, _) = module.stage(&mut ram, &timing, 1024, &[0; 100], 64).unwrap();
+        let (p_wide, _) = module
+            .stage(&mut ram, &timing, 1024, &[0; 100], 64)
+            .unwrap();
         assert_eq!(p_narrow, 100);
         assert_eq!(p_wide, 128);
     }

@@ -1,0 +1,189 @@
+//! Decoded-bitstream cache (serving-engine extension).
+//!
+//! The paper's miss path decompresses the ROM bitstream window by
+//! window on *every* swap-in, even when the same function was decoded
+//! moments ago and merely evicted from the fabric. This module caches
+//! the decompressed frame words in controller RAM: a re-miss after
+//! eviction skips the LZSS/Huffman work and pays only the
+//! configuration-port cost. The cache is a bounded LRU keyed by
+//! `(algo_id, codec)` — the codec participates so a ROM image
+//! re-downloaded under a different codec can never alias a stale entry.
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// Cache key: the function and the codec its ROM bitstream used.
+pub type DecodedKey = (u16, u8);
+
+/// A bounded LRU of decompressed configuration frames.
+#[derive(Debug, Clone, Default)]
+pub struct DecodedCache {
+    capacity_bytes: usize,
+    entries: BTreeMap<DecodedKey, Vec<Vec<u8>>>,
+    /// Recency order, least recently used at the front.
+    order: VecDeque<DecodedKey>,
+    bytes: usize,
+}
+
+impl DecodedCache {
+    /// Creates a cache bounded to `capacity_bytes` of decoded frame
+    /// data. A zero capacity disables the cache entirely.
+    pub fn new(capacity_bytes: usize) -> Self {
+        DecodedCache {
+            capacity_bytes,
+            ..DecodedCache::default()
+        }
+    }
+
+    /// Whether the cache stores anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity_bytes > 0
+    }
+
+    /// The configured bound in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Decoded bytes currently held.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Number of cached functions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks `key` up, promoting it to most recently used.
+    pub fn get(&mut self, key: &DecodedKey) -> Option<&[Vec<u8>]> {
+        if !self.entries.contains_key(key) {
+            return None;
+        }
+        self.touch(*key);
+        self.entries.get(key).map(Vec::as_slice)
+    }
+
+    /// Whether `key` is cached, without promoting it.
+    pub fn contains(&self, key: &DecodedKey) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Inserts decoded `frames` under `key`, evicting least recently
+    /// used entries until the byte bound holds. An entry larger than
+    /// the whole cache is not stored. Returns the number of entries
+    /// evicted.
+    pub fn insert(&mut self, key: DecodedKey, frames: Vec<Vec<u8>>) -> usize {
+        if !self.is_enabled() {
+            return 0;
+        }
+        let size: usize = frames.iter().map(Vec::len).sum();
+        if size > self.capacity_bytes {
+            return 0;
+        }
+        if let Some(old) = self.entries.remove(&key) {
+            self.bytes -= old.iter().map(Vec::len).sum::<usize>();
+            self.order.retain(|k| k != &key);
+        }
+        let mut evicted = 0;
+        while self.bytes + size > self.capacity_bytes {
+            let victim = self.order.pop_front().expect("bytes > 0 implies entries");
+            let old = self.entries.remove(&victim).expect("order tracks entries");
+            self.bytes -= old.iter().map(Vec::len).sum::<usize>();
+            evicted += 1;
+        }
+        self.bytes += size;
+        self.entries.insert(key, frames);
+        self.order.push_back(key);
+        evicted
+    }
+
+    /// Drops every entry.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+        self.bytes = 0;
+    }
+
+    fn touch(&mut self, key: DecodedKey) {
+        self.order.retain(|k| k != &key);
+        self.order.push_back(key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frames(n: usize, bytes_each: usize, fill: u8) -> Vec<Vec<u8>> {
+        (0..n).map(|_| vec![fill; bytes_each]).collect()
+    }
+
+    #[test]
+    fn insert_and_get_roundtrip() {
+        let mut c = DecodedCache::new(1024);
+        assert!(c.is_enabled());
+        c.insert((1, 0), frames(3, 16, 0xAA));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.bytes(), 48);
+        let got = c.get(&(1, 0)).expect("cached");
+        assert_eq!(got.len(), 3);
+        assert!(got.iter().all(|f| f == &vec![0xAA; 16]));
+        assert!(c.get(&(1, 1)).is_none(), "codec participates in the key");
+    }
+
+    #[test]
+    fn lru_eviction_under_byte_bound() {
+        let mut c = DecodedCache::new(100);
+        c.insert((1, 0), frames(1, 40, 1));
+        c.insert((2, 0), frames(1, 40, 2));
+        // touch 1 so 2 becomes the LRU victim
+        assert!(c.get(&(1, 0)).is_some());
+        let evicted = c.insert((3, 0), frames(1, 40, 3));
+        assert_eq!(evicted, 1);
+        assert!(c.contains(&(1, 0)));
+        assert!(!c.contains(&(2, 0)));
+        assert!(c.contains(&(3, 0)));
+        assert!(c.bytes() <= 100);
+    }
+
+    #[test]
+    fn oversized_entry_not_cached() {
+        let mut c = DecodedCache::new(10);
+        c.insert((1, 0), frames(1, 11, 0));
+        assert!(c.is_empty());
+        assert_eq!(c.bytes(), 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_leaking_bytes() {
+        let mut c = DecodedCache::new(100);
+        c.insert((1, 0), frames(1, 30, 1));
+        c.insert((1, 0), frames(1, 50, 2));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.bytes(), 50);
+        assert_eq!(c.get(&(1, 0)).unwrap()[0][0], 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = DecodedCache::new(0);
+        assert!(!c.is_enabled());
+        c.insert((1, 0), frames(1, 1, 0));
+        assert!(c.is_empty());
+        assert!(c.get(&(1, 0)).is_none());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut c = DecodedCache::new(100);
+        c.insert((1, 0), frames(2, 10, 0));
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.bytes(), 0);
+    }
+}

@@ -58,7 +58,10 @@ impl fmt::Display for McuError {
             ),
             McuError::RecordMismatch(msg) => write!(f, "rom record mismatch: {msg}"),
             McuError::RamTooSmall { needed, capacity } => {
-                write!(f, "local ram too small: need {needed} bytes, have {capacity}")
+                write!(
+                    f,
+                    "local ram too small: need {needed} bytes, have {capacity}"
+                )
             }
         }
     }

@@ -92,10 +92,7 @@ impl FreeFrameList {
     /// bookkeeping bug) or out of range.
     pub fn release(&mut self, frames: &[FrameAddress]) {
         for &addr in frames {
-            assert!(
-                !self.free[addr.index()],
-                "double release of frame {addr}"
-            );
+            assert!(!self.free[addr.index()], "double release of frame {addr}");
             self.free[addr.index()] = true;
         }
     }

@@ -45,6 +45,7 @@
 pub mod command;
 pub mod config_module;
 pub mod data_modules;
+pub mod decoded_cache;
 pub mod error;
 pub mod free_frames;
 pub mod mini_os;
@@ -55,6 +56,7 @@ pub mod stats;
 pub use command::{Command, Response};
 pub use config_module::{ConfigModule, ConfigReport};
 pub use data_modules::{DataInputModule, OutputCollectionModule};
+pub use decoded_cache::DecodedCache;
 pub use error::McuError;
 pub use free_frames::FreeFrameList;
 pub use mini_os::{InvokeReport, MiniOs, MiniOsConfig, ReconfigMode, ScrubReport};

@@ -18,8 +18,9 @@
 //! Every step contributes to a per-invocation [`InvokeReport`] and the
 //! cumulative [`OsStats`].
 
-use crate::config_module::ConfigModule;
+use crate::config_module::{ConfigModule, ConfigReport};
 use crate::data_modules::{DataInputModule, OutputCollectionModule};
+use crate::decoded_cache::DecodedCache;
 use crate::error::McuError;
 use crate::free_frames::FreeFrameList;
 use crate::replacement::{LruPolicy, ReplacementPolicy, ReplacementTable};
@@ -27,8 +28,8 @@ use crate::stats::OsStats;
 use aaod_algos::{AlgoError, AlgorithmBank};
 use aaod_bitstream::codec::{registry, CodecId};
 use aaod_bitstream::{Bitstream, BitstreamHeader};
-use aaod_fabric::{ConfigPort, Device, DeviceGeometry, FunctionKind};
-use aaod_mem::{LocalRam, MemError, MemTiming, RecordFields, Rom, RECORD_BYTES};
+use aaod_fabric::{ConfigPort, Device, DeviceGeometry, FrameAddress, FunctionImage, FunctionKind};
+use aaod_mem::{FunctionRecord, LocalRam, MemError, MemTiming, RecordFields, Rom, RECORD_BYTES};
 use aaod_sim::{Clock, SimTime};
 
 /// How the controller reconfigures the device on a miss.
@@ -66,6 +67,10 @@ pub struct MiniOsConfig {
     /// evict per the replacement policy, but never the just-invoked
     /// function.
     pub prefetch: bool,
+    /// Controller RAM devoted to the decoded-bitstream cache
+    /// (extension; see [`crate::decoded_cache`]). Zero disables it,
+    /// making every miss decompress from ROM.
+    pub decoded_cache_bytes: usize,
 }
 
 impl Default for MiniOsConfig {
@@ -80,6 +85,7 @@ impl Default for MiniOsConfig {
             bank: AlgorithmBank::standard(),
             mode: ReconfigMode::Partial,
             prefetch: false,
+            decoded_cache_bytes: 64 * 1024,
         }
     }
 }
@@ -95,6 +101,7 @@ impl std::fmt::Debug for MiniOsConfig {
             .field("policy", &self.policy.name())
             .field("mode", &self.mode)
             .field("prefetch", &self.prefetch)
+            .field("decoded_cache_bytes", &self.decoded_cache_bytes)
             .finish()
     }
 }
@@ -106,6 +113,9 @@ pub struct InvokeReport {
     pub algo_id: u16,
     /// Whether the function was already resident.
     pub hit: bool,
+    /// Whether a miss was served from the decoded-bitstream cache
+    /// (skipping ROM fetch and decompression). Always false on a hit.
+    pub decoded_cache_hit: bool,
     /// Algorithms evicted to make room (empty on a hit).
     pub evicted: Vec<u16>,
     /// Record-table lookup time.
@@ -134,6 +144,15 @@ impl InvokeReport {
     }
 }
 
+/// What [`MiniOs::ensure_resident`] did to make a function resident.
+struct ResidencyOutcome {
+    hit: bool,
+    decoded_cache_hit: bool,
+    evicted: Vec<u16>,
+    rom_time: SimTime,
+    reconfig_time: SimTime,
+}
+
 /// The outcome of one scrub pass over the resident functions.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ScrubReport {
@@ -157,6 +176,7 @@ pub struct MiniOs {
     data_out: OutputCollectionModule,
     free: FreeFrameList,
     table: ReplacementTable,
+    decoded: DecodedCache,
     policy: Box<dyn ReplacementPolicy>,
     bank: AlgorithmBank,
     codec: CodecId,
@@ -199,6 +219,7 @@ impl MiniOs {
             data_out: OutputCollectionModule::new(mcu_clock),
             free: FreeFrameList::new(config.geometry.frames()),
             table: ReplacementTable::new(),
+            decoded: DecodedCache::new(config.decoded_cache_bytes),
             policy: config.policy,
             bank: config.bank,
             codec: config.codec,
@@ -278,131 +299,45 @@ impl MiniOs {
         algo_id: u16,
         input: &[u8],
     ) -> Result<(Vec<u8>, InvokeReport), McuError> {
-        self.policy.on_request(algo_id);
-        self.predictor.observe(algo_id);
+        let mut results = self.invoke_batch(algo_id, &[input])?;
+        Ok(results.pop().expect("one input yields one result"))
+    }
 
-        // 1. record lookup
-        let probes_before = self.rom.record_probes();
-        let record = self
-            .rom
-            .lookup(algo_id)
-            .ok_or(McuError::Mem(MemError::RecordNotFound(algo_id)))?;
-        let probes = self.rom.record_probes() - probes_before;
-        let lookup_time = self
-            .mem_timing
-            .rom_read_time(probes * RECORD_BYTES as u64);
-
-        // 2. residency
-        let hit = self.table.contains(algo_id);
-        let mut evicted = Vec::new();
-        let mut rom_time = SimTime::ZERO;
-        let mut reconfig_time = SimTime::ZERO;
-        if !hit {
-            let needed = record.n_frames as usize;
-            if needed > self.device.geometry().frames() {
-                return Err(McuError::FunctionTooLarge {
-                    algo_id,
-                    frames: needed,
-                    device_frames: self.device.geometry().frames(),
-                });
-            }
-            let encoded = {
-                let bytes = self.rom.bitstream_bytes(&record).to_vec();
-                rom_time = self.mem_timing.rom_read_time(bytes.len() as u64);
-                bytes
-            };
-            match self.mode {
-                ReconfigMode::Partial => {
-                    while self.free.free_count() < needed {
-                        let victim = self
-                            .policy
-                            .victim(&self.table)
-                            .expect("non-empty table when frames are insufficient");
-                        let residency = self
-                            .table
-                            .remove(victim)
-                            .expect("policy returned a resident algorithm");
-                        self.free.release(&residency.frames);
-                        self.prefetched.remove(&victim);
-                        evicted.push(victim);
-                        self.stats.evictions += 1;
-                    }
-                    let frames = self
-                        .free
-                        .allocate(needed)
-                        .expect("free count verified above");
-                    let report = match self.config_module.configure(
-                        &encoded,
-                        &mut self.device,
-                        &self.port,
-                        &frames,
-                    ) {
-                        Ok(r) => r,
-                        Err(e) => {
-                            // a failed configuration must not leak the
-                            // frames it was given
-                            self.free.release(&frames);
-                            return Err(e);
-                        }
-                    };
-                    reconfig_time = report.total();
-                    self.stats.frames_configured += report.frames_written as u64;
-                    self.table.insert(algo_id, frames, self.now);
-                }
-                ReconfigMode::Full => {
-                    // Everything resident is lost on a full reconfig.
-                    for id in self.table.resident_ids() {
-                        self.table.remove(id);
-                        evicted.push(id);
-                        self.stats.evictions += 1;
-                    }
-                    self.free.reset();
-                    let frames = self
-                        .free
-                        .allocate(needed)
-                        .expect("fresh free list fits any checked function");
-                    // decompress (windowed, same engine), then pay the
-                    // full-device configuration cost instead of the
-                    // per-frame cost.
-                    let report = match self.config_module.configure(
-                        &encoded,
-                        &mut self.device,
-                        &self.port,
-                        &frames,
-                    ) {
-                        Ok(r) => r,
-                        Err(e) => {
-                            self.free.release(&frames);
-                            return Err(e);
-                        }
-                    };
-                    let full_penalty = self
-                        .port
-                        .full_time(self.device.geometry())
-                        .saturating_sub(report.port_time);
-                    reconfig_time = report.total() + full_penalty;
-                    self.stats.frames_configured += self.device.geometry().frames() as u64;
-                    self.table.insert(algo_id, frames, self.now);
-                }
-            }
-            self.stats.misses += 1;
-        } else {
-            self.stats.hits += 1;
-            if self.prefetched.remove(&algo_id) {
-                self.stats.prefetch_hits += 1;
-            }
+    /// Services a batch of requests for the *same* function,
+    /// coalescing the miss cost: the record lookup, residency check,
+    /// (re)configuration and frame-bits image decode are paid once for
+    /// the whole batch, then each input is staged, executed and
+    /// collected individually. The first report carries the shared
+    /// costs; the remaining requests are hits by construction.
+    ///
+    /// Outputs are byte-identical to invoking the inputs one by one —
+    /// this is what lets the serving engine batch queued misses.
+    ///
+    /// # Errors
+    ///
+    /// As [`MiniOs::invoke`]. A per-input failure (e.g. a kernel input
+    /// error) aborts the batch; earlier inputs' effects stand, exactly
+    /// as if they had been invoked serially.
+    pub fn invoke_batch(
+        &mut self,
+        algo_id: u16,
+        inputs: &[&[u8]],
+    ) -> Result<Vec<(Vec<u8>, InvokeReport)>, McuError> {
+        if inputs.is_empty() {
+            return Ok(Vec::new());
+        }
+        for _ in inputs {
+            self.policy.on_request(algo_id);
+            self.predictor.observe(algo_id);
         }
 
-        // 3. stage input
-        let (_, input_time) = self.data_in.stage(
-            &mut self.ram,
-            &self.mem_timing,
-            0,
-            input,
-            record.input_width,
-        )?;
+        // 1. record lookup — once per batch
+        let (record, lookup_time) = self.lookup_record(algo_id)?;
 
-        // 4. execute from the configured bits
+        // 2. residency — once per batch
+        let outcome = self.ensure_resident(&record)?;
+
+        // 3. decode the configured bits back into an image — once
         let frames = self
             .table
             .get(algo_id)
@@ -416,6 +351,222 @@ impl MiniOs {
                 image.algo_id()
             )));
         }
+
+        // 4. stage/execute/collect each input
+        let mut results = Vec::with_capacity(inputs.len());
+        for (i, &input) in inputs.iter().enumerate() {
+            let (output, input_time, exec_time, output_time) =
+                self.execute_one(algo_id, &record, &image, input)?;
+            let first = i == 0;
+            let report = InvokeReport {
+                algo_id,
+                hit: if first { outcome.hit } else { true },
+                decoded_cache_hit: first && outcome.decoded_cache_hit,
+                evicted: if first {
+                    outcome.evicted.clone()
+                } else {
+                    Vec::new()
+                },
+                lookup_time: if first { lookup_time } else { SimTime::ZERO },
+                rom_time: if first {
+                    outcome.rom_time
+                } else {
+                    SimTime::ZERO
+                },
+                reconfig_time: if first {
+                    outcome.reconfig_time
+                } else {
+                    SimTime::ZERO
+                },
+                input_time,
+                exec_time,
+                output_time,
+            };
+            self.now += report.total();
+            self.table.touch(algo_id, self.now);
+            self.stats.requests += 1;
+            if !first {
+                self.stats.hits += 1;
+            }
+            self.stats.lookup_time += report.lookup_time;
+            self.stats.rom_time += report.rom_time;
+            self.stats.reconfig_time += report.reconfig_time;
+            self.stats.input_time += input_time;
+            self.stats.exec_time += exec_time;
+            self.stats.output_time += output_time;
+            results.push((output, report));
+        }
+        self.last_invoked = Some(algo_id);
+        if self.prefetch_enabled && self.mode == ReconfigMode::Partial {
+            self.maybe_prefetch();
+        }
+        Ok(results)
+    }
+
+    /// Looks the function record up, charging the probe cost.
+    fn lookup_record(&mut self, algo_id: u16) -> Result<(FunctionRecord, SimTime), McuError> {
+        let probes_before = self.rom.record_probes();
+        let record = self
+            .rom
+            .lookup(algo_id)
+            .ok_or(McuError::Mem(MemError::RecordNotFound(algo_id)))?;
+        let probes = self.rom.record_probes() - probes_before;
+        let lookup_time = self.mem_timing.rom_read_time(probes * RECORD_BYTES as u64);
+        Ok((record, lookup_time))
+    }
+
+    /// Makes the function resident, evicting per policy and
+    /// configuring from the decoded-bitstream cache or ROM as needed.
+    fn ensure_resident(&mut self, record: &FunctionRecord) -> Result<ResidencyOutcome, McuError> {
+        let algo_id = record.algo_id;
+        let hit = self.table.contains(algo_id);
+        let mut outcome = ResidencyOutcome {
+            hit,
+            decoded_cache_hit: false,
+            evicted: Vec::new(),
+            rom_time: SimTime::ZERO,
+            reconfig_time: SimTime::ZERO,
+        };
+        if hit {
+            self.stats.hits += 1;
+            if self.prefetched.remove(&algo_id) {
+                self.stats.prefetch_hits += 1;
+            }
+            return Ok(outcome);
+        }
+        let needed = record.n_frames as usize;
+        if needed > self.device.geometry().frames() {
+            return Err(McuError::FunctionTooLarge {
+                algo_id,
+                frames: needed,
+                device_frames: self.device.geometry().frames(),
+            });
+        }
+        match self.mode {
+            ReconfigMode::Partial => {
+                while self.free.free_count() < needed {
+                    let victim = self
+                        .policy
+                        .victim(&self.table)
+                        .expect("non-empty table when frames are insufficient");
+                    let residency = self
+                        .table
+                        .remove(victim)
+                        .expect("policy returned a resident algorithm");
+                    self.free.release(&residency.frames);
+                    self.prefetched.remove(&victim);
+                    outcome.evicted.push(victim);
+                    self.stats.evictions += 1;
+                }
+                let frames = self
+                    .free
+                    .allocate(needed)
+                    .expect("free count verified above");
+                let (report, rom_time, decoded_hit) = match self.configure_resident(record, &frames)
+                {
+                    Ok(r) => r,
+                    Err(e) => {
+                        // a failed configuration must not leak the
+                        // frames it was given
+                        self.free.release(&frames);
+                        return Err(e);
+                    }
+                };
+                outcome.rom_time = rom_time;
+                outcome.reconfig_time = report.total();
+                outcome.decoded_cache_hit = decoded_hit;
+                self.stats.frames_configured += report.frames_written as u64;
+                self.table.insert(algo_id, frames, self.now);
+            }
+            ReconfigMode::Full => {
+                // Everything resident is lost on a full reconfig.
+                for id in self.table.resident_ids() {
+                    self.table.remove(id);
+                    outcome.evicted.push(id);
+                    self.stats.evictions += 1;
+                }
+                self.free.reset();
+                let frames = self
+                    .free
+                    .allocate(needed)
+                    .expect("fresh free list fits any checked function");
+                // decompress (windowed, same engine), then pay the
+                // full-device configuration cost instead of the
+                // per-frame cost.
+                let (report, rom_time, decoded_hit) = match self.configure_resident(record, &frames)
+                {
+                    Ok(r) => r,
+                    Err(e) => {
+                        self.free.release(&frames);
+                        return Err(e);
+                    }
+                };
+                let full_penalty = self
+                    .port
+                    .full_time(self.device.geometry())
+                    .saturating_sub(report.port_time);
+                outcome.rom_time = rom_time;
+                outcome.reconfig_time = report.total() + full_penalty;
+                outcome.decoded_cache_hit = decoded_hit;
+                self.stats.frames_configured += self.device.geometry().frames() as u64;
+                self.table.insert(algo_id, frames, self.now);
+            }
+        }
+        self.stats.misses += 1;
+        Ok(outcome)
+    }
+
+    /// Configures `frames` with the function, preferring the
+    /// decoded-bitstream cache over an ROM fetch + decompression.
+    /// Returns the configuration report, the ROM read time (zero on a
+    /// decoded-cache hit) and whether the cache served the frames.
+    fn configure_resident(
+        &mut self,
+        record: &FunctionRecord,
+        frames: &[FrameAddress],
+    ) -> Result<(ConfigReport, SimTime, bool), McuError> {
+        let key = (record.algo_id, record.codec);
+        if self.decoded.is_enabled() {
+            if let Some(cached) = self.decoded.get(&key) {
+                let report = self.config_module.configure_decoded(
+                    cached,
+                    &mut self.device,
+                    &self.port,
+                    frames,
+                )?;
+                self.stats.decoded_hits += 1;
+                self.stats.decoded_bytes_saved += u64::from(record.uncompressed_len);
+                return Ok((report, SimTime::ZERO, true));
+            }
+        }
+        let encoded = self.rom.bitstream_bytes(record).to_vec();
+        let rom_time = self.mem_timing.rom_read_time(encoded.len() as u64);
+        let (report, produced) =
+            self.config_module
+                .configure_collect(&encoded, &mut self.device, &self.port, frames)?;
+        if self.decoded.is_enabled() {
+            self.stats.decoded_misses += 1;
+            self.decoded.insert(key, produced);
+        }
+        Ok((report, rom_time, false))
+    }
+
+    /// Stages one input, executes the decoded image on it, and
+    /// collects the output.
+    fn execute_one(
+        &mut self,
+        algo_id: u16,
+        record: &FunctionRecord,
+        image: &FunctionImage,
+        input: &[u8],
+    ) -> Result<(Vec<u8>, SimTime, SimTime, SimTime), McuError> {
+        let (_, input_time) = self.data_in.stage(
+            &mut self.ram,
+            &self.mem_timing,
+            0,
+            input,
+            record.input_width,
+        )?;
         let output = match image.kind()? {
             FunctionKind::Netlist { .. } => image.run_netlist(input)?,
             FunctionKind::Behavioral { params } => {
@@ -431,8 +582,6 @@ impl MiniOs {
             None => input.len() as u64 + 8,
         };
         let exec_time = self.fabric_clock.cycles(exec_cycles);
-
-        // 5. collect output
         let out_offset = self.ram.size() / 2;
         let (_, output_time) = self.data_out.collect(
             &mut self.ram,
@@ -441,32 +590,7 @@ impl MiniOs {
             &output,
             record.output_width,
         )?;
-
-        let report = InvokeReport {
-            algo_id,
-            hit,
-            evicted,
-            lookup_time,
-            rom_time,
-            reconfig_time,
-            input_time,
-            exec_time,
-            output_time,
-        };
-        self.now += report.total();
-        self.table.touch(algo_id, self.now);
-        self.stats.requests += 1;
-        self.stats.lookup_time += lookup_time;
-        self.stats.rom_time += rom_time;
-        self.stats.reconfig_time += reconfig_time;
-        self.stats.input_time += input_time;
-        self.stats.exec_time += exec_time;
-        self.stats.output_time += output_time;
-        self.last_invoked = Some(algo_id);
-        if self.prefetch_enabled && self.mode == ReconfigMode::Partial {
-            self.maybe_prefetch();
-        }
-        Ok((output, report))
+        Ok((output, input_time, exec_time, output_time))
     }
 
     /// Best-effort speculative configuration of the predicted next
@@ -570,9 +694,7 @@ impl MiniOs {
                 let t = self.evict(algo_id)?;
                 Ok((Response::Done, t + overhead))
             }
-            Command::QueryResident => {
-                Ok((Response::Resident(self.resident()), overhead))
-            }
+            Command::QueryResident => Ok((Response::Resident(self.resident()), overhead)),
             Command::QueryStats => Ok((
                 Response::Stats {
                     requests: self.stats.requests,
@@ -598,6 +720,7 @@ impl MiniOs {
         self.device = Device::new(geom);
         self.free.reset();
         self.table = ReplacementTable::new();
+        self.decoded.clear();
         self.stats = OsStats::default();
         self.predictor.clear();
         self.prefetched.clear();
@@ -733,6 +856,11 @@ impl MiniOs {
         &self.table
     }
 
+    /// The decoded-bitstream cache (inspection/tests).
+    pub fn decoded_cache(&self) -> &DecodedCache {
+        &self.decoded
+    }
+
     /// The bank the controller dispatches into.
     pub fn bank(&self) -> &AlgorithmBank {
         &self.bank
@@ -773,9 +901,7 @@ impl MiniOs {
             }
             match slot {
                 None => out.push('.'),
-                Some(id) => {
-                    out.push(char::from_digit((id % 16) as u32, 16).expect("mod 16 digit"))
-                }
+                Some(id) => out.push(char::from_digit((id % 16) as u32, 16).expect("mod 16 digit")),
             }
         }
         out
@@ -1109,6 +1235,123 @@ mod tests {
         assert_eq!(cells.matches('5').count(), 2);
         assert_eq!(cells.matches('3').count(), 12);
         assert_eq!(cells.matches('.').count(), 96 - 14);
+    }
+
+    #[test]
+    fn decoded_cache_hit_skips_rom_and_decompression() {
+        let mut os = os_with(&[ids::SHA1]);
+        let (out1, first) = os.invoke(ids::SHA1, b"payload").unwrap();
+        assert!(!first.hit && !first.decoded_cache_hit);
+        assert!(first.rom_time > SimTime::ZERO);
+        os.evict(ids::SHA1).unwrap();
+        let (out2, second) = os.invoke(ids::SHA1, b"payload").unwrap();
+        assert_eq!(out1, out2);
+        assert!(!second.hit, "eviction forces a residency miss");
+        assert!(second.decoded_cache_hit);
+        assert_eq!(second.rom_time, SimTime::ZERO, "ROM fetch skipped");
+        assert!(
+            second.reconfig_time < first.reconfig_time,
+            "port-only reconfig {} must beat decompress+port {}",
+            second.reconfig_time,
+            first.reconfig_time
+        );
+        let s = os.stats();
+        assert_eq!(s.decoded_misses, 1);
+        assert_eq!(s.decoded_hits, 1);
+        assert!(s.decoded_bytes_saved >= 12 * 896, "12 frames of 896 bytes");
+    }
+
+    #[test]
+    fn decoded_cache_disabled_always_decompresses() {
+        let mut os = MiniOs::new(MiniOsConfig {
+            decoded_cache_bytes: 0,
+            ..MiniOsConfig::default()
+        });
+        os.install(ids::CRC32).unwrap();
+        os.invoke(ids::CRC32, b"a").unwrap();
+        os.evict(ids::CRC32).unwrap();
+        let (_, report) = os.invoke(ids::CRC32, b"a").unwrap();
+        assert!(!report.decoded_cache_hit);
+        assert!(report.rom_time > SimTime::ZERO);
+        let s = os.stats();
+        assert_eq!(s.decoded_hits, 0);
+        assert_eq!(s.decoded_misses, 0);
+        assert_eq!(s.decoded_bytes_saved, 0);
+    }
+
+    #[test]
+    fn decoded_cache_bounded_by_capacity() {
+        // Cache sized for one small function only (default geometry
+        // has 896-byte frames): CRC32 (2 frames = 1792B) fits, XTEA
+        // (6 frames = 5376B) does not.
+        let mut os = MiniOs::new(MiniOsConfig {
+            decoded_cache_bytes: 2048,
+            ..MiniOsConfig::default()
+        });
+        os.install(ids::CRC32).unwrap();
+        os.install(ids::XTEA).unwrap();
+        os.invoke(ids::CRC32, b"a").unwrap();
+        assert_eq!(os.decoded_cache().len(), 1);
+        os.invoke(ids::XTEA, &[0; 8]).unwrap(); // too big to cache
+        assert_eq!(os.decoded_cache().len(), 1);
+        assert!(os.decoded_cache().bytes() <= 2048);
+        os.evict(ids::CRC32).unwrap();
+        let (_, r) = os.invoke(ids::CRC32, b"a").unwrap();
+        assert!(r.decoded_cache_hit, "small function stayed cached");
+    }
+
+    #[test]
+    fn batch_outputs_match_serial_invokes() {
+        let inputs: Vec<&[u8]> = vec![b"alpha", b"beta", b"gamma-long-input"];
+        let mut serial = os_with(&[ids::SHA256]);
+        let mut expected = Vec::new();
+        for &input in &inputs {
+            expected.push(serial.invoke(ids::SHA256, input).unwrap());
+        }
+        let mut batched = os_with(&[ids::SHA256]);
+        let got = batched.invoke_batch(ids::SHA256, &inputs).unwrap();
+        assert_eq!(got.len(), expected.len());
+        for ((out_b, rep_b), (out_s, rep_s)) in got.iter().zip(&expected) {
+            assert_eq!(out_b, out_s, "batch output must be byte-identical");
+            assert_eq!(rep_b.hit, rep_s.hit);
+            assert_eq!(rep_b.exec_time, rep_s.exec_time);
+        }
+        // both controllers agree on hit/miss bookkeeping
+        assert_eq!(batched.stats().hits, serial.stats().hits);
+        assert_eq!(batched.stats().misses, serial.stats().misses);
+        // the batch pays the record lookup once
+        assert!(got[0].1.lookup_time > SimTime::ZERO);
+        assert_eq!(got[1].1.lookup_time, SimTime::ZERO);
+        assert!(
+            batched.stats().lookup_time < serial.stats().lookup_time,
+            "batching must shave repeated lookups"
+        );
+    }
+
+    #[test]
+    fn batch_first_request_carries_miss_cost() {
+        let mut os = os_with(&[ids::CRC32]);
+        let inputs: Vec<&[u8]> = vec![b"a", b"b", b"c"];
+        let reports = os.invoke_batch(ids::CRC32, &inputs).unwrap();
+        assert!(!reports[0].1.hit);
+        assert!(reports[0].1.reconfig_time > SimTime::ZERO);
+        for (_, r) in &reports[1..] {
+            assert!(r.hit);
+            assert_eq!(r.reconfig_time, SimTime::ZERO);
+            assert_eq!(r.rom_time, SimTime::ZERO);
+        }
+        assert_eq!(os.stats().requests, 3);
+        assert_eq!(os.stats().misses, 1);
+        assert_eq!(os.stats().hits, 2);
+    }
+
+    #[test]
+    fn batch_empty_is_a_no_op() {
+        let mut os = os_with(&[ids::CRC32]);
+        let before = os.now();
+        assert!(os.invoke_batch(ids::CRC32, &[]).unwrap().is_empty());
+        assert_eq!(os.stats().requests, 0);
+        assert_eq!(os.now(), before);
     }
 
     #[test]

@@ -40,6 +40,14 @@ pub struct OsStats {
     pub scrub_repairs: u64,
     /// Time spent in readback scrubbing.
     pub scrub_time: SimTime,
+    /// Misses whose decoded frames were served from the
+    /// decoded-bitstream cache, skipping ROM fetch + decompression
+    /// (extension; see [`crate::decoded_cache`]).
+    pub decoded_hits: u64,
+    /// Misses that had to decompress from ROM.
+    pub decoded_misses: u64,
+    /// Decompressed bytes whose production the decoded cache avoided.
+    pub decoded_bytes_saved: u64,
 }
 
 impl OsStats {
@@ -49,6 +57,41 @@ impl OsStats {
             0.0
         } else {
             self.hits as f64 / self.requests as f64
+        }
+    }
+
+    /// Accumulates another controller's counters into this one — used
+    /// when aggregating the per-shard controllers of a serving engine.
+    pub fn merge(&mut self, other: &OsStats) {
+        self.requests += other.requests;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.frames_configured += other.frames_configured;
+        self.lookup_time += other.lookup_time;
+        self.rom_time += other.rom_time;
+        self.reconfig_time += other.reconfig_time;
+        self.input_time += other.input_time;
+        self.exec_time += other.exec_time;
+        self.output_time += other.output_time;
+        self.prefetches += other.prefetches;
+        self.prefetch_hits += other.prefetch_hits;
+        self.prefetch_time += other.prefetch_time;
+        self.scrubs += other.scrubs;
+        self.scrub_repairs += other.scrub_repairs;
+        self.scrub_time += other.scrub_time;
+        self.decoded_hits += other.decoded_hits;
+        self.decoded_misses += other.decoded_misses;
+        self.decoded_bytes_saved += other.decoded_bytes_saved;
+    }
+
+    /// Fraction of misses whose decoded frames were already cached.
+    pub fn decoded_hit_rate(&self) -> f64 {
+        let total = self.decoded_hits + self.decoded_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.decoded_hits as f64 / total as f64
         }
     }
 
@@ -81,6 +124,41 @@ mod tests {
             ..OsStats::default()
         };
         assert_eq!(s.hit_rate(), 0.75);
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = OsStats {
+            requests: 2,
+            hits: 1,
+            decoded_bytes_saved: 10,
+            exec_time: SimTime::from_ns(5),
+            ..OsStats::default()
+        };
+        let b = OsStats {
+            requests: 3,
+            misses: 2,
+            decoded_bytes_saved: 7,
+            exec_time: SimTime::from_ns(4),
+            ..OsStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.requests, 5);
+        assert_eq!(a.hits, 1);
+        assert_eq!(a.misses, 2);
+        assert_eq!(a.decoded_bytes_saved, 17);
+        assert_eq!(a.exec_time, SimTime::from_ns(9));
+    }
+
+    #[test]
+    fn decoded_hit_rate_fraction() {
+        assert_eq!(OsStats::default().decoded_hit_rate(), 0.0);
+        let s = OsStats {
+            decoded_hits: 3,
+            decoded_misses: 1,
+            ..OsStats::default()
+        };
+        assert_eq!(s.decoded_hit_rate(), 0.75);
     }
 
     #[test]

@@ -36,7 +36,10 @@ impl fmt::Display for MemError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MemError::RomFull { needed, free } => {
-                write!(f, "rom regions would collide: need {needed} bytes, {free} free")
+                write!(
+                    f,
+                    "rom regions would collide: need {needed} bytes, {free} free"
+                )
             }
             MemError::DuplicateFunction(id) => {
                 write!(f, "function {id} already present in rom")

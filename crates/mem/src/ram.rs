@@ -53,12 +53,14 @@ impl LocalRam {
     ///
     /// Returns [`MemError::OutOfBounds`] if the write exceeds the RAM.
     pub fn write(&mut self, offset: usize, data: &[u8]) -> Result<(), MemError> {
-        let end = offset.checked_add(data.len()).ok_or(MemError::OutOfBounds {
-            what: "ram",
-            offset,
-            len: data.len(),
-            size: self.size(),
-        })?;
+        let end = offset
+            .checked_add(data.len())
+            .ok_or(MemError::OutOfBounds {
+                what: "ram",
+                offset,
+                len: data.len(),
+                size: self.size(),
+            })?;
         if end > self.size() {
             return Err(MemError::OutOfBounds {
                 what: "ram",

@@ -225,7 +225,13 @@ mod tests {
         rom.download(fields(1), &[0u8; 100]).unwrap();
         // second: needs 60 + 24 = 84 > 76 -> reject
         let err = rom.download(fields(2), &[0u8; 60]).unwrap_err();
-        assert!(matches!(err, MemError::RomFull { needed: 84, free: 76 }));
+        assert!(matches!(
+            err,
+            MemError::RomFull {
+                needed: 84,
+                free: 76
+            }
+        ));
         // a 52-byte stream (52+24=76) fits exactly
         rom.download(fields(2), &[0u8; 52]).unwrap();
         assert_eq!(rom.free_bytes(), 0);

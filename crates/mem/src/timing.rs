@@ -38,7 +38,10 @@ impl MemTiming {
         ram_word_bytes: u64,
         ram_cycles_per_word: u64,
     ) -> Self {
-        assert!(rom_word_bytes > 0 && ram_word_bytes > 0, "word sizes must be non-zero");
+        assert!(
+            rom_word_bytes > 0 && ram_word_bytes > 0,
+            "word sizes must be non-zero"
+        );
         MemTiming {
             clock,
             rom_word_bytes,

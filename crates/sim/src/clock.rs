@@ -60,8 +60,8 @@ impl Clock {
     /// Rounds to the nearest picosecond, computing in u128 to avoid
     /// overflow for large cycle counts.
     pub fn cycles(&self, n: u64) -> SimTime {
-        let ps = (n as u128 * 1_000_000_000_000u128 + self.freq_hz as u128 / 2)
-            / self.freq_hz as u128;
+        let ps =
+            (n as u128 * 1_000_000_000_000u128 + self.freq_hz as u128 / 2) / self.freq_hz as u128;
         SimTime::from_ps(ps as u64)
     }
 

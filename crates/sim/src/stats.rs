@@ -51,7 +51,11 @@ impl Accumulator {
 
     /// Smallest sample; 0 for an empty accumulator.
     pub fn min(&self) -> f64 {
-        self.samples.iter().copied().fold(f64::INFINITY, f64::min).min(f64::INFINITY)
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            .min(f64::INFINITY)
             .min_finite_or_zero()
     }
 

@@ -8,7 +8,15 @@ use aaod_algos::ids;
 
 /// The crypto subset — the paper's motivating IPSec-style bank.
 pub fn crypto_mix() -> Vec<u16> {
-    vec![ids::AES128, ids::TDES, ids::XTEA, ids::SHA1, ids::SHA256, ids::HMAC_SHA1, ids::CRC32]
+    vec![
+        ids::AES128,
+        ids::TDES,
+        ids::XTEA,
+        ids::SHA1,
+        ids::SHA256,
+        ids::HMAC_SHA1,
+        ids::CRC32,
+    ]
 }
 
 /// Every algorithm in the standard bank.
@@ -26,7 +34,7 @@ pub fn netlist_mix() -> Vec<u16> {
 /// window for DSP, one matrix pair for the multiplier).
 pub fn default_input_len(algo_id: u16) -> usize {
     match algo_id {
-        ids::AES128 => 1504,  // packet padded to 16
+        ids::AES128 => 1504, // packet padded to 16
         ids::XTEA => 1504,
         ids::SHA1 => 1500,
         ids::SHA256 => 1500,

@@ -24,12 +24,22 @@ fn main() {
 
     let mut t = Table::new(
         "E2: compression ratio by codec (rows: function bitstreams)",
-        &["function", "raw KiB", "null", "rle", "lzss", "huffman", "frame-xor"],
+        &[
+            "function",
+            "raw KiB",
+            "null",
+            "rle",
+            "lzss",
+            "huffman",
+            "frame-xor",
+        ],
     );
     let mut totals = vec![0usize; CodecId::ALL.len()];
     let mut raw_total = 0usize;
     for kernel in bank.iter() {
-        let image = bank.build_image(kernel.algo_id(), geom).expect("bank image");
+        let image = bank
+            .build_image(kernel.algo_id(), geom)
+            .expect("bank image");
         let bs = Bitstream::from_image(&image, geom);
         let flat = bs.flat();
         raw_total += flat.len();
@@ -48,7 +58,12 @@ fn main() {
 
     let mut t = Table::new(
         "E2b: whole-bank ROM footprint and decompression speed",
-        &["codec", "bank KiB", "overall ratio", "decompress MB/s @50MHz"],
+        &[
+            "codec",
+            "bank KiB",
+            "overall ratio",
+            "decompress MB/s @50MHz",
+        ],
     );
     for (i, codec) in registry::all(geom.frame_bytes()).iter().enumerate() {
         let ratio = raw_total as f64 / totals[i] as f64;

@@ -13,9 +13,9 @@
 //!
 //! Run with: `cargo run --example crypto_agility`
 
+use aaod_algos::ids;
 use aaod_core::baselines::{FixedFunctionCoProcessor, SoftwareExecutor};
 use aaod_core::{run_workload, CoProcessor, CoreError, Executor, ReconfigMode};
-use aaod_algos::ids;
 use aaod_sim::report::{f2, Table};
 use aaod_workload::{mixes, Workload};
 
@@ -54,8 +54,7 @@ fn main() -> Result<(), CoreError> {
             "hit rate",
         ],
     );
-    let systems: Vec<&mut dyn Executor> =
-        vec![&mut agile, &mut full, &mut fixed, &mut software];
+    let systems: Vec<&mut dyn Executor> = vec![&mut agile, &mut full, &mut fixed, &mut software];
     for system in systems {
         let r = run_workload(system, &workload, true)?;
         let summary = r.latency.summary_ns();
@@ -65,7 +64,8 @@ fn main() -> Result<(), CoreError> {
             r.mean_latency().to_string(),
             format!("{:.0}", summary.p95),
             f2(r.throughput_mb_s()),
-            r.hit_rate().map_or("-".into(), |h| format!("{:.1}%", h * 100.0)),
+            r.hit_rate()
+                .map_or("-".into(), |h| format!("{:.1}%", h * 100.0)),
         ]);
     }
     println!("{t}");

@@ -11,8 +11,8 @@
 
 use aaod_core::{run_workload, CoProcessor, CoreError};
 use aaod_fabric::DeviceGeometry;
-use aaod_mcu::{BeladyPolicy, ReplacementPolicy};
 use aaod_mcu::replacement::policy_by_name;
+use aaod_mcu::{BeladyPolicy, ReplacementPolicy};
 use aaod_sim::report::Table;
 use aaod_workload::{mixes, Workload};
 
@@ -43,18 +43,12 @@ fn main() -> Result<(), CoreError> {
                 } else {
                     policy_by_name(policy_name, 99)
                 };
-                let mut cp = CoProcessor::builder()
-                    .geometry(geom)
-                    .policy(policy)
-                    .build();
+                let mut cp = CoProcessor::builder().geometry(geom).policy(policy).build();
                 for &id in &algos {
                     cp.install(id)?;
                 }
                 let r = run_workload(&mut cp, &workload, false)?;
-                row.push(format!(
-                    "{:.1}%",
-                    r.hit_rate().unwrap_or(0.0) * 100.0
-                ));
+                row.push(format!("{:.1}%", r.hit_rate().unwrap_or(0.0) * 100.0));
             }
             t.row_owned(row);
         }

@@ -10,8 +10,10 @@
 //! Run with: `cargo run --example quickstart`
 
 use aaod_algos::ids;
-use aaod_core::{CoProcessor, CoreError};
+use aaod_core::{CoProcessor, CoreError, Engine, EngineConfig, ShardPolicy};
 use aaod_sim::report::Table;
+use aaod_sim::SimTime;
+use aaod_workload::Workload;
 
 fn main() -> Result<(), CoreError> {
     let mut cp = CoProcessor::default();
@@ -84,5 +86,53 @@ fn main() -> Result<(), CoreError> {
         "\nframe ownership map ('.' = free, hex digit = algo id mod 16):\n{}",
         cp.os().frame_map()
     );
+
+    // Concurrent serving: shard a skewed request stream across a pool
+    // of cards and compare the modelled makespan against serial cost.
+    let algos = [ids::AES128, ids::SHA1, ids::SHA256, ids::CRC32, ids::XTEA];
+    let workload = Workload::zipf(&algos, 400, 1.1, 64, 42);
+    let mut t = Table::new(
+        "engine: sharded pool serving zipf(s=1.1), verified outputs",
+        &[
+            "workers",
+            "policy",
+            "speedup",
+            "p50",
+            "p95",
+            "p99",
+            "hit rate",
+            "decoded hits",
+        ],
+    );
+    for (workers, policy) in [
+        (1, ShardPolicy::AlgoModulo),
+        (4, ShardPolicy::AlgoModulo),
+        (4, ShardPolicy::Balanced),
+    ] {
+        let engine = Engine::new(EngineConfig {
+            workers,
+            verify: true,
+            shard: policy,
+            ..EngineConfig::default()
+        });
+        let r = engine.serve(&workload)?;
+        let lat = r.latency.summary_ns();
+        t.row_owned(vec![
+            workers.to_string(),
+            policy.name().into(),
+            format!("{:.2}x", r.speedup()),
+            SimTime::from_ns(lat.p50 as u64).to_string(),
+            SimTime::from_ns(lat.p95 as u64).to_string(),
+            SimTime::from_ns(lat.p99 as u64).to_string(),
+            format!("{:.0}%", r.hit_rate() * 100.0),
+            format!(
+                "{}/{} ({:.0}%)",
+                r.stats.decoded_hits,
+                r.stats.decoded_hits + r.stats.decoded_misses,
+                r.stats.decoded_hit_rate() * 100.0
+            ),
+        ]);
+    }
+    println!("\n{t}");
     Ok(())
 }

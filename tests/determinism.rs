@@ -1,0 +1,134 @@
+//! Determinism regression tests.
+//!
+//! The whole simulator is seeded and single-sourced: a workload built
+//! twice from the same seed must be identical request-for-request, and
+//! the concurrent `Engine` must be a pure reordering of work — its
+//! outputs and per-request residency classification must match a
+//! serial pass on one co-processor, regardless of worker count or
+//! sharding policy.
+
+use aaod_algos::ids;
+use aaod_core::{CoProcessor, Engine, EngineConfig, ShardPolicy};
+use aaod_workload::Workload;
+
+/// SHA1 (12 frames) + CRC32 (2) + CRC8 (<=2) + XTEA (6) all fit the
+/// default 96-frame fabric simultaneously, so residency hits/misses do
+/// not depend on request interleaving.
+const FIT_SET: [u16; 4] = [ids::SHA1, ids::CRC32, ids::CRC8, ids::XTEA];
+
+#[test]
+fn zipf_workload_reproduces_from_seed() {
+    let a = Workload::zipf(&FIT_SET, 200, 1.1, 64, 99);
+    let b = Workload::zipf(&FIT_SET, 200, 1.1, 64, 99);
+    assert_eq!(a.requests(), b.requests());
+    assert_eq!(a.algo_trace(), b.algo_trace());
+    for i in 0..a.len() {
+        assert_eq!(a.input(i), b.input(i), "input {i} diverged");
+    }
+    // A different seed must actually change the stream.
+    let c = Workload::zipf(&FIT_SET, 200, 1.1, 64, 100);
+    assert_ne!(a.algo_trace(), c.algo_trace());
+}
+
+#[test]
+fn bursty_workload_reproduces_from_seed() {
+    let a = Workload::bursty(&FIT_SET, 120, 8, 32, 7);
+    let b = Workload::bursty(&FIT_SET, 120, 8, 32, 7);
+    assert_eq!(a.requests(), b.requests());
+    for i in 0..a.len() {
+        assert_eq!(a.input(i), b.input(i), "input {i} diverged");
+    }
+}
+
+/// Serves `workload` serially on one default co-processor with every
+/// algorithm pre-installed, returning outputs and hit classification.
+fn serial_reference(workload: &Workload) -> (Vec<Vec<u8>>, Vec<bool>) {
+    let mut cp = CoProcessor::default();
+    for &algo in &workload.distinct_algos() {
+        cp.install(algo).unwrap();
+    }
+    let mut outputs = Vec::with_capacity(workload.len());
+    let mut hits = Vec::with_capacity(workload.len());
+    for (i, req) in workload.requests().iter().enumerate() {
+        let (out, report) = cp.invoke(req.algo_id, &workload.input(i)).unwrap();
+        outputs.push(out);
+        hits.push(report.hit());
+    }
+    (outputs, hits)
+}
+
+#[test]
+fn engine_matches_serial_outputs_and_hits_across_widths() {
+    let workload = Workload::zipf(&FIT_SET, 150, 1.1, 48, 13);
+    let (expected_outputs, expected_hits) = serial_reference(&workload);
+    for workers in [2, 4] {
+        let engine = Engine::new(EngineConfig {
+            workers,
+            verify: true,
+            ..EngineConfig::default()
+        });
+        let r = engine.serve(&workload).unwrap();
+        assert_eq!(
+            r.outputs.as_ref().unwrap(),
+            &expected_outputs,
+            "{workers}-worker engine outputs diverged from serial"
+        );
+        assert_eq!(
+            r.per_request_hit, expected_hits,
+            "{workers}-worker engine hit/miss classification diverged"
+        );
+    }
+}
+
+#[test]
+fn engine_matches_serial_across_policies_on_bursty() {
+    // Splitting policies replicate a hot algorithm across shards, so
+    // each replica takes its own first-touch miss: only the outputs —
+    // not the hit classification — are policy-invariant.
+    let workload = Workload::bursty(&FIT_SET, 96, 6, 32, 21);
+    let (expected_outputs, expected_hits) = serial_reference(&workload);
+    for policy in [
+        ShardPolicy::AlgoModulo,
+        ShardPolicy::RoundRobin,
+        ShardPolicy::Balanced,
+    ] {
+        let engine = Engine::new(EngineConfig {
+            workers: 4,
+            verify: true,
+            shard: policy,
+            ..EngineConfig::default()
+        });
+        let r = engine.serve(&workload).unwrap();
+        assert_eq!(
+            r.outputs.as_ref().unwrap(),
+            &expected_outputs,
+            "{} engine outputs diverged from serial",
+            policy.name()
+        );
+        if policy == ShardPolicy::AlgoModulo {
+            assert_eq!(r.per_request_hit, expected_hits);
+        } else {
+            let serial_misses = expected_hits.iter().filter(|h| !**h).count();
+            let engine_misses = r.per_request_hit.iter().filter(|h| !**h).count();
+            assert!(engine_misses >= serial_misses, "{}", policy.name());
+        }
+    }
+}
+
+#[test]
+fn engine_run_is_repeatable() {
+    let workload = Workload::zipf(&FIT_SET, 100, 1.1, 40, 5);
+    let engine = Engine::new(EngineConfig {
+        workers: 4,
+        shard: ShardPolicy::Balanced,
+        ..EngineConfig::default()
+    });
+    let a = engine.serve(&workload).unwrap();
+    let b = engine.serve(&workload).unwrap();
+    assert_eq!(a.outputs, b.outputs);
+    assert_eq!(a.per_request_hit, b.per_request_hit);
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.total_service_time, b.total_service_time);
+    assert_eq!(a.shard_busy, b.shard_busy);
+    assert_eq!(a.stats, b.stats);
+}

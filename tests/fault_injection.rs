@@ -149,10 +149,7 @@ fn wrong_function_in_frames_detected() {
     let parity_frames = os.table().get(ids::PARITY8).unwrap().frames.clone();
     // overwrite parity's frame with the popcount image (valid digest,
     // wrong identity)
-    let popcnt_image = os
-        .bank()
-        .build_image(ids::POPCNT8, os.geometry())
-        .unwrap();
+    let popcnt_image = os.bank().build_image(ids::POPCNT8, os.geometry()).unwrap();
     let popcnt_frames = popcnt_image.encode(os.geometry());
     os.device_mut()
         .write_frame(parity_frames[0], &popcnt_frames[0])

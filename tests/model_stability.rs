@@ -35,15 +35,38 @@ fn aes_bitstream_sizes_are_stable() {
     // null, rle, lzss, huffman, frame-xor
     assert_eq!(sizes[0], flat.len(), "null codec stores");
     // Pin the exact compressed sizes; see module docs before changing.
-    let ratios: Vec<f64> = sizes.iter().map(|&s| flat.len() as f64 / s as f64).collect();
-    assert!(ratios[1] > 1.5 && ratios[1] < 2.5, "rle ratio {:.2}", ratios[1]);
-    assert!(ratios[2] > 3.5 && ratios[2] < 6.0, "lzss ratio {:.2}", ratios[2]);
-    assert!(ratios[3] > 2.5 && ratios[3] < 5.0, "huffman ratio {:.2}", ratios[3]);
-    assert!(ratios[4] > 2.0 && ratios[4] < 4.5, "frame-xor ratio {:.2}", ratios[4]);
+    let ratios: Vec<f64> = sizes
+        .iter()
+        .map(|&s| flat.len() as f64 / s as f64)
+        .collect();
+    assert!(
+        ratios[1] > 1.5 && ratios[1] < 2.5,
+        "rle ratio {:.2}",
+        ratios[1]
+    );
+    assert!(
+        ratios[2] > 3.5 && ratios[2] < 6.0,
+        "lzss ratio {:.2}",
+        ratios[2]
+    );
+    assert!(
+        ratios[3] > 2.5 && ratios[3] < 5.0,
+        "huffman ratio {:.2}",
+        ratios[3]
+    );
+    assert!(
+        ratios[4] > 2.0 && ratios[4] < 4.5,
+        "frame-xor ratio {:.2}",
+        ratios[4]
+    );
     // determinism: same sizes on a second build
     let again: Vec<usize> = CodecId::ALL
         .iter()
-        .map(|&id| registry::codec(id, 896).compress(&bank_flat(ids::AES128)).len())
+        .map(|&id| {
+            registry::codec(id, 896)
+                .compress(&bank_flat(ids::AES128))
+                .len()
+        })
         .collect();
     assert_eq!(sizes, again);
 }
@@ -61,7 +84,10 @@ fn warm_hit_latency_is_stable() {
     assert_eq!(a.total(), b.total(), "warm hits must be time-invariant");
     // documented order of magnitude (tens of microseconds)
     let us = a.total().as_us();
-    assert!((5.0..60.0).contains(&us), "warm SHA-1 hit drifted to {us}us");
+    assert!(
+        (5.0..60.0).contains(&us),
+        "warm SHA-1 hit drifted to {us}us"
+    );
 }
 
 /// Swap-in (miss) reconfiguration for AES must stay in the

@@ -242,7 +242,10 @@ fn prefetch_correct_and_effective_under_pressure() {
     };
     let off = run(false);
     let on = run(true);
-    assert!(off.hit_rate().unwrap() < 0.1, "rotation should thrash reactively");
+    assert!(
+        off.hit_rate().unwrap() < 0.1,
+        "rotation should thrash reactively"
+    );
     assert!(
         on.hit_rate().unwrap() > 0.8,
         "prefetch should rescue the rotation: {:?}",
@@ -276,7 +279,10 @@ fn scrubbed_workload_survives_seu_rain() {
             Err(_) => {
                 // detected corruption: scrub repairs it
                 let repaired = cp.scrub().unwrap().repaired;
-                assert!(!repaired.is_empty(), "invoke failed but scrub found nothing");
+                assert!(
+                    !repaired.is_empty(),
+                    "invoke failed but scrub found nothing"
+                );
             }
         }
         // one SEU every few requests, anywhere on the device
