@@ -1,0 +1,195 @@
+//! E12 (extension) — fault-rate sweep through the serving engine.
+//!
+//! Drives the same skewed request stream through a 4-shard pool while
+//! the deterministic fault plan corrupts configuration frames, tears
+//! reconfigurations, rots ROM payloads and aborts PCI transfers at an
+//! increasing per-request rate. The engine's scrub/re-download/retry
+//! recovery must absorb every fault (no failed jobs at the default
+//! retry budget), keep the ledger balanced, and degrade throughput
+//! gracefully rather than fall over.
+//!
+//! Second table: graceful degradation with a zeroed retry budget —
+//! jobs whose fault is detected turn into typed errors, and the
+//! requeue pass rescues all of them on a spare card.
+
+use aaod_bench::criterion_fast;
+use aaod_core::{Engine, EngineConfig, FaultConfig, ShardPolicy};
+use aaod_sim::report::Table;
+use aaod_sim::{FaultPlan, FaultRates};
+use aaod_workload::{mixes, Workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const PLAN_SEED: u64 = 0xE12;
+
+fn chaos_workload() -> Workload {
+    Workload::zipf(&mixes::full_bank(), 400, 1.1, 192, 1205)
+}
+
+fn engine(faults: Option<FaultConfig>) -> Engine {
+    Engine::new(EngineConfig {
+        workers: 4,
+        collect_outputs: false,
+        shard: ShardPolicy::Balanced,
+        faults,
+        ..EngineConfig::default()
+    })
+}
+
+fn print_sweep_table() {
+    let w = chaos_workload();
+    let mut t = Table::new(
+        "E12: fault-rate sweep, 4-shard engine, zipf(s=1.1) over the full bank (400 reqs)",
+        &[
+            "rate/site",
+            "injected",
+            "recovered",
+            "failed",
+            "makespan",
+            "throughput",
+            "p99 recovery",
+        ],
+    );
+    let mut json_rows = Vec::new();
+    let mut throughput = Vec::new();
+    for rate in [0.0f64, 0.01, 0.03, 0.05] {
+        let plan = FaultPlan::new(PLAN_SEED, FaultRates::uniform(rate));
+        let faults = (rate > 0.0).then(|| FaultConfig::new(plan));
+        let r = engine(faults).serve(&w).expect("engine serve");
+        assert!(r.faults.accounted(), "rate {rate}: {:?}", r.faults);
+        assert!(
+            r.failed.is_empty(),
+            "rate {rate}: default retry budget must recover every job: {:?}",
+            r.failed
+        );
+        if rate > 0.0 {
+            assert!(r.faults.injected > 0, "rate {rate} landed nothing");
+            assert!(
+                r.recovery_latency.count() > 0,
+                "rate {rate}: recoveries must record latency"
+            );
+        }
+        let p99 = r.recovery_latency.summary_ns().p99;
+        throughput.push(r.throughput_mb_s());
+        t.row_owned(vec![
+            format!("{:.0}%", rate * 100.0),
+            r.faults.injected.to_string(),
+            r.faults.recovered().to_string(),
+            r.faults.failed_jobs.to_string(),
+            r.makespan.to_string(),
+            format!("{:.2} MB/s", r.throughput_mb_s()),
+            format!("{:.1}us", p99 / 1000.0),
+        ]);
+        json_rows.push(format!(
+            "{{\"rate\":{rate},\"injected\":{},\"recovered\":{},\"failed\":{},\
+             \"makespan_ns\":{:.0},\"throughput_mb_s\":{:.3},\"p99_recovery_ns\":{p99:.0}}}",
+            r.faults.injected,
+            r.faults.recovered(),
+            r.faults.failed_jobs,
+            r.makespan.as_ns(),
+            r.throughput_mb_s(),
+        ));
+    }
+    println!("{t}");
+    // graceful-degradation floors: light chaos (1%/site = 4% of
+    // requests) keeps at least a quarter of fault-free throughput,
+    // and even heavy chaos (5%/site = 20% of requests) never
+    // collapses below ~a twelfth — scrub passes dominate recovery
+    // cost on a full-bank working set.
+    let light = throughput[1] / throughput[0];
+    let heavy = throughput.last().unwrap() / throughput[0];
+    assert!(
+        light >= 0.25,
+        "regression: 1%/site faults crushed throughput to {:.0}% of fault-free",
+        light * 100.0
+    );
+    assert!(
+        heavy >= 0.08,
+        "regression: 5%/site faults crushed throughput to {:.0}% of fault-free",
+        heavy * 100.0
+    );
+    println!(
+        "BENCH_JSON {{\"experiment\":\"e12_faults\",\"rows\":[{}]}}",
+        json_rows.join(",")
+    );
+}
+
+fn print_degradation_table() {
+    let w = chaos_workload();
+    let plan = FaultPlan::new(
+        PLAN_SEED,
+        FaultRates {
+            frame_bit_flip: 0.05,
+            ..FaultRates::ZERO
+        },
+    );
+    let mut t = Table::new(
+        "E12b: zero retry budget — degrade to typed errors, then requeue",
+        &["policy", "injected", "failed jobs", "requeued", "unserved"],
+    );
+    let mut json_rows = Vec::new();
+    let mut unserved = Vec::new();
+    for requeue in [false, true] {
+        let mut cfg = FaultConfig::new(plan);
+        cfg.max_retries = 0;
+        cfg.requeue = requeue;
+        let r = engine(Some(cfg)).serve(&w).expect("engine serve");
+        assert!(r.faults.accounted(), "requeue={requeue}: {:?}", r.faults);
+        unserved.push(r.failed.len());
+        t.row_owned(vec![
+            if requeue {
+                "degrade + requeue".into()
+            } else {
+                "degrade only".into()
+            },
+            r.faults.injected.to_string(),
+            r.faults.failed_jobs.to_string(),
+            r.faults.requeues.to_string(),
+            r.failed.len().to_string(),
+        ]);
+        json_rows.push(format!(
+            "{{\"requeue\":{requeue},\"injected\":{},\"failed_jobs\":{},\
+             \"requeues\":{},\"unserved\":{}}}",
+            r.faults.injected,
+            r.faults.failed_jobs,
+            r.faults.requeues,
+            r.failed.len(),
+        ));
+    }
+    println!("{t}");
+    assert!(
+        unserved[0] > 0,
+        "5% frame flips with no retries must degrade some jobs"
+    );
+    assert_eq!(
+        unserved[1], 0,
+        "requeue must rescue every degraded job, {} left",
+        unserved[1]
+    );
+    println!(
+        "BENCH_JSON {{\"experiment\":\"e12_degradation\",\"rows\":[{}]}}",
+        json_rows.join(",")
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_sweep_table();
+    print_degradation_table();
+    let w = chaos_workload();
+    let mut group = c.benchmark_group("e12_faults");
+    for rate in [0.0f64, 0.05] {
+        let plan = FaultPlan::new(PLAN_SEED, FaultRates::uniform(rate));
+        let eng = engine((rate > 0.0).then(|| FaultConfig::new(plan)));
+        group.bench_function(format!("zipf_full_bank_rate_{rate}"), |b| {
+            b.iter(|| black_box(eng.serve(&w).expect("serve")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_fast();
+    targets = bench
+}
+criterion_main!(benches);

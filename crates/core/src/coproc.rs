@@ -7,7 +7,7 @@ use aaod_fabric::DeviceGeometry;
 use aaod_mcu::{
     InvokeReport, LruPolicy, MiniOs, MiniOsConfig, OsStats, ReconfigMode, ReplacementPolicy,
 };
-use aaod_pci::{PciBus, PciConfig};
+use aaod_pci::{PciBus, PciConfig, PciError};
 use aaod_sim::SimTime;
 
 /// Host-visible timing of one invocation: the card-internal breakdown
@@ -32,6 +32,16 @@ impl HostReport {
     pub fn hit(&self) -> bool {
         self.os.hit
     }
+}
+
+/// Driver-level PCI retry accounting from one resilient invocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PciRecovery {
+    /// Transfers that aborted and were retried.
+    pub retries: u32,
+    /// Bus time burned by the aborted attempts (already folded into
+    /// the report's transfer times).
+    pub wasted: SimTime,
 }
 
 /// Builder for [`CoProcessor`].
@@ -199,6 +209,65 @@ impl CoProcessor {
         ))
     }
 
+    /// Invokes an installed function like [`CoProcessor::invoke`],
+    /// but rides the *fallible* PCI paths: an armed transient bus
+    /// abort (see [`PciBus::arm_transient_faults`]) is retried by the
+    /// driver until the transfer lands, with each aborted attempt's
+    /// bus time folded into the corresponding transfer time. The
+    /// returned [`PciRecovery`] reports how many retries happened.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller errors (PCI aborts never escape — the
+    /// driver always retries them).
+    pub fn invoke_resilient(
+        &mut self,
+        algo_id: u16,
+        input: &[u8],
+    ) -> Result<(Vec<u8>, HostReport, PciRecovery), CoreError> {
+        let mut recovery = PciRecovery::default();
+        let pci_input_time = self.write_with_retry(input.len() as u64, &mut recovery);
+        let (output, os_report) = self.os.invoke(algo_id, input)?;
+        let pci_output_time = self.read_with_retry(output.len() as u64, &mut recovery);
+        Ok((
+            output,
+            HostReport {
+                pci_input_time,
+                pci_output_time,
+                os: os_report,
+            },
+            recovery,
+        ))
+    }
+
+    fn write_with_retry(&mut self, bytes: u64, recovery: &mut PciRecovery) -> SimTime {
+        let mut total = SimTime::ZERO;
+        loop {
+            match self.bus.try_write(bytes) {
+                Ok(t) => return total + t,
+                Err(PciError::TransientAbort { wasted }) => {
+                    recovery.retries += 1;
+                    recovery.wasted += wasted;
+                    total += wasted;
+                }
+            }
+        }
+    }
+
+    fn read_with_retry(&mut self, bytes: u64, recovery: &mut PciRecovery) -> SimTime {
+        let mut total = SimTime::ZERO;
+        loop {
+            match self.bus.try_read(bytes) {
+                Ok(t) => return total + t,
+                Err(PciError::TransientAbort { wasted }) => {
+                    recovery.retries += 1;
+                    recovery.wasted += wasted;
+                    total += wasted;
+                }
+            }
+        }
+    }
+
     /// Invokes an installed function on several inputs in one batch:
     /// the controller pays the record lookup and any (re)configuration
     /// once for the whole batch (see
@@ -302,6 +371,16 @@ impl CoProcessor {
     /// Mutable controller access (fault injection in tests).
     pub fn os_mut(&mut self) -> &mut MiniOs {
         &mut self.os
+    }
+
+    /// The PCI bus (inspection).
+    pub fn bus(&self) -> &PciBus {
+        &self.bus
+    }
+
+    /// Mutable PCI bus access (fault arming).
+    pub fn bus_mut(&mut self) -> &mut PciBus {
+        &mut self.bus
     }
 
     /// Builds the default agile co-processor with the given policy and
@@ -423,6 +502,28 @@ mod tests {
             batched.pci_stats().bytes_read,
             serial.pci_stats().bytes_read
         );
+    }
+
+    #[test]
+    fn resilient_invoke_retries_armed_pci_faults() {
+        let mut cp = CoProcessor::default();
+        cp.install(ids::CRC32).unwrap();
+        let (clean_out, clean_report) = cp.invoke(ids::CRC32, b"123456789").unwrap();
+        cp.bus_mut().arm_transient_faults(1);
+        let (out, report, rec) = cp.invoke_resilient(ids::CRC32, b"123456789").unwrap();
+        assert_eq!(out, clean_out);
+        assert_eq!(rec.retries, 1);
+        assert!(rec.wasted > SimTime::ZERO);
+        assert_eq!(
+            report.pci_input_time,
+            clean_report.pci_input_time + rec.wasted,
+            "aborted attempt's bus time is charged to the transfer"
+        );
+        assert_eq!(cp.bus().armed_faults(), 0);
+        assert_eq!(cp.pci_stats().faulted_transfers, 1);
+        // with nothing armed the resilient path matches the plain one
+        let (_, _, rec) = cp.invoke_resilient(ids::CRC32, b"123456789").unwrap();
+        assert_eq!(rec, PciRecovery::default());
     }
 
     #[test]

@@ -29,9 +29,10 @@
 
 use crate::coproc::CoProcessor;
 use crate::error::CoreError;
+use crate::fault::{FaultConfig, FaultStats, JobError};
 use aaod_mcu::OsStats;
 use aaod_sim::stats::TimeAccumulator;
-use aaod_sim::SimTime;
+use aaod_sim::{FaultSite, SimTime};
 use aaod_workload::Workload;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::{Condvar, Mutex};
@@ -130,6 +131,10 @@ pub struct EngineConfig {
     pub collect_outputs: bool,
     /// Request partitioning policy.
     pub shard: ShardPolicy,
+    /// Deterministic fault injection + recovery policy. `None` (the
+    /// default) serves fault-free with exactly the legacy behaviour:
+    /// the first shard error aborts the run.
+    pub faults: Option<FaultConfig>,
 }
 
 impl Default for EngineConfig {
@@ -141,6 +146,7 @@ impl Default for EngineConfig {
             verify: false,
             collect_outputs: true,
             shard: ShardPolicy::AlgoModulo,
+            faults: None,
         }
     }
 }
@@ -173,6 +179,15 @@ pub struct EngineResult {
     pub batches: u64,
     /// Requests that rode along in a batch after its first request.
     pub coalesced: u64,
+    /// Jobs that degraded to a typed error after their fault
+    /// exhausted the retry budget, by submission index. Their output
+    /// slots are empty. Always empty for fault-free runs.
+    pub failed: BTreeMap<usize, JobError>,
+    /// Fault-injection ledger, merged across shards (all zero when
+    /// [`EngineConfig::faults`] is `None`).
+    pub faults: FaultStats,
+    /// Modelled detection-to-healthy latency of each recovery.
+    pub recovery_latency: TimeAccumulator,
 }
 
 impl EngineResult {
@@ -209,8 +224,15 @@ struct Job {
     input: Vec<u8>,
 }
 
-/// A bounded FIFO of jobs: producers block while full, consumers
-/// block while empty, `close` wakes everyone for shutdown.
+/// A bounded FIFO of pre-segmented batches: producers block while the
+/// queued job count is at capacity, consumers block while empty,
+/// `close` wakes everyone for shutdown.
+///
+/// Batches are segmented by the *producer* from its full view of the
+/// shard's stream, never by the consumer's racy view of the queue —
+/// batch boundaries (and therefore the per-batch shared costs and the
+/// modelled makespan) are a pure function of the workload, not of
+/// thread timing.
 struct BoundedQueue {
     state: Mutex<QueueState>,
     not_empty: Condvar,
@@ -219,7 +241,9 @@ struct BoundedQueue {
 }
 
 struct QueueState {
-    jobs: VecDeque<Job>,
+    batches: VecDeque<Vec<Job>>,
+    /// Total jobs across `batches` (the capacity unit).
+    jobs: usize,
     closed: bool,
 }
 
@@ -227,7 +251,8 @@ impl BoundedQueue {
     fn new(capacity: usize) -> Self {
         BoundedQueue {
             state: Mutex::new(QueueState {
-                jobs: VecDeque::new(),
+                batches: VecDeque::new(),
+                jobs: 0,
                 closed: false,
             }),
             not_empty: Condvar::new(),
@@ -236,12 +261,16 @@ impl BoundedQueue {
         }
     }
 
-    fn push(&self, job: Job) {
+    fn push(&self, batch: Vec<Job>) {
+        debug_assert!(!batch.is_empty(), "empty batch pushed");
         let mut st = self.state.lock().expect("queue lock poisoned");
-        while st.jobs.len() >= self.capacity {
+        // an empty queue always admits a batch, so a batch larger
+        // than the whole capacity cannot deadlock
+        while st.jobs >= self.capacity && !st.batches.is_empty() {
             st = self.not_full.wait(st).expect("queue lock poisoned");
         }
-        st.jobs.push_back(job);
+        st.jobs += batch.len();
+        st.batches.push_back(batch);
         drop(st);
         self.not_empty.notify_one();
     }
@@ -251,18 +280,13 @@ impl BoundedQueue {
         self.not_empty.notify_all();
     }
 
-    /// Pops the run of consecutive same-algorithm jobs at the head of
-    /// the queue (at most `max`); `None` once the queue is closed and
+    /// Pops the next batch; `None` once the queue is closed and
     /// drained.
-    fn pop_batch(&self, max: usize) -> Option<Vec<Job>> {
+    fn pop_batch(&self) -> Option<Vec<Job>> {
         let mut st = self.state.lock().expect("queue lock poisoned");
         loop {
-            if let Some(first) = st.jobs.pop_front() {
-                let algo_id = first.algo_id;
-                let mut batch = vec![first];
-                while batch.len() < max && st.jobs.front().is_some_and(|j| j.algo_id == algo_id) {
-                    batch.push(st.jobs.pop_front().expect("front checked above"));
-                }
+            if let Some(batch) = st.batches.pop_front() {
+                st.jobs -= batch.len();
                 drop(st);
                 self.not_full.notify_all();
                 return Some(batch);
@@ -280,6 +304,8 @@ struct JobResult {
     output: Vec<u8>,
     hit: bool,
     time: SimTime,
+    /// Set when the job degraded instead of producing an output.
+    error: Option<JobError>,
 }
 
 struct WorkerOutcome {
@@ -288,6 +314,8 @@ struct WorkerOutcome {
     stats: OsStats,
     batches: u64,
     coalesced: u64,
+    faults: FaultStats,
+    recovery_latency: TimeAccumulator,
 }
 
 /// The sharded co-processor pool.
@@ -357,6 +385,9 @@ impl Engine {
                 stats: OsStats::default(),
                 batches: 0,
                 coalesced: 0,
+                failed: BTreeMap::new(),
+                faults: FaultStats::default(),
+                recovery_latency: TimeAccumulator::new(),
             });
         }
         let assignment = self.config.shard.assign(workload, workers);
@@ -368,37 +399,53 @@ impl Engine {
         let batch_max = self.config.batch_max.max(1);
         let verify = self.config.verify;
         let collect = self.config.collect_outputs;
+        let faults = self.config.faults;
         let factory = &self.factory;
         let queues: Vec<BoundedQueue> = (0..workers)
             .map(|_| BoundedQueue::new(queue_depth))
             .collect();
 
-        let outcomes: Vec<Result<WorkerOutcome, CoreError>> =
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(workers);
-                for (shard, queue) in queues.iter().enumerate() {
-                    let algos = &shard_algos[shard];
-                    handles.push(scope.spawn(move || {
-                        worker_loop(factory, queue, algos, batch_max, verify, collect)
-                    }));
-                }
-                // This thread is the producer: push in submission order,
-                // blocking whenever a shard's queue is full.
-                for (i, req) in requests.iter().enumerate() {
-                    queues[assignment[i]].push(Job {
-                        index: i,
-                        algo_id: req.algo_id,
-                        input: workload.input(i),
-                    });
-                }
-                for queue in &queues {
-                    queue.close();
-                }
+        let outcomes: Vec<Result<WorkerOutcome, CoreError>> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for (shard, queue) in queues.iter().enumerate() {
+                let algos = &shard_algos[shard];
                 handles
-                    .into_iter()
-                    .map(|h| h.join().expect("engine worker panicked"))
-                    .collect()
-            });
+                    .push(scope.spawn(move || {
+                        worker_loop(factory, queue, algos, verify, collect, faults)
+                    }));
+            }
+            // This thread is the producer: walk the stream in
+            // submission order, segmenting each shard's consecutive
+            // same-algorithm run into a batch (capped at batch_max)
+            // and pushing whole batches, blocking whenever a shard's
+            // queue is full. Segmenting here — from the full stream,
+            // not the consumer's racy view of its queue — keeps batch
+            // boundaries, and with them the modelled makespan, a pure
+            // function of the workload.
+            let mut pending: Vec<Vec<Job>> = (0..workers).map(|_| Vec::new()).collect();
+            for (i, req) in requests.iter().enumerate() {
+                let shard = assignment[i];
+                let run = &mut pending[shard];
+                if !run.is_empty() && (run[0].algo_id != req.algo_id || run.len() >= batch_max) {
+                    queues[shard].push(std::mem::take(run));
+                }
+                run.push(Job {
+                    index: i,
+                    algo_id: req.algo_id,
+                    input: workload.input(i),
+                });
+            }
+            for (shard, run) in pending.into_iter().enumerate() {
+                if !run.is_empty() {
+                    queues[shard].push(run);
+                }
+                queues[shard].close();
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("engine worker panicked"))
+                .collect()
+        });
 
         let mut outputs = collect.then(|| vec![Vec::new(); n]);
         let mut per_request_hit = vec![false; n];
@@ -407,18 +454,65 @@ impl Engine {
         let mut stats = OsStats::default();
         let mut batches = 0u64;
         let mut coalesced = 0u64;
+        let mut failed: BTreeMap<usize, JobError> = BTreeMap::new();
+        let mut fault_stats = FaultStats::default();
+        let mut recovery_latency = TimeAccumulator::new();
         for outcome in outcomes {
             let outcome = outcome?;
             shard_busy.push(outcome.busy);
             stats.merge(&outcome.stats);
             batches += outcome.batches;
             coalesced += outcome.coalesced;
+            fault_stats.merge(&outcome.faults);
+            recovery_latency.merge(&outcome.recovery_latency);
             for r in outcome.results {
                 per_request_hit[r.index] = r.hit;
                 times[r.index] = r.time;
-                if let Some(outs) = outputs.as_mut() {
+                if let Some(e) = r.error {
+                    failed.insert(r.index, e);
+                } else if let Some(outs) = outputs.as_mut() {
                     outs[r.index] = r.output;
                 }
+            }
+        }
+        let mut makespan =
+            shard_busy
+                .iter()
+                .copied()
+                .fold(SimTime::ZERO, |a, b| if b > a { b } else { a });
+        if let Some(fc) = faults {
+            if fc.requeue && !failed.is_empty() {
+                // Rescue pass: re-serve degraded jobs on a fresh spare
+                // card once the pool has drained; the spare runs after
+                // the pool, so its busy time extends the makespan
+                // serially.
+                let mut spare = (self.factory)();
+                let rescue_algos: BTreeSet<u16> = failed.values().map(|e| e.algo_id).collect();
+                for &algo in &rescue_algos {
+                    spare.install(algo)?;
+                }
+                let golden = verify.then(aaod_algos::AlgorithmBank::standard);
+                let mut rescue_busy = SimTime::ZERO;
+                let indices: Vec<usize> = failed.keys().copied().collect();
+                for index in indices {
+                    let input = workload.input(index);
+                    let algo_id = requests[index].algo_id;
+                    let Ok((output, report)) = spare.invoke(algo_id, &input) else {
+                        continue; // stays degraded
+                    };
+                    verify_output(golden.as_ref(), algo_id, index, &input, &output)?;
+                    failed.remove(&index);
+                    fault_stats.requeues += 1;
+                    per_request_hit[index] = report.hit();
+                    let t = report.total();
+                    times[index] += t;
+                    rescue_busy += t;
+                    if let Some(outs) = outputs.as_mut() {
+                        outs[index] = output;
+                    }
+                }
+                stats.merge(&spare.stats());
+                makespan += rescue_busy;
             }
         }
         let mut latency = TimeAccumulator::new();
@@ -427,10 +521,6 @@ impl Engine {
             latency.push(t);
             total_service_time += t;
         }
-        let makespan = shard_busy
-            .iter()
-            .copied()
-            .fold(SimTime::ZERO, |a, b| if b > a { b } else { a });
         let input_bytes = requests.iter().map(|r| r.input_len as u64).sum();
         Ok(EngineResult {
             workers,
@@ -445,6 +535,9 @@ impl Engine {
             stats,
             batches,
             coalesced,
+            failed,
+            faults: fault_stats,
+            recovery_latency,
         })
     }
 }
@@ -453,9 +546,9 @@ fn worker_loop(
     factory: &(dyn Fn() -> CoProcessor + Send + Sync),
     queue: &BoundedQueue,
     algos: &BTreeSet<u16>,
-    batch_max: usize,
     verify: bool,
     collect: bool,
+    faults: Option<FaultConfig>,
 ) -> Result<WorkerOutcome, CoreError> {
     let mut cp = factory();
     for &algo in algos {
@@ -468,37 +561,354 @@ fn worker_loop(
         stats: OsStats::default(),
         batches: 0,
         coalesced: 0,
+        faults: FaultStats::default(),
+        recovery_latency: TimeAccumulator::new(),
     };
-    while let Some(batch) = queue.pop_batch(batch_max) {
+    let mut chaos = faults.map(FaultWorker::new);
+    while let Some(batch) = queue.pop_batch() {
         let algo_id = batch[0].algo_id;
         outcome.batches += 1;
         outcome.coalesced += batch.len() as u64 - 1;
-        let inputs: Vec<&[u8]> = batch.iter().map(|j| j.input.as_slice()).collect();
-        let served = cp.invoke_batch(algo_id, &inputs)?;
-        for (job, (output, report)) in batch.iter().zip(served) {
-            if let Some(golden) = &golden {
-                let expected = golden
-                    .execute_software(algo_id, &job.input)
-                    .map_err(CoreError::Algo)?;
-                if output != expected {
-                    return Err(CoreError::OutputMismatch {
-                        algo_id,
+        match &mut chaos {
+            None => {
+                let inputs: Vec<&[u8]> = batch.iter().map(|j| j.input.as_slice()).collect();
+                let served = cp.invoke_batch(algo_id, &inputs)?;
+                for (job, (output, report)) in batch.iter().zip(served) {
+                    verify_output(golden.as_ref(), algo_id, job.index, &job.input, &output)?;
+                    let time = report.total();
+                    outcome.busy += time;
+                    outcome.results.push(JobResult {
                         index: job.index,
+                        output: if collect { output } else { Vec::new() },
+                        hit: report.hit(),
+                        time,
+                        error: None,
                     });
                 }
             }
-            let time = report.total();
-            outcome.busy += time;
-            outcome.results.push(JobResult {
-                index: job.index,
-                output: if collect { output } else { Vec::new() },
-                hit: report.hit(),
-                time,
-            });
+            Some(chaos) => {
+                chaos.serve_batch(&mut cp, &batch, golden.as_ref(), collect, &mut outcome)?;
+            }
         }
+    }
+    if let Some(chaos) = &mut chaos {
+        chaos.drain(&mut cp, &mut outcome)?;
+        outcome.faults = chaos.stats;
+        outcome.recovery_latency = std::mem::take(&mut chaos.recovery_latency);
     }
     outcome.stats = cp.stats();
     Ok(outcome)
+}
+
+fn verify_output(
+    golden: Option<&aaod_algos::AlgorithmBank>,
+    algo_id: u16,
+    index: usize,
+    input: &[u8],
+    output: &[u8],
+) -> Result<(), CoreError> {
+    let Some(golden) = golden else {
+        return Ok(());
+    };
+    let expected = golden
+        .execute_software(algo_id, input)
+        .map_err(CoreError::Algo)?;
+    if output != expected.as_slice() {
+        return Err(CoreError::OutputMismatch { algo_id, index });
+    }
+    Ok(())
+}
+
+/// Per-shard chaos driver: activates the faults the plan schedules,
+/// detects corruption at the next use of the faulted function, and
+/// runs the backoff→repair→retry recovery loop, all in modelled time.
+struct FaultWorker {
+    cfg: FaultConfig,
+    /// Latent (activated, not yet detected) fault per function.
+    outstanding: BTreeMap<u16, FaultSite>,
+    /// Functions whose fault exhausted its retry budget; their
+    /// corruption persists, so later jobs degrade without burning
+    /// more retries.
+    poisoned: BTreeSet<u16>,
+    stats: FaultStats,
+    recovery_latency: TimeAccumulator,
+}
+
+impl FaultWorker {
+    fn new(cfg: FaultConfig) -> Self {
+        FaultWorker {
+            cfg,
+            outstanding: BTreeMap::new(),
+            poisoned: BTreeSet::new(),
+            stats: FaultStats::default(),
+            recovery_latency: TimeAccumulator::new(),
+        }
+    }
+
+    /// No latent or persisting fault on this function.
+    fn algo_clean(&self, algo_id: u16) -> bool {
+        !self.poisoned.contains(&algo_id) && !self.outstanding.contains_key(&algo_id)
+    }
+
+    fn serve_batch(
+        &mut self,
+        cp: &mut CoProcessor,
+        batch: &[Job],
+        golden: Option<&aaod_algos::AlgorithmBank>,
+        collect: bool,
+        outcome: &mut WorkerOutcome,
+    ) -> Result<(), CoreError> {
+        let algo_id = batch[0].algo_id;
+        let mut i = 0;
+        while i < batch.len() {
+            let scheduled = self.cfg.plan.decide(batch[i].index as u64);
+            if scheduled.is_none() && self.algo_clean(algo_id) {
+                // Maximal fault-free run: serve it batched, exactly
+                // like a fault-free worker would.
+                let start = i;
+                while i < batch.len() && self.cfg.plan.decide(batch[i].index as u64).is_none() {
+                    i += 1;
+                }
+                let run = &batch[start..i];
+                let inputs: Vec<&[u8]> = run.iter().map(|j| j.input.as_slice()).collect();
+                let served = cp.invoke_batch(algo_id, &inputs)?;
+                for (job, (output, report)) in run.iter().zip(served) {
+                    verify_output(golden, algo_id, job.index, &job.input, &output)?;
+                    let time = report.total();
+                    outcome.busy += time;
+                    outcome.results.push(JobResult {
+                        index: job.index,
+                        output: if collect { output } else { Vec::new() },
+                        hit: report.hit(),
+                        time,
+                        error: None,
+                    });
+                }
+            } else {
+                self.serve_one(cp, &batch[i], scheduled, golden, collect, outcome)?;
+                i += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Serves one job with the fault machinery engaged: arms a
+    /// scheduled PCI abort, runs the detect→backoff→repair→retry
+    /// loop, and lands any scheduled post-job corruption.
+    fn serve_one(
+        &mut self,
+        cp: &mut CoProcessor,
+        job: &Job,
+        scheduled: Option<FaultSite>,
+        golden: Option<&aaod_algos::AlgorithmBank>,
+        collect: bool,
+        outcome: &mut WorkerOutcome,
+    ) -> Result<(), CoreError> {
+        let algo_id = job.algo_id;
+        if scheduled == Some(FaultSite::PciTransient) {
+            // One-shot transient: the job's first transfer aborts and
+            // the driver retries it. Activation is observed through
+            // the bus stats below.
+            cp.bus_mut().arm_transient_faults(1);
+        }
+        let pci0 = cp.pci_stats();
+        let mut job_time = SimTime::ZERO;
+        let mut attempts = 0u32;
+        let mut recovery_elapsed = SimTime::ZERO;
+        let verdict = loop {
+            match cp.invoke_resilient(algo_id, &job.input) {
+                Ok((output, report, _)) => {
+                    job_time += report.total();
+                    if attempts > 0 {
+                        self.recovery_latency.push(recovery_elapsed);
+                    }
+                    // a repaired (formerly poisoned) function serves
+                    // again
+                    self.poisoned.remove(&algo_id);
+                    break Ok((output, report.hit()));
+                }
+                Err(CoreError::Mcu(detail)) => {
+                    let Some(site) = self.outstanding.get(&algo_id).copied() else {
+                        // Corruption persisting from an exhausted
+                        // fault: degrade without burning retries.
+                        break Err(JobError {
+                            algo_id,
+                            attempts,
+                            detail: detail.to_string(),
+                        });
+                    };
+                    if attempts == 0 {
+                        self.stats.detected += 1;
+                    }
+                    if attempts >= self.cfg.max_retries {
+                        self.stats.faults_failed += 1;
+                        self.outstanding.remove(&algo_id);
+                        self.poisoned.insert(algo_id);
+                        break Err(JobError {
+                            algo_id,
+                            attempts,
+                            detail: detail.to_string(),
+                        });
+                    }
+                    attempts += 1;
+                    self.stats.retries += 1;
+                    let backoff = self.cfg.backoff * (1u64 << (attempts - 1).min(20));
+                    let repair = self.repair(cp, algo_id, site)?;
+                    job_time += backoff + repair;
+                    recovery_elapsed += backoff + repair;
+                }
+                Err(other) => return Err(other),
+            }
+        };
+        let pci1 = cp.pci_stats();
+        if pci1.faulted_transfers > pci0.faulted_transfers {
+            let wasted =
+                cp.bus().config().clock.period() * (pci1.wasted_cycles - pci0.wasted_cycles);
+            self.stats.record_activated(FaultSite::PciTransient);
+            self.stats.pci_retried += 1;
+            self.recovery_latency.push(wasted);
+            if verdict.is_err() {
+                // a successful attempt folds the wasted bus time into
+                // its report; a degraded job still burned it
+                job_time += wasted;
+            }
+        }
+        if let Some(
+            site @ (FaultSite::FrameBitFlip | FaultSite::TornConfig | FaultSite::RomPayload),
+        ) = scheduled
+        {
+            // Post-job injection: corrupt only a healthy, singly
+            // faulted function so every activated fault has one
+            // unambiguous resolution.
+            let landed = verdict.is_ok() && self.algo_clean(algo_id) && {
+                let mut rng = self.cfg.plan.rng_for(job.index as u64);
+                match site {
+                    FaultSite::FrameBitFlip => cp.os_mut().inject_seu(algo_id, &mut rng),
+                    FaultSite::TornConfig => cp.os_mut().inject_torn(algo_id),
+                    FaultSite::RomPayload => cp.os_mut().inject_rom_rot(algo_id, &mut rng).is_ok(),
+                    FaultSite::PciTransient => unreachable!("matched above"),
+                }
+            };
+            if landed {
+                self.stats.record_activated(site);
+                self.outstanding.insert(algo_id, site);
+            } else {
+                self.stats.inert += 1;
+            }
+        }
+        outcome.busy += job_time;
+        match verdict {
+            Ok((output, hit)) => {
+                verify_output(golden, algo_id, job.index, &job.input, &output)?;
+                outcome.results.push(JobResult {
+                    index: job.index,
+                    output: if collect { output } else { Vec::new() },
+                    hit,
+                    time: job_time,
+                    error: None,
+                });
+            }
+            Err(e) => {
+                self.stats.failed_jobs += 1;
+                outcome.results.push(JobResult {
+                    index: job.index,
+                    output: Vec::new(),
+                    hit: false,
+                    time: job_time,
+                    error: Some(e),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Repairs `site` on `algo_id`, resolving every outstanding fault
+    /// the repair happens to fix, and returns the modelled repair
+    /// time.
+    fn repair(
+        &mut self,
+        cp: &mut CoProcessor,
+        algo_id: u16,
+        site: FaultSite,
+    ) -> Result<SimTime, CoreError> {
+        match site {
+            FaultSite::FrameBitFlip | FaultSite::TornConfig => {
+                let report = cp.scrub()?;
+                // one readback pass repairs *every* corrupt resident
+                // function, so resolve any other latent frame faults
+                // it happened to fix along the way
+                for id in &report.repaired {
+                    if matches!(
+                        self.outstanding.get(id),
+                        Some(FaultSite::FrameBitFlip | FaultSite::TornConfig)
+                    ) {
+                        self.outstanding.remove(id);
+                        self.stats.scrubbed += 1;
+                    }
+                }
+                // if the target dodged the scrub, an eviction already
+                // erased the corrupt frames
+                if self.outstanding.remove(&algo_id).is_some() {
+                    self.stats.evict_cleared += 1;
+                }
+                Ok(report.time)
+            }
+            FaultSite::RomPayload => {
+                let t = cp.os_mut().redownload(algo_id)?;
+                self.outstanding.remove(&algo_id);
+                self.stats.redownloads += 1;
+                Ok(t)
+            }
+            // PCI aborts recover at the driver, never via repair.
+            FaultSite::PciTransient => unreachable!("transients are never outstanding"),
+        }
+    }
+
+    /// Post-run sweep: repair latent faults the workload never
+    /// touched again, so no corruption outlives the run.
+    fn drain(
+        &mut self,
+        cp: &mut CoProcessor,
+        outcome: &mut WorkerOutcome,
+    ) -> Result<(), CoreError> {
+        let frame_faults: Vec<u16> = self
+            .outstanding
+            .iter()
+            .filter(|(_, s)| matches!(s, FaultSite::FrameBitFlip | FaultSite::TornConfig))
+            .map(|(&id, _)| id)
+            .collect();
+        if !frame_faults.is_empty() {
+            let report = cp.scrub()?;
+            outcome.busy += report.time;
+            for id in frame_faults {
+                self.outstanding.remove(&id);
+                if report.repaired.contains(&id) {
+                    self.stats.scrubbed += 1;
+                } else {
+                    // a policy eviction erased the corrupt frames
+                    // before the sweep got here
+                    self.stats.evict_cleared += 1;
+                }
+            }
+        }
+        let rom_faults: Vec<u16> = self
+            .outstanding
+            .iter()
+            .filter(|(_, s)| matches!(s, FaultSite::RomPayload))
+            .map(|(&id, _)| id)
+            .collect();
+        if !rom_faults.is_empty() {
+            let (_corrupt, patrol_time) = cp.os_mut().rom_patrol();
+            outcome.busy += patrol_time;
+            for id in rom_faults {
+                self.outstanding.remove(&id);
+                let t = cp.os_mut().redownload(id)?;
+                outcome.busy += t;
+                self.stats.redownloads += 1;
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -640,6 +1050,53 @@ mod tests {
         assert!(
             sha1_shards.len() >= 3,
             "hot algorithm stayed on {sha1_shards:?}"
+        );
+    }
+
+    #[test]
+    fn zero_rate_fault_plan_matches_legacy_exactly() {
+        use aaod_sim::{FaultPlan, FaultRates};
+        let w = Workload::zipf(&FIT_SET, 40, 1.1, 32, 21);
+        let base = Engine::new(EngineConfig {
+            workers: 2,
+            ..EngineConfig::default()
+        })
+        .serve(&w)
+        .unwrap();
+        let faulty = Engine::new(EngineConfig {
+            workers: 2,
+            faults: Some(FaultConfig::new(FaultPlan::new(1, FaultRates::ZERO))),
+            ..EngineConfig::default()
+        })
+        .serve(&w)
+        .unwrap();
+        assert_eq!(faulty.outputs, base.outputs);
+        assert_eq!(faulty.makespan, base.makespan);
+        assert_eq!(faulty.batches, base.batches);
+        assert_eq!(faulty.faults, FaultStats::default());
+        assert!(faulty.failed.is_empty());
+        assert_eq!(faulty.recovery_latency.count(), 0);
+    }
+
+    #[test]
+    fn chaos_run_accounts_every_fault() {
+        use aaod_sim::{FaultPlan, FaultRates};
+        let w = Workload::zipf(&FIT_SET, 120, 1.1, 48, 13);
+        let plan = FaultPlan::new(0xC0FFEE, FaultRates::uniform(0.04));
+        let r = Engine::new(EngineConfig {
+            workers: 2,
+            verify: true,
+            faults: Some(FaultConfig::new(plan)),
+            ..EngineConfig::default()
+        })
+        .serve(&w)
+        .unwrap();
+        assert!(r.faults.injected > 0, "16% total rate over 120 jobs");
+        assert!(r.faults.accounted(), "unaccounted faults: {:?}", r.faults);
+        assert!(
+            r.failed.is_empty(),
+            "with retries enabled every job recovers: {:?}",
+            r.failed
         );
     }
 

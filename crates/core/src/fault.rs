@@ -1,0 +1,204 @@
+//! Fault-injection policy and accounting for the serving engine.
+//!
+//! The deterministic *schedule* of faults lives in
+//! [`aaod_sim::FaultPlan`]; this module holds the engine-side half:
+//! the recovery policy knobs ([`FaultConfig`]), the per-run ledger
+//! ([`FaultStats`]) and the typed per-job failure ([`JobError`]) a
+//! request degrades to once its retry budget is exhausted.
+//!
+//! The ledger is built around one conservation law, checked by the
+//! chaos tests: every fault that actually landed is eventually either
+//! recovered or charged to a failed fault —
+//! `injected == recovered() + faults_failed`. Scheduled faults that
+//! could not land (the target was not resident, or the same function
+//! already carried an undetected fault) are counted as `inert` and sit
+//! outside the identity.
+
+use aaod_sim::{FaultPlan, FaultSite, SimTime};
+
+/// Recovery policy for a fault-injected serving run.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultConfig {
+    /// The deterministic fault schedule.
+    pub plan: FaultPlan,
+    /// Invoke retries allowed per detected fault before the job
+    /// degrades to a [`JobError`]. Zero disables recovery entirely.
+    pub max_retries: u32,
+    /// Base retry backoff; attempt `k` waits `backoff * 2^(k-1)` of
+    /// modelled time before repairing and retrying.
+    pub backoff: SimTime,
+    /// Re-serve failed jobs on a fresh spare card after the pool
+    /// drains, instead of leaving their [`JobError`] in place.
+    pub requeue: bool,
+}
+
+impl FaultConfig {
+    /// A config with the default recovery policy: three retries,
+    /// 2 µs base backoff, no requeue.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultConfig {
+            plan,
+            max_retries: 3,
+            backoff: SimTime::from_us(2),
+            requeue: false,
+        }
+    }
+}
+
+/// Why a request could not be served: its fault exhausted the retry
+/// budget (or corruption from an earlier exhausted fault persisted).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobError {
+    /// The algorithm the request targeted.
+    pub algo_id: u16,
+    /// Recovery attempts spent on this job before giving up.
+    pub attempts: u32,
+    /// The underlying controller failure, rendered.
+    pub detail: String,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "algorithm {} failed after {} recovery attempts: {}",
+            self.algo_id, self.attempts, self.detail
+        )
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Fault ledger for one engine run, merged across shards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Faults that landed (activated) on a card.
+    pub injected: u64,
+    /// Scheduled faults that could not land: target not resident, or
+    /// the function already carried an undetected fault.
+    pub inert: u64,
+    /// Activated frame-SEU bit flips.
+    pub frame_flips: u64,
+    /// Activated torn (half-applied) configurations.
+    pub torn_configs: u64,
+    /// Activated ROM payload corruptions.
+    pub rom_rots: u64,
+    /// Activated transient PCI aborts.
+    pub pci_transients: u64,
+    /// Faults detected while serving (caused at least one failed
+    /// invoke). Faults swept up by the drain pass never show here.
+    pub detected: u64,
+    /// Faults repaired by a readback scrub.
+    pub scrubbed: u64,
+    /// Faults repaired by re-downloading a rotten ROM image.
+    pub redownloads: u64,
+    /// PCI aborts recovered by the driver's immediate retry.
+    pub pci_retried: u64,
+    /// Frame faults dissolved by a policy eviction before detection
+    /// (the corrupt frames were cleared and reconfigured from ROM).
+    pub evict_cleared: u64,
+    /// Invoke retries spent in recovery loops.
+    pub retries: u64,
+    /// Failed jobs rescued on the spare card.
+    pub requeues: u64,
+    /// Jobs that returned a [`JobError`] from the pool (before any
+    /// requeue rescue).
+    pub failed_jobs: u64,
+    /// Faults whose retry budget was exhausted.
+    pub faults_failed: u64,
+}
+
+impl FaultStats {
+    /// Faults resolved to a healthy card, by any mechanism.
+    pub fn recovered(&self) -> u64 {
+        self.scrubbed + self.redownloads + self.pci_retried + self.evict_cleared
+    }
+
+    /// The conservation law: every activated fault was either
+    /// recovered or charged as failed.
+    pub fn accounted(&self) -> bool {
+        self.injected == self.recovered() + self.faults_failed
+    }
+
+    /// Accumulates another shard's ledger into this one.
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.injected += other.injected;
+        self.inert += other.inert;
+        self.frame_flips += other.frame_flips;
+        self.torn_configs += other.torn_configs;
+        self.rom_rots += other.rom_rots;
+        self.pci_transients += other.pci_transients;
+        self.detected += other.detected;
+        self.scrubbed += other.scrubbed;
+        self.redownloads += other.redownloads;
+        self.pci_retried += other.pci_retried;
+        self.evict_cleared += other.evict_cleared;
+        self.retries += other.retries;
+        self.requeues += other.requeues;
+        self.failed_jobs += other.failed_jobs;
+        self.faults_failed += other.faults_failed;
+    }
+
+    /// Bumps the activated counter for `site` (plus `injected`).
+    pub(crate) fn record_activated(&mut self, site: FaultSite) {
+        self.injected += 1;
+        match site {
+            FaultSite::FrameBitFlip => self.frame_flips += 1,
+            FaultSite::TornConfig => self.torn_configs += 1,
+            FaultSite::RomPayload => self.rom_rots += 1,
+            FaultSite::PciTransient => self.pci_transients += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_preserves_identity() {
+        let mut a = FaultStats {
+            injected: 3,
+            scrubbed: 2,
+            faults_failed: 1,
+            ..FaultStats::default()
+        };
+        assert!(a.accounted());
+        let b = FaultStats {
+            injected: 2,
+            redownloads: 1,
+            pci_retried: 1,
+            ..FaultStats::default()
+        };
+        assert!(b.accounted());
+        a.merge(&b);
+        assert_eq!(a.injected, 5);
+        assert_eq!(a.recovered(), 4);
+        assert!(a.accounted());
+    }
+
+    #[test]
+    fn record_activated_routes_sites() {
+        let mut s = FaultStats::default();
+        for site in FaultSite::ALL {
+            s.record_activated(site);
+        }
+        assert_eq!(s.injected, 4);
+        assert_eq!(
+            (s.frame_flips, s.torn_configs, s.rom_rots, s.pci_transients),
+            (1, 1, 1, 1)
+        );
+    }
+
+    #[test]
+    fn job_error_renders() {
+        let e = JobError {
+            algo_id: 7,
+            attempts: 2,
+            detail: "CRC mismatch".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("algorithm 7"));
+        assert!(msg.contains("2 recovery attempts"));
+    }
+}

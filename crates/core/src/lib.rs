@@ -41,11 +41,13 @@ pub mod baselines;
 pub mod coproc;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod runner;
 
-pub use coproc::{CoProcessor, CoProcessorBuilder, HostReport};
+pub use coproc::{CoProcessor, CoProcessorBuilder, HostReport, PciRecovery};
 pub use engine::{Engine, EngineConfig, EngineResult, ShardPolicy};
 pub use error::CoreError;
+pub use fault::{FaultConfig, FaultStats, JobError};
 pub use runner::{run_workload, Executor, RunResult};
 
 // Re-export the pieces users compose with.

@@ -33,6 +33,12 @@ pub trait Executor {
     fn decoded_stats(&self) -> Option<(u64, u64, u64)> {
         None
     }
+
+    /// `(scrubs, scrub_repairs, redownloads)` if the executor can
+    /// recover from configuration or ROM corruption; `None` otherwise.
+    fn recovery_stats(&self) -> Option<(u64, u64, u64)> {
+        None
+    }
 }
 
 impl Executor for CoProcessor {
@@ -53,6 +59,11 @@ impl Executor for CoProcessor {
     fn decoded_stats(&self) -> Option<(u64, u64, u64)> {
         let s = self.stats();
         Some((s.decoded_hits, s.decoded_misses, s.decoded_bytes_saved))
+    }
+
+    fn recovery_stats(&self) -> Option<(u64, u64, u64)> {
+        let s = self.stats();
+        Some((s.scrubs, s.scrub_repairs, s.redownloads))
     }
 }
 
@@ -103,6 +114,13 @@ pub struct RunResult {
     pub decoded_misses: Option<u64>,
     /// Decompressed bytes the decoded cache avoided producing.
     pub decoded_bytes_saved: Option<u64>,
+    /// Readback-scrub passes run during the workload, if the executor
+    /// supports corruption recovery.
+    pub scrubs: Option<u64>,
+    /// Functions repaired from ROM by scrubbing, if applicable.
+    pub scrub_repairs: Option<u64>,
+    /// Corrupt ROM images re-downloaded afresh, if applicable.
+    pub redownloads: Option<u64>,
 }
 
 impl RunResult {
@@ -160,6 +178,7 @@ pub fn run_workload(
     let golden = aaod_algos::AlgorithmBank::standard();
     let cache_before = executor.cache_stats();
     let decoded_before = executor.decoded_stats();
+    let recovery_before = executor.recovery_stats();
     let mut latency = TimeAccumulator::new();
     let mut input_bytes = 0u64;
     for (i, req) in workload.requests().iter().enumerate() {
@@ -181,6 +200,7 @@ pub fn run_workload(
     }
     let cache_after = executor.cache_stats();
     let decoded_after = executor.decoded_stats();
+    let recovery_after = executor.recovery_stats();
     fn deltas(
         before: &Option<(u64, u64, u64)>,
         after: &Option<(u64, u64, u64)>,
@@ -194,6 +214,7 @@ pub fn run_workload(
     }
     let delta = |f: fn(&(u64, u64, u64)) -> u64| deltas(&cache_before, &cache_after, f);
     let decoded = |f: fn(&(u64, u64, u64)) -> u64| deltas(&decoded_before, &decoded_after, f);
+    let recovery = |f: fn(&(u64, u64, u64)) -> u64| deltas(&recovery_before, &recovery_after, f);
     Ok(RunResult {
         executor: executor.name(),
         workload: workload.name().to_string(),
@@ -206,6 +227,9 @@ pub fn run_workload(
         decoded_hits: decoded(|s| s.0),
         decoded_misses: decoded(|s| s.1),
         decoded_bytes_saved: decoded(|s| s.2),
+        scrubs: recovery(|s| s.0),
+        scrub_repairs: recovery(|s| s.1),
+        redownloads: recovery(|s| s.2),
         latency,
     })
 }
@@ -234,6 +258,9 @@ mod tests {
         assert_eq!(r.hits.unwrap() + r.misses.unwrap(), 30);
         assert!(r.total_time > SimTime::ZERO);
         assert!(r.hit_rate().unwrap() > 0.5, "small set should mostly hit");
+        assert_eq!(r.scrubs, Some(0), "no corruption, no scrubbing");
+        assert_eq!(r.scrub_repairs, Some(0));
+        assert_eq!(r.redownloads, Some(0));
     }
 
     #[test]
@@ -245,6 +272,8 @@ mod tests {
         assert!(r.hit_rate().is_none());
         assert_eq!(r.requests, 10);
         assert!(r.throughput_mb_s() > 0.0);
+        assert!(r.scrubs.is_none(), "software has nothing to scrub");
+        assert!(r.redownloads.is_none());
     }
 
     #[test]

@@ -154,6 +154,31 @@ impl Device {
         FunctionImage::decode_frames(&frames, self.geometry)
     }
 
+    /// Flips one configuration bit in place — the single-event-upset
+    /// injection point used by the fault campaigns. Unlike
+    /// [`Device::write_frame`] this does not count as configuration
+    /// traffic: an SEU is radiation, not a port transaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::FrameOutOfRange`] for a bad address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `byte` is outside the frame or `bit` is not 0–7.
+    pub fn flip_bit(
+        &mut self,
+        addr: FrameAddress,
+        byte: usize,
+        bit: u8,
+    ) -> Result<(), FabricError> {
+        self.geometry.check(addr)?;
+        assert!(byte < self.geometry.frame_bytes(), "byte offset {byte}");
+        assert!(bit < 8, "bit index {bit}");
+        self.frames[addr.index()][byte] ^= 1 << bit;
+        Ok(())
+    }
+
     /// Number of single-frame writes performed so far.
     pub fn frame_writes(&self) -> u64 {
         self.frame_writes
@@ -293,6 +318,22 @@ mod tests {
         assert_eq!(decoded.algo_id(), 5);
         let out = decoded.run_netlist(&[0x00]).unwrap();
         assert_eq!(out, vec![0x80]); // bit 7 flipped
+    }
+
+    #[test]
+    fn flip_bit_is_a_seu_not_a_write() {
+        let g = geom();
+        let mut dev = Device::new(g);
+        dev.flip_bit(FrameAddress(2), 10, 3).unwrap();
+        assert_eq!(dev.read_frame(FrameAddress(2)).unwrap()[10], 1 << 3);
+        assert_eq!(dev.frame_writes(), 0, "SEU must not count as a write");
+        dev.flip_bit(FrameAddress(2), 10, 3).unwrap();
+        assert!(dev
+            .read_frame(FrameAddress(2))
+            .unwrap()
+            .iter()
+            .all(|&b| b == 0));
+        assert!(dev.flip_bit(FrameAddress(99), 0, 0).is_err());
     }
 
     #[test]

@@ -22,6 +22,8 @@ pub struct DecodedCache {
     /// Recency order, least recently used at the front.
     order: VecDeque<DecodedKey>,
     bytes: usize,
+    lookups: u64,
+    hits: u64,
 }
 
 impl DecodedCache {
@@ -61,11 +63,57 @@ impl DecodedCache {
 
     /// Looks `key` up, promoting it to most recently used.
     pub fn get(&mut self, key: &DecodedKey) -> Option<&[Vec<u8>]> {
+        self.lookups += 1;
         if !self.entries.contains_key(key) {
             return None;
         }
+        self.hits += 1;
         self.touch(*key);
         self.entries.get(key).map(Vec::as_slice)
+    }
+
+    /// Lookups performed via [`DecodedCache::get`].
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Lookups that found their entry.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that missed (`lookups - hits` by construction).
+    pub fn misses(&self) -> u64 {
+        self.lookups - self.hits
+    }
+
+    /// Removes one entry, returning whether it was present. The
+    /// recovery path purges a function's entry after its ROM image is
+    /// found corrupt, so a stale decode can never resurrect it.
+    pub fn remove(&mut self, key: &DecodedKey) -> bool {
+        match self.entries.remove(key) {
+            Some(old) => {
+                self.bytes -= old.iter().map(Vec::len).sum::<usize>();
+                self.order.retain(|k| k != key);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes every entry for `algo_id`, whatever codec it was decoded
+    /// under. Returns the number of entries dropped.
+    pub fn remove_algo(&mut self, algo_id: u16) -> usize {
+        let keys: Vec<DecodedKey> = self
+            .entries
+            .keys()
+            .filter(|k| k.0 == algo_id)
+            .copied()
+            .collect();
+        for key in &keys {
+            self.remove(key);
+        }
+        keys.len()
     }
 
     /// Whether `key` is cached, without promoting it.
@@ -185,5 +233,46 @@ mod tests {
         c.clear();
         assert!(c.is_empty());
         assert_eq!(c.bytes(), 0);
+    }
+
+    #[test]
+    fn counters_reconcile() {
+        let mut c = DecodedCache::new(100);
+        c.insert((1, 0), frames(1, 10, 0));
+        assert!(c.get(&(1, 0)).is_some());
+        assert!(c.get(&(2, 0)).is_none());
+        assert!(c.get(&(1, 0)).is_some());
+        assert_eq!(c.lookups(), 3);
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.hits() + c.misses(), c.lookups());
+    }
+
+    #[test]
+    fn remove_frees_bytes_and_order() {
+        let mut c = DecodedCache::new(100);
+        c.insert((1, 0), frames(1, 30, 1));
+        c.insert((2, 0), frames(1, 30, 2));
+        assert!(c.remove(&(1, 0)));
+        assert!(!c.remove(&(1, 0)));
+        assert_eq!(c.bytes(), 30);
+        assert_eq!(c.len(), 1);
+        // removed entry no longer participates in LRU eviction
+        c.insert((3, 0), frames(1, 30, 3));
+        c.insert((4, 0), frames(1, 30, 4));
+        assert!(c.bytes() <= 100);
+    }
+
+    #[test]
+    fn remove_algo_drops_every_codec() {
+        let mut c = DecodedCache::new(100);
+        c.insert((7, 0), frames(1, 10, 0));
+        c.insert((7, 1), frames(1, 10, 1));
+        c.insert((8, 0), frames(1, 10, 2));
+        assert_eq!(c.remove_algo(7), 2);
+        assert!(!c.contains(&(7, 0)));
+        assert!(!c.contains(&(7, 1)));
+        assert!(c.contains(&(8, 0)));
+        assert_eq!(c.bytes(), 10);
     }
 }

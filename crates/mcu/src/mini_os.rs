@@ -27,10 +27,10 @@ use crate::replacement::{LruPolicy, ReplacementPolicy, ReplacementTable};
 use crate::stats::OsStats;
 use aaod_algos::{AlgoError, AlgorithmBank};
 use aaod_bitstream::codec::{registry, CodecId};
-use aaod_bitstream::{Bitstream, BitstreamHeader};
+use aaod_bitstream::{Bitstream, BitstreamHeader, HEADER_BYTES};
 use aaod_fabric::{ConfigPort, Device, DeviceGeometry, FrameAddress, FunctionImage, FunctionKind};
 use aaod_mem::{FunctionRecord, LocalRam, MemError, MemTiming, RecordFields, Rom, RECORD_BYTES};
-use aaod_sim::{Clock, SimTime};
+use aaod_sim::{Clock, SimTime, SplitMix64};
 
 /// How the controller reconfigures the device on a miss.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -782,6 +782,130 @@ impl MiniOs {
         self.stats.scrub_repairs += report.repaired.len() as u64;
         self.stats.scrub_time += report.time;
         Ok(report)
+    }
+
+    /// Fault injection: flips one configuration bit of a resident
+    /// function (a single-event upset). The flipped bit lands in the
+    /// function's first frame, inside the image header/digest region,
+    /// so the upset is always detectable on the next decode. Returns
+    /// `false` (no injection) when the function is not resident —
+    /// radiation can only strike configured frames.
+    ///
+    /// Injections are free of modelled time: an SEU is an event, not
+    /// an operation the controller performs.
+    pub fn inject_seu(&mut self, algo_id: u16, rng: &mut SplitMix64) -> bool {
+        let Some(residency) = self.table.get(algo_id) else {
+            return false;
+        };
+        let target = residency.frames[0];
+        let limit = 64.min(self.device.geometry().frame_bytes());
+        let byte = rng.index(limit);
+        let bit = rng.index(8) as u8;
+        self.device
+            .flip_bit(target, byte, bit)
+            .expect("resident frame address is valid");
+        true
+    }
+
+    /// Fault injection: tears a resident function's configuration, as
+    /// if a background reconfiguration died partway — the tail half of
+    /// its frames (at least one) is erased. Returns `false` when the
+    /// function is not resident.
+    pub fn inject_torn(&mut self, algo_id: u16) -> bool {
+        let Some(residency) = self.table.get(algo_id) else {
+            return false;
+        };
+        let frames = residency.frames.clone();
+        let start = (frames.len() / 2).min(frames.len() - 1);
+        for &addr in &frames[start..] {
+            self.device
+                .clear_frame(addr)
+                .expect("resident frame address is valid");
+        }
+        true
+    }
+
+    /// Fault injection: corrupts one byte of the function's stored ROM
+    /// payload (flash bit-rot), past the header so the damage is
+    /// caught by the bitstream CRC rather than rejected at parse. The
+    /// function is evicted and its decoded-cache entries purged, so
+    /// the next use must re-read the rotten ROM image — guaranteeing
+    /// the fault activates instead of hiding behind a cached decode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McuError::Mem`] with [`MemError::RecordNotFound`] if
+    /// the function was never downloaded.
+    pub fn inject_rom_rot(&mut self, algo_id: u16, rng: &mut SplitMix64) -> Result<(), McuError> {
+        let record = self
+            .rom
+            .records()
+            .into_iter()
+            .find(|r| r.algo_id == algo_id)
+            .ok_or(McuError::Mem(MemError::RecordNotFound(algo_id)))?;
+        let payload_len = record.compressed_len as usize - HEADER_BYTES;
+        let offset = HEADER_BYTES + rng.index(payload_len);
+        let mask = rng.next_u8() | 1;
+        self.rom.corrupt_payload(algo_id, offset, mask)?;
+        if self.table.contains(algo_id) {
+            self.evict(algo_id)?;
+        }
+        self.purge_decoded(algo_id);
+        Ok(())
+    }
+
+    /// Drops every decoded-bitstream cache entry for `algo_id`,
+    /// returning how many were held. Recovery calls this after ROM
+    /// corruption so a stale decode cannot mask the damage.
+    pub fn purge_decoded(&mut self, algo_id: u16) -> usize {
+        self.decoded.remove_algo(algo_id)
+    }
+
+    /// ROM patrol: CRC-verifies every stored bitstream payload and
+    /// returns the ids whose image is corrupt, charging the read time
+    /// to the controller clock. The recovery layer runs this as its
+    /// final sweep so flash rot that never surfaced during serving is
+    /// still found and repaired — zero silent corruption.
+    pub fn rom_patrol(&mut self) -> (Vec<u16>, SimTime) {
+        let mut corrupt = Vec::new();
+        let mut scanned = 0u64;
+        for record in self.rom.records() {
+            let encoded = self.rom.bitstream_bytes(&record).to_vec();
+            scanned += encoded.len() as u64;
+            let ok = BitstreamHeader::parse(&encoded)
+                .and_then(|h| h.verify_payload(&encoded[HEADER_BYTES..]))
+                .is_ok();
+            if !ok {
+                corrupt.push(record.algo_id);
+            }
+        }
+        let t = self.mem_timing.rom_read_time(scanned);
+        self.now += t;
+        (corrupt, t)
+    }
+
+    /// Corruption recovery: re-downloads a function whose ROM image
+    /// went bad. The function is evicted (if resident), its decoded
+    /// cache entries are purged, the rotten record is removed from the
+    /// ROM, and a fresh image is encoded and downloaded. Returns the
+    /// total modelled recovery time, also charged to the clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McuError::Mem`] with [`MemError::RecordNotFound`] if
+    /// the function was never downloaded, or a ROM error if the fresh
+    /// image no longer fits (fragmented flash).
+    pub fn redownload(&mut self, algo_id: u16) -> Result<SimTime, McuError> {
+        let mut t = SimTime::ZERO;
+        if self.table.contains(algo_id) {
+            t += self.evict(algo_id)?;
+        }
+        self.purge_decoded(algo_id);
+        self.rom.remove_record(algo_id)?;
+        t += self.install(algo_id)?;
+        self.stats.redownloads += 1;
+        self.stats.redownload_time += t;
+        Ok(t)
     }
 
     /// Manually evicts a resident function, erasing its frames.

@@ -48,6 +48,12 @@ pub struct OsStats {
     pub decoded_misses: u64,
     /// Decompressed bytes whose production the decoded cache avoided.
     pub decoded_bytes_saved: u64,
+    /// Corruption-recovery re-downloads: a function whose ROM image
+    /// went bad was removed, re-encoded and downloaded afresh
+    /// (extension; see [`crate::MiniOs::redownload`]).
+    pub redownloads: u64,
+    /// Time spent in recovery re-downloads.
+    pub redownload_time: SimTime,
 }
 
 impl OsStats {
@@ -83,6 +89,8 @@ impl OsStats {
         self.decoded_hits += other.decoded_hits;
         self.decoded_misses += other.decoded_misses;
         self.decoded_bytes_saved += other.decoded_bytes_saved;
+        self.redownloads += other.redownloads;
+        self.redownload_time += other.redownload_time;
     }
 
     /// Fraction of misses whose decoded frames were already cached.

@@ -169,6 +169,69 @@ impl Rom {
         &self.data[start..end]
     }
 
+    /// XORs `mask` into byte `offset` of `algo_id`'s stored payload —
+    /// the flash bit-rot injection point used by the fault campaigns.
+    /// The record (and its CRC-bearing header, stored in the payload's
+    /// first bytes) is found via a silent lookup so probes and timing
+    /// stats are unaffected.
+    ///
+    /// # Errors
+    ///
+    /// * [`MemError::RecordNotFound`] for an unknown function.
+    /// * [`MemError::OutOfBounds`] if `offset` is past the payload.
+    pub fn corrupt_payload(
+        &mut self,
+        algo_id: u16,
+        offset: usize,
+        mask: u8,
+    ) -> Result<(), MemError> {
+        let r = self
+            .lookup_silent(algo_id)
+            .ok_or(MemError::RecordNotFound(algo_id))?;
+        let len = r.compressed_len as usize;
+        if offset >= len {
+            return Err(MemError::OutOfBounds {
+                what: "rom payload",
+                offset,
+                len: 1,
+                size: len,
+            });
+        }
+        self.data[r.start as usize + offset] ^= mask;
+        Ok(())
+    }
+
+    /// Removes `algo_id`'s record from the table so a fresh image can
+    /// be re-downloaded (the mini OS's corruption-recovery path).
+    ///
+    /// Later records shift up one slot, preserving download order. The
+    /// payload bytes are reclaimed only when they sit at the top of the
+    /// bitstream region; otherwise they remain as dead flash — real
+    /// cards fragment the same way until a bulk erase.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::RecordNotFound`] for an unknown function.
+    pub fn remove_record(&mut self, algo_id: u16) -> Result<(), MemError> {
+        let k = (0..self.n_records)
+            .find(|&i| self.record_at(i).algo_id == algo_id)
+            .ok_or(MemError::RecordNotFound(algo_id))?;
+        let removed = self.record_at(k);
+        for i in k + 1..self.n_records {
+            let moved = self.record_at(i).to_bytes();
+            let slot = self.capacity() - i * RECORD_BYTES;
+            self.data[slot..slot + RECORD_BYTES].copy_from_slice(&moved);
+        }
+        let freed = self.capacity() - self.n_records * RECORD_BYTES;
+        self.data[freed..freed + RECORD_BYTES].fill(0);
+        self.n_records -= 1;
+        let end = removed.start as usize + removed.compressed_len as usize;
+        if end == self.bitstream_end {
+            self.bitstream_end = removed.start as usize;
+        }
+        Ok(())
+    }
+
     /// Total payload bytes read so far (timing input).
     pub fn bytes_read(&self) -> u64 {
         self.bytes_read.get()
@@ -294,5 +357,58 @@ mod tests {
     #[should_panic(expected = "larger than one record")]
     fn tiny_rom_panics() {
         let _ = Rom::new(10);
+    }
+
+    #[test]
+    fn corrupt_payload_flips_stored_byte() {
+        let mut rom = Rom::new(1024);
+        rom.download(fields(1), &[0xAA; 40]).unwrap();
+        rom.corrupt_payload(1, 5, 0x0F).unwrap();
+        let r = rom.lookup(1).unwrap();
+        let bytes = rom.bitstream_bytes(&r);
+        assert_eq!(bytes[5], 0xAA ^ 0x0F);
+        assert!(bytes.iter().enumerate().all(|(i, &b)| i == 5 || b == 0xAA));
+        assert!(matches!(
+            rom.corrupt_payload(9, 0, 1),
+            Err(MemError::RecordNotFound(9))
+        ));
+        assert!(matches!(
+            rom.corrupt_payload(1, 40, 1),
+            Err(MemError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn remove_middle_record_keeps_order_and_lookup() {
+        let mut rom = Rom::new(4096);
+        for i in [5u16, 3, 9] {
+            rom.download(fields(i), &[i as u8; 16]).unwrap();
+        }
+        rom.remove_record(3).unwrap();
+        let ids: Vec<u16> = rom.records().iter().map(|r| r.algo_id).collect();
+        assert_eq!(ids, vec![5, 9]);
+        assert!(rom.lookup(3).is_none());
+        let r9 = rom.lookup(9).unwrap();
+        assert_eq!(rom.bitstream_bytes(&r9), &[9u8; 16][..]);
+        // payload of 3 is dead flash: bitstream region did not shrink
+        assert_eq!(rom.bitstream_bytes_used(), 48);
+        assert_eq!(rom.table_bytes_used(), 2 * RECORD_BYTES);
+    }
+
+    #[test]
+    fn remove_tail_record_reclaims_payload() {
+        let mut rom = Rom::new(1024);
+        rom.download(fields(1), &[1u8; 30]).unwrap();
+        rom.download(fields(2), &[2u8; 20]).unwrap();
+        rom.remove_record(2).unwrap();
+        assert_eq!(rom.bitstream_bytes_used(), 30);
+        // re-download of the same id now succeeds (no duplicate)
+        rom.download(fields(2), &[7u8; 20]).unwrap();
+        let r = rom.lookup(2).unwrap();
+        assert_eq!(rom.bitstream_bytes(&r), &[7u8; 20][..]);
+        assert!(matches!(
+            rom.remove_record(42),
+            Err(MemError::RecordNotFound(42))
+        ));
     }
 }

@@ -99,13 +99,45 @@ pub struct PciStats {
     pub transactions: u64,
     /// Total bus-busy cycles.
     pub busy_cycles: u64,
+    /// Transfers aborted by an injected transient fault.
+    pub faulted_transfers: u64,
+    /// Bus cycles burned by aborted transfers (subset of
+    /// `busy_cycles`).
+    pub wasted_cycles: u64,
 }
+
+/// A PCI transfer failure.
+///
+/// The model only produces transient aborts (master/target abort or a
+/// parity error forcing a retry); the aborted transaction still burned
+/// bus time, which the error carries so callers can charge it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PciError {
+    /// The transfer aborted mid-flight and must be retried.
+    TransientAbort {
+        /// Bus time consumed by the aborted attempt.
+        wasted: SimTime,
+    },
+}
+
+impl std::fmt::Display for PciError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PciError::TransientAbort { wasted } => {
+                write!(f, "transient PCI abort ({wasted} wasted)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PciError {}
 
 /// The bus itself: converts transfer sizes into time and keeps stats.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PciBus {
     config: PciConfig,
     stats: PciStats,
+    armed_faults: u32,
 }
 
 impl PciBus {
@@ -120,6 +152,7 @@ impl PciBus {
         PciBus {
             config,
             stats: PciStats::default(),
+            armed_faults: 0,
         }
     }
 
@@ -179,6 +212,49 @@ impl PciBus {
     /// Card-to-host transfer.
     pub fn read(&mut self, bytes: u64) -> SimTime {
         self.transfer(bytes, Direction::Read)
+    }
+
+    /// Arms `n` one-shot transient faults. Each subsequent *fallible*
+    /// transfer ([`PciBus::try_write`] / [`PciBus::try_read`]) consumes
+    /// one armed fault and aborts; the infallible paths never consume
+    /// them, so legacy callers are unaffected.
+    pub fn arm_transient_faults(&mut self, n: u32) {
+        self.armed_faults += n;
+    }
+
+    /// Armed faults not yet consumed.
+    pub fn armed_faults(&self) -> u32 {
+        self.armed_faults
+    }
+
+    /// Fallible transfer: consumes an armed fault if one is pending.
+    ///
+    /// An aborted attempt still occupies the bus for the full transfer
+    /// (worst-case retry timer), counted in `busy_cycles` and
+    /// `faulted_transfers`, but delivers no bytes.
+    pub fn try_transfer(&mut self, bytes: u64, dir: Direction) -> Result<SimTime, PciError> {
+        if self.armed_faults == 0 {
+            return Ok(self.transfer(bytes, dir));
+        }
+        self.armed_faults -= 1;
+        let before = self.stats;
+        let wasted = self.transfer(bytes, dir);
+        // The attempt burned bus time but delivered nothing.
+        self.stats.bytes_written = before.bytes_written;
+        self.stats.bytes_read = before.bytes_read;
+        self.stats.faulted_transfers += 1;
+        self.stats.wasted_cycles += self.stats.busy_cycles - before.busy_cycles;
+        Err(PciError::TransientAbort { wasted })
+    }
+
+    /// Fallible host-to-card transfer; see [`PciBus::try_transfer`].
+    pub fn try_write(&mut self, bytes: u64) -> Result<SimTime, PciError> {
+        self.try_transfer(bytes, Direction::Write)
+    }
+
+    /// Fallible card-to-host transfer; see [`PciBus::try_transfer`].
+    pub fn try_read(&mut self, bytes: u64) -> Result<SimTime, PciError> {
+        self.try_transfer(bytes, Direction::Read)
     }
 
     /// Effective bandwidth (bytes/s) a transfer of `bytes` achieves
@@ -278,6 +354,44 @@ mod tests {
         let peak = PciConfig::default().peak_bandwidth();
         assert!(bw < peak);
         assert!(bw > peak * 0.5, "bandwidth collapsed: {bw}");
+    }
+
+    #[test]
+    fn armed_fault_aborts_exactly_one_fallible_transfer() {
+        let mut bus = PciBus::new(PciConfig::default());
+        bus.arm_transient_faults(1);
+        let err = bus.try_write(4096).unwrap_err();
+        let PciError::TransientAbort { wasted } = err;
+        assert!(wasted > SimTime::ZERO);
+        assert_eq!(bus.stats().bytes_written, 0, "aborted transfer delivered");
+        assert_eq!(bus.stats().faulted_transfers, 1);
+        assert_eq!(bus.armed_faults(), 0);
+        // the retry succeeds
+        let t = bus.try_write(4096).unwrap();
+        assert!(t > SimTime::ZERO);
+        assert_eq!(bus.stats().bytes_written, 4096);
+    }
+
+    #[test]
+    fn infallible_transfers_never_consume_armed_faults() {
+        let mut bus = PciBus::new(PciConfig::default());
+        bus.arm_transient_faults(1);
+        bus.write(128);
+        bus.read(128);
+        assert_eq!(bus.armed_faults(), 1);
+        assert_eq!(bus.stats().faulted_transfers, 0);
+        assert_eq!(bus.stats().bytes_written, 128);
+    }
+
+    #[test]
+    fn aborted_attempt_still_burns_bus_time() {
+        let mut clean = PciBus::new(PciConfig::default());
+        let clean_t = clean.try_write(2048).unwrap();
+        let mut faulty = PciBus::new(PciConfig::default());
+        faulty.arm_transient_faults(1);
+        let PciError::TransientAbort { wasted } = faulty.try_write(2048).unwrap_err();
+        assert_eq!(wasted, clean_t);
+        assert_eq!(faulty.stats().busy_cycles, clean.stats().busy_cycles);
     }
 
     #[test]

@@ -142,6 +142,24 @@ impl Strategy for Range<f64> {
     }
 }
 
+// Tuples of strategies are themselves strategies, generated
+// left to right — `(0u8..4, any::<u8>())` works as in real proptest.
+macro_rules! tuple_strategy {
+    ($($S:ident / $v:ident),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($v,)+) = self;
+                ($($v.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(S1 / s1, S2 / s2);
+tuple_strategy!(S1 / s1, S2 / s2, S3 / s3);
+tuple_strategy!(S1 / s1, S2 / s2, S3 / s3, S4 / s4);
+
 /// Types with a full-domain uniform generator, for [`any`].
 pub trait Arbitrary {
     /// Produces one arbitrary value.

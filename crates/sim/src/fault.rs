@@ -1,0 +1,280 @@
+//! Deterministic fault scheduling for chaos experiments.
+//!
+//! A [`FaultPlan`] turns a seed plus per-site rates into a reproducible
+//! fault schedule: whether request number `i` of a run suffers a fault,
+//! and at which site, is a *pure function* of `(seed, i)`. No mutable
+//! RNG state is shared between decision points, so the schedule is
+//! independent of thread interleaving, shard policy and evaluation
+//! order — the properties the engine-fault test suite depends on.
+//!
+//! The sites model where a real partially-reconfigurable card breaks:
+//! single-event upsets in configured frames, bit-rot in the bitstream
+//! ROM, configurations torn mid-download, and transient PCI transfer
+//! errors.
+//!
+//! # Examples
+//!
+//! ```
+//! use aaod_sim::fault::{FaultPlan, FaultRates};
+//!
+//! let plan = FaultPlan::new(42, FaultRates::uniform(0.25));
+//! // Pure: the same (seed, index) always gives the same decision.
+//! assert_eq!(plan.decide(7), plan.decide(7));
+//! ```
+
+use crate::SplitMix64;
+
+/// Where a scheduled fault strikes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultSite {
+    /// A single-event upset flips one bit of a configured frame.
+    FrameBitFlip,
+    /// A (re)configuration is torn: the tail of the frame set is lost.
+    TornConfig,
+    /// A stored bitstream payload byte in ROM is corrupted.
+    RomPayload,
+    /// A host↔card PCI transfer fails transiently and must be retried.
+    PciTransient,
+}
+
+impl FaultSite {
+    /// All sites, in the fixed order the plan's cumulative draw uses.
+    pub const ALL: [FaultSite; 4] = [
+        FaultSite::FrameBitFlip,
+        FaultSite::TornConfig,
+        FaultSite::RomPayload,
+        FaultSite::PciTransient,
+    ];
+
+    /// Short lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::FrameBitFlip => "frame-bit-flip",
+            FaultSite::TornConfig => "torn-config",
+            FaultSite::RomPayload => "rom-payload",
+            FaultSite::PciTransient => "pci-transient",
+        }
+    }
+}
+
+/// Per-site fault probabilities, each applied per request.
+///
+/// Rates are independent probabilities in `[0, 1]`; their sum must not
+/// exceed 1 because at most one fault is scheduled per request (a
+/// single draw is partitioned between the sites).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultRates {
+    /// Probability a request is followed by a frame bit-flip.
+    pub frame_bit_flip: f64,
+    /// Probability a request is followed by a torn configuration.
+    pub torn_config: f64,
+    /// Probability a request is followed by ROM payload corruption.
+    pub rom_payload: f64,
+    /// Probability a request's PCI transfer fails transiently.
+    pub pci_transient: f64,
+}
+
+impl FaultRates {
+    /// No faults at all.
+    pub const ZERO: FaultRates = FaultRates {
+        frame_bit_flip: 0.0,
+        torn_config: 0.0,
+        rom_payload: 0.0,
+        pci_transient: 0.0,
+    };
+
+    /// The same rate `p` at every site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `4 * p` exceeds 1.
+    pub fn uniform(p: f64) -> FaultRates {
+        let r = FaultRates {
+            frame_bit_flip: p,
+            torn_config: p,
+            rom_payload: p,
+            pci_transient: p,
+        };
+        r.validate();
+        r
+    }
+
+    /// Sum of all site rates — the per-request fault probability.
+    pub fn total(&self) -> f64 {
+        self.frame_bit_flip + self.torn_config + self.rom_payload + self.pci_transient
+    }
+
+    /// Rate for one site.
+    pub fn rate(&self, site: FaultSite) -> f64 {
+        match site {
+            FaultSite::FrameBitFlip => self.frame_bit_flip,
+            FaultSite::TornConfig => self.torn_config,
+            FaultSite::RomPayload => self.rom_payload,
+            FaultSite::PciTransient => self.pci_transient,
+        }
+    }
+
+    fn validate(&self) {
+        for site in FaultSite::ALL {
+            let p = self.rate(site);
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "fault rate for {} out of [0,1]: {p}",
+                site.name()
+            );
+        }
+        assert!(
+            self.total() <= 1.0,
+            "fault rates sum to {} > 1; at most one fault per request",
+            self.total()
+        );
+    }
+}
+
+/// A seeded, reproducible fault schedule.
+///
+/// The plan never holds mutable state: [`FaultPlan::decide`] hashes the
+/// seed with the request index and draws once, partitioning the unit
+/// interval between the sites in [`FaultSite::ALL`] order. At most one
+/// fault is scheduled per request.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    rates: FaultRates,
+}
+
+impl FaultPlan {
+    /// Creates a plan from a seed and per-site rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate is outside `[0, 1]` or the rates sum past 1.
+    pub fn new(seed: u64, rates: FaultRates) -> FaultPlan {
+        rates.validate();
+        FaultPlan { seed, rates }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The plan's per-site rates.
+    pub fn rates(&self) -> FaultRates {
+        self.rates
+    }
+
+    /// `true` if every rate is zero — the plan schedules nothing.
+    pub fn is_zero(&self) -> bool {
+        self.rates.total() == 0.0
+    }
+
+    /// The fault (if any) scheduled against request `index`.
+    ///
+    /// Pure: equal `(seed, index)` always yields the same decision,
+    /// regardless of call order or thread.
+    pub fn decide(&self, index: u64) -> Option<FaultSite> {
+        if self.is_zero() {
+            return None;
+        }
+        let draw = self.rng_for(index).next_f64();
+        let mut cumulative = 0.0;
+        for site in FaultSite::ALL {
+            cumulative += self.rates.rate(site);
+            if draw < cumulative {
+                return Some(site);
+            }
+        }
+        None
+    }
+
+    /// A detail RNG for request `index`, independent of the decision
+    /// draw — injection hooks use it to pick frames, bytes and bits.
+    pub fn rng_for(&self, index: u64) -> SplitMix64 {
+        // One SplitMix64 step over (seed, index) gives a well-mixed
+        // per-request stream without shared mutable state.
+        let mut mixer = SplitMix64::new(self.seed ^ index.wrapping_mul(0xA076_1D64_78BD_642F));
+        SplitMix64::new(mixer.next_u64())
+    }
+
+    /// How many of the first `n` requests have a scheduled fault.
+    pub fn scheduled_in(&self, n: u64) -> usize {
+        (0..n).filter(|&i| self.decide(i).is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_pure() {
+        let plan = FaultPlan::new(0xC0FFEE, FaultRates::uniform(0.2));
+        for i in 0..256 {
+            assert_eq!(plan.decide(i), plan.decide(i));
+        }
+    }
+
+    #[test]
+    fn equal_seeds_equal_schedules() {
+        let a = FaultPlan::new(9, FaultRates::uniform(0.1));
+        let b = FaultPlan::new(9, FaultRates::uniform(0.1));
+        let sa: Vec<_> = (0..500).map(|i| a.decide(i)).collect();
+        let sb: Vec<_> = (0..500).map(|i| b.decide(i)).collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::new(1, FaultRates::uniform(0.25));
+        let b = FaultPlan::new(2, FaultRates::uniform(0.25));
+        let sa: Vec<_> = (0..500).map(|i| a.decide(i)).collect();
+        let sb: Vec<_> = (0..500).map(|i| b.decide(i)).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn zero_plan_schedules_nothing() {
+        let plan = FaultPlan::new(77, FaultRates::ZERO);
+        assert!(plan.is_zero());
+        assert_eq!(plan.scheduled_in(10_000), 0);
+    }
+
+    #[test]
+    fn rate_shapes_frequency() {
+        let plan = FaultPlan::new(3, FaultRates::uniform(0.05));
+        let n = 20_000;
+        let hits = plan.scheduled_in(n);
+        let expect = 0.2 * n as f64;
+        let got = hits as f64;
+        assert!(
+            (got - expect).abs() < expect * 0.15,
+            "expected ~{expect}, got {got}"
+        );
+    }
+
+    #[test]
+    fn all_sites_reachable() {
+        let plan = FaultPlan::new(11, FaultRates::uniform(0.25));
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..2_000 {
+            if let Some(site) = plan.decide(i) {
+                seen.insert(site);
+            }
+        }
+        assert_eq!(seen.len(), FaultSite::ALL.len(), "{seen:?}");
+    }
+
+    #[test]
+    fn detail_rngs_are_independent_per_index() {
+        let plan = FaultPlan::new(5, FaultRates::uniform(0.25));
+        assert_ne!(plan.rng_for(0).next_u64(), plan.rng_for(1).next_u64());
+        assert_eq!(plan.rng_for(4).next_u64(), plan.rng_for(4).next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "at most one fault")]
+    fn oversubscribed_rates_rejected() {
+        let _ = FaultPlan::new(0, FaultRates::uniform(0.3));
+    }
+}

@@ -10,6 +10,9 @@
 //!   microcontroller/configuration 50 MHz, fabric 100 MHz).
 //! * [`SplitMix64`] — a tiny deterministic RNG so every experiment is
 //!   reproducible from a seed, without external dependencies.
+//! * [`FaultPlan`] — a seeded, per-request fault schedule for the
+//!   chaos/recovery experiments; decisions are pure functions of
+//!   `(seed, request index)`.
 //! * [`stats`] — mean / percentile / histogram helpers used by the
 //!   workload metrics.
 //! * [`report`] — fixed-width table rendering used by the benches and
@@ -29,11 +32,13 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod fault;
 pub mod report;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use clock::Clock;
+pub use fault::{FaultPlan, FaultRates, FaultSite};
 pub use rng::SplitMix64;
 pub use time::SimTime;

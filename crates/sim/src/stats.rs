@@ -84,6 +84,12 @@ impl Accumulator {
         sorted[rank]
     }
 
+    /// Appends every sample of `other` — used when combining
+    /// per-shard accumulators into an engine-wide one.
+    pub fn merge(&mut self, other: &Accumulator) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
     /// Produces an immutable [`Summary`] of the samples.
     pub fn summary(&self) -> Summary {
         Summary {
@@ -180,6 +186,12 @@ impl TimeAccumulator {
         self.inner.count()
     }
 
+    /// Appends every sample of `other`.
+    pub fn merge(&mut self, other: &TimeAccumulator) {
+        self.inner.merge(&other.inner);
+        self.total += other.total;
+    }
+
     /// Summary with all fields in nanoseconds.
     pub fn summary_ns(&self) -> Summary {
         self.inner.summary()
@@ -229,6 +241,19 @@ mod tests {
         assert_eq!(acc.total(), SimTime::from_ns(40));
         assert_eq!(acc.count(), 2);
         assert_eq!(acc.summary_ns().max, 30.0);
+    }
+
+    #[test]
+    fn merge_appends_samples() {
+        let mut a = TimeAccumulator::new();
+        a.push(SimTime::from_ns(10));
+        let mut b = TimeAccumulator::new();
+        b.push(SimTime::from_ns(30));
+        b.push(SimTime::from_ns(50));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.total(), SimTime::from_ns(90));
+        assert_eq!(a.summary_ns().max, 50.0);
     }
 
     #[test]

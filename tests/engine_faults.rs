@@ -1,0 +1,281 @@
+//! Engine-level fault-injection tests: deterministic chaos through
+//! the full serving pool.
+//!
+//! The invariants under test are the contract of the fault layer:
+//!
+//! * **no silent corruption** — every output that survives a chaos
+//!   run is byte-identical to the fault-free serial run (`verify` is
+//!   also on, so the golden model checks every byte in-flight);
+//! * **full accounting** — every activated fault is resolved exactly
+//!   once: `injected == scrubbed + redownloads + pci_retried +
+//!   evict_cleared + faults_failed`;
+//! * **determinism** — the same seed reproduces the identical report,
+//!   and the fault *schedule* is a pure function of the request
+//!   index, independent of shard policy and pool width.
+//!
+//! The plan seed is taken from `AAOD_FAULT_SEED` when set (the CI
+//! fault matrix sweeps it) and falls back to a fixed default.
+
+use aaod_core::{CoProcessor, Engine, EngineConfig, EngineResult, FaultConfig, ShardPolicy};
+use aaod_sim::{FaultPlan, FaultRates};
+use aaod_workload::Workload;
+
+/// Seed for the fault plan: `AAOD_FAULT_SEED` if set, else fixed.
+fn plan_seed() -> u64 {
+    std::env::var("AAOD_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xFA117)
+}
+
+/// The standard chaos workload: skewed traffic over a working set
+/// that fits the default device.
+fn chaos_workload() -> Workload {
+    use aaod_algos::ids;
+    Workload::zipf(
+        &[ids::SHA1, ids::CRC32, ids::CRC8, ids::XTEA],
+        160,
+        1.1,
+        48,
+        29,
+    )
+}
+
+/// Fault-free serial baseline: the byte-exact outputs chaos runs are
+/// held to.
+fn serial_baseline(workload: &Workload) -> Vec<Vec<u8>> {
+    let mut cp = CoProcessor::default();
+    for &algo in &workload.distinct_algos() {
+        cp.install(algo).unwrap();
+    }
+    workload
+        .requests()
+        .iter()
+        .enumerate()
+        .map(|(i, req)| cp.invoke(req.algo_id, &workload.input(i)).unwrap().0)
+        .collect()
+}
+
+fn chaos_config(workers: usize, shard: ShardPolicy, faults: FaultConfig) -> EngineConfig {
+    EngineConfig {
+        workers,
+        verify: true,
+        shard,
+        faults: Some(faults),
+        ..EngineConfig::default()
+    }
+}
+
+/// Asserts the chaos run's surviving outputs equal the serial
+/// baseline byte for byte, and that failed jobs left empty slots.
+fn assert_survivors_match(r: &EngineResult, baseline: &[Vec<u8>], label: &str) {
+    let outputs = r.outputs.as_ref().expect("outputs collected");
+    assert_eq!(outputs.len(), baseline.len(), "{label}: output slot count");
+    for (i, (got, want)) in outputs.iter().zip(baseline).enumerate() {
+        if r.failed.contains_key(&i) {
+            assert!(got.is_empty(), "{label}: failed job {i} left bytes behind");
+        } else {
+            assert_eq!(got, want, "{label}: surviving output {i} corrupted");
+        }
+    }
+}
+
+/// A nonzero fault plan completes without panic, survivors are
+/// byte-identical to the fault-free serial run, and every activated
+/// fault is accounted for.
+#[test]
+fn chaos_survivors_match_fault_free_serial_run() {
+    let w = chaos_workload();
+    let baseline = serial_baseline(&w);
+    let plan = FaultPlan::new(plan_seed(), FaultRates::uniform(0.05));
+    let r = Engine::new(chaos_config(
+        3,
+        ShardPolicy::AlgoModulo,
+        FaultConfig::new(plan),
+    ))
+    .serve(&w)
+    .unwrap();
+    assert!(
+        r.faults.injected > 0,
+        "20% total fault rate over 160 jobs must land something"
+    );
+    assert!(r.faults.accounted(), "unaccounted faults: {:?}", r.faults);
+    assert!(
+        r.failed.is_empty(),
+        "default retry budget recovers everything: {:?}",
+        r.failed
+    );
+    assert_survivors_match(&r, &baseline, "chaos");
+    assert!(
+        r.recovery_latency.count() > 0,
+        "recoveries must record their latency"
+    );
+    assert!(r.makespan > aaod_sim::SimTime::ZERO);
+}
+
+/// The same seed reproduces the identical report — outputs, failure
+/// map, fault ledger, timing — across two runs.
+#[test]
+fn same_seed_reproduces_identical_report() {
+    let w = chaos_workload();
+    let plan = FaultPlan::new(plan_seed(), FaultRates::uniform(0.06));
+    let run = || {
+        Engine::new(chaos_config(
+            2,
+            ShardPolicy::Balanced,
+            FaultConfig::new(plan),
+        ))
+        .serve(&w)
+        .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.outputs, b.outputs, "outputs diverged across reruns");
+    assert_eq!(a.per_request_hit, b.per_request_hit);
+    assert_eq!(a.failed, b.failed);
+    assert_eq!(a.faults, b.faults, "fault ledger diverged");
+    assert_eq!(a.stats, b.stats, "controller stats diverged");
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.shard_busy, b.shard_busy);
+    assert_eq!(a.latency, b.latency);
+    assert_eq!(a.recovery_latency, b.recovery_latency);
+    assert_eq!(a.batches, b.batches);
+    assert_eq!(a.coalesced, b.coalesced);
+}
+
+/// The fault *schedule* is a pure function of (seed, request index):
+/// however the pool is sharded, the same requests draw faults, so
+/// `injected + inert` — and the correctness invariants — hold across
+/// every policy and width.
+#[test]
+fn fault_schedule_invariant_across_shard_policies() {
+    let w = chaos_workload();
+    let baseline = serial_baseline(&w);
+    let plan = FaultPlan::new(plan_seed(), FaultRates::uniform(0.05));
+    let scheduled = plan.scheduled_in(w.len() as u64) as u64;
+    assert!(scheduled > 0);
+    for shard in [
+        ShardPolicy::AlgoModulo,
+        ShardPolicy::RoundRobin,
+        ShardPolicy::Balanced,
+    ] {
+        for workers in [1, 2, 4] {
+            let label = format!("{} x{workers}", shard.name());
+            let r = Engine::new(chaos_config(workers, shard, FaultConfig::new(plan)))
+                .serve(&w)
+                .unwrap();
+            assert_eq!(
+                r.faults.injected + r.faults.inert,
+                scheduled,
+                "{label}: schedule is index-pure, sharding must not change it"
+            );
+            assert!(r.faults.accounted(), "{label}: {:?}", r.faults);
+            assert_survivors_match(&r, &baseline, &label);
+        }
+    }
+}
+
+/// With the retry budget zeroed, jobs whose fault is detected degrade
+/// to typed errors instead of aborting the run — and the ledger still
+/// balances.
+#[test]
+fn exhausted_retries_degrade_to_typed_errors() {
+    let w = chaos_workload();
+    let baseline = serial_baseline(&w);
+    let plan = FaultPlan::new(
+        plan_seed(),
+        FaultRates {
+            // frame corruption only: detected at next use, unrecoverable
+            // with zero retries
+            frame_bit_flip: 0.3,
+            ..FaultRates::ZERO
+        },
+    );
+    let mut cfg = FaultConfig::new(plan);
+    cfg.max_retries = 0;
+    let r = Engine::new(chaos_config(2, ShardPolicy::AlgoModulo, cfg))
+        .serve(&w)
+        .unwrap();
+    assert!(
+        !r.failed.is_empty(),
+        "30% frame-flip rate with no retries must degrade something"
+    );
+    assert_eq!(r.faults.failed_jobs, r.failed.len() as u64);
+    assert!(r.faults.faults_failed > 0);
+    assert_eq!(r.faults.retries, 0, "budget is zero, nothing may retry");
+    assert!(r.faults.accounted(), "{:?}", r.faults);
+    for (&index, err) in &r.failed {
+        assert!(index < w.len());
+        assert_eq!(err.attempts, 0);
+        assert!(
+            w.requests().iter().any(|req| req.algo_id == err.algo_id),
+            "error names an algorithm outside the workload"
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("failed after 0 recovery attempts"), "{msg}");
+    }
+    assert_survivors_match(&r, &baseline, "degraded");
+}
+
+/// Requeueing rescues degraded jobs on a fresh spare card: the run
+/// ends with every output produced and byte-exact.
+#[test]
+fn requeue_rescues_degraded_jobs() {
+    let w = chaos_workload();
+    let baseline = serial_baseline(&w);
+    let plan = FaultPlan::new(
+        plan_seed(),
+        FaultRates {
+            frame_bit_flip: 0.3,
+            ..FaultRates::ZERO
+        },
+    );
+    let mut cfg = FaultConfig::new(plan);
+    cfg.max_retries = 0;
+    cfg.requeue = true;
+    let r = Engine::new(chaos_config(2, ShardPolicy::AlgoModulo, cfg))
+        .serve(&w)
+        .unwrap();
+    assert!(
+        r.faults.requeues > 0,
+        "the spare card must have rescued jobs"
+    );
+    assert!(
+        r.failed.is_empty(),
+        "requeue rescues every degraded job: {:?}",
+        r.failed
+    );
+    assert_eq!(
+        r.outputs.as_ref().unwrap(),
+        &baseline,
+        "rescued run must be byte-identical to the serial baseline"
+    );
+    assert!(r.faults.accounted(), "{:?}", r.faults);
+}
+
+/// PCI transients recover inside the driver: no job fails, no retry
+/// budget is burned, and every abort is accounted as `pci_retried`.
+#[test]
+fn pci_transients_recover_in_the_driver() {
+    let w = chaos_workload();
+    let baseline = serial_baseline(&w);
+    let plan = FaultPlan::new(
+        plan_seed(),
+        FaultRates {
+            pci_transient: 0.25,
+            ..FaultRates::ZERO
+        },
+    );
+    let mut cfg = FaultConfig::new(plan);
+    cfg.max_retries = 0; // driver retries are not budgeted
+    let r = Engine::new(chaos_config(2, ShardPolicy::RoundRobin, cfg))
+        .serve(&w)
+        .unwrap();
+    assert!(r.faults.injected > 0);
+    assert_eq!(r.faults.pci_transients, r.faults.injected);
+    assert_eq!(r.faults.pci_retried, r.faults.injected);
+    assert_eq!(r.faults.failed_jobs, 0, "transients never fail a job");
+    assert!(r.faults.accounted(), "{:?}", r.faults);
+    assert!(r.failed.is_empty());
+    assert_survivors_match(&r, &baseline, "pci");
+}

@@ -11,7 +11,7 @@ use aaod_algos::ids;
 use aaod_bitstream::HEADER_BYTES;
 use aaod_core::{CoProcessor, CoreError};
 use aaod_mcu::{McuError, MiniOs, MiniOsConfig};
-use aaod_sim::SplitMix64;
+use aaod_sim::{SimTime, SplitMix64};
 
 /// Flipping any byte of a resident function's frames must make the
 /// next invocation fail (digest mismatch or decode error) — sampled
@@ -98,8 +98,9 @@ fn torn_configuration_detected() {
     assert!(matches!(err, McuError::Fabric(_)), "{err}");
 }
 
-/// After a detected fault, evicting and re-invoking reconfigures from
-/// ROM and fully recovers.
+/// After a detected fault, the recovery path — a readback scrub
+/// repairing the frames in place from ROM, then a retry — fully
+/// recovers *without* evicting: residency survives the repair.
 #[test]
 fn recovery_after_corruption() {
     let mut os = MiniOs::new(MiniOsConfig::default());
@@ -111,11 +112,70 @@ fn recovery_after_corruption() {
     bytes[50] ^= 0xFF;
     os.device_mut().write_frame(frames[0], &bytes).unwrap();
     assert!(os.invoke(ids::CRC8, b"123456789").is_err());
-    // recover
-    os.evict(ids::CRC8).unwrap();
+    // recover in place: scrub repairs from ROM, no eviction
+    let report = os.scrub().unwrap();
+    assert_eq!(report.repaired, vec![ids::CRC8]);
+    assert!(report.time > SimTime::ZERO);
+    assert_eq!(os.stats().scrub_repairs, 1);
     let (again, report) = os.invoke(ids::CRC8, b"123456789").unwrap();
     assert_eq!(again, vec![0xF4]);
-    assert!(!report.hit, "recovery must reconfigure");
+    assert!(report.hit, "scrub repairs in place: residency survives");
+    assert_eq!(os.stats().evictions, 0, "no eviction on the recovery path");
+}
+
+/// A rotten ROM image is caught by the CRC patrol, and a recovery
+/// re-download restores service under the same id.
+#[test]
+fn rom_rot_recovered_by_redownload() {
+    let mut os = MiniOs::new(MiniOsConfig::default());
+    os.install(ids::CRC32).unwrap();
+    os.invoke(ids::CRC32, b"123456789").unwrap();
+    let mut rng = SplitMix64::new(7);
+    os.inject_rom_rot(ids::CRC32, &mut rng).unwrap();
+    assert!(
+        os.resident().is_empty(),
+        "rot injection evicts the stale configuration"
+    );
+    let (corrupt, patrol_time) = os.rom_patrol();
+    assert_eq!(corrupt, vec![ids::CRC32]);
+    assert!(patrol_time > SimTime::ZERO);
+    assert!(
+        os.invoke(ids::CRC32, b"123456789").is_err(),
+        "configuring from rotten ROM must fail the CRC"
+    );
+    let t = os.redownload(ids::CRC32).unwrap();
+    assert!(t > SimTime::ZERO);
+    assert_eq!(os.stats().redownloads, 1);
+    let (out, _) = os.invoke(ids::CRC32, b"123456789").unwrap();
+    assert_eq!(out, 0xCBF4_3926u32.to_le_bytes().to_vec());
+    let (corrupt, _) = os.rom_patrol();
+    assert!(corrupt.is_empty(), "patrol is clean after the re-download");
+}
+
+/// Corruption landing mid-way through a batched run fails the whole
+/// `invoke_batch` call up front — no partial garbage results — and a
+/// scrub restores batched service.
+#[test]
+fn batch_with_corrupt_function_fails_cleanly() {
+    let mut os = MiniOs::new(MiniOsConfig::default());
+    os.install(ids::CRC8).unwrap();
+    os.invoke(ids::CRC8, b"warm").unwrap();
+    let frames = os.table().get(ids::CRC8).unwrap().frames.clone();
+    let mut bytes = os.device().read_frame(frames[0]).unwrap().to_vec();
+    bytes[10] ^= 0x20;
+    os.device_mut().write_frame(frames[0], &bytes).unwrap();
+    let requests_before = os.stats().requests;
+    let inputs: Vec<&[u8]> = vec![b"a", b"b", b"c"];
+    let err = os.invoke_batch(ids::CRC8, &inputs).unwrap_err();
+    assert!(matches!(err, McuError::Fabric(_)), "{err}");
+    os.scrub().unwrap();
+    let served = os.invoke_batch(ids::CRC8, &inputs).unwrap();
+    assert_eq!(served.len(), 3);
+    assert_eq!(
+        os.stats().requests,
+        requests_before + 3,
+        "only the post-repair batch is charged"
+    );
 }
 
 /// Netlist kernels are equally protected: corrupt a LUT byte and the

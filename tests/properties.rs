@@ -3,7 +3,7 @@
 use aaod_bitstream::codec::{decompress_all, registry, CodecId};
 use aaod_bitstream::Bitstream;
 use aaod_fabric::{DeviceGeometry, FunctionImage, NetlistMode};
-use aaod_mcu::FreeFrameList;
+use aaod_mcu::{DecodedCache, FreeFrameList, MiniOs, MiniOsConfig};
 use aaod_mem::{RecordFields, Rom};
 use proptest::prelude::*;
 
@@ -246,6 +246,74 @@ proptest! {
         for r in w.requests() {
             prop_assert!(algos.contains(&r.algo_id));
             prop_assert_eq!(r.input_len, 16);
+        }
+    }
+
+    /// DecodedCache: any interleaving of inserts, lookups and
+    /// removals stays inside the byte budget and keeps the counter
+    /// identity `hits + misses == lookups`.
+    #[test]
+    fn decoded_cache_budget_and_counter_invariants(
+        ops in proptest::collection::vec((0u8..4, any::<u8>(), 1usize..64), 1..64),
+    ) {
+        let mut cache = DecodedCache::new(256);
+        for (op, key_sel, size) in ops {
+            let key = ((key_sel % 8) as u16, 0u8);
+            match op {
+                0 => { cache.insert(key, vec![vec![0u8; size]]); }
+                1 => { let _ = cache.get(&key); }
+                2 => { cache.remove(&key); }
+                _ => { cache.remove_algo(key.0); }
+            }
+            prop_assert!(
+                cache.bytes() <= cache.capacity_bytes(),
+                "budget burst: {} > {}", cache.bytes(), cache.capacity_bytes()
+            );
+            prop_assert_eq!(cache.hits() + cache.misses(), cache.lookups());
+            prop_assert_eq!(cache.is_empty(), cache.bytes() == 0);
+        }
+    }
+
+    /// MiniOs frame ledger: any interleaving of invokes, evictions,
+    /// scrubs and SEU injections keeps every frame either free or
+    /// owned by exactly one resident function.
+    #[test]
+    fn mini_os_frame_ledger_conserved_under_chaos(
+        ops in proptest::collection::vec((0u8..4, any::<u8>()), 1..40),
+        seed in any::<u64>(),
+    ) {
+        use aaod_algos::ids;
+        let algos = [ids::XTEA, ids::SHA1, ids::SHA256, ids::CRC32, ids::CRC8];
+        // 26 frames: constant replacement pressure
+        let mut os = MiniOs::new(MiniOsConfig {
+            geometry: DeviceGeometry::new(26, 16),
+            ..MiniOsConfig::default()
+        });
+        for &id in &algos {
+            os.install(id).unwrap();
+        }
+        let mut rng = aaod_sim::SplitMix64::new(seed);
+        let total = os.geometry().frames();
+        for (op, detail) in ops {
+            let algo = algos[(detail as usize) % algos.len()];
+            match op {
+                // corrupted functions legitimately fail to invoke and
+                // missing residents fail to evict; the ledger must
+                // survive either way
+                0 => { let _ = os.invoke(algo, b"data"); }
+                1 => { let _ = os.evict(algo); }
+                2 => { let _ = os.scrub(); }
+                _ => { os.inject_seu(algo, &mut rng); }
+            }
+            let mut owned = vec![false; total];
+            for id in os.resident() {
+                for f in &os.table().get(id).unwrap().frames {
+                    prop_assert!(!owned[f.index()], "frame {} owned twice", f);
+                    owned[f.index()] = true;
+                }
+            }
+            let held = owned.iter().filter(|&&b| b).count();
+            prop_assert_eq!(held + os.free_frames(), total);
         }
     }
 

@@ -383,3 +383,96 @@ fn long_run_bookkeeping_invariants() {
     let owned = seen.iter().filter(|&&b| b).count();
     assert_eq!(owned + cp.os().free_frames(), geom.frames());
 }
+
+/// A batch whose function was evicted by intervening traffic straddles
+/// the eviction: the first request pays one reconfiguration (evicting
+/// the squatter), the riders hit, and every output stays golden.
+#[test]
+fn batch_straddles_eviction() {
+    // Measure both footprints on a roomy device, then build one that
+    // holds either function alone but never both.
+    let mut probe = CoProcessor::builder()
+        .geometry(DeviceGeometry::new(64, 16))
+        .build();
+    probe.install(ids::SHA1).unwrap();
+    probe.install(ids::SHA256).unwrap();
+    probe.invoke(ids::SHA1, b"x").unwrap();
+    probe.invoke(ids::SHA256, b"x").unwrap();
+    let footprint = |cp: &CoProcessor, id| cp.os().table().get(id).unwrap().frames.len() as u16;
+    let frames = footprint(&probe, ids::SHA1).max(footprint(&probe, ids::SHA256)) + 1;
+
+    let mut cp = CoProcessor::builder()
+        .geometry(DeviceGeometry::new(frames, 16))
+        .build();
+    cp.install(ids::SHA1).unwrap();
+    cp.install(ids::SHA256).unwrap();
+    cp.invoke(ids::SHA1, b"warm").unwrap();
+    cp.invoke(ids::SHA256, b"squatter").unwrap(); // evicts SHA1
+    assert_eq!(cp.resident(), vec![ids::SHA256]);
+
+    let before = cp.stats();
+    let inputs: Vec<&[u8]> = vec![b"one", b"two", b"three"];
+    let served = cp.invoke_batch(ids::SHA1, &inputs).unwrap();
+    let after = cp.stats();
+    assert_eq!(served.len(), 3);
+    assert_eq!(after.requests - before.requests, 3);
+    assert_eq!(after.misses - before.misses, 1, "one reconfiguration");
+    assert_eq!(after.hits - before.hits, 2, "riders hit by construction");
+    assert_eq!(after.evictions - before.evictions, 1, "squatter evicted");
+    assert!(!served[0].1.hit() && !served[0].1.os.evicted.is_empty());
+    assert!(served[1].1.hit() && served[2].1.hit());
+    let bank = AlgorithmBank::standard();
+    for ((out, _), &input) in served.iter().zip(&inputs) {
+        assert_eq!(*out, bank.execute_software(ids::SHA1, input).unwrap());
+    }
+}
+
+/// An empty batch is a no-op: no results, no bus traffic, no charge.
+#[test]
+fn empty_batch_is_free() {
+    let mut cp = CoProcessor::default();
+    cp.install(ids::CRC8).unwrap();
+    cp.invoke(ids::CRC8, b"warm").unwrap();
+    let os_before = cp.stats();
+    let pci_before = cp.pci_stats();
+    let served = cp.invoke_batch(ids::CRC8, &[]).unwrap();
+    assert!(served.is_empty());
+    assert_eq!(cp.stats(), os_before, "no controller work charged");
+    assert_eq!(cp.pci_stats(), pci_before, "no bus traffic");
+}
+
+/// Batching charges the shared costs once: same outputs as the serial
+/// run, but one lookup and one residency check for the whole batch.
+#[test]
+fn batch_charges_shared_costs_once() {
+    let inputs: Vec<&[u8]> = vec![b"alpha", b"beta", b"gamma", b"delta"];
+
+    let mut serial = CoProcessor::default();
+    serial.install(ids::CRC32).unwrap();
+    let mut expected = Vec::new();
+    for &input in &inputs {
+        expected.push(serial.invoke(ids::CRC32, input).unwrap().0);
+    }
+
+    let mut batched = CoProcessor::default();
+    batched.install(ids::CRC32).unwrap();
+    let served = batched.invoke_batch(ids::CRC32, &inputs).unwrap();
+    let outputs: Vec<_> = served.iter().map(|(out, _)| out.clone()).collect();
+    assert_eq!(outputs, expected, "batching must not change results");
+
+    let s = batched.stats();
+    assert_eq!(s.requests, 4);
+    assert_eq!(s.misses, 1, "one configuration for the whole batch");
+    assert_eq!(s.hits, 3);
+    assert!(
+        s.lookup_time < serial.stats().lookup_time,
+        "lookup paid once, not {} times",
+        inputs.len()
+    );
+    // only the first report carries the shared costs
+    assert!(served[0].1.os.lookup_time > aaod_sim::SimTime::ZERO);
+    for (_, report) in &served[1..] {
+        assert_eq!(report.os.lookup_time, aaod_sim::SimTime::ZERO);
+        assert_eq!(report.os.reconfig_time, aaod_sim::SimTime::ZERO);
+    }
+}
