@@ -26,13 +26,39 @@
 //! makespan is the maximum over shards, and
 //! [`EngineResult::speedup`] compares that against the serial
 //! service-time sum.
+//!
+//! # Overload layer
+//!
+//! With [`EngineConfig::overload`] set, the engine additionally
+//! defends itself against *time-domain* failure, all in modelled
+//! time:
+//!
+//! * every request arrives at `index × interarrival` and carries a
+//!   deadline per [`DeadlinePolicy`](crate::DeadlinePolicy);
+//!   admission control sheds jobs whose deadline has already passed,
+//!   and late completions are dropped as deadline-missed;
+//! * the latency faults of [`aaod_sim::FaultPlan`] (configuration
+//!   stalls, slow PCI, stuck cards) are injected per the plan, and a
+//!   watchdog detects a stuck card via modelled heartbeats, resets
+//!   it, and re-runs the in-flight job;
+//! * each shard sits behind a [`CircuitBreaker`]: consecutive
+//!   failures trip it open, bounced jobs are redistributed to healthy
+//!   shards after the pool drains, and a half-open probe re-admits
+//!   traffic after a cool-down.
+//!
+//! Every terminal state is counted in
+//! [`OverloadStats`](crate::OverloadStats), whose
+//! [`accounted`](crate::OverloadStats::accounted) identity guarantees
+//! no job is silently lost.
 
+use crate::breaker::{BreakerState, CircuitBreaker};
 use crate::coproc::CoProcessor;
 use crate::error::CoreError;
 use crate::fault::{FaultConfig, FaultStats, JobError};
+use crate::overload::{DeadlinePolicy, OverloadConfig, OverloadStats};
 use aaod_mcu::OsStats;
 use aaod_sim::stats::TimeAccumulator;
-use aaod_sim::{FaultSite, SimTime};
+use aaod_sim::{FaultPlan, FaultRates, FaultSite, LatencySite, SimTime};
 use aaod_workload::Workload;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::{Condvar, Mutex};
@@ -135,6 +161,10 @@ pub struct EngineConfig {
     /// default) serves fault-free with exactly the legacy behaviour:
     /// the first shard error aborts the run.
     pub faults: Option<FaultConfig>,
+    /// Deadline, admission-control, watchdog and breaker layer.
+    /// `None` (the default) keeps the legacy closed-loop behaviour:
+    /// no arrivals, no deadlines, no latency-fault injection.
+    pub overload: Option<OverloadConfig>,
 }
 
 impl Default for EngineConfig {
@@ -147,6 +177,7 @@ impl Default for EngineConfig {
             collect_outputs: true,
             shard: ShardPolicy::AlgoModulo,
             faults: None,
+            overload: None,
         }
     }
 }
@@ -188,6 +219,27 @@ pub struct EngineResult {
     pub faults: FaultStats,
     /// Modelled detection-to-healthy latency of each recovery.
     pub recovery_latency: TimeAccumulator,
+    /// Jobs shed at admission ([`JobError::Shed`]), by submission
+    /// index. Always empty without [`EngineConfig::overload`].
+    pub shed: BTreeMap<usize, JobError>,
+    /// Jobs served past their deadline
+    /// ([`JobError::DeadlineExceeded`]), by submission index. Their
+    /// outputs were dropped.
+    pub deadline_missed: BTreeMap<usize, JobError>,
+    /// Overload-layer counters, merged across shards (all zero
+    /// without [`EngineConfig::overload`]).
+    pub overload: OverloadStats,
+    /// The resolved per-job deadline budget (`None` without
+    /// [`EngineConfig::overload`]).
+    pub deadline_budget: Option<SimTime>,
+    /// Each shard's circuit-breaker health timeline: `(modelled time,
+    /// new state)` transitions, starting closed at time zero. Empty
+    /// without [`EngineConfig::overload`].
+    pub shard_health: Vec<Vec<(SimTime, BreakerState)>>,
+    /// Arrival-to-completion (queueing + service) modelled time of
+    /// every completed job. Only populated in overload mode, where
+    /// jobs have arrival times.
+    pub sojourn: TimeAccumulator,
 }
 
 impl EngineResult {
@@ -215,6 +267,13 @@ impl EngineResult {
     pub fn hit_rate(&self) -> f64 {
         self.stats.hit_rate()
     }
+
+    /// Fraction of submitted jobs that completed within deadline —
+    /// the goodput ratio against offered load (zero without
+    /// [`EngineConfig::overload`] submissions).
+    pub fn goodput(&self) -> f64 {
+        self.overload.goodput()
+    }
 }
 
 /// One queued request.
@@ -222,6 +281,12 @@ struct Job {
     index: usize,
     algo_id: u16,
     input: Vec<u8>,
+    /// Modelled arrival time (`index × interarrival`; zero without
+    /// the overload layer).
+    arrival: SimTime,
+    /// Absolute modelled deadline (`None` without the overload
+    /// layer).
+    deadline: Option<SimTime>,
 }
 
 /// A bounded FIFO of pre-segmented batches: producers block while the
@@ -306,6 +371,8 @@ struct JobResult {
     time: SimTime,
     /// Set when the job degraded instead of producing an output.
     error: Option<JobError>,
+    /// Arrival-to-completion time (completed overload-mode jobs).
+    sojourn: Option<SimTime>,
 }
 
 struct WorkerOutcome {
@@ -316,6 +383,42 @@ struct WorkerOutcome {
     coalesced: u64,
     faults: FaultStats,
     recovery_latency: TimeAccumulator,
+    /// Overload-layer counters for this shard.
+    overload: OverloadStats,
+    /// Jobs bounced by this shard's open breaker, in pop order; the
+    /// engine redistributes them to healthy shards after the pool
+    /// drains.
+    rejected: Vec<Job>,
+    /// The shard's modelled clock at drain: service plus idle gaps
+    /// waiting for arrivals (overload mode only; `ZERO` otherwise).
+    finish: SimTime,
+    /// Breaker health timeline (overload mode only).
+    breaker_timeline: Vec<(SimTime, BreakerState)>,
+    /// Whether the breaker ended the run open (shard unhealthy).
+    breaker_open: bool,
+    /// The shard's card, returned so redistribution can serve bounced
+    /// jobs on it (overload mode only).
+    cp: Option<CoProcessor>,
+}
+
+impl WorkerOutcome {
+    fn empty() -> Self {
+        WorkerOutcome {
+            results: Vec::new(),
+            busy: SimTime::ZERO,
+            stats: OsStats::default(),
+            batches: 0,
+            coalesced: 0,
+            faults: FaultStats::default(),
+            recovery_latency: TimeAccumulator::new(),
+            overload: OverloadStats::default(),
+            rejected: Vec::new(),
+            finish: SimTime::ZERO,
+            breaker_timeline: Vec::new(),
+            breaker_open: false,
+            cp: None,
+        }
+    }
 }
 
 /// The sharded co-processor pool.
@@ -388,6 +491,12 @@ impl Engine {
                 failed: BTreeMap::new(),
                 faults: FaultStats::default(),
                 recovery_latency: TimeAccumulator::new(),
+                shed: BTreeMap::new(),
+                deadline_missed: BTreeMap::new(),
+                overload: OverloadStats::default(),
+                deadline_budget: None,
+                shard_health: Vec::new(),
+                sojourn: TimeAccumulator::new(),
             });
         }
         let assignment = self.config.shard.assign(workload, workers);
@@ -399,7 +508,22 @@ impl Engine {
         let batch_max = self.config.batch_max.max(1);
         let verify = self.config.verify;
         let collect = self.config.collect_outputs;
-        let faults = self.config.faults;
+        let overload = self.config.overload;
+        if let Some(oc) = &overload {
+            oc.validate();
+        }
+        // The latency faults of the plan only fire through the
+        // overload layer; a run with overload but no fault plan gets a
+        // zero-rate plan so the machinery still has a schedule to
+        // consult (it decides "no fault" for every index).
+        let faults = match (self.config.faults, overload) {
+            (None, Some(_)) => Some(FaultConfig::new(FaultPlan::new(0, FaultRates::ZERO))),
+            (f, _) => f,
+        };
+        let deadline_budget = match overload {
+            None => None,
+            Some(oc) => Some(self.resolve_deadline_budget(workload, oc)?),
+        };
         let factory = &self.factory;
         let queues: Vec<BoundedQueue> = (0..workers)
             .map(|_| BoundedQueue::new(queue_depth))
@@ -409,10 +533,9 @@ impl Engine {
             let mut handles = Vec::with_capacity(workers);
             for (shard, queue) in queues.iter().enumerate() {
                 let algos = &shard_algos[shard];
-                handles
-                    .push(scope.spawn(move || {
-                        worker_loop(factory, queue, algos, verify, collect, faults)
-                    }));
+                handles.push(scope.spawn(move || {
+                    worker_loop(factory, queue, algos, verify, collect, faults, overload)
+                }));
             }
             // This thread is the producer: walk the stream in
             // submission order, segmenting each shard's consecutive
@@ -429,10 +552,13 @@ impl Engine {
                 if !run.is_empty() && (run[0].algo_id != req.algo_id || run.len() >= batch_max) {
                     queues[shard].push(std::mem::take(run));
                 }
+                let arrival = overload.map_or(SimTime::ZERO, |oc| oc.interarrival * i as u64);
                 run.push(Job {
                     index: i,
                     algo_id: req.algo_id,
                     input: workload.input(i),
+                    arrival,
+                    deadline: deadline_budget.map(|b| arrival + b),
                 });
             }
             for (shard, run) in pending.into_iter().enumerate() {
@@ -455,8 +581,17 @@ impl Engine {
         let mut batches = 0u64;
         let mut coalesced = 0u64;
         let mut failed: BTreeMap<usize, JobError> = BTreeMap::new();
+        let mut shed: BTreeMap<usize, JobError> = BTreeMap::new();
+        let mut deadline_missed: BTreeMap<usize, JobError> = BTreeMap::new();
         let mut fault_stats = FaultStats::default();
+        let mut overload_stats = OverloadStats::default();
         let mut recovery_latency = TimeAccumulator::new();
+        let mut sojourn = TimeAccumulator::new();
+        let mut shard_health = Vec::new();
+        let mut shard_finish = Vec::with_capacity(workers);
+        let mut shard_cp: Vec<Option<CoProcessor>> = Vec::with_capacity(workers);
+        let mut shard_open = Vec::with_capacity(workers);
+        let mut rejected: Vec<Job> = Vec::new();
         for outcome in outcomes {
             let outcome = outcome?;
             shard_busy.push(outcome.busy);
@@ -464,14 +599,36 @@ impl Engine {
             batches += outcome.batches;
             coalesced += outcome.coalesced;
             fault_stats.merge(&outcome.faults);
+            overload_stats.merge(&outcome.overload);
             recovery_latency.merge(&outcome.recovery_latency);
+            shard_finish.push(outcome.finish);
+            shard_cp.push(outcome.cp);
+            shard_open.push(outcome.breaker_open);
+            if overload.is_some() {
+                shard_health.push(outcome.breaker_timeline);
+            }
+            rejected.extend(outcome.rejected);
             for r in outcome.results {
                 per_request_hit[r.index] = r.hit;
                 times[r.index] = r.time;
-                if let Some(e) = r.error {
-                    failed.insert(r.index, e);
-                } else if let Some(outs) = outputs.as_mut() {
-                    outs[r.index] = r.output;
+                if let Some(t) = r.sojourn {
+                    sojourn.push(t);
+                }
+                match r.error {
+                    Some(e @ JobError::Shed { .. }) => {
+                        shed.insert(r.index, e);
+                    }
+                    Some(e @ JobError::DeadlineExceeded { .. }) => {
+                        deadline_missed.insert(r.index, e);
+                    }
+                    Some(e) => {
+                        failed.insert(r.index, e);
+                    }
+                    None => {
+                        if let Some(outs) = outputs.as_mut() {
+                            outs[r.index] = r.output;
+                        }
+                    }
                 }
             }
         }
@@ -480,14 +637,118 @@ impl Engine {
                 .iter()
                 .copied()
                 .fold(SimTime::ZERO, |a, b| if b > a { b } else { a });
+        if overload.is_some() {
+            // Redistribution: jobs an open breaker bounced are
+            // re-served in submission order on the healthy shard that
+            // frees up first. A job whose deadline passed while it
+            // waited — or with no healthy shard left — is shed.
+            rejected.sort_by_key(|j| j.index);
+            let golden = verify.then(aaod_algos::AlgorithmBank::standard);
+            for job in rejected {
+                let target = (0..workers)
+                    .filter(|&s| !shard_open[s] && shard_cp[s].is_some())
+                    .min_by_key(|&s| (shard_finish[s], s));
+                let Some(s) = target else {
+                    overload_stats.shed += 1;
+                    shed.insert(
+                        job.index,
+                        JobError::Shed {
+                            algo_id: job.algo_id,
+                            deadline: job.deadline.unwrap_or(SimTime::ZERO),
+                            decided_at: makespan,
+                        },
+                    );
+                    continue;
+                };
+                let now = shard_finish[s].max(job.arrival);
+                let deadline = job.deadline.unwrap_or(SimTime::ZERO);
+                if deadline <= now {
+                    overload_stats.shed += 1;
+                    shed.insert(
+                        job.index,
+                        JobError::Shed {
+                            algo_id: job.algo_id,
+                            deadline,
+                            decided_at: now,
+                        },
+                    );
+                    continue;
+                }
+                let cp = shard_cp[s].as_mut().expect("candidate shard has a card");
+                if !shard_algos[s].contains(&job.algo_id) {
+                    // the healthy shard never hosted this function:
+                    // bring-up install, same convention as pool start
+                    cp.install(job.algo_id)?;
+                    shard_algos[s].insert(job.algo_id);
+                }
+                match cp.invoke(job.algo_id, &job.input) {
+                    Ok((output, report)) => {
+                        let t = report.total();
+                        let finish = now + t;
+                        shard_finish[s] = finish;
+                        times[job.index] = t;
+                        per_request_hit[job.index] = report.hit();
+                        overload_stats.redistributed += 1;
+                        if finish > deadline {
+                            overload_stats.deadline_missed += 1;
+                            deadline_missed.insert(
+                                job.index,
+                                JobError::DeadlineExceeded {
+                                    algo_id: job.algo_id,
+                                    deadline,
+                                    finished: finish,
+                                },
+                            );
+                        } else {
+                            verify_output(
+                                golden.as_ref(),
+                                job.algo_id,
+                                job.index,
+                                &job.input,
+                                &output,
+                            )?;
+                            overload_stats.completed += 1;
+                            sojourn.push(finish - job.arrival);
+                            if let Some(outs) = outputs.as_mut() {
+                                outs[job.index] = output;
+                            }
+                        }
+                    }
+                    Err(CoreError::Mcu(detail)) => {
+                        overload_stats.faulted += 1;
+                        fault_stats.failed_jobs += 1;
+                        failed.insert(
+                            job.index,
+                            JobError::Faulted {
+                                algo_id: job.algo_id,
+                                attempts: 0,
+                                detail: detail.to_string(),
+                            },
+                        );
+                    }
+                    Err(other) => return Err(other),
+                }
+            }
+            // After redistribution every card is done: merge their
+            // controller stats (deferred to here so redistributed
+            // work is counted exactly once) and extend the makespan
+            // to the slowest shard's clock, idle gaps included.
+            for cp in shard_cp.into_iter().flatten() {
+                stats.merge(&cp.stats());
+            }
+            makespan = shard_finish.iter().copied().fold(makespan, |a, b| a.max(b));
+        }
         if let Some(fc) = faults {
             if fc.requeue && !failed.is_empty() {
                 // Rescue pass: re-serve degraded jobs on a fresh spare
                 // card once the pool has drained; the spare runs after
                 // the pool, so its busy time extends the makespan
-                // serially.
+                // serially. In overload mode the rescue clock starts
+                // at the makespan, and a job whose deadline already
+                // passed is not rescued — re-serving it could not
+                // produce a useful output.
                 let mut spare = (self.factory)();
-                let rescue_algos: BTreeSet<u16> = failed.values().map(|e| e.algo_id).collect();
+                let rescue_algos: BTreeSet<u16> = failed.values().map(|e| e.algo_id()).collect();
                 for &algo in &rescue_algos {
                     spare.install(algo)?;
                 }
@@ -495,6 +756,14 @@ impl Engine {
                 let mut rescue_busy = SimTime::ZERO;
                 let indices: Vec<usize> = failed.keys().copied().collect();
                 for index in indices {
+                    if let Some(budget) = deadline_budget {
+                        let deadline = overload.expect("budget implies overload").interarrival
+                            * index as u64
+                            + budget;
+                        if deadline <= makespan + rescue_busy {
+                            continue; // stays failed: no budget left
+                        }
+                    }
                     let input = workload.input(index);
                     let algo_id = requests[index].algo_id;
                     let Ok((output, report)) = spare.invoke(algo_id, &input) else {
@@ -503,6 +772,10 @@ impl Engine {
                     verify_output(golden.as_ref(), algo_id, index, &input, &output)?;
                     failed.remove(&index);
                     fault_stats.requeues += 1;
+                    if overload.is_some() {
+                        overload_stats.faulted -= 1;
+                        overload_stats.completed += 1;
+                    }
                     per_request_hit[index] = report.hit();
                     let t = report.total();
                     times[index] += t;
@@ -517,10 +790,17 @@ impl Engine {
         }
         let mut latency = TimeAccumulator::new();
         let mut total_service_time = SimTime::ZERO;
-        for &t in &times {
+        for (i, &t) in times.iter().enumerate() {
+            if shed.contains_key(&i) {
+                continue; // shed jobs were never served
+            }
             latency.push(t);
             total_service_time += t;
         }
+        debug_assert!(
+            overload.is_none() || overload_stats.accounted(),
+            "job conservation violated: {overload_stats:?}"
+        );
         let input_bytes = requests.iter().map(|r| r.input_len as u64).sum();
         Ok(EngineResult {
             workers,
@@ -538,7 +818,55 @@ impl Engine {
             failed,
             faults: fault_stats,
             recovery_latency,
+            shed,
+            deadline_missed,
+            overload: overload_stats,
+            deadline_budget,
+            shard_health,
+            sojourn,
         })
+    }
+
+    /// Resolves the per-job deadline budget. An absolute policy is
+    /// returned as-is; a percentile policy calibrates on a scratch
+    /// card: each distinct algorithm is installed and invoked twice
+    /// with its first-seen input (the second, resident invocation
+    /// estimates the steady-state service time), then the budget is
+    /// `multiplier ×` the requested percentile of the per-request
+    /// estimates. The scratch card is bring-up, not serving time —
+    /// it contributes to no statistic.
+    fn resolve_deadline_budget(
+        &self,
+        workload: &Workload,
+        oc: OverloadConfig,
+    ) -> Result<SimTime, CoreError> {
+        match oc.deadline {
+            DeadlinePolicy::Absolute(budget) => Ok(budget),
+            DeadlinePolicy::Percentile { pct, multiplier } => {
+                let requests = workload.requests();
+                let mut first_input: BTreeMap<u16, Vec<u8>> = BTreeMap::new();
+                for (i, req) in requests.iter().enumerate() {
+                    first_input
+                        .entry(req.algo_id)
+                        .or_insert_with(|| workload.input(i));
+                }
+                let mut scratch = (self.factory)();
+                let mut est: BTreeMap<u16, SimTime> = BTreeMap::new();
+                for (&algo, input) in &first_input {
+                    scratch.install(algo)?;
+                    scratch.invoke(algo, input)?;
+                    let (_, report) = scratch.invoke(algo, input)?;
+                    est.insert(algo, report.total());
+                }
+                let mut samples: Vec<SimTime> = requests.iter().map(|r| est[&r.algo_id]).collect();
+                samples.sort();
+                // nearest-rank percentile over the sorted estimates
+                let rank = ((pct / 100.0) * (samples.len() - 1) as f64).round() as usize;
+                let base = samples[rank.min(samples.len() - 1)];
+                let ps = (base.as_ps() as f64 * multiplier).round() as u64;
+                Ok(SimTime::from_ps(ps.max(1)))
+            }
+        }
     }
 }
 
@@ -549,22 +877,15 @@ fn worker_loop(
     verify: bool,
     collect: bool,
     faults: Option<FaultConfig>,
+    overload: Option<OverloadConfig>,
 ) -> Result<WorkerOutcome, CoreError> {
     let mut cp = factory();
     for &algo in algos {
         cp.install(algo)?;
     }
     let golden = verify.then(aaod_algos::AlgorithmBank::standard);
-    let mut outcome = WorkerOutcome {
-        results: Vec::new(),
-        busy: SimTime::ZERO,
-        stats: OsStats::default(),
-        batches: 0,
-        coalesced: 0,
-        faults: FaultStats::default(),
-        recovery_latency: TimeAccumulator::new(),
-    };
-    let mut chaos = faults.map(FaultWorker::new);
+    let mut outcome = WorkerOutcome::empty();
+    let mut chaos = faults.map(|fc| FaultWorker::new(fc, overload));
     while let Some(batch) = queue.pop_batch() {
         let algo_id = batch[0].algo_id;
         outcome.batches += 1;
@@ -583,11 +904,12 @@ fn worker_loop(
                         hit: report.hit(),
                         time,
                         error: None,
+                        sojourn: None,
                     });
                 }
             }
             Some(chaos) => {
-                chaos.serve_batch(&mut cp, &batch, golden.as_ref(), collect, &mut outcome)?;
+                chaos.serve_batch(&mut cp, batch, golden.as_ref(), collect, &mut outcome)?;
             }
         }
     }
@@ -596,7 +918,25 @@ fn worker_loop(
         outcome.faults = chaos.stats;
         outcome.recovery_latency = std::mem::take(&mut chaos.recovery_latency);
     }
-    outcome.stats = cp.stats();
+    match chaos.and_then(|c| c.overload) {
+        Some(ov) => {
+            // Overload mode: the card travels back to the engine so
+            // redistribution can re-serve bounced jobs on it, and its
+            // controller stats are merged there (exactly once). Here
+            // we only carry what watchdog resets zeroed away, plus
+            // the breaker's final tallies.
+            outcome.overload = ov.stats;
+            outcome.overload.breaker_trips = ov.breaker.trips();
+            outcome.overload.breaker_rejections = ov.breaker.rejections();
+            outcome.overload.probes = ov.breaker.probes();
+            outcome.finish = ov.clock;
+            outcome.breaker_open = ov.breaker.is_open();
+            outcome.breaker_timeline = ov.breaker.timeline().to_vec();
+            outcome.stats = ov.lost_stats;
+            outcome.cp = Some(cp);
+        }
+        None => outcome.stats = cp.stats(),
+    }
     Ok(outcome)
 }
 
@@ -619,9 +959,37 @@ fn verify_output(
     Ok(())
 }
 
+/// The overload-layer half of a shard's chaos driver: its modelled
+/// clock (service plus idle gaps waiting for arrivals), breaker,
+/// counters, and the controller stats that watchdog resets zeroed.
+struct OverloadState {
+    cfg: OverloadConfig,
+    /// The shard's modelled wall clock: each job starts at
+    /// `max(clock, arrival)` and advances it by its service time.
+    clock: SimTime,
+    breaker: CircuitBreaker,
+    stats: OverloadStats,
+    /// Controller stats snapshotted just before each watchdog reset
+    /// wiped them; merged back so no serving work goes uncounted.
+    lost_stats: OsStats,
+}
+
+/// An admission decision for one popped job.
+enum Admission {
+    /// Serve it.
+    Serve,
+    /// Deadline already passed at the decision time: drop unserved.
+    Shed { decided_at: SimTime },
+    /// The shard's breaker is open: hand the job back to the engine
+    /// for redistribution.
+    Bounce,
+}
+
 /// Per-shard chaos driver: activates the faults the plan schedules,
 /// detects corruption at the next use of the faulted function, and
 /// runs the backoff→repair→retry recovery loop, all in modelled time.
+/// With the overload layer on it additionally runs admission control,
+/// the breaker, latency-fault injection and the watchdog.
 struct FaultWorker {
     cfg: FaultConfig,
     /// Latent (activated, not yet detected) fault per function.
@@ -632,16 +1000,25 @@ struct FaultWorker {
     poisoned: BTreeSet<u16>,
     stats: FaultStats,
     recovery_latency: TimeAccumulator,
+    /// Overload layer; `None` keeps the pure corruption behaviour.
+    overload: Option<OverloadState>,
 }
 
 impl FaultWorker {
-    fn new(cfg: FaultConfig) -> Self {
+    fn new(cfg: FaultConfig, overload: Option<OverloadConfig>) -> Self {
         FaultWorker {
             cfg,
             outstanding: BTreeMap::new(),
             poisoned: BTreeSet::new(),
             stats: FaultStats::default(),
             recovery_latency: TimeAccumulator::new(),
+            overload: overload.map(|oc| OverloadState {
+                cfg: oc,
+                clock: SimTime::ZERO,
+                breaker: CircuitBreaker::new(oc.breaker),
+                stats: OverloadStats::default(),
+                lost_stats: OsStats::default(),
+            }),
         }
     }
 
@@ -650,61 +1027,256 @@ impl FaultWorker {
         !self.poisoned.contains(&algo_id) && !self.outstanding.contains_key(&algo_id)
     }
 
+    /// The latency fault (if any) the plan schedules for `index`.
+    /// Latency faults only fire through the overload layer.
+    fn latency_for(&self, index: usize) -> Option<LatencySite> {
+        if self.overload.is_some() {
+            self.cfg.plan.decide_latency(index as u64)
+        } else {
+            None
+        }
+    }
+
+    /// Admission control for one popped job: counts the submission and
+    /// decides serve / shed / bounce at the shard's current clock.
+    fn admit(&mut self, job: &Job) -> Admission {
+        let Some(ov) = &mut self.overload else {
+            return Admission::Serve;
+        };
+        ov.stats.submitted += 1;
+        let now = ov.clock.max(job.arrival);
+        let deadline = job.deadline.expect("overload jobs carry deadlines");
+        if deadline <= now {
+            ov.stats.shed += 1;
+            return Admission::Shed { decided_at: now };
+        }
+        if !ov.breaker.allow(now) {
+            return Admission::Bounce;
+        }
+        Admission::Serve
+    }
+
+    /// Marks the faults scheduled against an unserved (shed or
+    /// bounced) job as inert: they never got a card to land on.
+    fn mark_unserved_inert(&mut self, index: usize) {
+        if self.cfg.plan.decide(index as u64).is_some() {
+            self.stats.inert += 1;
+        }
+        if self.cfg.plan.decide_latency(index as u64).is_some() {
+            if let Some(ov) = &mut self.overload {
+                ov.stats.latency_inert += 1;
+            }
+        }
+    }
+
     fn serve_batch(
         &mut self,
         cp: &mut CoProcessor,
-        batch: &[Job],
+        batch: Vec<Job>,
         golden: Option<&aaod_algos::AlgorithmBank>,
         collect: bool,
         outcome: &mut WorkerOutcome,
     ) -> Result<(), CoreError> {
         let algo_id = batch[0].algo_id;
-        let mut i = 0;
-        while i < batch.len() {
-            let scheduled = self.cfg.plan.decide(batch[i].index as u64);
-            if scheduled.is_none() && self.algo_clean(algo_id) {
-                // Maximal fault-free run: serve it batched, exactly
-                // like a fault-free worker would.
-                let start = i;
-                while i < batch.len() && self.cfg.plan.decide(batch[i].index as u64).is_none() {
-                    i += 1;
+        let mut jobs = batch.into_iter().peekable();
+        while let Some(job) = jobs.next() {
+            match self.admit(&job) {
+                Admission::Serve => {}
+                Admission::Shed { decided_at } => {
+                    self.mark_unserved_inert(job.index);
+                    outcome.results.push(JobResult {
+                        index: job.index,
+                        output: Vec::new(),
+                        hit: false,
+                        time: SimTime::ZERO,
+                        error: Some(JobError::Shed {
+                            algo_id,
+                            deadline: job.deadline.unwrap_or(SimTime::ZERO),
+                            decided_at,
+                        }),
+                        sojourn: None,
+                    });
+                    continue;
                 }
-                let run = &batch[start..i];
+                Admission::Bounce => {
+                    self.mark_unserved_inert(job.index);
+                    outcome.rejected.push(job);
+                    continue;
+                }
+            }
+            let scheduled = self.cfg.plan.decide(job.index as u64);
+            let latency = self.latency_for(job.index);
+            if scheduled.is_none() && latency.is_none() && self.algo_clean(algo_id) {
+                // Maximal fault-free run: serve it batched, exactly
+                // like a fault-free worker would. In overload mode the
+                // whole run is admitted at the current clock, so only
+                // jobs that would pass admission now may ride along;
+                // their own deadlines are still checked at completion.
+                let mut run = vec![job];
+                while let Some(next) = jobs.peek() {
+                    let clean = self.cfg.plan.decide(next.index as u64).is_none()
+                        && self.latency_for(next.index).is_none();
+                    let admissible = match &self.overload {
+                        None => true,
+                        Some(ov) => {
+                            next.deadline.expect("overload jobs carry deadlines")
+                                > ov.clock.max(next.arrival)
+                        }
+                    };
+                    if !(clean && admissible) {
+                        break;
+                    }
+                    let next = jobs.next().expect("peeked");
+                    if let Some(ov) = &mut self.overload {
+                        ov.stats.submitted += 1;
+                    }
+                    run.push(next);
+                }
                 let inputs: Vec<&[u8]> = run.iter().map(|j| j.input.as_slice()).collect();
                 let served = cp.invoke_batch(algo_id, &inputs)?;
                 for (job, (output, report)) in run.iter().zip(served) {
-                    verify_output(golden, algo_id, job.index, &job.input, &output)?;
                     let time = report.total();
                     outcome.busy += time;
-                    outcome.results.push(JobResult {
-                        index: job.index,
-                        output: if collect { output } else { Vec::new() },
-                        hit: report.hit(),
-                        time,
-                        error: None,
-                    });
+                    if self.overload.is_some() {
+                        self.finish_served(
+                            job,
+                            output,
+                            report.hit(),
+                            time,
+                            golden,
+                            collect,
+                            outcome,
+                        )?;
+                    } else {
+                        verify_output(golden, algo_id, job.index, &job.input, &output)?;
+                        outcome.results.push(JobResult {
+                            index: job.index,
+                            output: if collect { output } else { Vec::new() },
+                            hit: report.hit(),
+                            time,
+                            error: None,
+                            sojourn: None,
+                        });
+                    }
                 }
             } else {
-                self.serve_one(cp, &batch[i], scheduled, golden, collect, outcome)?;
-                i += 1;
+                self.serve_one(cp, &job, scheduled, latency, golden, collect, outcome)?;
             }
         }
         Ok(())
     }
 
+    /// Classifies a successfully served overload-mode job against its
+    /// deadline, advancing the shard clock and driving the breaker.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_served(
+        &mut self,
+        job: &Job,
+        output: Vec<u8>,
+        hit: bool,
+        time: SimTime,
+        golden: Option<&aaod_algos::AlgorithmBank>,
+        collect: bool,
+        outcome: &mut WorkerOutcome,
+    ) -> Result<(), CoreError> {
+        let ov = self.overload.as_mut().expect("overload mode");
+        let start = ov.clock.max(job.arrival);
+        let finish = start + time;
+        ov.clock = finish;
+        let deadline = job.deadline.expect("overload jobs carry deadlines");
+        if finish > deadline {
+            ov.stats.deadline_missed += 1;
+            ov.breaker.record_failure(finish);
+            outcome.results.push(JobResult {
+                index: job.index,
+                output: Vec::new(),
+                hit,
+                time,
+                error: Some(JobError::DeadlineExceeded {
+                    algo_id: job.algo_id,
+                    deadline,
+                    finished: finish,
+                }),
+                sojourn: None,
+            });
+        } else {
+            ov.stats.completed += 1;
+            ov.breaker.record_success();
+            verify_output(golden, job.algo_id, job.index, &job.input, &output)?;
+            outcome.results.push(JobResult {
+                index: job.index,
+                output: if collect { output } else { Vec::new() },
+                hit,
+                time,
+                error: None,
+                sojourn: Some(finish - job.arrival),
+            });
+        }
+        Ok(())
+    }
+
     /// Serves one job with the fault machinery engaged: arms a
-    /// scheduled PCI abort, runs the detect→backoff→repair→retry
-    /// loop, and lands any scheduled post-job corruption.
+    /// scheduled PCI abort and any scheduled latency fault, runs the
+    /// detect→backoff→repair→retry loop (preceded by a watchdog reset
+    /// for a stuck card), and lands any scheduled post-job corruption.
+    #[allow(clippy::too_many_arguments)]
     fn serve_one(
         &mut self,
         cp: &mut CoProcessor,
         job: &Job,
         scheduled: Option<FaultSite>,
+        latency: Option<LatencySite>,
         golden: Option<&aaod_algos::AlgorithmBank>,
         collect: bool,
         outcome: &mut WorkerOutcome,
     ) -> Result<(), CoreError> {
         let algo_id = job.algo_id;
+        let mut job_time = SimTime::ZERO;
+        if latency == Some(LatencySite::StuckCard) {
+            // The card hangs mid-stream: it burns the full watchdog
+            // timeout before the missed heartbeats fire a reset, then
+            // the job is served from a cold card (the reset erased
+            // every frame and the decoded cache; the ROM survives).
+            // Snapshot the controller stats first — the reset zeroes
+            // them, and that work must stay counted.
+            let t_reset = {
+                let ov = self.overload.as_mut().expect("latency implies overload");
+                ov.lost_stats.merge(&cp.stats());
+                let timeout = ov.cfg.watchdog.timeout();
+                let t_reset = cp.os_mut().reset();
+                ov.stats.stuck_injected += 1;
+                ov.stats.watchdog_resets += 1;
+                ov.stats.wasted_time += timeout + t_reset;
+                job_time += timeout + t_reset;
+                timeout + t_reset
+            };
+            self.recovery_latency.push(t_reset);
+            // The wiped fabric dissolved any latent frame faults; the
+            // scheduled ROM faults survive (ROM is off-fabric).
+            let frame_faults: Vec<u16> = self
+                .outstanding
+                .iter()
+                .filter(|(_, s)| matches!(s, FaultSite::FrameBitFlip | FaultSite::TornConfig))
+                .map(|(&id, _)| id)
+                .collect();
+            for id in frame_faults {
+                self.outstanding.remove(&id);
+                self.stats.evict_cleared += 1;
+            }
+        }
+        let stall0 = cp.stats().config_stall_time;
+        match latency {
+            Some(LatencySite::StallConfig) => {
+                cp.os_mut()
+                    .arm_config_stall(self.cfg.plan.latency().stall_cycles);
+            }
+            Some(LatencySite::SlowPci) => {
+                // Input write + output read: both transfers crawl.
+                cp.bus_mut()
+                    .arm_slow_transfers(2, self.cfg.plan.latency().slow_factor);
+            }
+            Some(LatencySite::StuckCard) | None => {}
+        }
         if scheduled == Some(FaultSite::PciTransient) {
             // One-shot transient: the job's first transfer aborts and
             // the driver retries it. Activation is observed through
@@ -712,7 +1284,6 @@ impl FaultWorker {
             cp.bus_mut().arm_transient_faults(1);
         }
         let pci0 = cp.pci_stats();
-        let mut job_time = SimTime::ZERO;
         let mut attempts = 0u32;
         let mut recovery_elapsed = SimTime::ZERO;
         let verdict = loop {
@@ -731,7 +1302,7 @@ impl FaultWorker {
                     let Some(site) = self.outstanding.get(&algo_id).copied() else {
                         // Corruption persisting from an exhausted
                         // fault: degrade without burning retries.
-                        break Err(JobError {
+                        break Err(JobError::Faulted {
                             algo_id,
                             attempts,
                             detail: detail.to_string(),
@@ -744,7 +1315,7 @@ impl FaultWorker {
                         self.stats.faults_failed += 1;
                         self.outstanding.remove(&algo_id);
                         self.poisoned.insert(algo_id);
-                        break Err(JobError {
+                        break Err(JobError::Faulted {
                             algo_id,
                             attempts,
                             detail: detail.to_string(),
@@ -761,7 +1332,8 @@ impl FaultWorker {
             }
         };
         let pci1 = cp.pci_stats();
-        if pci1.faulted_transfers > pci0.faulted_transfers {
+        let transient_fired = pci1.faulted_transfers > pci0.faulted_transfers;
+        if transient_fired {
             let wasted =
                 cp.bus().config().clock.period() * (pci1.wasted_cycles - pci0.wasted_cycles);
             self.stats.record_activated(FaultSite::PciTransient);
@@ -772,6 +1344,40 @@ impl FaultWorker {
                 // its report; a degraded job still burned it
                 job_time += wasted;
             }
+        }
+        match latency {
+            Some(LatencySite::StallConfig) => {
+                let ov = self.overload.as_mut().expect("latency implies overload");
+                if cp.os().armed_config_stall() > 0 {
+                    // the job was a residency hit: the stall never got
+                    // a reconfiguration to hang
+                    cp.os_mut().disarm_config_stall();
+                    ov.stats.latency_inert += 1;
+                } else {
+                    ov.stats.stalls_injected += 1;
+                    ov.stats.wasted_time += cp.stats().config_stall_time.saturating_sub(stall0);
+                }
+            }
+            Some(LatencySite::SlowPci) => {
+                cp.bus_mut().disarm_slow();
+                let ov = self.overload.as_mut().expect("latency implies overload");
+                if pci1.slowed_transfers > pci0.slowed_transfers {
+                    ov.stats.slow_transfers_injected += 1;
+                    if !transient_fired {
+                        // the slow transfers' extra cycles are the
+                        // whole wasted delta; with a transient on the
+                        // same job the delta is already attributed to
+                        // the retry above
+                        ov.stats.wasted_time += cp.bus().config().clock.period()
+                            * (pci1.wasted_cycles - pci0.wasted_cycles);
+                    }
+                } else {
+                    // no fallible transfer ran (e.g. an empty input on
+                    // a zero-transfer path): nothing to slow down
+                    ov.stats.latency_inert += 1;
+                }
+            }
+            Some(LatencySite::StuckCard) | None => {}
         }
         if let Some(
             site @ (FaultSite::FrameBitFlip | FaultSite::TornConfig | FaultSite::RomPayload),
@@ -799,23 +1405,36 @@ impl FaultWorker {
         outcome.busy += job_time;
         match verdict {
             Ok((output, hit)) => {
-                verify_output(golden, algo_id, job.index, &job.input, &output)?;
-                outcome.results.push(JobResult {
-                    index: job.index,
-                    output: if collect { output } else { Vec::new() },
-                    hit,
-                    time: job_time,
-                    error: None,
-                });
+                if self.overload.is_some() {
+                    self.finish_served(job, output, hit, job_time, golden, collect, outcome)?;
+                } else {
+                    verify_output(golden, algo_id, job.index, &job.input, &output)?;
+                    outcome.results.push(JobResult {
+                        index: job.index,
+                        output: if collect { output } else { Vec::new() },
+                        hit,
+                        time: job_time,
+                        error: None,
+                        sojourn: None,
+                    });
+                }
             }
             Err(e) => {
                 self.stats.failed_jobs += 1;
+                if let Some(ov) = &mut self.overload {
+                    let start = ov.clock.max(job.arrival);
+                    let finish = start + job_time;
+                    ov.clock = finish;
+                    ov.stats.faulted += 1;
+                    ov.breaker.record_failure(finish);
+                }
                 outcome.results.push(JobResult {
                     index: job.index,
                     output: Vec::new(),
                     hit: false,
                     time: job_time,
                     error: Some(e),
+                    sojourn: None,
                 });
             }
         }

@@ -45,25 +45,96 @@ impl FaultConfig {
     }
 }
 
-/// Why a request could not be served: its fault exhausted the retry
-/// budget (or corruption from an earlier exhausted fault persisted).
+/// Why a request produced no output.
+///
+/// [`Faulted`](JobError::Faulted) is the corruption path of PR 2: the
+/// job's fault exhausted the retry budget (or corruption from an
+/// earlier exhausted fault persisted). The other two variants belong
+/// to the overload layer: [`Shed`](JobError::Shed) jobs were turned
+/// away at admission because their deadline had already passed, and
+/// [`DeadlineExceeded`](JobError::DeadlineExceeded) jobs were served
+/// but finished too late for their output to be useful.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct JobError {
-    /// The algorithm the request targeted.
-    pub algo_id: u16,
-    /// Recovery attempts spent on this job before giving up.
-    pub attempts: u32,
-    /// The underlying controller failure, rendered.
-    pub detail: String,
+pub enum JobError {
+    /// The job's fault exhausted the retry budget.
+    Faulted {
+        /// The algorithm the request targeted.
+        algo_id: u16,
+        /// Recovery attempts spent on this job before giving up.
+        attempts: u32,
+        /// The underlying controller failure, rendered.
+        detail: String,
+    },
+    /// Admission control dropped the job without serving it: its
+    /// deadline had already passed when service could have started.
+    Shed {
+        /// The algorithm the request targeted.
+        algo_id: u16,
+        /// The absolute modelled-time deadline the job carried.
+        deadline: SimTime,
+        /// The modelled time at which the shed decision was made.
+        decided_at: SimTime,
+    },
+    /// The job was served but completed after its deadline; the
+    /// output was dropped.
+    DeadlineExceeded {
+        /// The algorithm the request targeted.
+        algo_id: u16,
+        /// The absolute modelled-time deadline the job carried.
+        deadline: SimTime,
+        /// The modelled completion time that overran it.
+        finished: SimTime,
+    },
+}
+
+impl JobError {
+    /// The algorithm the failed request targeted.
+    pub fn algo_id(&self) -> u16 {
+        match *self {
+            JobError::Faulted { algo_id, .. }
+            | JobError::Shed { algo_id, .. }
+            | JobError::DeadlineExceeded { algo_id, .. } => algo_id,
+        }
+    }
+
+    /// Recovery attempts spent on the job (zero for shed and
+    /// deadline-missed jobs, which never entered a recovery loop).
+    pub fn attempts(&self) -> u32 {
+        match *self {
+            JobError::Faulted { attempts, .. } => attempts,
+            JobError::Shed { .. } | JobError::DeadlineExceeded { .. } => 0,
+        }
+    }
 }
 
 impl std::fmt::Display for JobError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "algorithm {} failed after {} recovery attempts: {}",
-            self.algo_id, self.attempts, self.detail
-        )
+        match self {
+            JobError::Faulted {
+                algo_id,
+                attempts,
+                detail,
+            } => write!(
+                f,
+                "algorithm {algo_id} failed after {attempts} recovery attempts: {detail}"
+            ),
+            JobError::Shed {
+                algo_id,
+                deadline,
+                decided_at,
+            } => write!(
+                f,
+                "algorithm {algo_id} shed at admission: deadline {deadline} already passed at {decided_at}"
+            ),
+            JobError::DeadlineExceeded {
+                algo_id,
+                deadline,
+                finished,
+            } => write!(
+                f,
+                "algorithm {algo_id} finished at {finished}, past its deadline {deadline}"
+            ),
+        }
     }
 }
 
@@ -192,7 +263,7 @@ mod tests {
 
     #[test]
     fn job_error_renders() {
-        let e = JobError {
+        let e = JobError::Faulted {
             algo_id: 7,
             attempts: 2,
             detail: "CRC mismatch".into(),
@@ -200,5 +271,25 @@ mod tests {
         let msg = e.to_string();
         assert!(msg.contains("algorithm 7"));
         assert!(msg.contains("2 recovery attempts"));
+        assert_eq!(e.algo_id(), 7);
+        assert_eq!(e.attempts(), 2);
+    }
+
+    #[test]
+    fn overload_errors_render() {
+        let shed = JobError::Shed {
+            algo_id: 3,
+            deadline: SimTime::from_us(10),
+            decided_at: SimTime::from_us(12),
+        };
+        assert!(shed.to_string().contains("shed at admission"));
+        assert_eq!(shed.attempts(), 0);
+        let late = JobError::DeadlineExceeded {
+            algo_id: 3,
+            deadline: SimTime::from_us(10),
+            finished: SimTime::from_us(15),
+        };
+        assert!(late.to_string().contains("past its deadline"));
+        assert_eq!(late.algo_id(), 3);
     }
 }

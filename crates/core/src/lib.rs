@@ -38,16 +38,20 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod breaker;
 pub mod coproc;
 pub mod engine;
 pub mod error;
 pub mod fault;
+pub mod overload;
 pub mod runner;
 
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use coproc::{CoProcessor, CoProcessorBuilder, HostReport, PciRecovery};
 pub use engine::{Engine, EngineConfig, EngineResult, ShardPolicy};
 pub use error::CoreError;
 pub use fault::{FaultConfig, FaultStats, JobError};
+pub use overload::{DeadlinePolicy, OverloadConfig, OverloadStats, WatchdogConfig};
 pub use runner::{run_workload, Executor, RunResult};
 
 // Re-export the pieces users compose with.

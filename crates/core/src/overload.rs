@@ -1,0 +1,324 @@
+//! Deadline, admission-control, watchdog and overload accounting
+//! types for the serving engine.
+//!
+//! The engine's overload layer (enabled through
+//! [`EngineConfig::overload`](crate::EngineConfig)) gives every job a
+//! modelled-time deadline, sheds work that cannot meet it, detects
+//! stalled cards with a watchdog, and quarantines failing shards with
+//! a per-shard [`CircuitBreaker`](crate::CircuitBreaker). Everything
+//! here is expressed in modelled [`SimTime`], so the same (workload,
+//! fault plan, seed) always produces the same counters.
+//!
+//! [`OverloadStats::accounted`] is the job-conservation invariant:
+//! every submitted job ends in exactly one of completed, shed,
+//! deadline-missed or faulted.
+
+use crate::breaker::BreakerConfig;
+use aaod_sim::SimTime;
+
+/// How each job's deadline is derived.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeadlinePolicy {
+    /// Every job gets the same absolute budget from its arrival.
+    Absolute(SimTime),
+    /// The budget is `multiplier ×` the given percentile of the
+    /// estimated per-request service time, calibrated once on a
+    /// scratch card before serving starts (deterministic: the
+    /// calibration depends only on the workload).
+    Percentile {
+        /// Percentile of estimated service times, in `[0, 100]`.
+        pct: f64,
+        /// Slack multiplier applied to the percentile.
+        multiplier: f64,
+    },
+}
+
+impl DeadlinePolicy {
+    /// Checks the policy is usable.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero absolute budget, a percentile outside
+    /// `[0, 100]`, or a non-positive multiplier.
+    pub fn validate(&self) {
+        match *self {
+            DeadlinePolicy::Absolute(budget) => {
+                assert!(budget > SimTime::ZERO, "deadline budget must be non-zero");
+            }
+            DeadlinePolicy::Percentile { pct, multiplier } => {
+                assert!(
+                    (0.0..=100.0).contains(&pct),
+                    "deadline percentile must be in [0, 100]"
+                );
+                assert!(multiplier > 0.0, "deadline multiplier must be positive");
+            }
+        }
+    }
+}
+
+/// Watchdog tuning: how long a card may go without a heartbeat before
+/// it is declared stuck and reset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Modelled heartbeat interval.
+    pub heartbeat: SimTime,
+    /// Heartbeats that may be missed before the reset fires.
+    pub missed_beats: u32,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            heartbeat: SimTime::from_ms(1),
+            missed_beats: 3,
+        }
+    }
+}
+
+impl WatchdogConfig {
+    /// The modelled time a stuck card burns before the watchdog fires:
+    /// `heartbeat × missed_beats`.
+    pub fn timeout(&self) -> SimTime {
+        self.heartbeat * self.missed_beats as u64
+    }
+
+    /// Checks the tuning is usable.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero heartbeat or zero missed-beat allowance.
+    pub fn validate(&self) {
+        assert!(
+            self.heartbeat > SimTime::ZERO,
+            "watchdog heartbeat must be non-zero"
+        );
+        assert!(
+            self.missed_beats >= 1,
+            "watchdog must allow at least one missed beat"
+        );
+    }
+}
+
+/// Overload-layer configuration: offered load, deadlines, watchdog and
+/// breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverloadConfig {
+    /// Modelled inter-arrival time: request `i` arrives at
+    /// `i × interarrival`. Smaller = higher offered load.
+    pub interarrival: SimTime,
+    /// Deadline derivation.
+    pub deadline: DeadlinePolicy,
+    /// Stuck-card detection.
+    pub watchdog: WatchdogConfig,
+    /// Per-shard circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            interarrival: SimTime::from_us(100),
+            deadline: DeadlinePolicy::Percentile {
+                pct: 95.0,
+                multiplier: 8.0,
+            },
+            watchdog: WatchdogConfig::default(),
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
+impl OverloadConfig {
+    /// Checks every sub-config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sub-config is invalid.
+    pub fn validate(&self) {
+        self.deadline.validate();
+        self.watchdog.validate();
+        self.breaker.validate();
+    }
+}
+
+/// Overload-layer counters, merged across shards into
+/// [`EngineResult`](crate::EngineResult).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OverloadStats {
+    /// Jobs submitted to the engine.
+    pub submitted: u64,
+    /// Jobs that completed in time with a verified output.
+    pub completed: u64,
+    /// Jobs shed at admission (their deadline had already passed
+    /// before service could start).
+    pub shed: u64,
+    /// Jobs served whose completion overran their deadline (output
+    /// dropped).
+    pub deadline_missed: u64,
+    /// Jobs that failed with an unrecoverable fault.
+    pub faulted: u64,
+    /// Configuration-port stalls injected and consumed.
+    pub stalls_injected: u64,
+    /// Slow PCI transfers injected and consumed.
+    pub slow_transfers_injected: u64,
+    /// Stuck-card events injected (each triggers a watchdog reset).
+    pub stuck_injected: u64,
+    /// Latency faults scheduled but never consumed (e.g. a stall
+    /// scheduled onto a residency hit, or a fault on a shed job).
+    pub latency_inert: u64,
+    /// Watchdog resets performed (in-flight work re-run).
+    pub watchdog_resets: u64,
+    /// Closed→open breaker trips across all shards.
+    pub breaker_trips: u64,
+    /// Jobs bounced by an open breaker before redistribution.
+    pub breaker_rejections: u64,
+    /// Bounced jobs re-served on a healthy shard.
+    pub redistributed: u64,
+    /// Half-open probes admitted across all shards.
+    pub probes: u64,
+    /// Modelled time burned on stalls, slowdowns, stuck detection and
+    /// re-runs.
+    pub wasted_time: SimTime,
+}
+
+impl OverloadStats {
+    /// Job conservation: every submitted job ends in exactly one
+    /// terminal state.
+    pub fn accounted(&self) -> bool {
+        self.shed + self.deadline_missed + self.completed + self.faulted == self.submitted
+    }
+
+    /// Fraction of submitted jobs that completed in time — the
+    /// goodput ratio against offered load.
+    pub fn goodput(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.submitted as f64
+        }
+    }
+
+    /// Fraction of submitted jobs shed at admission.
+    pub fn shed_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.submitted as f64
+        }
+    }
+
+    /// Accumulates another shard's counters into this one.
+    pub fn merge(&mut self, other: &OverloadStats) {
+        self.submitted += other.submitted;
+        self.completed += other.completed;
+        self.shed += other.shed;
+        self.deadline_missed += other.deadline_missed;
+        self.faulted += other.faulted;
+        self.stalls_injected += other.stalls_injected;
+        self.slow_transfers_injected += other.slow_transfers_injected;
+        self.stuck_injected += other.stuck_injected;
+        self.latency_inert += other.latency_inert;
+        self.watchdog_resets += other.watchdog_resets;
+        self.breaker_trips += other.breaker_trips;
+        self.breaker_rejections += other.breaker_rejections;
+        self.redistributed += other.redistributed;
+        self.probes += other.probes;
+        self.wasted_time += other.wasted_time;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watchdog_timeout_is_heartbeat_times_beats() {
+        let w = WatchdogConfig {
+            heartbeat: SimTime::from_us(250),
+            missed_beats: 4,
+        };
+        assert_eq!(w.timeout(), SimTime::from_ms(1));
+    }
+
+    #[test]
+    fn accounted_holds_for_balanced_counters() {
+        let s = OverloadStats {
+            submitted: 10,
+            completed: 6,
+            shed: 2,
+            deadline_missed: 1,
+            faulted: 1,
+            ..OverloadStats::default()
+        };
+        assert!(s.accounted());
+        assert_eq!(s.goodput(), 0.6);
+        assert_eq!(s.shed_rate(), 0.2);
+    }
+
+    #[test]
+    fn accounted_rejects_leaked_jobs() {
+        let s = OverloadStats {
+            submitted: 10,
+            completed: 6,
+            shed: 2,
+            ..OverloadStats::default()
+        };
+        assert!(!s.accounted());
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = OverloadStats {
+            submitted: 3,
+            completed: 2,
+            shed: 1,
+            wasted_time: SimTime::from_us(5),
+            ..OverloadStats::default()
+        };
+        let b = OverloadStats {
+            submitted: 4,
+            completed: 4,
+            watchdog_resets: 2,
+            wasted_time: SimTime::from_us(3),
+            ..OverloadStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.submitted, 7);
+        assert_eq!(a.completed, 6);
+        assert_eq!(a.watchdog_resets, 2);
+        assert_eq!(a.wasted_time, SimTime::from_us(8));
+        assert!(a.accounted());
+    }
+
+    #[test]
+    fn goodput_handles_empty() {
+        assert_eq!(OverloadStats::default().goodput(), 0.0);
+        assert!(OverloadStats::default().accounted());
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline budget must be non-zero")]
+    fn zero_absolute_deadline_panics() {
+        DeadlinePolicy::Absolute(SimTime::ZERO).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in [0, 100]")]
+    fn out_of_range_percentile_panics() {
+        DeadlinePolicy::Percentile {
+            pct: 150.0,
+            multiplier: 2.0,
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "heartbeat must be non-zero")]
+    fn zero_heartbeat_panics() {
+        WatchdogConfig {
+            heartbeat: SimTime::ZERO,
+            missed_beats: 1,
+        }
+        .validate();
+    }
+}

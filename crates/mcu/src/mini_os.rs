@@ -185,6 +185,7 @@ pub struct MiniOs {
     fabric_clock: Clock,
     now: SimTime,
     stats: OsStats,
+    armed_config_stall: u64,
     prefetch_enabled: bool,
     predictor: crate::prefetch::MarkovPredictor,
     prefetched: std::collections::BTreeSet<u16>,
@@ -228,6 +229,7 @@ impl MiniOs {
             fabric_clock,
             now: SimTime::ZERO,
             stats: OsStats::default(),
+            armed_config_stall: 0,
             prefetch_enabled: config.prefetch,
             predictor: crate::prefetch::MarkovPredictor::new(),
             prefetched: std::collections::BTreeSet::new(),
@@ -512,6 +514,17 @@ impl MiniOs {
                 self.table.insert(algo_id, frames, self.now);
             }
         }
+        if self.armed_config_stall > 0 {
+            // An armed stall hangs the configuration port for the
+            // armed cycle count on top of the real reconfiguration.
+            // It only fires when a configuration actually happens —
+            // a residency hit returns above without consuming it.
+            let stall = std::mem::take(&mut self.armed_config_stall);
+            let t = self.mcu_clock.cycles(stall);
+            outcome.reconfig_time += t;
+            self.stats.config_stalls += 1;
+            self.stats.config_stall_time += t;
+        }
         self.stats.misses += 1;
         Ok(outcome)
     }
@@ -711,6 +724,26 @@ impl MiniOs {
         }
     }
 
+    /// Fault injection: arms a one-shot configuration-port stall. The
+    /// next reconfiguration (a residency *miss* — hits never touch the
+    /// port) takes `cycles` extra controller cycles, as if the port
+    /// hung mid-configuration before recovering. Arming again before
+    /// the stall fires replaces the pending cycle count.
+    pub fn arm_config_stall(&mut self, cycles: u64) {
+        self.armed_config_stall = cycles;
+    }
+
+    /// Pending stall cycles not yet consumed (zero when disarmed).
+    pub fn armed_config_stall(&self) -> u64 {
+        self.armed_config_stall
+    }
+
+    /// Disarms a pending configuration stall, returning the cycle
+    /// count that was still armed.
+    pub fn disarm_config_stall(&mut self) -> u64 {
+        std::mem::take(&mut self.armed_config_stall)
+    }
+
     /// Power-cycles the fabric: erases every frame, clears the free
     /// frame list, replacement table and counters. The ROM contents
     /// (flash) survive, so downloaded functions remain installable.
@@ -722,6 +755,7 @@ impl MiniOs {
         self.table = ReplacementTable::new();
         self.decoded.clear();
         self.stats = OsStats::default();
+        self.armed_config_stall = 0;
         self.predictor.clear();
         self.prefetched.clear();
         self.last_invoked = None;
@@ -1476,6 +1510,49 @@ mod tests {
         assert!(os.invoke_batch(ids::CRC32, &[]).unwrap().is_empty());
         assert_eq!(os.stats().requests, 0);
         assert_eq!(os.now(), before);
+    }
+
+    #[test]
+    fn config_stall_delays_next_miss_only() {
+        let mut clean = os_with(&[ids::CRC32]);
+        let (_, clean_miss) = clean.invoke(ids::CRC32, b"123456789").unwrap();
+        let mut os = os_with(&[ids::CRC32]);
+        os.arm_config_stall(10_000);
+        let (out, report) = os.invoke(ids::CRC32, b"123456789").unwrap();
+        assert_eq!(out, 0xCBF4_3926u32.to_le_bytes().to_vec());
+        let stall = os.mcu_clock().cycles(10_000);
+        assert_eq!(report.reconfig_time, clean_miss.reconfig_time + stall);
+        assert_eq!(os.armed_config_stall(), 0);
+        let s = os.stats();
+        assert_eq!(s.config_stalls, 1);
+        assert_eq!(s.config_stall_time, stall);
+        // the next miss is back to nominal
+        os.evict(ids::CRC32).unwrap();
+        let (_, again) = os.invoke(ids::CRC32, b"a").unwrap();
+        assert!(again.reconfig_time < report.reconfig_time);
+        assert_eq!(os.stats().config_stalls, 1);
+    }
+
+    #[test]
+    fn config_stall_not_consumed_by_residency_hit() {
+        let mut os = os_with(&[ids::CRC32]);
+        os.invoke(ids::CRC32, b"a").unwrap(); // now resident
+        os.arm_config_stall(5_000);
+        let (_, hit) = os.invoke(ids::CRC32, b"b").unwrap();
+        assert!(hit.hit);
+        assert_eq!(hit.reconfig_time, SimTime::ZERO);
+        assert_eq!(os.armed_config_stall(), 5_000, "hit must not consume");
+        assert_eq!(os.stats().config_stalls, 0);
+        assert_eq!(os.disarm_config_stall(), 5_000);
+        assert_eq!(os.armed_config_stall(), 0);
+    }
+
+    #[test]
+    fn reset_clears_armed_config_stall() {
+        let mut os = os_with(&[ids::CRC32]);
+        os.arm_config_stall(7_000);
+        os.reset();
+        assert_eq!(os.armed_config_stall(), 0);
     }
 
     #[test]

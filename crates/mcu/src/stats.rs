@@ -54,6 +54,12 @@ pub struct OsStats {
     pub redownloads: u64,
     /// Time spent in recovery re-downloads.
     pub redownload_time: SimTime,
+    /// Reconfigurations delayed by an injected configuration-port
+    /// stall (extension; see [`crate::MiniOs::arm_config_stall`]).
+    pub config_stalls: u64,
+    /// Extra reconfiguration time the stalls added (subset of
+    /// `reconfig_time`).
+    pub config_stall_time: SimTime,
 }
 
 impl OsStats {
@@ -91,6 +97,8 @@ impl OsStats {
         self.decoded_bytes_saved += other.decoded_bytes_saved;
         self.redownloads += other.redownloads;
         self.redownload_time += other.redownload_time;
+        self.config_stalls += other.config_stalls;
+        self.config_stall_time += other.config_stall_time;
     }
 
     /// Fraction of misses whose decoded frames were already cached.

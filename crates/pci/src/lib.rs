@@ -101,8 +101,11 @@ pub struct PciStats {
     pub busy_cycles: u64,
     /// Transfers aborted by an injected transient fault.
     pub faulted_transfers: u64,
-    /// Bus cycles burned by aborted transfers (subset of
-    /// `busy_cycles`).
+    /// Transfers degraded by an injected slow-bus fault (they
+    /// completed, at a multiple of the nominal cost).
+    pub slowed_transfers: u64,
+    /// Bus cycles burned by aborted transfers and by the slowdown
+    /// overhead of degraded transfers (subset of `busy_cycles`).
     pub wasted_cycles: u64,
 }
 
@@ -138,6 +141,8 @@ pub struct PciBus {
     config: PciConfig,
     stats: PciStats,
     armed_faults: u32,
+    armed_slow: u32,
+    slow_factor: u32,
 }
 
 impl PciBus {
@@ -153,6 +158,8 @@ impl PciBus {
             config,
             stats: PciStats::default(),
             armed_faults: 0,
+            armed_slow: 0,
+            slow_factor: 1,
         }
     }
 
@@ -227,13 +234,54 @@ impl PciBus {
         self.armed_faults
     }
 
+    /// Arms `n` one-shot slow transfers at `factor`× the nominal
+    /// cost: each subsequent *fallible* transfer consumes one and
+    /// completes, but occupies the bus `factor` times as long (a
+    /// degraded link renegotiating, or a congested switch). The
+    /// overhead beyond nominal is counted in `wasted_cycles`. Like
+    /// armed transient faults, the infallible paths never consume
+    /// them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    pub fn arm_slow_transfers(&mut self, n: u32, factor: u32) {
+        assert!(factor >= 1, "slow factor must be at least 1");
+        self.armed_slow += n;
+        self.slow_factor = factor;
+    }
+
+    /// Armed slow transfers not yet consumed.
+    pub fn armed_slow(&self) -> u32 {
+        self.armed_slow
+    }
+
+    /// Disarms any remaining slow transfers, returning how many were
+    /// still pending.
+    pub fn disarm_slow(&mut self) -> u32 {
+        std::mem::take(&mut self.armed_slow)
+    }
+
     /// Fallible transfer: consumes an armed fault if one is pending.
     ///
     /// An aborted attempt still occupies the bus for the full transfer
     /// (worst-case retry timer), counted in `busy_cycles` and
-    /// `faulted_transfers`, but delivers no bytes.
+    /// `faulted_transfers`, but delivers no bytes. An armed *slow*
+    /// transfer completes at `factor`× cost; a transient abort takes
+    /// precedence when both are armed.
     pub fn try_transfer(&mut self, bytes: u64, dir: Direction) -> Result<SimTime, PciError> {
         if self.armed_faults == 0 {
+            if self.armed_slow > 0 && bytes > 0 {
+                self.armed_slow -= 1;
+                let before = self.stats.busy_cycles;
+                let t = self.transfer(bytes, dir);
+                let base_cycles = self.stats.busy_cycles - before;
+                let extra_cycles = base_cycles * (self.slow_factor as u64 - 1);
+                self.stats.busy_cycles += extra_cycles;
+                self.stats.wasted_cycles += extra_cycles;
+                self.stats.slowed_transfers += 1;
+                return Ok(t * self.slow_factor as u64);
+            }
             return Ok(self.transfer(bytes, dir));
         }
         self.armed_faults -= 1;
@@ -392,6 +440,68 @@ mod tests {
         let PciError::TransientAbort { wasted } = faulty.try_write(2048).unwrap_err();
         assert_eq!(wasted, clean_t);
         assert_eq!(faulty.stats().busy_cycles, clean.stats().busy_cycles);
+    }
+
+    #[test]
+    fn slow_transfer_costs_factor_times_nominal() {
+        let mut clean = PciBus::new(PciConfig::default());
+        let clean_t = clean.try_write(2048).unwrap();
+        let mut slow = PciBus::new(PciConfig::default());
+        slow.arm_slow_transfers(1, 8);
+        let t = slow.try_write(2048).unwrap();
+        assert_eq!(t, clean_t * 8);
+        assert_eq!(slow.armed_slow(), 0);
+        let s = slow.stats();
+        assert_eq!(s.slowed_transfers, 1);
+        assert_eq!(s.bytes_written, 2048, "slow transfer still delivers");
+        assert_eq!(s.busy_cycles, clean.stats().busy_cycles * 8);
+        assert_eq!(s.wasted_cycles, clean.stats().busy_cycles * 7);
+        // the next transfer is back to nominal
+        let t2 = slow.try_write(2048).unwrap();
+        assert_eq!(t2, clean_t);
+    }
+
+    #[test]
+    fn infallible_transfers_never_consume_armed_slow() {
+        let mut bus = PciBus::new(PciConfig::default());
+        bus.arm_slow_transfers(2, 4);
+        bus.write(128);
+        bus.read(128);
+        assert_eq!(bus.armed_slow(), 2);
+        assert_eq!(bus.stats().slowed_transfers, 0);
+        assert_eq!(bus.disarm_slow(), 2);
+        assert_eq!(bus.armed_slow(), 0);
+    }
+
+    #[test]
+    fn transient_abort_takes_precedence_over_slow() {
+        let mut bus = PciBus::new(PciConfig::default());
+        bus.arm_transient_faults(1);
+        bus.arm_slow_transfers(1, 4);
+        assert!(bus.try_write(256).is_err());
+        assert_eq!(bus.armed_slow(), 1, "abort consumed the slow arm");
+        let mut clean = PciBus::new(PciConfig::default());
+        let clean_t = clean.try_write(256).unwrap();
+        // the retry then hits the slow arm
+        assert_eq!(bus.try_write(256).unwrap(), clean_t * 4);
+    }
+
+    #[test]
+    fn factor_one_slow_transfer_is_nominal() {
+        let mut clean = PciBus::new(PciConfig::default());
+        let clean_t = clean.try_write(512).unwrap();
+        let mut bus = PciBus::new(PciConfig::default());
+        bus.arm_slow_transfers(1, 1);
+        assert_eq!(bus.try_write(512).unwrap(), clean_t);
+        assert_eq!(bus.stats().wasted_cycles, 0);
+        assert_eq!(bus.stats().slowed_transfers, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "slow factor must be at least 1")]
+    fn zero_slow_factor_panics() {
+        let mut bus = PciBus::new(PciConfig::default());
+        bus.arm_slow_transfers(1, 0);
     }
 
     #[test]

@@ -57,6 +57,138 @@ impl FaultSite {
     }
 }
 
+/// Where a scheduled *latency* fault strikes — the time-domain
+/// counterpart of [`FaultSite`]. Latency faults never corrupt state;
+/// they stretch, stall or stop the modelled clock of the component
+/// they hit, and are recovered by deadlines, load shedding and the
+/// watchdog rather than by scrubbing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LatencySite {
+    /// The configuration port hangs for a fixed number of extra
+    /// controller cycles during the next (re)configuration.
+    StallConfig,
+    /// The request's PCI transfers run at a fraction of nominal speed
+    /// (cost multiplied by [`LatencyRates::slow_factor`]).
+    SlowPci,
+    /// The card stops making progress entirely; only a watchdog reset
+    /// brings it back, and the in-flight work must be re-run.
+    StuckCard,
+}
+
+impl LatencySite {
+    /// All latency sites, in the fixed cumulative-draw order.
+    pub const ALL: [LatencySite; 3] = [
+        LatencySite::StallConfig,
+        LatencySite::SlowPci,
+        LatencySite::StuckCard,
+    ];
+
+    /// Short lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            LatencySite::StallConfig => "stall-config",
+            LatencySite::SlowPci => "slow-pci",
+            LatencySite::StuckCard => "stuck-card",
+        }
+    }
+}
+
+/// Per-site latency-fault probabilities plus the magnitude knobs the
+/// injection hooks apply when a fault lands.
+///
+/// Rates follow the same contract as [`FaultRates`]: independent
+/// probabilities in `[0, 1]` whose sum must not exceed 1, applied per
+/// request with at most one latency fault scheduled per request. The
+/// latency draw is independent of the corruption draw, so a request
+/// may suffer both a corruption fault and a latency fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyRates {
+    /// Probability the request's (re)configuration stalls.
+    pub stall_config: f64,
+    /// Probability the request's PCI transfers run slow.
+    pub slow_pci: f64,
+    /// Probability the card wedges on this request (watchdog
+    /// territory).
+    pub stuck_card: f64,
+    /// Extra controller cycles a landed `StallConfig` hang costs.
+    pub stall_cycles: u64,
+    /// Cost multiplier a landed `SlowPci` applies to each transfer.
+    pub slow_factor: u32,
+}
+
+impl Default for LatencyRates {
+    fn default() -> Self {
+        LatencyRates::ZERO
+    }
+}
+
+impl LatencyRates {
+    /// No latency faults; magnitudes at their defaults.
+    pub const ZERO: LatencyRates = LatencyRates {
+        stall_config: 0.0,
+        slow_pci: 0.0,
+        stuck_card: 0.0,
+        stall_cycles: LatencyRates::DEFAULT_STALL_CYCLES,
+        slow_factor: LatencyRates::DEFAULT_SLOW_FACTOR,
+    };
+
+    /// Default `StallConfig` hang: 50k cycles of the 50 MHz
+    /// controller clock, i.e. one millisecond — comparable to a full
+    /// miss reconfiguration, so a stall is visible but survivable.
+    pub const DEFAULT_STALL_CYCLES: u64 = 50_000;
+
+    /// Default `SlowPci` multiplier: transfers run at 1/8 speed.
+    pub const DEFAULT_SLOW_FACTOR: u32 = 8;
+
+    /// The same rate `p` at every latency site, default magnitudes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `3 * p` exceeds 1.
+    pub fn uniform(p: f64) -> LatencyRates {
+        let r = LatencyRates {
+            stall_config: p,
+            slow_pci: p,
+            stuck_card: p,
+            ..LatencyRates::ZERO
+        };
+        r.validate();
+        r
+    }
+
+    /// Sum of all site rates — the per-request latency-fault
+    /// probability.
+    pub fn total(&self) -> f64 {
+        self.stall_config + self.slow_pci + self.stuck_card
+    }
+
+    /// Rate for one latency site.
+    pub fn rate(&self, site: LatencySite) -> f64 {
+        match site {
+            LatencySite::StallConfig => self.stall_config,
+            LatencySite::SlowPci => self.slow_pci,
+            LatencySite::StuckCard => self.stuck_card,
+        }
+    }
+
+    fn validate(&self) {
+        for site in LatencySite::ALL {
+            let p = self.rate(site);
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "latency rate for {} out of [0,1]: {p}",
+                site.name()
+            );
+        }
+        assert!(
+            self.total() <= 1.0,
+            "latency rates sum to {} > 1; at most one latency fault per request",
+            self.total()
+        );
+        assert!(self.slow_factor >= 1, "slow factor must be at least 1");
+    }
+}
+
 /// Per-site fault probabilities, each applied per request.
 ///
 /// Rates are independent probabilities in `[0, 1]`; their sum must not
@@ -141,7 +273,12 @@ impl FaultRates {
 pub struct FaultPlan {
     seed: u64,
     rates: FaultRates,
+    latency: LatencyRates,
 }
+
+/// Salt mixed into the latency draw so it is independent of the
+/// corruption draw at the same index.
+const LATENCY_SALT: u64 = 0x01A7_E4C1_7FA5_70FF_u64;
 
 impl FaultPlan {
     /// Creates a plan from a seed and per-site rates.
@@ -151,7 +288,26 @@ impl FaultPlan {
     /// Panics if any rate is outside `[0, 1]` or the rates sum past 1.
     pub fn new(seed: u64, rates: FaultRates) -> FaultPlan {
         rates.validate();
-        FaultPlan { seed, rates }
+        FaultPlan {
+            seed,
+            rates,
+            latency: LatencyRates::ZERO,
+        }
+    }
+
+    /// Adds a latency-fault schedule to the plan. The latency draw is
+    /// independent of the corruption draw, so a request can suffer
+    /// both (e.g. a slow transfer *and* a frame flip).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any latency rate is outside `[0, 1]`, the rates sum
+    /// past 1, or the slow factor is zero.
+    #[must_use]
+    pub fn with_latency(mut self, latency: LatencyRates) -> FaultPlan {
+        latency.validate();
+        self.latency = latency;
+        self
     }
 
     /// The plan's seed.
@@ -164,9 +320,21 @@ impl FaultPlan {
         self.rates
     }
 
-    /// `true` if every rate is zero — the plan schedules nothing.
+    /// The plan's latency-fault rates and magnitudes.
+    pub fn latency(&self) -> LatencyRates {
+        self.latency
+    }
+
+    /// `true` if every corruption rate is zero — [`FaultPlan::decide`]
+    /// schedules nothing (latency faults are separate; see
+    /// [`FaultPlan::has_latency`]).
     pub fn is_zero(&self) -> bool {
         self.rates.total() == 0.0
+    }
+
+    /// `true` if any latency-fault rate is nonzero.
+    pub fn has_latency(&self) -> bool {
+        self.latency.total() > 0.0
     }
 
     /// The fault (if any) scheduled against request `index`.
@@ -197,9 +365,37 @@ impl FaultPlan {
         SplitMix64::new(mixer.next_u64())
     }
 
+    /// The latency fault (if any) scheduled against request `index`.
+    ///
+    /// Pure, like [`FaultPlan::decide`], and drawn from an independent
+    /// stream: the latency decision at an index never perturbs the
+    /// corruption decision at the same index, and vice versa.
+    pub fn decide_latency(&self, index: u64) -> Option<LatencySite> {
+        if !self.has_latency() {
+            return None;
+        }
+        let mut mixer =
+            SplitMix64::new(self.seed ^ LATENCY_SALT ^ index.wrapping_mul(0xA076_1D64_78BD_642F));
+        let draw = SplitMix64::new(mixer.next_u64()).next_f64();
+        let mut cumulative = 0.0;
+        for site in LatencySite::ALL {
+            cumulative += self.latency.rate(site);
+            if draw < cumulative {
+                return Some(site);
+            }
+        }
+        None
+    }
+
     /// How many of the first `n` requests have a scheduled fault.
     pub fn scheduled_in(&self, n: u64) -> usize {
         (0..n).filter(|&i| self.decide(i).is_some()).count()
+    }
+
+    /// How many of the first `n` requests have a scheduled latency
+    /// fault.
+    pub fn latency_scheduled_in(&self, n: u64) -> usize {
+        (0..n).filter(|&i| self.decide_latency(i).is_some()).count()
     }
 }
 
@@ -276,5 +472,76 @@ mod tests {
     #[should_panic(expected = "at most one fault")]
     fn oversubscribed_rates_rejected() {
         let _ = FaultPlan::new(0, FaultRates::uniform(0.3));
+    }
+
+    #[test]
+    fn latency_decisions_are_pure_and_seeded() {
+        let plan =
+            FaultPlan::new(0xBEEF, FaultRates::ZERO).with_latency(LatencyRates::uniform(0.2));
+        for i in 0..256 {
+            assert_eq!(plan.decide_latency(i), plan.decide_latency(i));
+        }
+        let other =
+            FaultPlan::new(0xBEE0, FaultRates::ZERO).with_latency(LatencyRates::uniform(0.2));
+        let a: Vec<_> = (0..500).map(|i| plan.decide_latency(i)).collect();
+        let b: Vec<_> = (0..500).map(|i| other.decide_latency(i)).collect();
+        assert_ne!(a, b, "different seeds must differ");
+    }
+
+    #[test]
+    fn latency_draw_is_independent_of_corruption_draw() {
+        let bare = FaultPlan::new(21, FaultRates::uniform(0.1));
+        let with = bare.with_latency(LatencyRates::uniform(0.3));
+        for i in 0..500 {
+            assert_eq!(
+                bare.decide(i),
+                with.decide(i),
+                "adding latency rates changed the corruption schedule at {i}"
+            );
+        }
+        // and the latency schedule actually fires
+        assert!(with.latency_scheduled_in(500) > 0);
+        assert_eq!(bare.latency_scheduled_in(500), 0);
+    }
+
+    #[test]
+    fn all_latency_sites_reachable() {
+        let plan =
+            FaultPlan::new(4, FaultRates::ZERO).with_latency(LatencyRates::uniform(1.0 / 3.0));
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..2_000 {
+            if let Some(site) = plan.decide_latency(i) {
+                seen.insert(site);
+            }
+        }
+        assert_eq!(seen.len(), LatencySite::ALL.len(), "{seen:?}");
+    }
+
+    #[test]
+    fn latency_rate_shapes_frequency() {
+        let plan = FaultPlan::new(8, FaultRates::ZERO).with_latency(LatencyRates::uniform(0.05));
+        let n = 20_000;
+        let hits = plan.latency_scheduled_in(n);
+        let expect = 0.15 * n as f64;
+        let got = hits as f64;
+        assert!(
+            (got - expect).abs() < expect * 0.15,
+            "expected ~{expect}, got {got}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at most one latency fault")]
+    fn oversubscribed_latency_rates_rejected() {
+        let _ = FaultPlan::new(0, FaultRates::ZERO).with_latency(LatencyRates::uniform(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "slow factor")]
+    fn zero_slow_factor_rejected() {
+        let _ = FaultPlan::new(0, FaultRates::ZERO).with_latency(LatencyRates {
+            slow_factor: 0,
+            ..LatencyRates::ZERO
+        });
     }
 }

@@ -39,6 +39,6 @@ pub mod stats;
 pub mod time;
 
 pub use clock::Clock;
-pub use fault::{FaultPlan, FaultRates, FaultSite};
+pub use fault::{FaultPlan, FaultRates, FaultSite, LatencyRates, LatencySite};
 pub use rng::SplitMix64;
 pub use time::SimTime;

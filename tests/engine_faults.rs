@@ -206,9 +206,9 @@ fn exhausted_retries_degrade_to_typed_errors() {
     assert!(r.faults.accounted(), "{:?}", r.faults);
     for (&index, err) in &r.failed {
         assert!(index < w.len());
-        assert_eq!(err.attempts, 0);
+        assert_eq!(err.attempts(), 0);
         assert!(
-            w.requests().iter().any(|req| req.algo_id == err.algo_id),
+            w.requests().iter().any(|req| req.algo_id == err.algo_id()),
             "error names an algorithm outside the workload"
         );
         let msg = err.to_string();

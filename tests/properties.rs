@@ -328,3 +328,71 @@ proptest! {
         prop_assert_eq!(ta.max(tb).as_ps(), a.max(b));
     }
 }
+
+// Engine runs are costly, so the overload property gets its own small
+// case budget.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Under any seeded latency-fault plan and deadline tightness, the
+    /// overload layer conserves jobs — `shed + deadline_missed +
+    /// completed + faulted == submitted` — and every surviving output
+    /// is byte-identical to the fault-free serial run.
+    #[test]
+    fn overload_conserves_jobs_and_survivors_match_serial(
+        seed in any::<u64>(),
+        latency_rate in 0.0f64..0.15,
+        interarrival_ns in 1u64..200_000,
+        budget_us in 1u64..100_000,
+        workers in 1usize..4,
+    ) {
+        use aaod_algos::ids;
+        use aaod_core::{
+            CoProcessor, DeadlinePolicy, Engine, EngineConfig, FaultConfig, OverloadConfig,
+        };
+        use aaod_sim::{FaultPlan, FaultRates, LatencyRates, SimTime};
+        let algos = [ids::SHA1, ids::CRC32, ids::CRC8, ids::XTEA];
+        let w = aaod_workload::Workload::zipf(&algos, 48, 1.1, 32, seed);
+        let mut serial = CoProcessor::default();
+        for &algo in &w.distinct_algos() {
+            serial.install(algo).unwrap();
+        }
+        let baseline: Vec<Vec<u8>> = w
+            .requests()
+            .iter()
+            .enumerate()
+            .map(|(i, req)| serial.invoke(req.algo_id, &w.input(i)).unwrap().0)
+            .collect();
+        let plan = FaultPlan::new(seed, FaultRates::ZERO)
+            .with_latency(LatencyRates::uniform(latency_rate / 3.0));
+        let r = Engine::new(EngineConfig {
+            workers,
+            verify: true,
+            overload: Some(OverloadConfig {
+                interarrival: SimTime::from_ns(interarrival_ns),
+                deadline: DeadlinePolicy::Absolute(SimTime::from_us(budget_us)),
+                ..OverloadConfig::default()
+            }),
+            faults: Some(FaultConfig::new(plan)),
+            ..EngineConfig::default()
+        })
+        .serve(&w)
+        .unwrap();
+        prop_assert!(r.overload.accounted(), "leaked jobs: {:?}", r.overload);
+        prop_assert_eq!(r.overload.submitted, 48);
+        prop_assert_eq!(r.overload.shed, r.shed.len() as u64);
+        prop_assert_eq!(r.overload.deadline_missed, r.deadline_missed.len() as u64);
+        prop_assert_eq!(r.overload.faulted, r.failed.len() as u64);
+        let outputs = r.outputs.as_ref().unwrap();
+        for (i, want) in baseline.iter().enumerate() {
+            let dropped = r.shed.contains_key(&i)
+                || r.deadline_missed.contains_key(&i)
+                || r.failed.contains_key(&i);
+            if dropped {
+                prop_assert!(outputs[i].is_empty(), "dropped job {} left bytes", i);
+            } else {
+                prop_assert_eq!(&outputs[i], want, "survivor {} corrupted", i);
+            }
+        }
+    }
+}
