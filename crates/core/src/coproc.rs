@@ -8,6 +8,7 @@ use aaod_mcu::{
     InvokeReport, LruPolicy, MiniOs, MiniOsConfig, OsStats, ReconfigMode, ReplacementPolicy,
 };
 use aaod_pci::{PciBus, PciConfig, PciError};
+use aaod_sim::trace::{DetailEvent, DetailLog};
 use aaod_sim::SimTime;
 
 /// Host-visible timing of one invocation: the card-internal breakdown
@@ -61,6 +62,7 @@ pub struct PciRecovery {
 pub struct CoProcessorBuilder {
     os: MiniOsConfig,
     pci: PciConfig,
+    trace: bool,
 }
 
 impl CoProcessorBuilder {
@@ -70,6 +72,7 @@ impl CoProcessorBuilder {
         CoProcessorBuilder {
             os: MiniOsConfig::default(),
             pci: PciConfig::default(),
+            trace: false,
         }
     }
 
@@ -141,12 +144,24 @@ impl CoProcessorBuilder {
         self
     }
 
+    /// Enables the observability detail log from the start (see
+    /// [`CoProcessor::set_trace`]).
+    pub fn trace(mut self, enabled: bool) -> Self {
+        self.trace = enabled;
+        self
+    }
+
     /// Builds the co-processor.
     pub fn build(self) -> CoProcessor {
-        CoProcessor {
+        let mut cp = CoProcessor {
             os: MiniOs::new(self.os),
             bus: PciBus::new(self.pci),
+            details: DetailLog::new(),
+        };
+        if self.trace {
+            cp.set_trace(true);
         }
+        cp
     }
 }
 
@@ -161,6 +176,9 @@ impl Default for CoProcessorBuilder {
 pub struct CoProcessor {
     os: MiniOs,
     bus: PciBus,
+    /// Card-level detail buffer (PCI bursts interleaved in true
+    /// temporal order with the controller's drained details).
+    details: DetailLog,
 }
 
 impl CoProcessor {
@@ -179,9 +197,53 @@ impl CoProcessor {
     /// duplicates…).
     pub fn install(&mut self, algo_id: u16) -> Result<SimTime, CoreError> {
         let encoded = self.os.encode_bitstream(algo_id)?;
-        let pci = self.bus.write(encoded.len() as u64);
+        let pci = self.traced_write(encoded.len() as u64);
         let rom = self.os.download(&encoded)?;
         Ok(pci + rom)
+    }
+
+    /// Performs a bus write, recording it as a burst detail when the
+    /// trace is on. Tracing only snapshots counters — it never adds
+    /// modelled time.
+    fn traced_write(&mut self, bytes: u64) -> SimTime {
+        if !self.details.enabled() {
+            return self.bus.write(bytes);
+        }
+        let before = self.bus.stats();
+        let t = self.bus.write(bytes);
+        let d = self.bus.stats().delta(&before);
+        self.details.push(DetailEvent::PciBurst {
+            write: true,
+            bytes: d.bytes_written,
+            transactions: d.transactions,
+        });
+        t
+    }
+
+    /// Read counterpart of [`CoProcessor::traced_write`].
+    fn traced_read(&mut self, bytes: u64) -> SimTime {
+        if !self.details.enabled() {
+            return self.bus.read(bytes);
+        }
+        let before = self.bus.stats();
+        let t = self.bus.read(bytes);
+        let d = self.bus.stats().delta(&before);
+        self.details.push(DetailEvent::PciBurst {
+            write: false,
+            bytes: d.bytes_read,
+            transactions: d.transactions,
+        });
+        t
+    }
+
+    /// Moves the controller's buffered details into the card-level log
+    /// so the stream reads in true temporal order.
+    fn absorb_os_details(&mut self) {
+        if self.details.enabled() {
+            for d in self.os.take_details() {
+                self.details.push(d);
+            }
+        }
     }
 
     /// Invokes an installed function on `input`, returning the result
@@ -196,9 +258,10 @@ impl CoProcessor {
         algo_id: u16,
         input: &[u8],
     ) -> Result<(Vec<u8>, HostReport), CoreError> {
-        let pci_input_time = self.bus.write(input.len() as u64);
+        let pci_input_time = self.traced_write(input.len() as u64);
         let (output, os_report) = self.os.invoke(algo_id, input)?;
-        let pci_output_time = self.bus.read(output.len() as u64);
+        self.absorb_os_details();
+        let pci_output_time = self.traced_read(output.len() as u64);
         Ok((
             output,
             HostReport {
@@ -228,6 +291,7 @@ impl CoProcessor {
         let mut recovery = PciRecovery::default();
         let pci_input_time = self.write_with_retry(input.len() as u64, &mut recovery);
         let (output, os_report) = self.os.invoke(algo_id, input)?;
+        self.absorb_os_details();
         let pci_output_time = self.read_with_retry(output.len() as u64, &mut recovery);
         Ok((
             output,
@@ -241,10 +305,21 @@ impl CoProcessor {
     }
 
     fn write_with_retry(&mut self, bytes: u64, recovery: &mut PciRecovery) -> SimTime {
+        let before = self.details.enabled().then(|| self.bus.stats());
         let mut total = SimTime::ZERO;
         loop {
             match self.bus.try_write(bytes) {
-                Ok(t) => return total + t,
+                Ok(t) => {
+                    if let Some(before) = before {
+                        let d = self.bus.stats().delta(&before);
+                        self.details.push(DetailEvent::PciBurst {
+                            write: true,
+                            bytes: d.bytes_written,
+                            transactions: d.transactions,
+                        });
+                    }
+                    return total + t;
+                }
                 Err(PciError::TransientAbort { wasted }) => {
                     recovery.retries += 1;
                     recovery.wasted += wasted;
@@ -255,10 +330,21 @@ impl CoProcessor {
     }
 
     fn read_with_retry(&mut self, bytes: u64, recovery: &mut PciRecovery) -> SimTime {
+        let before = self.details.enabled().then(|| self.bus.stats());
         let mut total = SimTime::ZERO;
         loop {
             match self.bus.try_read(bytes) {
-                Ok(t) => return total + t,
+                Ok(t) => {
+                    if let Some(before) = before {
+                        let d = self.bus.stats().delta(&before);
+                        self.details.push(DetailEvent::PciBurst {
+                            write: false,
+                            bytes: d.bytes_read,
+                            transactions: d.transactions,
+                        });
+                    }
+                    return total + t;
+                }
                 Err(PciError::TransientAbort { wasted }) => {
                     recovery.retries += 1;
                     recovery.wasted += wasted;
@@ -284,12 +370,13 @@ impl CoProcessor {
     ) -> Result<Vec<(Vec<u8>, HostReport)>, CoreError> {
         let mut pci_input_times = Vec::with_capacity(inputs.len());
         for input in inputs {
-            pci_input_times.push(self.bus.write(input.len() as u64));
+            pci_input_times.push(self.traced_write(input.len() as u64));
         }
         let os_results = self.os.invoke_batch(algo_id, inputs)?;
+        self.absorb_os_details();
         let mut results = Vec::with_capacity(os_results.len());
         for ((output, os_report), pci_input_time) in os_results.into_iter().zip(pci_input_times) {
-            let pci_output_time = self.bus.read(output.len() as u64);
+            let pci_output_time = self.traced_read(output.len() as u64);
             results.push((
                 output,
                 HostReport {
@@ -351,6 +438,29 @@ impl CoProcessor {
     /// Controller statistics.
     pub fn stats(&self) -> OsStats {
         self.os.stats()
+    }
+
+    /// Enables or disables the observability detail log on the card
+    /// and its controller. When on, PCI bursts and the controller's
+    /// cache/eviction/reconfiguration details are buffered (in true
+    /// temporal order) for the trace assembler to drain with
+    /// [`CoProcessor::take_details`]. Tracing never adds modelled
+    /// time, so every timing result is identical with it on or off.
+    pub fn set_trace(&mut self, on: bool) {
+        self.details.set_enabled(on);
+        self.os.set_trace(on);
+    }
+
+    /// Whether the detail log is recording.
+    pub fn trace_enabled(&self) -> bool {
+        self.details.enabled()
+    }
+
+    /// Drains the buffered detail events (any still sitting in the
+    /// controller are absorbed first).
+    pub fn take_details(&mut self) -> Vec<DetailEvent> {
+        self.absorb_os_details();
+        self.details.take()
     }
 
     /// PCI bus statistics.
@@ -502,6 +612,45 @@ mod tests {
             batched.pci_stats().bytes_read,
             serial.pci_stats().bytes_read
         );
+    }
+
+    #[test]
+    fn traced_invoke_details_cover_pci_and_controller() {
+        use aaod_sim::DetailEvent as D;
+        let mut cp = CoProcessor::builder().trace(true).build();
+        assert!(cp.trace_enabled());
+        cp.install(ids::SHA1).unwrap();
+        let install_details = cp.take_details();
+        assert!(matches!(
+            install_details[..],
+            [D::PciBurst { write: true, .. }]
+        ));
+        let inputs: Vec<&[u8]> = vec![b"one", b"two"];
+        cp.invoke_batch(ids::SHA1, &inputs).unwrap();
+        let details = cp.take_details();
+        // Temporal order: both input writes, controller work, then
+        // both output reads.
+        assert!(matches!(details[0], D::PciBurst { write: true, .. }));
+        assert!(matches!(details[1], D::PciBurst { write: true, .. }));
+        assert!(matches!(
+            details[2],
+            D::Residency { algo, hit: false } if algo == ids::SHA1
+        ));
+        assert!(matches!(
+            details[details.len() - 1],
+            D::PciBurst { write: false, .. }
+        ));
+        assert!(details
+            .iter()
+            .any(|d| matches!(d, D::RomFetch { bytes, .. } if *bytes > 0)));
+        // Tracing never perturbs timing: same run untraced.
+        let mut plain = CoProcessor::default();
+        plain.install(ids::SHA1).unwrap();
+        let plain_results = plain.invoke_batch(ids::SHA1, &inputs).unwrap();
+        let mut traced = CoProcessor::builder().trace(true).build();
+        traced.install(ids::SHA1).unwrap();
+        let traced_results = traced.invoke_batch(ids::SHA1, &inputs).unwrap();
+        assert_eq!(plain_results, traced_results);
     }
 
     #[test]

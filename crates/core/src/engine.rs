@@ -52,12 +52,16 @@
 //! no job is silently lost.
 
 use crate::breaker::{BreakerState, CircuitBreaker};
-use crate::coproc::CoProcessor;
+use crate::coproc::{CoProcessor, HostReport};
 use crate::error::CoreError;
 use crate::fault::{FaultConfig, FaultStats, JobError};
 use crate::overload::{DeadlinePolicy, OverloadConfig, OverloadStats};
 use aaod_mcu::OsStats;
 use aaod_sim::stats::TimeAccumulator;
+use aaod_sim::trace::{
+    BreakerPhase, EventKind, FaultKind, JobOutcome, RepairKind, Stage, TraceConfig, TraceLevel,
+    TraceReport, TraceShard, Tracer, ENGINE_SHARD, PRODUCER_SHARD,
+};
 use aaod_sim::{FaultPlan, FaultRates, FaultSite, LatencySite, SimTime};
 use aaod_workload::Workload;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -165,6 +169,11 @@ pub struct EngineConfig {
     /// `None` (the default) keeps the legacy closed-loop behaviour:
     /// no arrivals, no deadlines, no latency-fault injection.
     pub overload: Option<OverloadConfig>,
+    /// Observability layer. [`TraceLevel::Off`] (the default) records
+    /// nothing and leaves the hot path untouched; tracing only
+    /// observes modelled durations, so enabling it never changes any
+    /// simulation result.
+    pub trace: TraceConfig,
 }
 
 impl Default for EngineConfig {
@@ -178,6 +187,7 @@ impl Default for EngineConfig {
             shard: ShardPolicy::AlgoModulo,
             faults: None,
             overload: None,
+            trace: TraceConfig::off(),
         }
     }
 }
@@ -240,6 +250,11 @@ pub struct EngineResult {
     /// every completed job. Only populated in overload mode, where
     /// jobs have arrival times.
     pub sojourn: TimeAccumulator,
+    /// The assembled trace (`None` when [`EngineConfig::trace`] is
+    /// [`TraceLevel::Off`]). Events are in canonical `(shard, seq)`
+    /// order: byte-identical across runs for the same workload, seed
+    /// and config.
+    pub trace: Option<TraceReport>,
 }
 
 impl EngineResult {
@@ -399,6 +414,8 @@ struct WorkerOutcome {
     /// The shard's card, returned so redistribution can serve bounced
     /// jobs on it (overload mode only).
     cp: Option<CoProcessor>,
+    /// The shard's trace stream (absent at [`TraceLevel::Off`]).
+    trace: Option<TraceShard>,
 }
 
 impl WorkerOutcome {
@@ -417,8 +434,89 @@ impl WorkerOutcome {
             breaker_timeline: Vec::new(),
             breaker_open: false,
             cp: None,
+            trace: None,
         }
     }
+}
+
+/// Maps a corruption-fault site to its trace kind.
+fn fault_kind(site: FaultSite) -> FaultKind {
+    match site {
+        FaultSite::FrameBitFlip => FaultKind::FrameFlip,
+        FaultSite::TornConfig => FaultKind::TornConfig,
+        FaultSite::RomPayload => FaultKind::RomRot,
+        FaultSite::PciTransient => FaultKind::PciTransient,
+    }
+}
+
+/// Maps a latency-fault site to its trace kind.
+fn latency_kind(site: LatencySite) -> FaultKind {
+    match site {
+        LatencySite::StallConfig => FaultKind::Stall,
+        LatencySite::SlowPci => FaultKind::SlowPci,
+        LatencySite::StuckCard => FaultKind::StuckCard,
+    }
+}
+
+/// Maps a breaker state to its trace phase.
+fn breaker_phase(state: BreakerState) -> BreakerPhase {
+    match state {
+        BreakerState::Closed => BreakerPhase::Closed,
+        BreakerState::Open => BreakerPhase::Open,
+        BreakerState::HalfOpen => BreakerPhase::HalfOpen,
+    }
+}
+
+/// Emits the stage-span tree of one fault-free job: `JobOpen`, the
+/// eight sequential stages (zero-duration stages are skipped) and
+/// returns the job's end time. The stage durations come straight from
+/// the report, so their sum equals the job's service time.
+pub(crate) fn trace_clean_stages(
+    tracer: &mut Tracer,
+    start: SimTime,
+    index: usize,
+    algo_id: u16,
+    report: &HostReport,
+) -> SimTime {
+    let job = index as u64;
+    tracer.record(start, EventKind::JobOpen { job, algo: algo_id });
+    let mut cursor = start;
+    for (stage, dur) in [
+        (Stage::PciIn, report.pci_input_time),
+        (Stage::Lookup, report.os.lookup_time),
+        (Stage::RomFetch, report.os.rom_time),
+        (Stage::Reconfig, report.os.reconfig_time),
+        (Stage::DataIn, report.os.input_time),
+        (Stage::Execute, report.os.exec_time),
+        (Stage::Collect, report.os.output_time),
+        (Stage::PciOut, report.pci_output_time),
+    ] {
+        tracer.span(cursor, dur, job, stage, algo_id);
+        cursor += dur;
+    }
+    cursor
+}
+
+/// [`trace_clean_stages`] plus the closing `JobClose`, for paths that
+/// classify the job as completed on the spot.
+pub(crate) fn trace_clean_job(
+    tracer: &mut Tracer,
+    start: SimTime,
+    index: usize,
+    algo_id: u16,
+    report: &HostReport,
+) -> SimTime {
+    let end = trace_clean_stages(tracer, start, index, algo_id, report);
+    tracer.record(
+        end,
+        EventKind::JobClose {
+            job: index as u64,
+            algo: algo_id,
+            outcome: JobOutcome::Completed,
+            hit: report.hit(),
+        },
+    );
+    end
 }
 
 /// The sharded co-processor pool.
@@ -497,6 +595,7 @@ impl Engine {
                 deadline_budget: None,
                 shard_health: Vec::new(),
                 sojourn: TimeAccumulator::new(),
+                trace: (self.config.trace.level != TraceLevel::Off).then(TraceReport::default),
             });
         }
         let assignment = self.config.shard.assign(workload, workers);
@@ -525,6 +624,8 @@ impl Engine {
             Some(oc) => Some(self.resolve_deadline_budget(workload, oc)?),
         };
         let factory = &self.factory;
+        let trace_cfg = self.config.trace;
+        let mut producer_tracer = Tracer::new(trace_cfg, PRODUCER_SHARD);
         let queues: Vec<BoundedQueue> = (0..workers)
             .map(|_| BoundedQueue::new(queue_depth))
             .collect();
@@ -534,7 +635,17 @@ impl Engine {
             for (shard, queue) in queues.iter().enumerate() {
                 let algos = &shard_algos[shard];
                 handles.push(scope.spawn(move || {
-                    worker_loop(factory, queue, algos, verify, collect, faults, overload)
+                    worker_loop(
+                        factory,
+                        queue,
+                        algos,
+                        verify,
+                        collect,
+                        faults,
+                        overload,
+                        shard as u32,
+                        trace_cfg,
+                    )
                 }));
             }
             // This thread is the producer: walk the stream in
@@ -553,6 +664,14 @@ impl Engine {
                     queues[shard].push(std::mem::take(run));
                 }
                 let arrival = overload.map_or(SimTime::ZERO, |oc| oc.interarrival * i as u64);
+                producer_tracer.record(
+                    arrival,
+                    EventKind::Enqueue {
+                        job: i as u64,
+                        algo: req.algo_id,
+                        to: shard as u32,
+                    },
+                );
                 run.push(Job {
                     index: i,
                     algo_id: req.algo_id,
@@ -592,9 +711,13 @@ impl Engine {
         let mut shard_cp: Vec<Option<CoProcessor>> = Vec::with_capacity(workers);
         let mut shard_open = Vec::with_capacity(workers);
         let mut rejected: Vec<Job> = Vec::new();
+        let mut trace_shards: Vec<TraceShard> = Vec::new();
         for outcome in outcomes {
             let outcome = outcome?;
             shard_busy.push(outcome.busy);
+            if let Some(shard_trace) = outcome.trace {
+                trace_shards.push(shard_trace);
+            }
             stats.merge(&outcome.stats);
             batches += outcome.batches;
             coalesced += outcome.coalesced;
@@ -637,6 +760,7 @@ impl Engine {
                 .iter()
                 .copied()
                 .fold(SimTime::ZERO, |a, b| if b > a { b } else { a });
+        let mut engine_tracer = Tracer::new(trace_cfg, ENGINE_SHARD);
         if overload.is_some() {
             // Redistribution: jobs an open breaker bounced are
             // re-served in submission order on the healthy shard that
@@ -650,6 +774,13 @@ impl Engine {
                     .min_by_key(|&s| (shard_finish[s], s));
                 let Some(s) = target else {
                     overload_stats.shed += 1;
+                    engine_tracer.record(
+                        makespan,
+                        EventKind::Shed {
+                            job: job.index as u64,
+                            algo: job.algo_id,
+                        },
+                    );
                     shed.insert(
                         job.index,
                         JobError::Shed {
@@ -664,6 +795,13 @@ impl Engine {
                 let deadline = job.deadline.unwrap_or(SimTime::ZERO);
                 if deadline <= now {
                     overload_stats.shed += 1;
+                    engine_tracer.record(
+                        now,
+                        EventKind::Shed {
+                            job: job.index as u64,
+                            algo: job.algo_id,
+                        },
+                    );
                     shed.insert(
                         job.index,
                         JobError::Shed {
@@ -689,6 +827,18 @@ impl Engine {
                         times[job.index] = t;
                         per_request_hit[job.index] = report.hit();
                         overload_stats.redistributed += 1;
+                        if engine_tracer.enabled() {
+                            let details = cp.take_details();
+                            engine_tracer.details(now, &details);
+                            engine_tracer.record(
+                                now,
+                                EventKind::Redistributed {
+                                    job: job.index as u64,
+                                    algo: job.algo_id,
+                                    to: s as u32,
+                                },
+                            );
+                        }
                         if finish > deadline {
                             overload_stats.deadline_missed += 1;
                             deadline_missed.insert(
@@ -748,9 +898,17 @@ impl Engine {
                 // passed is not rescued — re-serving it could not
                 // produce a useful output.
                 let mut spare = (self.factory)();
+                if engine_tracer.enabled() {
+                    spare.set_trace(true);
+                }
                 let rescue_algos: BTreeSet<u16> = failed.values().map(|e| e.algo_id()).collect();
                 for &algo in &rescue_algos {
                     spare.install(algo)?;
+                }
+                if engine_tracer.enabled() {
+                    // spare bring-up is stamped at the rescue start
+                    let details = spare.take_details();
+                    engine_tracer.details(makespan, &details);
                 }
                 let golden = verify.then(aaod_algos::AlgorithmBank::standard);
                 let mut rescue_busy = SimTime::ZERO;
@@ -770,6 +928,18 @@ impl Engine {
                         continue; // stays degraded
                     };
                     verify_output(golden.as_ref(), algo_id, index, &input, &output)?;
+                    if engine_tracer.enabled() {
+                        let cursor = makespan + rescue_busy;
+                        let details = spare.take_details();
+                        engine_tracer.details(cursor, &details);
+                        engine_tracer.record(
+                            cursor,
+                            EventKind::Requeued {
+                                job: index as u64,
+                                algo: algo_id,
+                            },
+                        );
+                    }
                     failed.remove(&index);
                     fault_stats.requeues += 1;
                     if overload.is_some() {
@@ -802,6 +972,13 @@ impl Engine {
             "job conservation violated: {overload_stats:?}"
         );
         let input_bytes = requests.iter().map(|r| r.input_len as u64).sum();
+        let trace = if trace_cfg.level == TraceLevel::Off {
+            None
+        } else {
+            trace_shards.push(engine_tracer.finish());
+            trace_shards.push(producer_tracer.finish());
+            Some(TraceReport::assemble(trace_shards))
+        };
         Ok(EngineResult {
             workers,
             requests: n,
@@ -824,6 +1001,7 @@ impl Engine {
             deadline_budget,
             shard_health,
             sojourn,
+            trace,
         })
     }
 
@@ -870,6 +1048,7 @@ impl Engine {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     factory: &(dyn Fn() -> CoProcessor + Send + Sync),
     queue: &BoundedQueue,
@@ -878,10 +1057,23 @@ fn worker_loop(
     collect: bool,
     faults: Option<FaultConfig>,
     overload: Option<OverloadConfig>,
+    shard: u32,
+    trace: TraceConfig,
 ) -> Result<WorkerOutcome, CoreError> {
     let mut cp = factory();
+    let mut tracer = Tracer::new(trace, shard);
+    if tracer.enabled() {
+        cp.set_trace(true);
+    }
     for &algo in algos {
         cp.install(algo)?;
+    }
+    if tracer.enabled() {
+        // bring-up details (install-time ROM fetches, decompression,
+        // port writes) are stamped at time zero: install is not
+        // serving time
+        let details = cp.take_details();
+        tracer.details(SimTime::ZERO, &details);
     }
     let golden = verify.then(aaod_algos::AlgorithmBank::standard);
     let mut outcome = WorkerOutcome::empty();
@@ -890,14 +1082,38 @@ fn worker_loop(
         let algo_id = batch[0].algo_id;
         outcome.batches += 1;
         outcome.coalesced += batch.len() as u64 - 1;
+        if tracer.enabled() {
+            let ts = chaos
+                .as_ref()
+                .and_then(|c| c.overload.as_ref())
+                .map_or(outcome.busy, |ov| ov.clock);
+            for job in &batch {
+                tracer.record(
+                    ts,
+                    EventKind::Dequeue {
+                        job: job.index as u64,
+                        algo: algo_id,
+                    },
+                );
+            }
+        }
         match &mut chaos {
             None => {
+                let batch_start = outcome.busy;
                 let inputs: Vec<&[u8]> = batch.iter().map(|j| j.input.as_slice()).collect();
                 let served = cp.invoke_batch(algo_id, &inputs)?;
+                if tracer.enabled() {
+                    let details = cp.take_details();
+                    tracer.details(batch_start, &details);
+                }
+                let mut cursor = batch_start;
                 for (job, (output, report)) in batch.iter().zip(served) {
                     verify_output(golden.as_ref(), algo_id, job.index, &job.input, &output)?;
                     let time = report.total();
                     outcome.busy += time;
+                    if tracer.enabled() {
+                        cursor = trace_clean_job(&mut tracer, cursor, job.index, algo_id, &report);
+                    }
                     outcome.results.push(JobResult {
                         index: job.index,
                         output: if collect { output } else { Vec::new() },
@@ -909,12 +1125,36 @@ fn worker_loop(
                 }
             }
             Some(chaos) => {
-                chaos.serve_batch(&mut cp, batch, golden.as_ref(), collect, &mut outcome)?;
+                chaos.serve_batch(
+                    &mut cp,
+                    batch,
+                    golden.as_ref(),
+                    collect,
+                    &mut outcome,
+                    &mut tracer,
+                )?;
+                if tracer.enabled() {
+                    // the fault machinery interleaves serving and
+                    // recovery, so per-stage attribution is not
+                    // available: details are stamped at the shard's
+                    // clock after the batch
+                    let ts = chaos.overload.as_ref().map_or(outcome.busy, |ov| ov.clock);
+                    let details = cp.take_details();
+                    tracer.details(ts, &details);
+                }
             }
         }
     }
     if let Some(chaos) = &mut chaos {
-        chaos.drain(&mut cp, &mut outcome)?;
+        chaos.drain(&mut cp, &mut outcome, &mut tracer)?;
+        if tracer.enabled() {
+            let ts = chaos
+                .overload
+                .as_ref()
+                .map_or(outcome.busy, |ov| ov.clock.max(outcome.busy));
+            let details = cp.take_details();
+            tracer.details(ts, &details);
+        }
         outcome.faults = chaos.stats;
         outcome.recovery_latency = std::mem::take(&mut chaos.recovery_latency);
     }
@@ -936,6 +1176,9 @@ fn worker_loop(
             outcome.cp = Some(cp);
         }
         None => outcome.stats = cp.stats(),
+    }
+    if trace.level != TraceLevel::Off {
+        outcome.trace = Some(tracer.finish());
     }
     Ok(outcome)
 }
@@ -1002,6 +1245,9 @@ struct FaultWorker {
     recovery_latency: TimeAccumulator,
     /// Overload layer; `None` keeps the pure corruption behaviour.
     overload: Option<OverloadState>,
+    /// Breaker timeline entries already emitted to the trace (the
+    /// initial closed state is never an event).
+    breaker_emitted: usize,
 }
 
 impl FaultWorker {
@@ -1019,6 +1265,39 @@ impl FaultWorker {
                 stats: OverloadStats::default(),
                 lost_stats: OsStats::default(),
             }),
+            breaker_emitted: 1,
+        }
+    }
+
+    /// Emits any breaker transitions recorded since the last sync.
+    /// Called right after every breaker interaction so the shard
+    /// stream stays time-ordered; `floor` lifts back-dated
+    /// transitions (a probe's success closes the breaker at the
+    /// probe's *admission* time) up to the observation point — the
+    /// faithful back-dated times stay in the `shard_health` timeline.
+    fn sync_breaker(&mut self, tracer: &mut Tracer, floor: SimTime) {
+        if !tracer.enabled() {
+            return;
+        }
+        let Some(ov) = &self.overload else {
+            return;
+        };
+        let timeline = ov.breaker.timeline();
+        let mut pending = Vec::new();
+        while self.breaker_emitted < timeline.len() {
+            let (ts, to) = timeline[self.breaker_emitted];
+            let (_, from) = timeline[self.breaker_emitted - 1];
+            pending.push((ts.max(floor), from, to));
+            self.breaker_emitted += 1;
+        }
+        for (ts, from, to) in pending {
+            tracer.record(
+                ts,
+                EventKind::Breaker {
+                    from: breaker_phase(from),
+                    to: breaker_phase(to),
+                },
+            );
         }
     }
 
@@ -1058,17 +1337,30 @@ impl FaultWorker {
 
     /// Marks the faults scheduled against an unserved (shed or
     /// bounced) job as inert: they never got a card to land on.
-    fn mark_unserved_inert(&mut self, index: usize) {
-        if self.cfg.plan.decide(index as u64).is_some() {
+    fn mark_unserved_inert(&mut self, index: usize, ts: SimTime, tracer: &mut Tracer) {
+        if let Some(site) = self.cfg.plan.decide(index as u64) {
             self.stats.inert += 1;
+            tracer.record(
+                ts,
+                EventKind::FaultInert {
+                    kind: fault_kind(site),
+                },
+            );
         }
-        if self.cfg.plan.decide_latency(index as u64).is_some() {
+        if let Some(site) = self.cfg.plan.decide_latency(index as u64) {
             if let Some(ov) = &mut self.overload {
                 ov.stats.latency_inert += 1;
+                tracer.record(
+                    ts,
+                    EventKind::FaultInert {
+                        kind: latency_kind(site),
+                    },
+                );
             }
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn serve_batch(
         &mut self,
         cp: &mut CoProcessor,
@@ -1076,14 +1368,24 @@ impl FaultWorker {
         golden: Option<&aaod_algos::AlgorithmBank>,
         collect: bool,
         outcome: &mut WorkerOutcome,
+        tracer: &mut Tracer,
     ) -> Result<(), CoreError> {
         let algo_id = batch[0].algo_id;
         let mut jobs = batch.into_iter().peekable();
         while let Some(job) = jobs.next() {
-            match self.admit(&job) {
+            let admission = self.admit(&job);
+            self.sync_breaker(tracer, SimTime::ZERO);
+            match admission {
                 Admission::Serve => {}
                 Admission::Shed { decided_at } => {
-                    self.mark_unserved_inert(job.index);
+                    tracer.record(
+                        decided_at,
+                        EventKind::Shed {
+                            job: job.index as u64,
+                            algo: algo_id,
+                        },
+                    );
+                    self.mark_unserved_inert(job.index, decided_at, tracer);
                     outcome.results.push(JobResult {
                         index: job.index,
                         output: Vec::new(),
@@ -1099,7 +1401,18 @@ impl FaultWorker {
                     continue;
                 }
                 Admission::Bounce => {
-                    self.mark_unserved_inert(job.index);
+                    let now = self
+                        .overload
+                        .as_ref()
+                        .map_or(SimTime::ZERO, |ov| ov.clock.max(job.arrival));
+                    tracer.record(
+                        now,
+                        EventKind::Bounced {
+                            job: job.index as u64,
+                            algo: algo_id,
+                        },
+                    );
+                    self.mark_unserved_inert(job.index, now, tracer);
                     outcome.rejected.push(job);
                     continue;
                 }
@@ -1136,8 +1449,18 @@ impl FaultWorker {
                 let served = cp.invoke_batch(algo_id, &inputs)?;
                 for (job, (output, report)) in run.iter().zip(served) {
                     let time = report.total();
+                    let busy_start = outcome.busy;
                     outcome.busy += time;
                     if self.overload.is_some() {
+                        if tracer.enabled() {
+                            let start = self
+                                .overload
+                                .as_ref()
+                                .expect("overload mode")
+                                .clock
+                                .max(job.arrival);
+                            trace_clean_stages(tracer, start, job.index, algo_id, &report);
+                        }
                         self.finish_served(
                             job,
                             output,
@@ -1146,9 +1469,13 @@ impl FaultWorker {
                             golden,
                             collect,
                             outcome,
+                            tracer,
                         )?;
                     } else {
                         verify_output(golden, algo_id, job.index, &job.input, &output)?;
+                        if tracer.enabled() {
+                            trace_clean_job(tracer, busy_start, job.index, algo_id, &report);
+                        }
                         outcome.results.push(JobResult {
                             index: job.index,
                             output: if collect { output } else { Vec::new() },
@@ -1160,7 +1487,9 @@ impl FaultWorker {
                     }
                 }
             } else {
-                self.serve_one(cp, &job, scheduled, latency, golden, collect, outcome)?;
+                self.serve_one(
+                    cp, &job, scheduled, latency, golden, collect, outcome, tracer,
+                )?;
             }
         }
         Ok(())
@@ -1178,6 +1507,7 @@ impl FaultWorker {
         golden: Option<&aaod_algos::AlgorithmBank>,
         collect: bool,
         outcome: &mut WorkerOutcome,
+        tracer: &mut Tracer,
     ) -> Result<(), CoreError> {
         let ov = self.overload.as_mut().expect("overload mode");
         let start = ov.clock.max(job.arrival);
@@ -1187,6 +1517,15 @@ impl FaultWorker {
         if finish > deadline {
             ov.stats.deadline_missed += 1;
             ov.breaker.record_failure(finish);
+            tracer.record(
+                finish,
+                EventKind::JobClose {
+                    job: job.index as u64,
+                    algo: job.algo_id,
+                    outcome: JobOutcome::DeadlineMissed,
+                    hit,
+                },
+            );
             outcome.results.push(JobResult {
                 index: job.index,
                 output: Vec::new(),
@@ -1202,6 +1541,15 @@ impl FaultWorker {
         } else {
             ov.stats.completed += 1;
             ov.breaker.record_success();
+            tracer.record(
+                finish,
+                EventKind::JobClose {
+                    job: job.index as u64,
+                    algo: job.algo_id,
+                    outcome: JobOutcome::Completed,
+                    hit,
+                },
+            );
             verify_output(golden, job.algo_id, job.index, &job.input, &output)?;
             outcome.results.push(JobResult {
                 index: job.index,
@@ -1212,6 +1560,7 @@ impl FaultWorker {
                 sojourn: Some(finish - job.arrival),
             });
         }
+        self.sync_breaker(tracer, finish);
         Ok(())
     }
 
@@ -1229,9 +1578,25 @@ impl FaultWorker {
         golden: Option<&aaod_algos::AlgorithmBank>,
         collect: bool,
         outcome: &mut WorkerOutcome,
+        tracer: &mut Tracer,
     ) -> Result<(), CoreError> {
         let algo_id = job.algo_id;
         let mut job_time = SimTime::ZERO;
+        // The job's modelled start: the shard clock (overload) or its
+        // cumulative busy time (closed loop). Recovery spans are laid
+        // from a cursor advancing from here.
+        let t0 = self
+            .overload
+            .as_ref()
+            .map_or(outcome.busy, |ov| ov.clock.max(job.arrival));
+        tracer.record(
+            t0,
+            EventKind::JobOpen {
+                job: job.index as u64,
+                algo: algo_id,
+            },
+        );
+        let mut cursor = t0;
         if latency == Some(LatencySite::StuckCard) {
             // The card hangs mid-stream: it burns the full watchdog
             // timeout before the missed heartbeats fire a reset, then
@@ -1250,6 +1615,20 @@ impl FaultWorker {
                 job_time += timeout + t_reset;
                 timeout + t_reset
             };
+            tracer.record(
+                cursor,
+                EventKind::FaultInjected {
+                    kind: FaultKind::StuckCard,
+                },
+            );
+            tracer.record(
+                cursor,
+                EventKind::WatchdogReset {
+                    job: job.index as u64,
+                },
+            );
+            tracer.span(cursor, t_reset, job.index as u64, Stage::Reset, algo_id);
+            cursor += t_reset;
             self.recovery_latency.push(t_reset);
             // The wiped fabric dissolved any latent frame faults; the
             // scheduled ROM faults survive (ROM is off-fabric).
@@ -1262,6 +1641,12 @@ impl FaultWorker {
             for id in frame_faults {
                 self.outstanding.remove(&id);
                 self.stats.evict_cleared += 1;
+                tracer.record(
+                    cursor,
+                    EventKind::FaultRepair {
+                        kind: RepairKind::EvictClear,
+                    },
+                );
             }
         }
         let stall0 = cp.stats().config_stall_time;
@@ -1315,6 +1700,13 @@ impl FaultWorker {
                         self.stats.faults_failed += 1;
                         self.outstanding.remove(&algo_id);
                         self.poisoned.insert(algo_id);
+                        tracer.record(
+                            cursor,
+                            EventKind::FaultFailed {
+                                job: job.index as u64,
+                                algo: algo_id,
+                            },
+                        );
                         break Err(JobError::Faulted {
                             algo_id,
                             attempts,
@@ -1323,10 +1715,26 @@ impl FaultWorker {
                     }
                     attempts += 1;
                     self.stats.retries += 1;
+                    tracer.record(
+                        cursor,
+                        EventKind::Retry {
+                            job: job.index as u64,
+                            attempt: attempts,
+                        },
+                    );
                     let backoff = self.cfg.backoff * (1u64 << (attempts - 1).min(20));
-                    let repair = self.repair(cp, algo_id, site)?;
+                    tracer.span(cursor, backoff, job.index as u64, Stage::Backoff, algo_id);
+                    let repair = self.repair(cp, algo_id, site, cursor + backoff, tracer)?;
+                    tracer.span(
+                        cursor + backoff,
+                        repair,
+                        job.index as u64,
+                        Stage::Repair,
+                        algo_id,
+                    );
                     job_time += backoff + repair;
                     recovery_elapsed += backoff + repair;
+                    cursor += backoff + repair;
                 }
                 Err(other) => return Err(other),
             }
@@ -1344,6 +1752,18 @@ impl FaultWorker {
                 // its report; a degraded job still burned it
                 job_time += wasted;
             }
+            tracer.record(
+                t0 + job_time,
+                EventKind::FaultInjected {
+                    kind: FaultKind::PciTransient,
+                },
+            );
+            tracer.record(
+                t0 + job_time,
+                EventKind::FaultRepair {
+                    kind: RepairKind::PciRetry,
+                },
+            );
         }
         match latency {
             Some(LatencySite::StallConfig) => {
@@ -1353,9 +1773,21 @@ impl FaultWorker {
                     // a reconfiguration to hang
                     cp.os_mut().disarm_config_stall();
                     ov.stats.latency_inert += 1;
+                    tracer.record(
+                        t0 + job_time,
+                        EventKind::FaultInert {
+                            kind: FaultKind::Stall,
+                        },
+                    );
                 } else {
                     ov.stats.stalls_injected += 1;
                     ov.stats.wasted_time += cp.stats().config_stall_time.saturating_sub(stall0);
+                    tracer.record(
+                        t0 + job_time,
+                        EventKind::FaultInjected {
+                            kind: FaultKind::Stall,
+                        },
+                    );
                 }
             }
             Some(LatencySite::SlowPci) => {
@@ -1371,10 +1803,22 @@ impl FaultWorker {
                         ov.stats.wasted_time += cp.bus().config().clock.period()
                             * (pci1.wasted_cycles - pci0.wasted_cycles);
                     }
+                    tracer.record(
+                        t0 + job_time,
+                        EventKind::FaultInjected {
+                            kind: FaultKind::SlowPci,
+                        },
+                    );
                 } else {
                     // no fallible transfer ran (e.g. an empty input on
                     // a zero-transfer path): nothing to slow down
                     ov.stats.latency_inert += 1;
+                    tracer.record(
+                        t0 + job_time,
+                        EventKind::FaultInert {
+                            kind: FaultKind::SlowPci,
+                        },
+                    );
                 }
             }
             Some(LatencySite::StuckCard) | None => {}
@@ -1398,17 +1842,40 @@ impl FaultWorker {
             if landed {
                 self.stats.record_activated(site);
                 self.outstanding.insert(algo_id, site);
+                tracer.record(
+                    t0 + job_time,
+                    EventKind::FaultInjected {
+                        kind: fault_kind(site),
+                    },
+                );
             } else {
                 self.stats.inert += 1;
+                tracer.record(
+                    t0 + job_time,
+                    EventKind::FaultInert {
+                        kind: fault_kind(site),
+                    },
+                );
             }
         }
         outcome.busy += job_time;
         match verdict {
             Ok((output, hit)) => {
                 if self.overload.is_some() {
-                    self.finish_served(job, output, hit, job_time, golden, collect, outcome)?;
+                    self.finish_served(
+                        job, output, hit, job_time, golden, collect, outcome, tracer,
+                    )?;
                 } else {
                     verify_output(golden, algo_id, job.index, &job.input, &output)?;
+                    tracer.record(
+                        t0 + job_time,
+                        EventKind::JobClose {
+                            job: job.index as u64,
+                            algo: algo_id,
+                            outcome: JobOutcome::Completed,
+                            hit,
+                        },
+                    );
                     outcome.results.push(JobResult {
                         index: job.index,
                         output: if collect { output } else { Vec::new() },
@@ -1428,6 +1895,16 @@ impl FaultWorker {
                     ov.stats.faulted += 1;
                     ov.breaker.record_failure(finish);
                 }
+                tracer.record(
+                    t0 + job_time,
+                    EventKind::JobClose {
+                        job: job.index as u64,
+                        algo: algo_id,
+                        outcome: JobOutcome::Faulted,
+                        hit: false,
+                    },
+                );
+                self.sync_breaker(tracer, t0 + job_time);
                 outcome.results.push(JobResult {
                     index: job.index,
                     output: Vec::new(),
@@ -1443,12 +1920,14 @@ impl FaultWorker {
 
     /// Repairs `site` on `algo_id`, resolving every outstanding fault
     /// the repair happens to fix, and returns the modelled repair
-    /// time.
+    /// time. Repair events are stamped at `at` (the repair's start).
     fn repair(
         &mut self,
         cp: &mut CoProcessor,
         algo_id: u16,
         site: FaultSite,
+        at: SimTime,
+        tracer: &mut Tracer,
     ) -> Result<SimTime, CoreError> {
         match site {
             FaultSite::FrameBitFlip | FaultSite::TornConfig => {
@@ -1463,12 +1942,24 @@ impl FaultWorker {
                     ) {
                         self.outstanding.remove(id);
                         self.stats.scrubbed += 1;
+                        tracer.record(
+                            at,
+                            EventKind::FaultRepair {
+                                kind: RepairKind::Scrub,
+                            },
+                        );
                     }
                 }
                 // if the target dodged the scrub, an eviction already
                 // erased the corrupt frames
                 if self.outstanding.remove(&algo_id).is_some() {
                     self.stats.evict_cleared += 1;
+                    tracer.record(
+                        at,
+                        EventKind::FaultRepair {
+                            kind: RepairKind::EvictClear,
+                        },
+                    );
                 }
                 Ok(report.time)
             }
@@ -1476,6 +1967,12 @@ impl FaultWorker {
                 let t = cp.os_mut().redownload(algo_id)?;
                 self.outstanding.remove(&algo_id);
                 self.stats.redownloads += 1;
+                tracer.record(
+                    at,
+                    EventKind::FaultRepair {
+                        kind: RepairKind::Redownload,
+                    },
+                );
                 Ok(t)
             }
             // PCI aborts recover at the driver, never via repair.
@@ -1489,7 +1986,14 @@ impl FaultWorker {
         &mut self,
         cp: &mut CoProcessor,
         outcome: &mut WorkerOutcome,
+        tracer: &mut Tracer,
     ) -> Result<(), CoreError> {
+        // In overload mode the shard stream is stamped on the shard
+        // clock (>= busy); the sweep stamps at whichever is later so
+        // the stream stays time-ordered.
+        let sweep_ts = |busy: SimTime, ov: &Option<OverloadState>| {
+            ov.as_ref().map_or(busy, |o| o.clock.max(busy))
+        };
         let frame_faults: Vec<u16> = self
             .outstanding
             .iter()
@@ -1501,13 +2005,19 @@ impl FaultWorker {
             outcome.busy += report.time;
             for id in frame_faults {
                 self.outstanding.remove(&id);
-                if report.repaired.contains(&id) {
+                let kind = if report.repaired.contains(&id) {
                     self.stats.scrubbed += 1;
+                    RepairKind::Scrub
                 } else {
                     // a policy eviction erased the corrupt frames
                     // before the sweep got here
                     self.stats.evict_cleared += 1;
-                }
+                    RepairKind::EvictClear
+                };
+                tracer.record(
+                    sweep_ts(outcome.busy, &self.overload),
+                    EventKind::FaultRepair { kind },
+                );
             }
         }
         let rom_faults: Vec<u16> = self
@@ -1524,6 +2034,12 @@ impl FaultWorker {
                 let t = cp.os_mut().redownload(id)?;
                 outcome.busy += t;
                 self.stats.redownloads += 1;
+                tracer.record(
+                    sweep_ts(outcome.busy, &self.overload),
+                    EventKind::FaultRepair {
+                        kind: RepairKind::Redownload,
+                    },
+                );
             }
         }
         Ok(())
@@ -1733,5 +2249,291 @@ mod tests {
         let r = engine.serve(&w).unwrap();
         assert_eq!(r.stats.decoded_misses, 0, "cache disabled in factory");
         assert_eq!(r.requests, 20);
+    }
+
+    /// Tracing observes modelled time; it never advances it. A fully
+    /// traced run must therefore reproduce the untraced run exactly.
+    #[test]
+    fn full_trace_does_not_perturb_the_simulation() {
+        let w = Workload::zipf(&FIT_SET, 60, 1.1, 48, 11);
+        let base = Engine::new(EngineConfig {
+            workers: 2,
+            ..EngineConfig::default()
+        })
+        .serve(&w)
+        .unwrap();
+        assert!(base.trace.is_none(), "tracing is off by default");
+        let traced = Engine::new(EngineConfig {
+            workers: 2,
+            trace: TraceConfig::full(),
+            ..EngineConfig::default()
+        })
+        .serve(&w)
+        .unwrap();
+        assert_eq!(traced.outputs, base.outputs);
+        assert_eq!(traced.makespan, base.makespan);
+        assert_eq!(traced.total_service_time, base.total_service_time);
+        assert_eq!(traced.batches, base.batches);
+        assert_eq!(traced.stats, base.stats);
+        assert!(traced.trace.is_some());
+    }
+
+    /// On a clean in-fit run the trace-derived counters must agree
+    /// exactly with the controller ledger, job conservation must hold
+    /// through the queue, and the per-stage histograms must sum to the
+    /// total modelled service time.
+    #[test]
+    fn clean_trace_counters_reconcile_with_os_stats() {
+        let n = 80u64;
+        let w = Workload::zipf(&FIT_SET, n as usize, 1.1, 48, 3);
+        let r = Engine::new(EngineConfig {
+            workers: 2,
+            verify: true,
+            trace: TraceConfig::full(),
+            ..EngineConfig::default()
+        })
+        .serve(&w)
+        .unwrap();
+        let t = r.trace.as_ref().unwrap();
+        let c = &t.metrics.counters;
+        assert_eq!(t.dropped, 0, "default capacity must hold a small run");
+        // Job conservation through the queue: one Enqueue and one
+        // Dequeue per request, one open/close pair per served job.
+        assert_eq!(c.enqueued, n);
+        assert_eq!(c.dequeued, n);
+        assert_eq!(c.jobs_opened, n);
+        assert_eq!(c.jobs_completed, n);
+        assert_eq!(c.jobs_faulted + c.jobs_deadline_missed + c.shed, 0);
+        let hits = r.per_request_hit.iter().filter(|&&h| h).count() as u64;
+        assert_eq!(c.jobs_hit, hits);
+        // Component details vs the merged OsStats: residency checks
+        // happen once per batch (non-first batch members are hits by
+        // construction), the decoded-bitstream cache and eviction
+        // ledgers match one-to-one.
+        assert_eq!(c.residency_misses, r.stats.misses);
+        assert_eq!(c.residency_hits + r.coalesced, r.stats.hits);
+        assert_eq!(c.residency_hits + c.residency_misses, r.batches);
+        assert_eq!(c.decoded_hits, r.stats.decoded_hits);
+        assert_eq!(c.decoded_misses, r.stats.decoded_misses);
+        assert_eq!(c.evictions, r.stats.evictions);
+        assert_eq!(c.evictions, 0, "FIT_SET must not evict");
+        // The eight clean stages partition each job's service time.
+        let staged: SimTime = t
+            .metrics
+            .stage_time
+            .values()
+            .map(|h| h.total())
+            .fold(SimTime::ZERO, |a, b| a + b);
+        assert_eq!(staged, r.total_service_time);
+        // Fault machinery must stay silent on a clean run.
+        assert_eq!(c.faults_injected + c.faults_inert + c.retries, 0);
+        assert_eq!(c.repairs() + c.faults_failed + c.watchdog_resets, 0);
+        assert_eq!(c.breaker_transitions, 0);
+    }
+
+    /// Same (workload, config) must serialize to byte-identical JSONL
+    /// across runs; [`TraceLevel::Counters`] keeps the metrics but
+    /// records no events.
+    #[test]
+    fn trace_export_is_deterministic_and_counters_mode_is_eventless() {
+        let w = Workload::zipf(&FIT_SET, 40, 1.1, 32, 21);
+        let run = |cfg: TraceConfig| {
+            Engine::new(EngineConfig {
+                workers: 2,
+                trace: cfg,
+                ..EngineConfig::default()
+            })
+            .serve(&w)
+            .unwrap()
+        };
+        let a = run(TraceConfig::full());
+        let b = run(TraceConfig::full());
+        let ja = a.trace.as_ref().unwrap().to_jsonl();
+        let jb = b.trace.as_ref().unwrap().to_jsonl();
+        assert!(!ja.is_empty());
+        assert_eq!(ja, jb, "same inputs must produce identical traces");
+        let counters_only = run(TraceConfig::counters());
+        let t = counters_only.trace.as_ref().unwrap();
+        assert!(t.events.is_empty(), "counters mode records no events");
+        assert_eq!(
+            t.metrics.counters,
+            a.trace.as_ref().unwrap().metrics.counters,
+            "counter ledger must be level-independent"
+        );
+        // Chrome export is deterministic too and wraps every event.
+        assert_eq!(
+            a.trace.as_ref().unwrap().to_chrome_trace(),
+            b.trace.as_ref().unwrap().to_chrome_trace()
+        );
+    }
+
+    /// Under corruption chaos every `FaultStats` bump has exactly one
+    /// trace event: injected, inert, each repair kind, retries and
+    /// rescue requeues all reconcile.
+    #[test]
+    fn chaos_trace_counters_reconcile_with_fault_stats() {
+        use aaod_sim::{FaultPlan, FaultRates};
+        let w = Workload::zipf(&FIT_SET, 120, 1.1, 48, 13);
+        let plan = FaultPlan::new(0xC0FFEE, FaultRates::uniform(0.04));
+        let r = Engine::new(EngineConfig {
+            workers: 2,
+            verify: true,
+            faults: Some(FaultConfig::new(plan)),
+            trace: TraceConfig::full(),
+            ..EngineConfig::default()
+        })
+        .serve(&w)
+        .unwrap();
+        assert!(r.faults.injected > 0);
+        let c = &r.trace.as_ref().unwrap().metrics.counters;
+        assert_eq!(c.faults_injected, r.faults.injected);
+        assert_eq!(c.faults_inert, r.faults.inert);
+        assert_eq!(c.retries, r.faults.retries);
+        assert_eq!(c.requeued, r.faults.requeues);
+        assert_eq!(c.faults_failed, r.faults.faults_failed);
+        assert_eq!(c.repairs_scrub, r.faults.scrubbed);
+        assert_eq!(c.repairs_redownload, r.faults.redownloads);
+        assert_eq!(c.repairs_pci_retry, r.faults.pci_retried);
+        assert_eq!(c.repairs_evict_clear, r.faults.evict_cleared);
+        assert_eq!(c.repairs(), r.faults.recovered());
+        assert_eq!(c.jobs_completed + c.jobs_faulted, r.requests as u64);
+        assert_eq!(c.jobs_faulted, r.failed.len() as u64);
+    }
+
+    /// Under overload the shed/watchdog/redistribution/breaker events
+    /// must mirror `OverloadStats` exactly.
+    #[test]
+    fn overload_trace_counters_reconcile_with_overload_stats() {
+        use crate::breaker::BreakerConfig;
+        use crate::overload::WatchdogConfig;
+        use aaod_sim::{FaultPlan, FaultRates, LatencyRates};
+        let w = Workload::zipf(&FIT_SET, 200, 1.1, 48, 31);
+        let plan = FaultPlan::new(0x0D10AD, FaultRates::uniform(0.03))
+            .with_latency(LatencyRates::uniform(0.04));
+        let oc = OverloadConfig {
+            interarrival: SimTime::from_us(50),
+            deadline: DeadlinePolicy::Percentile {
+                pct: 95.0,
+                multiplier: 200.0,
+            },
+            watchdog: WatchdogConfig::default(),
+            breaker: BreakerConfig::default(),
+        };
+        let r = Engine::new(EngineConfig {
+            workers: 3,
+            verify: true,
+            overload: Some(oc),
+            faults: Some(FaultConfig::new(plan)),
+            trace: TraceConfig::full(),
+            ..EngineConfig::default()
+        })
+        .serve(&w)
+        .unwrap();
+        assert!(r.overload.accounted());
+        let c = &r.trace.as_ref().unwrap().metrics.counters;
+        assert_eq!(c.enqueued, 200);
+        assert_eq!(c.dequeued, 200);
+        assert_eq!(c.shed, r.overload.shed);
+        assert_eq!(c.watchdog_resets, r.overload.watchdog_resets);
+        assert_eq!(c.redistributed, r.overload.redistributed);
+        assert_eq!(c.breaker_trips, r.overload.breaker_trips);
+        assert_eq!(c.bounced, r.overload.breaker_rejections);
+        assert_eq!(c.jobs_deadline_missed, r.overload.deadline_missed);
+        assert_eq!(c.requeued, r.faults.requeues);
+        // Latency-fault activations surface as FaultInjected events
+        // alongside the corruption ones.
+        assert_eq!(
+            c.faults_injected,
+            r.faults.injected
+                + r.overload.stalls_injected
+                + r.overload.slow_transfers_injected
+                + r.overload.stuck_injected
+        );
+        assert_eq!(c.faults_inert, r.faults.inert + r.overload.latency_inert);
+    }
+
+    /// Per-shard event streams must carry monotone non-decreasing
+    /// modelled timestamps, balanced open/close pairs, and stage spans
+    /// nested inside their job's open/close window — in clean, chaos
+    /// and overload modes alike.
+    #[test]
+    fn trace_streams_are_well_formed_in_every_mode() {
+        use crate::breaker::BreakerConfig;
+        use crate::overload::WatchdogConfig;
+        use aaod_sim::trace::EventKind;
+        use aaod_sim::{FaultPlan, FaultRates, LatencyRates};
+        let w = Workload::zipf(&FIT_SET, 150, 1.1, 48, 7);
+        let clean = EngineConfig {
+            workers: 2,
+            trace: TraceConfig::full(),
+            ..EngineConfig::default()
+        };
+        let chaos = EngineConfig {
+            faults: Some(FaultConfig::new(FaultPlan::new(
+                7,
+                FaultRates::uniform(0.05),
+            ))),
+            ..clean
+        };
+        let overload = EngineConfig {
+            workers: 3,
+            overload: Some(OverloadConfig {
+                interarrival: SimTime::from_us(50),
+                deadline: DeadlinePolicy::Percentile {
+                    pct: 95.0,
+                    multiplier: 200.0,
+                },
+                watchdog: WatchdogConfig::default(),
+                breaker: BreakerConfig::default(),
+            }),
+            faults: Some(FaultConfig::new(
+                FaultPlan::new(9, FaultRates::uniform(0.03))
+                    .with_latency(LatencyRates::uniform(0.05)),
+            )),
+            ..clean
+        };
+        for (label, cfg) in [("clean", clean), ("chaos", chaos), ("overload", overload)] {
+            let r = Engine::new(cfg).serve(&w).unwrap();
+            let t = r.trace.as_ref().unwrap();
+            let mut last: BTreeMap<u32, SimTime> = BTreeMap::new();
+            let mut open_jobs: BTreeMap<(u32, u64), SimTime> = BTreeMap::new();
+            let mut open_stages = 0i64;
+            for e in &t.events {
+                let prev = last.entry(e.shard).or_insert(SimTime::ZERO);
+                assert!(
+                    e.ts >= *prev,
+                    "{label}: shard {} time went backwards at seq {}",
+                    e.shard,
+                    e.seq
+                );
+                *prev = e.ts;
+                match e.kind {
+                    EventKind::JobOpen { job, .. } => {
+                        assert!(
+                            open_jobs.insert((e.shard, job), e.ts).is_none(),
+                            "{label}: job {job} opened twice on shard {}",
+                            e.shard
+                        );
+                    }
+                    EventKind::JobClose { job, .. } => {
+                        let opened = open_jobs
+                            .remove(&(e.shard, job))
+                            .unwrap_or_else(|| panic!("{label}: job {job} closed unopened"));
+                        assert!(opened <= e.ts, "{label}: job {job} closed before open");
+                    }
+                    EventKind::StageOpen { job, .. } => {
+                        assert!(
+                            open_jobs.contains_key(&(e.shard, job)),
+                            "{label}: stage outside job {job} window"
+                        );
+                        open_stages += 1;
+                    }
+                    EventKind::StageClose { .. } => open_stages -= 1,
+                    _ => {}
+                }
+            }
+            assert!(open_jobs.is_empty(), "{label}: unclosed jobs {open_jobs:?}");
+            assert_eq!(open_stages, 0, "{label}: unbalanced stage spans");
+        }
     }
 }

@@ -52,7 +52,8 @@ pub use engine::{Engine, EngineConfig, EngineResult, ShardPolicy};
 pub use error::CoreError;
 pub use fault::{FaultConfig, FaultStats, JobError};
 pub use overload::{DeadlinePolicy, OverloadConfig, OverloadStats, WatchdogConfig};
-pub use runner::{run_workload, Executor, RunResult};
+pub use runner::{run_workload, run_workload_traced, Executor, RunResult};
 
 // Re-export the pieces users compose with.
 pub use aaod_mcu::ReconfigMode;
+pub use aaod_sim::trace::{MetricsRegistry, TraceConfig, TraceLevel, TraceReport};

@@ -185,6 +185,7 @@ pub struct MiniOs {
     fabric_clock: Clock,
     now: SimTime,
     stats: OsStats,
+    details: aaod_sim::trace::DetailLog,
     armed_config_stall: u64,
     prefetch_enabled: bool,
     predictor: crate::prefetch::MarkovPredictor,
@@ -229,6 +230,7 @@ impl MiniOs {
             fabric_clock,
             now: SimTime::ZERO,
             stats: OsStats::default(),
+            details: aaod_sim::trace::DetailLog::new(),
             armed_config_stall: 0,
             prefetch_enabled: config.prefetch,
             predictor: crate::prefetch::MarkovPredictor::new(),
@@ -422,6 +424,8 @@ impl MiniOs {
     fn ensure_resident(&mut self, record: &FunctionRecord) -> Result<ResidencyOutcome, McuError> {
         let algo_id = record.algo_id;
         let hit = self.table.contains(algo_id);
+        self.details
+            .push(aaod_sim::DetailEvent::Residency { algo: algo_id, hit });
         let mut outcome = ResidencyOutcome {
             hit,
             decoded_cache_hit: false,
@@ -457,6 +461,10 @@ impl MiniOs {
                         .expect("policy returned a resident algorithm");
                     self.free.release(&residency.frames);
                     self.prefetched.remove(&victim);
+                    self.details.push(aaod_sim::DetailEvent::Eviction {
+                        algo: victim,
+                        frames: residency.frames.len() as u32,
+                    });
                     outcome.evicted.push(victim);
                     self.stats.evictions += 1;
                 }
@@ -483,7 +491,11 @@ impl MiniOs {
             ReconfigMode::Full => {
                 // Everything resident is lost on a full reconfig.
                 for id in self.table.resident_ids() {
-                    self.table.remove(id);
+                    let frames = self.table.remove(id).map_or(0, |r| r.frames.len());
+                    self.details.push(aaod_sim::DetailEvent::Eviction {
+                        algo: id,
+                        frames: frames as u32,
+                    });
                     outcome.evicted.push(id);
                     self.stats.evictions += 1;
                 }
@@ -522,6 +534,8 @@ impl MiniOs {
             let stall = std::mem::take(&mut self.armed_config_stall);
             let t = self.mcu_clock.cycles(stall);
             outcome.reconfig_time += t;
+            self.details
+                .push(aaod_sim::DetailEvent::ConfigStall { time: t });
             self.stats.config_stalls += 1;
             self.stats.config_stall_time += t;
         }
@@ -549,16 +563,41 @@ impl MiniOs {
                 )?;
                 self.stats.decoded_hits += 1;
                 self.stats.decoded_bytes_saved += u64::from(record.uncompressed_len);
+                self.details.push(aaod_sim::DetailEvent::DecodedCache {
+                    algo: record.algo_id,
+                    hit: true,
+                });
+                self.details.push(aaod_sim::DetailEvent::PortWrite {
+                    algo: record.algo_id,
+                    frames: report.frames_written as u32,
+                });
                 return Ok((report, SimTime::ZERO, true));
             }
         }
         let encoded = self.rom.bitstream_bytes(record).to_vec();
         let rom_time = self.mem_timing.rom_read_time(encoded.len() as u64);
+        self.details.push(aaod_sim::DetailEvent::RomFetch {
+            algo: record.algo_id,
+            bytes: encoded.len() as u64,
+        });
         let (report, produced) =
             self.config_module
                 .configure_collect(&encoded, &mut self.device, &self.port, frames)?;
+        self.details.push(aaod_sim::DetailEvent::Decompress {
+            algo: record.algo_id,
+            windows: report.windows,
+            bytes: report.bytes as u64,
+        });
+        self.details.push(aaod_sim::DetailEvent::PortWrite {
+            algo: record.algo_id,
+            frames: report.frames_written as u32,
+        });
         if self.decoded.is_enabled() {
             self.stats.decoded_misses += 1;
+            self.details.push(aaod_sim::DetailEvent::DecodedCache {
+                algo: record.algo_id,
+                hit: false,
+            });
             self.decoded.insert(key, produced);
         }
         Ok((report, rom_time, false))
@@ -971,6 +1010,25 @@ impl MiniOs {
     /// Cumulative statistics.
     pub fn stats(&self) -> OsStats {
         self.stats
+    }
+
+    /// Enables or disables the observability detail log. When
+    /// enabled, residency checks, cache outcomes, evictions, ROM
+    /// fetches, decompressions, port writes and config stalls are
+    /// buffered as [`aaod_sim::DetailEvent`]s for the trace assembler
+    /// to drain. Recording never advances modelled time.
+    pub fn set_trace(&mut self, on: bool) {
+        self.details.set_enabled(on);
+    }
+
+    /// Whether the detail log is recording.
+    pub fn trace_enabled(&self) -> bool {
+        self.details.enabled()
+    }
+
+    /// Drains the buffered detail events.
+    pub fn take_details(&mut self) -> Vec<aaod_sim::DetailEvent> {
+        self.details.take()
     }
 
     /// The controller's monotonic simulated clock.
@@ -1562,5 +1620,68 @@ mod tests {
             os.install(ids::CRC32),
             Err(McuError::Mem(MemError::DuplicateFunction(_)))
         ));
+    }
+
+    #[test]
+    fn detail_log_is_off_by_default_and_free() {
+        let mut os = os_with(&[ids::CRC32]);
+        os.invoke(ids::CRC32, b"123456789").unwrap();
+        assert!(!os.trace_enabled());
+        assert!(os.take_details().is_empty());
+    }
+
+    #[test]
+    fn detail_log_records_miss_then_hit_without_time_skew() {
+        let mut untraced = os_with(&[ids::CRC32]);
+        let mut os = os_with(&[ids::CRC32]);
+        os.set_trace(true);
+        os.invoke(ids::CRC32, b"123456789").unwrap();
+        let details = os.take_details();
+        use aaod_sim::DetailEvent as D;
+        // Miss path: residency miss, ROM fetch, decompress, port
+        // write, decoded-cache miss note.
+        assert!(matches!(
+            details[0],
+            D::Residency { algo, hit: false } if algo == ids::CRC32
+        ));
+        assert!(details
+            .iter()
+            .any(|d| matches!(d, D::RomFetch { bytes, .. } if *bytes > 0)));
+        assert!(details
+            .iter()
+            .any(|d| matches!(d, D::Decompress { windows, .. } if *windows > 0)));
+        assert!(details
+            .iter()
+            .any(|d| matches!(d, D::PortWrite { frames, .. } if *frames > 0)));
+        assert!(details
+            .iter()
+            .any(|d| matches!(d, D::DecodedCache { hit: false, .. })));
+        // Hit path: just the residency hit.
+        os.invoke(ids::CRC32, b"123456789").unwrap();
+        let details = os.take_details();
+        assert_eq!(details.len(), 1);
+        assert!(matches!(details[0], D::Residency { hit: true, .. }));
+        // Tracing observed, never perturbed, the modelled clock.
+        untraced.invoke(ids::CRC32, b"123456789").unwrap();
+        untraced.invoke(ids::CRC32, b"123456789").unwrap();
+        assert_eq!(os.now(), untraced.now());
+    }
+
+    #[test]
+    fn detail_log_records_evictions() {
+        // 40 frames: AES (24) + SHA1 (12) fit; SHA256 (16) evicts AES.
+        let mut os = small_os(40, Box::new(LruPolicy));
+        for id in [ids::AES128, ids::SHA1, ids::SHA256] {
+            os.install(id).unwrap();
+        }
+        os.invoke(ids::AES128, &[0; 16]).unwrap();
+        os.invoke(ids::SHA1, b"x").unwrap();
+        os.set_trace(true);
+        os.invoke(ids::SHA256, b"y").unwrap();
+        let details = os.take_details();
+        assert!(details.iter().any(|d| matches!(
+            d,
+            aaod_sim::DetailEvent::Eviction { algo, frames } if *algo == ids::AES128 && *frames > 0
+        )));
     }
 }

@@ -36,6 +36,8 @@ pub struct Rom {
     bytes_read: std::cell::Cell<u64>,
     /// Record-table probes performed by lookups (E6 metric).
     record_probes: std::cell::Cell<u64>,
+    /// Payload fetches served (observability-layer gauge).
+    fetches: std::cell::Cell<u64>,
 }
 
 impl Rom {
@@ -55,6 +57,7 @@ impl Rom {
             n_records: 0,
             bytes_read: std::cell::Cell::new(0),
             record_probes: std::cell::Cell::new(0),
+            fetches: std::cell::Cell::new(0),
         }
     }
 
@@ -166,6 +169,7 @@ impl Rom {
         assert!(end <= self.bitstream_end, "record outside bitstream region");
         self.bytes_read
             .set(self.bytes_read.get() + record.compressed_len as u64);
+        self.fetches.set(self.fetches.get() + 1);
         &self.data[start..end]
     }
 
@@ -240,6 +244,14 @@ impl Rom {
     /// Record-table probes performed so far (E6 metric).
     pub fn record_probes(&self) -> u64 {
         self.record_probes.get()
+    }
+
+    /// Payload fetches served so far. Together with
+    /// [`Rom::bytes_read`] this is the ROM's contribution to the
+    /// observability layer's `rom_fetch` accounting: the mini OS
+    /// cross-checks its traced fetch events against this gauge.
+    pub fn fetch_count(&self) -> u64 {
+        self.fetches.get()
     }
 }
 
@@ -410,5 +422,17 @@ mod tests {
             rom.remove_record(42),
             Err(MemError::RecordNotFound(42))
         ));
+    }
+
+    #[test]
+    fn fetch_count_tracks_payload_reads() {
+        let mut rom = Rom::new(1024);
+        rom.download(fields(1), &[1u8; 30]).unwrap();
+        assert_eq!(rom.fetch_count(), 0);
+        let r = rom.lookup(1).unwrap();
+        rom.bitstream_bytes(&r);
+        rom.bitstream_bytes(&r);
+        assert_eq!(rom.fetch_count(), 2);
+        assert_eq!(rom.bytes_read(), 60);
     }
 }

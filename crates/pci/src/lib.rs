@@ -109,6 +109,30 @@ pub struct PciStats {
     pub wasted_cycles: u64,
 }
 
+impl PciStats {
+    /// Field-wise counter deltas since an `earlier` snapshot.
+    ///
+    /// The observability layer brackets a transfer with two snapshots
+    /// and turns the delta into one PCI-burst trace event, so the bus
+    /// model itself needs no tracing state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any counter in `earlier` exceeds the corresponding
+    /// counter in `self` (i.e. `earlier` is not actually earlier).
+    pub fn delta(&self, earlier: &PciStats) -> PciStats {
+        PciStats {
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            transactions: self.transactions - earlier.transactions,
+            busy_cycles: self.busy_cycles - earlier.busy_cycles,
+            faulted_transfers: self.faulted_transfers - earlier.faulted_transfers,
+            slowed_transfers: self.slowed_transfers - earlier.slowed_transfers,
+            wasted_cycles: self.wasted_cycles - earlier.wasted_cycles,
+        }
+    }
+}
+
 /// A PCI transfer failure.
 ///
 /// The model only produces transient aborts (master/target abort or a
@@ -393,6 +417,23 @@ mod tests {
         assert_eq!(s.bytes_written, 100);
         assert_eq!(s.bytes_read, 200);
         assert!(s.busy_cycles > 0);
+    }
+
+    #[test]
+    fn stats_delta_isolates_one_transfer() {
+        let mut bus = PciBus::new(PciConfig::default());
+        bus.write(100);
+        let before = bus.stats();
+        bus.read(64);
+        let d = bus.stats().delta(&before);
+        assert_eq!(d.bytes_written, 0);
+        assert_eq!(d.bytes_read, 64);
+        assert!(d.transactions > 0);
+        assert!(d.busy_cycles > 0);
+        assert_eq!(d.faulted_transfers, 0);
+        // A snapshot's delta against itself is all zeros.
+        let s = bus.stats();
+        assert_eq!(s.delta(&s), PciStats::default());
     }
 
     #[test]

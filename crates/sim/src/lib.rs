@@ -17,6 +17,8 @@
 //!   workload metrics.
 //! * [`report`] — fixed-width table rendering used by the benches and
 //!   examples to print paper-style result tables.
+//! * [`trace`] — the deterministic modelled-time event/span recorder
+//!   and metrics registry behind the observability layer.
 //!
 //! # Examples
 //!
@@ -37,8 +39,13 @@ pub mod report;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use clock::Clock;
 pub use fault::{FaultPlan, FaultRates, FaultSite, LatencyRates, LatencySite};
 pub use rng::SplitMix64;
 pub use time::SimTime;
+pub use trace::{
+    DetailEvent, DetailLog, EventKind, MetricsRegistry, TraceConfig, TraceEvent, TraceLevel,
+    TraceReport, Tracer,
+};

@@ -263,4 +263,53 @@ mod tests {
         assert_eq!(acc.quantile(0.0), 42.0);
         assert_eq!(acc.quantile(1.0), 42.0);
     }
+
+    #[test]
+    fn single_sample_summary_is_degenerate() {
+        let mut acc = Accumulator::new();
+        acc.push(7.5);
+        let s = acc.summary();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 7.5);
+        assert_eq!(s.min, 7.5);
+        assert_eq!(s.max, 7.5);
+        assert_eq!(s.p50, 7.5);
+        assert_eq!(s.p95, 7.5);
+        assert_eq!(s.p99, 7.5);
+    }
+
+    #[test]
+    fn all_equal_samples_collapse_every_quantile() {
+        let mut acc = Accumulator::new();
+        for _ in 0..50 {
+            acc.push(3.0);
+        }
+        let s = acc.summary();
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.min, 3.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.p50, 3.0);
+        assert_eq!(s.p95, 3.0);
+        assert_eq!(s.p99, 3.0);
+    }
+
+    #[test]
+    fn merging_an_empty_accumulator_is_identity() {
+        let mut a = Accumulator::new();
+        a.push(1.0);
+        a.push(9.0);
+        let before = a.summary();
+        a.merge(&Accumulator::new());
+        assert_eq!(a.summary(), before);
+        let mut empty = TimeAccumulator::new();
+        empty.merge(&TimeAccumulator::new());
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.total(), SimTime::ZERO);
+        assert_eq!(empty.summary_ns(), Summary::default());
+    }
+
+    #[test]
+    fn empty_summary_is_the_default() {
+        assert_eq!(Accumulator::new().summary(), Summary::default());
+    }
 }

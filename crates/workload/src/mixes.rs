@@ -70,4 +70,27 @@ mod tests {
         assert_eq!(default_input_len(ids::MATMUL8) % 128, 0);
         assert!(default_input_len(9999) > 0);
     }
+
+    #[test]
+    fn mixes_have_no_duplicates_and_do_not_overlap() {
+        for mix in [crypto_mix(), netlist_mix(), full_bank()] {
+            let unique: std::collections::BTreeSet<u16> = mix.iter().copied().collect();
+            assert_eq!(unique.len(), mix.len(), "duplicate id in mix");
+        }
+        for id in netlist_mix() {
+            assert!(
+                !crypto_mix().contains(&id),
+                "netlist and crypto mixes must be disjoint"
+            );
+        }
+    }
+
+    #[test]
+    fn every_bank_algorithm_has_a_positive_input_len() {
+        for id in full_bank() {
+            assert!(default_input_len(id) > 0, "algo {id} has no input length");
+        }
+        // block ciphers must get block-aligned payloads
+        assert_eq!(default_input_len(ids::TDES) % 8, 0);
+    }
 }

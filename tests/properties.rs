@@ -395,4 +395,133 @@ proptest! {
             }
         }
     }
+
+    /// For any seeded workload and fault mix, the engine's trace is
+    /// well-formed: per-shard timestamps are monotone non-decreasing,
+    /// every opened job closes exactly once, stage spans balance, and
+    /// the stream is reproducible byte-for-byte.
+    #[test]
+    fn trace_well_formed_on_random_workloads(
+        seed in any::<u64>(),
+        fault_rate in 0.0f64..0.05,
+        n in 8usize..64,
+        workers in 1usize..4,
+    ) {
+        use aaod_algos::ids;
+        use aaod_core::{Engine, EngineConfig, FaultConfig, TraceConfig};
+        use aaod_sim::trace::EventKind;
+        use aaod_sim::{FaultPlan, FaultRates, SimTime};
+        use std::collections::BTreeMap;
+        let algos = [ids::SHA1, ids::CRC32, ids::CRC8, ids::XTEA];
+        let w = aaod_workload::Workload::zipf(&algos, n, 1.1, 32, seed);
+        let cfg = EngineConfig {
+            workers,
+            verify: true,
+            faults: Some(FaultConfig::new(FaultPlan::new(
+                seed,
+                FaultRates::uniform(fault_rate),
+            ))),
+            trace: TraceConfig::full(),
+            ..EngineConfig::default()
+        };
+        let r = Engine::new(cfg).serve(&w).unwrap();
+        let t = r.trace.as_ref().unwrap();
+        let mut last: BTreeMap<u32, SimTime> = BTreeMap::new();
+        let mut open_jobs: BTreeMap<(u32, u64), SimTime> = BTreeMap::new();
+        let mut open_stages = 0i64;
+        let mut closed = 0u64;
+        for e in &t.events {
+            let prev = last.entry(e.shard).or_insert(SimTime::ZERO);
+            prop_assert!(e.ts >= *prev, "shard {} reversed at seq {}", e.shard, e.seq);
+            *prev = e.ts;
+            match e.kind {
+                EventKind::JobOpen { job, .. } => {
+                    prop_assert!(
+                        open_jobs.insert((e.shard, job), e.ts).is_none(),
+                        "job {} opened twice", job
+                    );
+                }
+                EventKind::JobClose { job, .. } => {
+                    let at = open_jobs.remove(&(e.shard, job));
+                    prop_assert!(at.is_some(), "job {} closed unopened", job);
+                    prop_assert!(at.unwrap() <= e.ts);
+                    closed += 1;
+                }
+                EventKind::StageOpen { .. } => open_stages += 1,
+                EventKind::StageClose { .. } => open_stages -= 1,
+                _ => {}
+            }
+        }
+        prop_assert!(open_jobs.is_empty(), "unclosed jobs: {:?}", open_jobs);
+        prop_assert_eq!(open_stages, 0, "unbalanced stage spans");
+        prop_assert_eq!(closed, n as u64, "every job must close");
+        let again = Engine::new(cfg).serve(&w).unwrap();
+        prop_assert_eq!(
+            again.trace.as_ref().unwrap().to_jsonl(),
+            t.to_jsonl(),
+            "trace not reproducible"
+        );
+    }
+
+    /// For any seeded chaos + overload mix, the trace-derived counters
+    /// are *identical* to the component ledgers — the observability
+    /// layer is a second, independent bookkeeper that must always
+    /// agree with the first.
+    #[test]
+    fn trace_counters_identical_to_ledgers(
+        seed in any::<u64>(),
+        fault_rate in 0.0f64..0.04,
+        latency_rate in 0.0f64..0.05,
+        interarrival_ns in 1u64..200_000,
+        workers in 1usize..4,
+    ) {
+        use aaod_algos::ids;
+        use aaod_core::{
+            DeadlinePolicy, Engine, EngineConfig, FaultConfig, OverloadConfig, TraceConfig,
+        };
+        use aaod_sim::{FaultPlan, FaultRates, LatencyRates, SimTime};
+        let algos = [ids::SHA1, ids::CRC32, ids::CRC8, ids::XTEA];
+        let w = aaod_workload::Workload::zipf(&algos, 48, 1.1, 32, seed);
+        let plan = FaultPlan::new(seed, FaultRates::uniform(fault_rate))
+            .with_latency(LatencyRates::uniform(latency_rate));
+        let r = Engine::new(EngineConfig {
+            workers,
+            verify: true,
+            overload: Some(OverloadConfig {
+                interarrival: SimTime::from_ns(interarrival_ns),
+                deadline: DeadlinePolicy::Absolute(SimTime::from_secs(1)),
+                ..OverloadConfig::default()
+            }),
+            faults: Some(FaultConfig::new(plan)),
+            trace: TraceConfig::counters(),
+            ..EngineConfig::default()
+        })
+        .serve(&w)
+        .unwrap();
+        prop_assert!(r.overload.accounted());
+        let c = &r.trace.as_ref().unwrap().metrics.counters;
+        prop_assert_eq!(c.enqueued, 48);
+        prop_assert_eq!(c.dequeued, 48);
+        prop_assert_eq!(c.shed, r.overload.shed);
+        prop_assert_eq!(c.bounced, r.overload.breaker_rejections);
+        prop_assert_eq!(c.redistributed, r.overload.redistributed);
+        prop_assert_eq!(c.watchdog_resets, r.overload.watchdog_resets);
+        prop_assert_eq!(c.breaker_trips, r.overload.breaker_trips);
+        prop_assert_eq!(c.jobs_deadline_missed, r.overload.deadline_missed);
+        prop_assert_eq!(
+            c.faults_injected,
+            r.faults.injected
+                + r.overload.stalls_injected
+                + r.overload.slow_transfers_injected
+                + r.overload.stuck_injected
+        );
+        prop_assert_eq!(c.faults_inert, r.faults.inert + r.overload.latency_inert);
+        prop_assert_eq!(c.retries, r.faults.retries);
+        prop_assert_eq!(c.requeued, r.faults.requeues);
+        prop_assert_eq!(c.faults_failed, r.faults.faults_failed);
+        prop_assert_eq!(c.repairs_scrub, r.faults.scrubbed);
+        prop_assert_eq!(c.repairs_redownload, r.faults.redownloads);
+        prop_assert_eq!(c.repairs_pci_retry, r.faults.pci_retried);
+        prop_assert_eq!(c.repairs_evict_clear, r.faults.evict_cleared);
+    }
 }

@@ -1,0 +1,238 @@
+//! Golden-trace tests: the observability layer's JSONL export is a
+//! *contract*. For a fixed (workload, seed, config) the engine must
+//! emit a byte-identical event stream on every run, on every machine —
+//! that is what makes traces diffable across commits and what lets CI
+//! catch an accidental behaviour change as a one-line diff.
+//!
+//! The goldens live in `tests/golden/*.jsonl`. When a change
+//! *intentionally* alters the trace (a new event, a timing-model fix),
+//! regenerate them with:
+//!
+//! ```text
+//! AAOD_BLESS=1 cargo test --test trace_golden
+//! ```
+//!
+//! and commit the rewritten files. The failure message prints the
+//! first differing line so an unintentional drift is obvious.
+
+use aaod_algos::ids;
+use aaod_core::{Engine, EngineConfig, ShardPolicy, TraceConfig};
+use aaod_workload::Workload;
+use std::path::PathBuf;
+
+/// `tests/golden/` at the repository root (the test is compiled from
+/// `crates/bench`, two levels down).
+fn golden_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden"))
+}
+
+/// The quickstart working set: fits the default 96-frame device, so
+/// the trace exercises hits, misses and batching but no evictions.
+const MIX: [u16; 4] = [ids::SHA1, ids::CRC32, ids::CRC8, ids::XTEA];
+
+/// Workload seed for the determinism tests: `AAOD_TRACE_SEED` if set
+/// (the CI trace matrix sweeps it), else fixed. The golden files use
+/// pinned seeds regardless — their bytes are part of the repo.
+fn sweep_seed() -> u64 {
+    std::env::var("AAOD_TRACE_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7)
+}
+
+/// One deterministic traced serve of the quickstart-style mix.
+fn traced_jsonl(seed: u64, workers: usize) -> String {
+    let w = Workload::zipf(&MIX, 24, 1.1, 32, seed);
+    let r = Engine::new(EngineConfig {
+        workers,
+        verify: true,
+        shard: ShardPolicy::AlgoModulo,
+        trace: TraceConfig::full(),
+        ..EngineConfig::default()
+    })
+    .serve(&w)
+    .expect("traced serve");
+    r.trace.expect("trace requested").to_jsonl()
+}
+
+/// Compares `got` against the golden file, or rewrites it under
+/// `AAOD_BLESS=1`. On mismatch, reports the first differing line.
+fn check_golden(name: &str, got: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("AAOD_BLESS").is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        std::fs::write(&path, got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); regenerate with \
+             `AAOD_BLESS=1 cargo test --test trace_golden`",
+            path.display()
+        )
+    });
+    if got == want {
+        return;
+    }
+    let (line_no, got_line, want_line) = got
+        .lines()
+        .zip(want.lines())
+        .enumerate()
+        .find(|(_, (g, w))| g != w)
+        .map(|(i, (g, w))| (i + 1, g.to_string(), w.to_string()))
+        .unwrap_or_else(|| {
+            (
+                got.lines().count().min(want.lines().count()) + 1,
+                format!("<{} lines>", got.lines().count()),
+                format!("<{} lines>", want.lines().count()),
+            )
+        });
+    panic!(
+        "trace drifted from golden {} at line {line_no}:\n  got:  {got_line}\n  want: {want_line}\n\
+         If the change is intentional, re-bless with \
+         `AAOD_BLESS=1 cargo test --test trace_golden` and commit the diff.",
+        path.display()
+    );
+}
+
+#[test]
+fn quickstart_mix_seed_1_matches_golden() {
+    check_golden("quickstart_seed1.jsonl", &traced_jsonl(1, 2));
+}
+
+#[test]
+fn quickstart_mix_seed_42_matches_golden() {
+    check_golden("quickstart_seed42.jsonl", &traced_jsonl(42, 2));
+}
+
+/// Same (workload, seed, config) must serialize identically run after
+/// run, at every pool width — the determinism half of the golden
+/// contract, independent of the checked-in files.
+#[test]
+fn repeated_runs_are_byte_identical_at_every_width() {
+    for workers in [1, 2, 4] {
+        let a = traced_jsonl(sweep_seed(), workers);
+        let b = traced_jsonl(sweep_seed(), workers);
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "{workers}-worker trace not reproducible");
+    }
+}
+
+/// Job-level counters are a pure function of the workload: they must
+/// not change with the shard count (per-shard detail counters like
+/// decoded-cache misses legitimately do, since each shard brings up
+/// its own card).
+#[test]
+fn job_counters_are_invariant_across_pool_widths() {
+    let w = Workload::zipf(&MIX, 48, 1.1, 32, sweep_seed());
+    let counters = |workers: usize| {
+        let r = Engine::new(EngineConfig {
+            workers,
+            trace: TraceConfig::counters(),
+            ..EngineConfig::default()
+        })
+        .serve(&w)
+        .unwrap();
+        r.trace.unwrap().metrics.counters
+    };
+    let one = counters(1);
+    for workers in [2, 4] {
+        let c = counters(workers);
+        assert_eq!(c.enqueued, one.enqueued);
+        assert_eq!(c.dequeued, one.dequeued);
+        assert_eq!(c.jobs_opened, one.jobs_opened);
+        assert_eq!(c.jobs_completed, one.jobs_completed);
+        assert_eq!(c.jobs_hit, one.jobs_hit, "residency is width-invariant");
+    }
+    assert_eq!(one.enqueued, 48);
+    assert_eq!(one.jobs_completed, 48);
+}
+
+/// Parses `"key":value` for a numeric field out of a canonical JSONL
+/// line (the format is fixed-order, zero-dependency by design).
+fn field(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// The exported JSONL must itself be well-formed: per-shard
+/// timestamps monotone, `seq` dense per shard, and open/close events
+/// balanced — checked on the serialized form, which is what a
+/// downstream consumer actually parses.
+#[test]
+fn exported_jsonl_is_well_formed() {
+    use std::collections::BTreeMap;
+    let jsonl = traced_jsonl(42, 2);
+    let mut last_ts: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut next_seq: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut open_jobs: BTreeMap<(u64, u64), ()> = BTreeMap::new();
+    let mut opens = 0u64;
+    let mut closes = 0u64;
+    for line in jsonl.lines() {
+        let shard = field(line, "shard").expect("shard field");
+        let seq = field(line, "seq").expect("seq field");
+        let ts = field(line, "ts_ps").expect("ts_ps field");
+        let expected = next_seq.entry(shard).or_insert(0);
+        assert_eq!(seq, *expected, "shard {shard} seq not dense: {line}");
+        *expected += 1;
+        let prev = last_ts.entry(shard).or_insert(0);
+        assert!(ts >= *prev, "shard {shard} time reversed: {line}");
+        *prev = ts;
+        match str_field(line, "event") {
+            Some("job_open") => {
+                let job = field(line, "job").unwrap();
+                assert!(open_jobs.insert((shard, job), ()).is_none());
+                opens += 1;
+            }
+            Some("job_close") => {
+                let job = field(line, "job").unwrap();
+                assert!(open_jobs.remove(&(shard, job)).is_some());
+                closes += 1;
+            }
+            Some(_) => {}
+            None => panic!("line without event: {line}"),
+        }
+    }
+    assert!(open_jobs.is_empty(), "unclosed jobs in export");
+    assert_eq!(opens, 24, "one open per request");
+    assert_eq!(opens, closes);
+}
+
+/// The Chrome `trace_event` export wraps the same stream and is a
+/// single JSON document with balanced B/E duration events.
+#[test]
+fn chrome_export_is_deterministic_and_balanced() {
+    let w = Workload::zipf(&MIX, 24, 1.1, 32, 1);
+    let run = || {
+        Engine::new(EngineConfig {
+            workers: 2,
+            trace: TraceConfig::full(),
+            ..EngineConfig::default()
+        })
+        .serve(&w)
+        .unwrap()
+        .trace
+        .unwrap()
+        .to_chrome_trace()
+    };
+    let a = run();
+    assert_eq!(a, run());
+    assert!(a.starts_with("{\"traceEvents\":["));
+    assert!(a.ends_with("]}") || a.ends_with("\"}"));
+    let begins = a.matches("\"ph\":\"B\"").count();
+    let ends = a.matches("\"ph\":\"E\"").count();
+    assert_eq!(begins, ends, "unbalanced duration events");
+    assert!(begins > 0, "stage spans must appear as durations");
+}
