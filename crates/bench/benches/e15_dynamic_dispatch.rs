@@ -1,0 +1,139 @@
+//! E15 (extension) — dynamic work-stealing dispatch vs static
+//! partitions on the adversarial straggler mix.
+//!
+//! The straggler mix hides a compute-dense hot algorithm (SHA-1 at 80
+//! fabric cycles per 64-byte block) behind a small *byte* share:
+//! byte-weighted `Balanced` and `algo_id % N` both concentrate the
+//! hot stream on one shard, so the pool's makespan is that shard's
+//! clock while the others idle. The cycle-aware planner behind
+//! `ShardPolicy::Dynamic` deals each job to the shard with the lowest
+//! modelled clock and rebalances at deterministic submission-index
+//! epochs, spreading the hot stream across the pool.
+//!
+//! The regression floor this bench commits to (and CI re-asserts):
+//! **≥ 1.2× makespan improvement over `Balanced` at 4 workers**.
+//! Baselines live in `BENCH_dispatch.json`.
+
+use aaod_bench::criterion_fast;
+use aaod_core::{Engine, EngineConfig, EngineResult, ShardPolicy};
+use aaod_sim::report::Table;
+use aaod_workload::{mixes, Workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const WORKERS: usize = 4;
+const N_REQS: usize = 1000;
+const SEED: u64 = 1;
+
+fn straggler() -> Workload {
+    mixes::straggler_workload(N_REQS, SEED)
+}
+
+fn engine(policy: ShardPolicy, workers: usize) -> Engine {
+    Engine::new(EngineConfig {
+        workers,
+        collect_outputs: false,
+        shard: policy,
+        ..EngineConfig::default()
+    })
+}
+
+fn serve(policy: ShardPolicy, workers: usize, w: &Workload) -> EngineResult {
+    engine(policy, workers).serve(w).expect("bench serve")
+}
+
+/// Shard-busy imbalance: busiest shard's share of total busy time,
+/// normalised so 1.0 is a perfect split and `workers` is worst-case.
+fn imbalance(r: &EngineResult) -> f64 {
+    let total: u64 = r.shard_busy.iter().map(|t| t.as_ps()).sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let max = r.shard_busy.iter().map(|t| t.as_ps()).max().unwrap_or(0);
+    max as f64 * r.workers as f64 / total as f64
+}
+
+fn print_dispatch_table() {
+    let w = straggler();
+    let mut t = Table::new(
+        "E15: dispatch policy sweep, straggler mix (SHA-1@256B hot 60%, CRC32/XTEA/CRC8@1500B cold, 1000 reqs, 4 shards)",
+        &[
+            "policy",
+            "makespan",
+            "imbalance",
+            "steals",
+            "affinity",
+            "batches",
+            "vs balanced",
+        ],
+    );
+    let balanced = serve(ShardPolicy::Balanced, WORKERS, &w);
+    let mut json_rows = Vec::new();
+    let mut dynamic_speedup = 0.0;
+    for policy in [
+        ShardPolicy::AlgoModulo,
+        ShardPolicy::RoundRobin,
+        ShardPolicy::Balanced,
+        ShardPolicy::Dynamic,
+    ] {
+        let r = serve(policy, WORKERS, &w);
+        let speedup = balanced.makespan.as_ps() as f64 / r.makespan.as_ps() as f64;
+        if policy == ShardPolicy::Dynamic {
+            dynamic_speedup = speedup;
+        }
+        t.row_owned(vec![
+            policy.name().to_string(),
+            format!("{:.1}us", r.makespan.as_ns() / 1000.0),
+            format!("{:.2}", imbalance(&r)),
+            r.dispatch.steals.to_string(),
+            r.dispatch.affinity_hits.to_string(),
+            r.batches.to_string(),
+            format!("{speedup:.2}x"),
+        ]);
+        json_rows.push(format!(
+            "{{\"policy\":\"{}\",\"workers\":{WORKERS},\"makespan_ns\":{:.0},\
+             \"imbalance\":{:.4},\"dealt\":{},\"steals\":{},\"steal_epochs\":{},\
+             \"affinity_hits\":{},\"batches\":{},\"speedup_over_balanced\":{speedup:.4}}}",
+            policy.name(),
+            r.makespan.as_ns(),
+            imbalance(&r),
+            r.dispatch.dealt,
+            r.dispatch.steals,
+            r.dispatch.steal_epochs,
+            r.dispatch.affinity_hits,
+            r.batches,
+        ));
+    }
+    println!("{t}");
+    // The E15 regression floor: the dynamic planner must beat the
+    // byte-weighted static partition by a clear margin on this mix.
+    assert!(
+        dynamic_speedup >= 1.2,
+        "regression: dynamic dispatch speedup over balanced fell to \
+         {dynamic_speedup:.3}x (floor 1.2x)"
+    );
+    println!(
+        "BENCH_JSON {{\"experiment\":\"e15_dynamic_dispatch\",\"rows\":[{}]}}",
+        json_rows.join(",")
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_dispatch_table();
+    let w = straggler();
+    let mut group = c.benchmark_group("e15_dynamic_dispatch");
+    for policy in [ShardPolicy::Balanced, ShardPolicy::Dynamic] {
+        let eng = engine(policy, WORKERS);
+        group.bench_function(format!("straggler_{}", policy.name()), |b| {
+            b.iter(|| black_box(eng.serve(&w).expect("serve")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_fast();
+    targets = bench
+}
+criterion_main!(benches);

@@ -53,6 +53,7 @@
 
 use crate::breaker::{BreakerState, CircuitBreaker};
 use crate::coproc::{CoProcessor, HostReport};
+use crate::dispatch::{self, DispatchPlan, DispatchStats};
 use crate::error::CoreError;
 use crate::fault::{FaultConfig, FaultStats, JobError};
 use crate::overload::{DeadlinePolicy, OverloadConfig, OverloadStats};
@@ -84,6 +85,18 @@ pub enum ShardPolicy {
     /// just enough shards to fit. Balances skewed (Zipf) workloads
     /// while keeping cold algorithms on a single shard.
     Balanced,
+    /// Deterministic work-stealing dispatch (see [`crate::dispatch`]):
+    /// each job is dealt to the shard with the lowest *modelled*
+    /// virtual clock at deal time, with an affinity bonus for shards
+    /// where the algorithm is already resident, and the poorest shard
+    /// steals the richest shard's queue tail at fixed
+    /// submission-index epochs. Every decision is a pure function of
+    /// the workload, so results stay byte-identical across runs and
+    /// thread interleavings. Unlike the static policies, the deal
+    /// weighs requests by estimated *fabric cycles*, not bytes — a
+    /// compute-dense algorithm that would saturate one static shard
+    /// gets spread.
+    Dynamic,
 }
 
 impl ShardPolicy {
@@ -93,14 +106,30 @@ impl ShardPolicy {
             ShardPolicy::AlgoModulo => "algo-mod",
             ShardPolicy::RoundRobin => "round-robin",
             ShardPolicy::Balanced => "balanced",
+            ShardPolicy::Dynamic => "dynamic",
+        }
+    }
+
+    /// Computes the full dispatch plan: a per-request shard
+    /// assignment plus, for [`ShardPolicy::Dynamic`], the deal/steal
+    /// ledger that produced it.
+    fn plan(self, workload: &Workload, workers: usize, batch_max: usize) -> DispatchPlan {
+        match self {
+            ShardPolicy::Dynamic => dispatch::plan(workload, workers, batch_max),
+            _ => DispatchPlan::from_static(self.assign(workload, workers)),
         }
     }
 
     /// Computes the shard for every request of `workload`,
-    /// deterministically.
+    /// deterministically. [`ShardPolicy::Dynamic`] plans with the
+    /// default batch cap; [`Engine::serve`] goes through
+    /// [`ShardPolicy::plan`] with the configured one instead.
     fn assign(self, workload: &Workload, workers: usize) -> Vec<usize> {
         let requests = workload.requests();
         match self {
+            ShardPolicy::Dynamic => {
+                dispatch::plan(workload, workers, EngineConfig::default().batch_max).assignment
+            }
             ShardPolicy::AlgoModulo => requests
                 .iter()
                 .map(|r| r.algo_id as usize % workers)
@@ -220,6 +249,9 @@ pub struct EngineResult {
     pub batches: u64,
     /// Requests that rode along in a batch after its first request.
     pub coalesced: u64,
+    /// Dynamic-dispatch planner counters: deals, affinity hits and
+    /// steals (all zero for the static policies).
+    pub dispatch: DispatchStats,
     /// Jobs that degraded to a typed error after their fault
     /// exhausted the retry budget, by submission index. Their output
     /// slots are empty. Always empty for fault-free runs.
@@ -586,6 +618,7 @@ impl Engine {
                 stats: OsStats::default(),
                 batches: 0,
                 coalesced: 0,
+                dispatch: DispatchStats::default(),
                 failed: BTreeMap::new(),
                 faults: FaultStats::default(),
                 recovery_latency: TimeAccumulator::new(),
@@ -598,9 +631,13 @@ impl Engine {
                 trace: (self.config.trace.level != TraceLevel::Off).then(TraceReport::default),
             });
         }
-        let assignment = self.config.shard.assign(workload, workers);
+        let plan = self
+            .config
+            .shard
+            .plan(workload, workers, self.config.batch_max.max(1));
+        let assignment = &plan.assignment;
         let mut shard_algos: Vec<BTreeSet<u16>> = vec![BTreeSet::new(); workers];
-        for (req, &shard) in requests.iter().zip(&assignment) {
+        for (req, &shard) in requests.iter().zip(assignment) {
             shard_algos[shard].insert(req.algo_id);
         }
         let queue_depth = self.config.queue_depth.max(1);
@@ -657,6 +694,12 @@ impl Engine {
             // boundaries, and with them the modelled makespan, a pure
             // function of the workload.
             let mut pending: Vec<Vec<Job>> = (0..workers).map(|_| Vec::new()).collect();
+            // Dynamic dispatch replays the planner's deal/steal ledger
+            // into the trace as it walks the stream, stamped at each
+            // trigger's arrival time so per-shard timestamps stay
+            // monotone.
+            let emit_plan = producer_tracer.enabled() && !plan.decisions.is_empty();
+            let mut steal_cursor = 0usize;
             for (i, req) in requests.iter().enumerate() {
                 let shard = assignment[i];
                 let run = &mut pending[shard];
@@ -664,6 +707,33 @@ impl Engine {
                     queues[shard].push(std::mem::take(run));
                 }
                 let arrival = overload.map_or(SimTime::ZERO, |oc| oc.interarrival * i as u64);
+                if emit_plan {
+                    while steal_cursor < plan.steals.len()
+                        && plan.steals[steal_cursor].at_index <= i
+                    {
+                        let s = &plan.steals[steal_cursor];
+                        producer_tracer.record(
+                            arrival,
+                            EventKind::Steal {
+                                job: s.job as u64,
+                                algo: s.algo_id,
+                                from: s.from,
+                                to: s.to,
+                            },
+                        );
+                        steal_cursor += 1;
+                    }
+                    let d = plan.decisions[i];
+                    producer_tracer.record(
+                        arrival,
+                        EventKind::Dispatch {
+                            job: i as u64,
+                            algo: req.algo_id,
+                            to: d.shard,
+                            affinity: d.affinity,
+                        },
+                    );
+                }
                 producer_tracer.record(
                     arrival,
                     EventKind::Enqueue {
@@ -679,6 +749,24 @@ impl Engine {
                     arrival,
                     deadline: deadline_budget.map(|b| arrival + b),
                 });
+            }
+            if emit_plan {
+                // the final drain epoch's steals trigger past the last
+                // submission index
+                let end = overload.map_or(SimTime::ZERO, |oc| oc.interarrival * n as u64);
+                while steal_cursor < plan.steals.len() {
+                    let s = &plan.steals[steal_cursor];
+                    producer_tracer.record(
+                        end,
+                        EventKind::Steal {
+                            job: s.job as u64,
+                            algo: s.algo_id,
+                            from: s.from,
+                            to: s.to,
+                        },
+                    );
+                    steal_cursor += 1;
+                }
             }
             for (shard, run) in pending.into_iter().enumerate() {
                 if !run.is_empty() {
@@ -992,6 +1080,7 @@ impl Engine {
             stats,
             batches,
             coalesced,
+            dispatch: plan.stats,
             failed,
             faults: fault_stats,
             recovery_latency,

@@ -40,6 +40,7 @@
 pub mod baselines;
 pub mod breaker;
 pub mod coproc;
+pub mod dispatch;
 pub mod engine;
 pub mod error;
 pub mod fault;
@@ -48,6 +49,7 @@ pub mod runner;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use coproc::{CoProcessor, CoProcessorBuilder, HostReport, PciRecovery};
+pub use dispatch::DispatchStats;
 pub use engine::{Engine, EngineConfig, EngineResult, ShardPolicy};
 pub use error::CoreError;
 pub use fault::{FaultConfig, FaultStats, JobError};

@@ -8,19 +8,36 @@
 //! configuration-port cost. The cache is a bounded LRU keyed by
 //! `(algo_id, codec)` — the codec participates so a ROM image
 //! re-downloaded under a different codec can never alias a stale entry.
+//!
+//! Recency is tracked with a generation counter: every touch stamps the
+//! entry with a fresh generation and re-files it in a `BTreeSet`
+//! ordered by stamp, so promotion and victim selection are O(log n)
+//! instead of the O(n) list scan a naive LRU deque would pay on every
+//! hit in the engine hot loop.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Cache key: the function and the codec its ROM bitstream used.
 pub type DecodedKey = (u16, u8);
+
+/// One cached decode: the frames, their byte total, and the generation
+/// stamp of the last touch (mirrored in the recency index).
+#[derive(Debug, Clone)]
+struct Entry {
+    frames: Vec<Vec<u8>>,
+    bytes: usize,
+    stamp: u64,
+}
 
 /// A bounded LRU of decompressed configuration frames.
 #[derive(Debug, Clone, Default)]
 pub struct DecodedCache {
     capacity_bytes: usize,
-    entries: BTreeMap<DecodedKey, Vec<Vec<u8>>>,
-    /// Recency order, least recently used at the front.
-    order: VecDeque<DecodedKey>,
+    entries: BTreeMap<DecodedKey, Entry>,
+    /// Recency index ordered by generation stamp; the first element is
+    /// the least recently used victim.
+    recency: BTreeSet<(u64, DecodedKey)>,
+    clock: u64,
     bytes: usize,
     lookups: u64,
     hits: u64,
@@ -69,7 +86,7 @@ impl DecodedCache {
         }
         self.hits += 1;
         self.touch(*key);
-        self.entries.get(key).map(Vec::as_slice)
+        self.entries.get(key).map(|e| e.frames.as_slice())
     }
 
     /// Lookups performed via [`DecodedCache::get`].
@@ -93,8 +110,8 @@ impl DecodedCache {
     pub fn remove(&mut self, key: &DecodedKey) -> bool {
         match self.entries.remove(key) {
             Some(old) => {
-                self.bytes -= old.iter().map(Vec::len).sum::<usize>();
-                self.order.retain(|k| k != key);
+                self.bytes -= old.bytes;
+                self.recency.remove(&(old.stamp, *key));
                 true
             }
             None => false,
@@ -106,9 +123,8 @@ impl DecodedCache {
     pub fn remove_algo(&mut self, algo_id: u16) -> usize {
         let keys: Vec<DecodedKey> = self
             .entries
-            .keys()
-            .filter(|k| k.0 == algo_id)
-            .copied()
+            .range((algo_id, u8::MIN)..=(algo_id, u8::MAX))
+            .map(|(k, _)| *k)
             .collect();
         for key in &keys {
             self.remove(key);
@@ -134,32 +150,57 @@ impl DecodedCache {
             return 0;
         }
         if let Some(old) = self.entries.remove(&key) {
-            self.bytes -= old.iter().map(Vec::len).sum::<usize>();
-            self.order.retain(|k| k != &key);
+            self.bytes -= old.bytes;
+            self.recency.remove(&(old.stamp, key));
         }
         let mut evicted = 0;
         while self.bytes + size > self.capacity_bytes {
-            let victim = self.order.pop_front().expect("bytes > 0 implies entries");
-            let old = self.entries.remove(&victim).expect("order tracks entries");
-            self.bytes -= old.iter().map(Vec::len).sum::<usize>();
+            let (_, victim) = self.recency.pop_first().expect("bytes > 0 implies entries");
+            let old = self
+                .entries
+                .remove(&victim)
+                .expect("recency tracks entries");
+            self.bytes -= old.bytes;
             evicted += 1;
         }
+        self.clock += 1;
         self.bytes += size;
-        self.entries.insert(key, frames);
-        self.order.push_back(key);
+        self.recency.insert((self.clock, key));
+        self.entries.insert(
+            key,
+            Entry {
+                frames,
+                bytes: size,
+                stamp: self.clock,
+            },
+        );
         evicted
     }
 
-    /// Drops every entry.
+    /// Drops every entry but keeps the lookup/hit ledger running: the
+    /// population is gone, the measurement history is not. Use
+    /// [`DecodedCache::reset_stats`] as well when the surrounding
+    /// ledger (e.g. a watchdog card reset) restarts from zero.
     pub fn clear(&mut self) {
         self.entries.clear();
-        self.order.clear();
+        self.recency.clear();
         self.bytes = 0;
     }
 
+    /// Zeroes the lookup/hit counters without touching the cached
+    /// entries, so `hits + misses == lookups` holds over exactly the
+    /// post-reset population.
+    pub fn reset_stats(&mut self) {
+        self.lookups = 0;
+        self.hits = 0;
+    }
+
     fn touch(&mut self, key: DecodedKey) {
-        self.order.retain(|k| k != &key);
-        self.order.push_back(key);
+        let entry = self.entries.get_mut(&key).expect("touch requires presence");
+        self.recency.remove(&(entry.stamp, key));
+        self.clock += 1;
+        entry.stamp = self.clock;
+        self.recency.insert((self.clock, key));
     }
 }
 
@@ -236,6 +277,25 @@ mod tests {
     }
 
     #[test]
+    fn clear_keeps_ledger_reset_stats_zeroes_it() {
+        let mut c = DecodedCache::new(100);
+        c.insert((1, 0), frames(1, 10, 0));
+        assert!(c.get(&(1, 0)).is_some());
+        assert!(c.get(&(2, 0)).is_none());
+        c.clear();
+        assert_eq!(c.lookups(), 2, "clear drops entries, not the ledger");
+        assert_eq!(c.hits(), 1);
+        c.reset_stats();
+        assert_eq!(c.lookups(), 0);
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 0);
+        // post-reset lookups start a fresh, internally consistent ledger
+        assert!(c.get(&(1, 0)).is_none());
+        assert_eq!(c.lookups(), 1);
+        assert_eq!(c.hits() + c.misses(), c.lookups());
+    }
+
+    #[test]
     fn counters_reconcile() {
         let mut c = DecodedCache::new(100);
         c.insert((1, 0), frames(1, 10, 0));
@@ -274,5 +334,31 @@ mod tests {
         assert!(!c.contains(&(7, 1)));
         assert!(c.contains(&(8, 0)));
         assert_eq!(c.bytes(), 10);
+    }
+
+    #[test]
+    fn recency_index_matches_entries_under_churn() {
+        // deterministic interleaving of insert/get/remove keeps the
+        // generation index and the entry map in lockstep
+        let mut c = DecodedCache::new(200);
+        for i in 0..64u16 {
+            c.insert(
+                (i % 11, (i % 3) as u8),
+                frames(1, 10 + (i as usize % 7), i as u8),
+            );
+            if i % 2 == 0 {
+                let _ = c.get(&((i % 5), 0));
+            }
+            if i % 7 == 0 {
+                c.remove(&((i % 11), (i % 3) as u8));
+            }
+            assert_eq!(c.recency.len(), c.entries.len());
+            let tracked: usize = c.entries.values().map(|e| e.bytes).sum();
+            assert_eq!(tracked, c.bytes());
+            assert!(c.bytes() <= c.capacity_bytes());
+            for (key, entry) in &c.entries {
+                assert!(c.recency.contains(&(entry.stamp, *key)));
+            }
+        }
     }
 }

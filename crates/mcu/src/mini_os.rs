@@ -792,7 +792,11 @@ impl MiniOs {
         self.device = Device::new(geom);
         self.free.reset();
         self.table = ReplacementTable::new();
+        // The watchdog ledger restarts from zero: drop the decoded
+        // population AND its counters, so `hits + misses == lookups`
+        // holds over the post-reset population alone.
         self.decoded.clear();
+        self.decoded.reset_stats();
         self.stats = OsStats::default();
         self.armed_config_stall = 0;
         self.predictor.clear();

@@ -55,8 +55,7 @@ impl Accumulator {
             .iter()
             .copied()
             .fold(f64::INFINITY, f64::min)
-            .min(f64::INFINITY)
-            .min_finite_or_zero()
+            .finite_or_zero()
     }
 
     /// Largest sample; 0 for an empty accumulator.
@@ -65,7 +64,7 @@ impl Accumulator {
             .iter()
             .copied()
             .fold(f64::NEG_INFINITY, f64::max)
-            .max_finite_or_zero()
+            .finite_or_zero()
     }
 
     /// The `q`-quantile (`0.0..=1.0`) by nearest-rank; 0 when empty.
@@ -91,34 +90,36 @@ impl Accumulator {
     }
 
     /// Produces an immutable [`Summary`] of the samples.
+    ///
+    /// Sorts the samples once and indexes every order statistic out of
+    /// the single sorted copy, rather than paying a clone + sort per
+    /// quantile.
     pub fn summary(&self) -> Summary {
+        if self.samples.is_empty() {
+            return Summary::default();
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        let rank = |q: f64| ((sorted.len() as f64 - 1.0) * q).round() as usize;
         Summary {
-            count: self.count(),
+            count: sorted.len(),
             mean: self.mean(),
-            min: self.min(),
-            max: self.max(),
-            p50: self.quantile(0.5),
-            p95: self.quantile(0.95),
-            p99: self.quantile(0.99),
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            p50: sorted[rank(0.5)],
+            p95: sorted[rank(0.95)],
+            p99: sorted[rank(0.99)],
         }
     }
 }
 
-/// Helper for min/max over possibly empty sample sets.
+/// Maps the fold identity of an empty sample set to zero.
 trait FiniteOrZero {
-    fn min_finite_or_zero(self) -> f64;
-    fn max_finite_or_zero(self) -> f64;
+    fn finite_or_zero(self) -> f64;
 }
 
 impl FiniteOrZero for f64 {
-    fn min_finite_or_zero(self) -> f64 {
-        if self.is_finite() {
-            self
-        } else {
-            0.0
-        }
-    }
-    fn max_finite_or_zero(self) -> f64 {
+    fn finite_or_zero(self) -> f64 {
         if self.is_finite() {
             self
         } else {

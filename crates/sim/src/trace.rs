@@ -423,6 +423,32 @@ pub enum EventKind {
         /// The stage.
         stage: Stage,
     },
+    /// The dynamic dispatcher dealt a job to the shard with the
+    /// lowest modelled clock (`ShardPolicy::Dynamic` only; static
+    /// partitions emit no deal events).
+    Dispatch {
+        /// Submission index of the job.
+        job: u64,
+        /// Target algorithm.
+        algo: u16,
+        /// The shard the deal chose.
+        to: u32,
+        /// `true` when the deal landed on a shard where the
+        /// algorithm was already resident (affinity preference).
+        affinity: bool,
+    },
+    /// A work-stealing epoch moved a dealt-but-unserved job from the
+    /// richest shard's queue tail to the poorest shard.
+    Steal {
+        /// Submission index of the job.
+        job: u64,
+        /// Target algorithm.
+        algo: u16,
+        /// The shard the job was dealt to originally.
+        from: u32,
+        /// The shard that stole it.
+        to: u32,
+    },
     /// The producer pushed a job onto a shard queue.
     Enqueue {
         /// Submission index of the job.
@@ -608,6 +634,9 @@ pub struct TraceCounters {
     pub jobs_faulted: u64,
     pub jobs_deadline_missed: u64,
     pub jobs_hit: u64,
+    pub dispatched: u64,
+    pub affinity_dispatches: u64,
+    pub steals: u64,
     pub enqueued: u64,
     pub dequeued: u64,
     pub shed: u64,
@@ -660,6 +689,9 @@ impl TraceCounters {
         self.jobs_faulted += o.jobs_faulted;
         self.jobs_deadline_missed += o.jobs_deadline_missed;
         self.jobs_hit += o.jobs_hit;
+        self.dispatched += o.dispatched;
+        self.affinity_dispatches += o.affinity_dispatches;
+        self.steals += o.steals;
         self.enqueued += o.enqueued;
         self.dequeued += o.dequeued;
         self.shed += o.shed;
@@ -726,6 +758,13 @@ impl MetricsRegistry {
                 }
             }
             EventKind::StageOpen { .. } | EventKind::StageClose { .. } => {}
+            EventKind::Dispatch { affinity, .. } => {
+                c.dispatched += 1;
+                if affinity {
+                    c.affinity_dispatches += 1;
+                }
+            }
+            EventKind::Steal { .. } => c.steals += 1,
             EventKind::Enqueue { .. } => c.enqueued += 1,
             EventKind::Dequeue { .. } => c.dequeued += 1,
             EventKind::Shed { .. } => c.shed += 1,
@@ -1029,6 +1068,28 @@ fn jsonl_line(out: &mut String, e: &TraceEvent) {
                 stage.name()
             );
         }
+        EventKind::Dispatch {
+            job,
+            algo,
+            to,
+            affinity,
+        } => {
+            let _ = write!(
+                out,
+                ",\"event\":\"dispatch\",\"job\":{job},\"algo\":{algo},\"to\":{to},\"affinity\":{affinity}"
+            );
+        }
+        EventKind::Steal {
+            job,
+            algo,
+            from,
+            to,
+        } => {
+            let _ = write!(
+                out,
+                ",\"event\":\"steal\",\"job\":{job},\"algo\":{algo},\"from\":{from},\"to\":{to}"
+            );
+        }
         EventKind::Enqueue { job, algo, to } => {
             let _ = write!(
                 out,
@@ -1206,6 +1267,8 @@ fn chrome_record(out: &mut String, e: &TraceEvent) {
 
 fn instant_name(kind: &EventKind) -> &'static str {
     match kind {
+        EventKind::Dispatch { .. } => "dispatch",
+        EventKind::Steal { .. } => "steal",
         EventKind::Enqueue { .. } => "enqueue",
         EventKind::Dequeue { .. } => "dequeue",
         EventKind::Shed { .. } => "shed",

@@ -200,6 +200,68 @@ impl Workload {
         Workload::with_name(format!("bursty(len={burst_len})"), seed, requests)
     }
 
+    /// Adversarial straggler mix for shard-dispatch experiments: the
+    /// `hot` algorithm is drawn with probability `hot_share` at
+    /// `hot_len` bytes, and the remainder is Zipf-distributed (s = 1)
+    /// over the `cold` algorithms at `cold_len` bytes.
+    ///
+    /// Pair a compute-dense hot kernel on *small* payloads with cheap
+    /// cold kernels on *large* payloads and every static policy
+    /// straggles: `algo_id % N` pins the whole hot stream to one
+    /// shard, while a byte-weighted balanced partition sees the hot
+    /// algorithm's tiny byte share and concentrates it too — even
+    /// though its modelled fabric time dominates the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cold` is empty or `hot_share` is outside `(0, 1)`.
+    pub fn straggler(
+        hot: u16,
+        hot_len: usize,
+        cold: &[u16],
+        cold_len: usize,
+        n: usize,
+        hot_share: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(!cold.is_empty(), "need at least one cold algorithm");
+        assert!(
+            hot_share > 0.0 && hot_share < 1.0,
+            "hot share must be in (0, 1)"
+        );
+        let weights: Vec<f64> = (1..=cold.len()).map(|rank| 1.0 / rank as f64).collect();
+        let total: f64 = weights.iter().sum();
+        let mut cdf = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w / total;
+            cdf.push(acc);
+        }
+        let mut rng = SplitMix64::new(seed);
+        let requests = (0..n)
+            .map(|_| {
+                if rng.next_f64() < hot_share {
+                    Request {
+                        algo_id: hot,
+                        input_len: hot_len,
+                    }
+                } else {
+                    let u = rng.next_f64();
+                    let idx = cdf.partition_point(|&c| c < u).min(cold.len() - 1);
+                    Request {
+                        algo_id: cold[idx],
+                        input_len: cold_len,
+                    }
+                }
+            })
+            .collect();
+        Workload::with_name(
+            format!("straggler(hot={hot},share={hot_share})"),
+            seed,
+            requests,
+        )
+    }
+
     /// Replays an explicit id trace with a fixed input length.
     pub fn from_trace<I: IntoIterator<Item = u16>>(trace: I, input_len: usize) -> Self {
         let requests = trace
@@ -326,6 +388,35 @@ mod tests {
             distinct.dedup();
             assert!(distinct.len() <= 2, "phase used {distinct:?}");
         }
+    }
+
+    #[test]
+    fn straggler_mix_is_hot_dominated_and_deterministic() {
+        let w = Workload::straggler(9, 64, &[1, 2, 3], 1500, 4_000, 0.5, 11);
+        assert_eq!(w.len(), 4_000);
+        let hot = w.algo_trace().iter().filter(|&&a| a == 9).count();
+        assert!((1700..2300).contains(&hot), "hot count {hot}");
+        for r in w.requests() {
+            if r.algo_id == 9 {
+                assert_eq!(r.input_len, 64);
+            } else {
+                assert_eq!(r.input_len, 1500);
+            }
+        }
+        // cold tail is Zipf-skewed toward its first rank
+        let c1 = w.algo_trace().iter().filter(|&&a| a == 1).count();
+        let c3 = w.algo_trace().iter().filter(|&&a| a == 3).count();
+        assert!(c1 > c3, "rank 1: {c1}, rank 3: {c3}");
+        assert_eq!(
+            w,
+            Workload::straggler(9, 64, &[1, 2, 3], 1500, 4_000, 0.5, 11)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "hot share")]
+    fn straggler_rejects_degenerate_share() {
+        let _ = Workload::straggler(9, 64, &[1], 256, 10, 1.0, 0);
     }
 
     #[test]

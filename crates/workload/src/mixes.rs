@@ -4,6 +4,7 @@
 //! "everything", and a plausible payload size per kernel (an IPSec
 //! packet for ciphers/hashes, a sample window for the FIR, …).
 
+use crate::Workload;
 use aaod_algos::ids;
 
 /// The crypto subset — the paper's motivating IPSec-style bank.
@@ -27,6 +28,29 @@ pub fn full_bank() -> Vec<u16> {
 /// The small netlist-backed functions.
 pub fn netlist_mix() -> Vec<u16> {
     vec![ids::CRC8, ids::ADDER8, ids::POPCNT8, ids::PARITY8]
+}
+
+/// The canonical adversarial straggler scenario for shard-dispatch
+/// experiments (E15): SHA-1 — 80 fabric cycles per 64-byte block, the
+/// most compute-dense kernel in the bank — is the hot algorithm on
+/// *small* 256-byte digests (60% of traffic), while CRC-32 and XTEA
+/// stream *large* 1500-byte packets at a fraction of a cycle per byte.
+///
+/// Byte-weighted static partitions see SHA-1's tiny byte share and
+/// concentrate the whole hot stream on one shard even though its
+/// modelled fabric time dominates the run; `algo_id % N` pins it to
+/// one shard by construction. A cycle-aware dynamic dispatch spreads
+/// it and wins on makespan.
+pub fn straggler_workload(n: usize, seed: u64) -> Workload {
+    Workload::straggler(
+        ids::SHA1,
+        256,
+        &[ids::CRC32, ids::XTEA, ids::CRC8],
+        1500,
+        n,
+        0.6,
+        seed,
+    )
 }
 
 /// A realistic input length for one invocation of `algo_id`
@@ -83,6 +107,18 @@ mod tests {
                 "netlist and crypto mixes must be disjoint"
             );
         }
+    }
+
+    #[test]
+    fn straggler_workload_shape() {
+        let w = straggler_workload(1000, 42);
+        assert_eq!(w.len(), 1000);
+        // four algorithms: fits a default shard, so dynamic dispatch
+        // may replicate every algorithm on every shard without
+        // serving-time reconfigurations
+        assert_eq!(w.distinct_algos().len(), 4);
+        let hot = w.algo_trace().iter().filter(|&&a| a == ids::SHA1).count();
+        assert!((500..700).contains(&hot), "hot count {hot}");
     }
 
     #[test]

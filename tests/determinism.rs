@@ -91,6 +91,7 @@ fn engine_matches_serial_across_policies_on_bursty() {
         ShardPolicy::AlgoModulo,
         ShardPolicy::RoundRobin,
         ShardPolicy::Balanced,
+        ShardPolicy::Dynamic,
     ] {
         let engine = Engine::new(EngineConfig {
             workers: 4,

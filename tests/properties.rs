@@ -249,12 +249,14 @@ proptest! {
         }
     }
 
-    /// DecodedCache: any interleaving of inserts, lookups and
-    /// removals stays inside the byte budget and keeps the counter
-    /// identity `hits + misses == lookups`.
+    /// DecodedCache: any interleaving of inserts, lookups, removals
+    /// and resets stays inside the byte budget and keeps the counter
+    /// identity `hits + misses == lookups` — including across a
+    /// `clear()` (population dropped, ledger kept) and a full
+    /// `clear() + reset_stats()` watchdog-style reset.
     #[test]
     fn decoded_cache_budget_and_counter_invariants(
-        ops in proptest::collection::vec((0u8..4, any::<u8>(), 1usize..64), 1..64),
+        ops in proptest::collection::vec((0u8..6, any::<u8>(), 1usize..64), 1..64),
     ) {
         let mut cache = DecodedCache::new(256);
         for (op, key_sel, size) in ops {
@@ -263,7 +265,19 @@ proptest! {
                 0 => { cache.insert(key, vec![vec![0u8; size]]); }
                 1 => { let _ = cache.get(&key); }
                 2 => { cache.remove(&key); }
-                _ => { cache.remove_algo(key.0); }
+                3 => { cache.remove_algo(key.0); }
+                4 => {
+                    let ledger = (cache.lookups(), cache.hits());
+                    cache.clear();
+                    prop_assert!(cache.is_empty());
+                    prop_assert_eq!((cache.lookups(), cache.hits()), ledger);
+                }
+                _ => {
+                    cache.clear();
+                    cache.reset_stats();
+                    prop_assert_eq!(cache.lookups(), 0);
+                    prop_assert_eq!(cache.hits(), 0);
+                }
             }
             prop_assert!(
                 cache.bytes() <= cache.capacity_bytes(),
@@ -272,6 +286,40 @@ proptest! {
             prop_assert_eq!(cache.hits() + cache.misses(), cache.lookups());
             prop_assert_eq!(cache.is_empty(), cache.bytes() == 0);
         }
+    }
+
+    /// A MiniOs watchdog reset restarts the decoded-cache ledger from
+    /// zero, so the identity holds over exactly the post-reset
+    /// population — no pre-reset lookups leak into the new epoch.
+    #[test]
+    fn mini_os_reset_restarts_decoded_ledger(
+        invokes in proptest::collection::vec(any::<u8>(), 1..24),
+    ) {
+        use aaod_algos::ids;
+        let algos = [ids::XTEA, ids::SHA1, ids::CRC32, ids::CRC8];
+        // tight fabric: constant eviction keeps the decoded cache busy
+        let mut os = MiniOs::new(MiniOsConfig {
+            geometry: DeviceGeometry::new(26, 16),
+            ..MiniOsConfig::default()
+        });
+        for &id in &algos {
+            os.install(id).unwrap();
+        }
+        for sel in &invokes {
+            let _ = os.invoke(algos[(*sel as usize) % algos.len()], b"data");
+        }
+        os.reset();
+        let cache = os.decoded_cache();
+        prop_assert_eq!(cache.lookups(), 0);
+        prop_assert_eq!(cache.hits(), 0);
+        prop_assert_eq!(cache.misses(), 0);
+        prop_assert!(cache.is_empty());
+        // the new epoch's ledger is internally consistent on its own
+        for sel in &invokes {
+            let _ = os.invoke(algos[(*sel as usize) % algos.len()], b"data");
+        }
+        let cache = os.decoded_cache();
+        prop_assert_eq!(cache.hits() + cache.misses(), cache.lookups());
     }
 
     /// MiniOs frame ledger: any interleaving of invokes, evictions,
