@@ -39,7 +39,7 @@ fn print_table() {
     );
     for window in [8usize, 32, 128, 512, 2048, 8192] {
         let mut device = Device::new(geom);
-        let module = ConfigModule::new(window, aaod_sim::clock::domains::mcu());
+        let mut module = ConfigModule::new(window, aaod_sim::clock::domains::mcu());
         let report = module
             .configure(&encoded, &mut device, &port, &addrs)
             .expect("configure");

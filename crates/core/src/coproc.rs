@@ -240,9 +240,7 @@ impl CoProcessor {
     /// so the stream reads in true temporal order.
     fn absorb_os_details(&mut self) {
         if self.details.enabled() {
-            for d in self.os.take_details() {
-                self.details.push(d);
-            }
+            self.os.drain_details_into(&mut self.details);
         }
     }
 
@@ -461,6 +459,17 @@ impl CoProcessor {
     pub fn take_details(&mut self) -> Vec<DetailEvent> {
         self.absorb_os_details();
         self.details.take()
+    }
+
+    /// Allocation-free variant of [`CoProcessor::take_details`]:
+    /// clears `buf` and drains the buffered events into it, reusing
+    /// its capacity across calls. Hot loops (the engine workers) call
+    /// this once per batch so the detail drain stops churning a fresh
+    /// `Vec` per batch.
+    pub fn take_details_into(&mut self, buf: &mut Vec<DetailEvent>) {
+        buf.clear();
+        self.absorb_os_details();
+        self.details.drain_into(buf);
     }
 
     /// PCI bus statistics.

@@ -849,6 +849,9 @@ impl Engine {
                 .copied()
                 .fold(SimTime::ZERO, |a, b| if b > a { b } else { a });
         let mut engine_tracer = Tracer::new(trace_cfg, ENGINE_SHARD);
+        // shared drain buffer for the per-job redistribution and
+        // rescue loops below — reused instead of a fresh Vec per job
+        let mut details_buf: Vec<aaod_sim::DetailEvent> = Vec::new();
         if overload.is_some() {
             // Redistribution: jobs an open breaker bounced are
             // re-served in submission order on the healthy shard that
@@ -916,8 +919,8 @@ impl Engine {
                         per_request_hit[job.index] = report.hit();
                         overload_stats.redistributed += 1;
                         if engine_tracer.enabled() {
-                            let details = cp.take_details();
-                            engine_tracer.details(now, &details);
+                            cp.take_details_into(&mut details_buf);
+                            engine_tracer.details(now, &details_buf);
                             engine_tracer.record(
                                 now,
                                 EventKind::Redistributed {
@@ -995,8 +998,8 @@ impl Engine {
                 }
                 if engine_tracer.enabled() {
                     // spare bring-up is stamped at the rescue start
-                    let details = spare.take_details();
-                    engine_tracer.details(makespan, &details);
+                    spare.take_details_into(&mut details_buf);
+                    engine_tracer.details(makespan, &details_buf);
                 }
                 let golden = verify.then(aaod_algos::AlgorithmBank::standard);
                 let mut rescue_busy = SimTime::ZERO;
@@ -1018,8 +1021,8 @@ impl Engine {
                     verify_output(golden.as_ref(), algo_id, index, &input, &output)?;
                     if engine_tracer.enabled() {
                         let cursor = makespan + rescue_busy;
-                        let details = spare.take_details();
-                        engine_tracer.details(cursor, &details);
+                        spare.take_details_into(&mut details_buf);
+                        engine_tracer.details(cursor, &details_buf);
                         engine_tracer.record(
                             cursor,
                             EventKind::Requeued {
@@ -1157,12 +1160,15 @@ fn worker_loop(
     for &algo in algos {
         cp.install(algo)?;
     }
+    // one details buffer for the whole loop: the per-batch drain
+    // reuses its capacity instead of churning a fresh Vec per batch
+    let mut details_buf: Vec<aaod_sim::DetailEvent> = Vec::new();
     if tracer.enabled() {
         // bring-up details (install-time ROM fetches, decompression,
         // port writes) are stamped at time zero: install is not
         // serving time
-        let details = cp.take_details();
-        tracer.details(SimTime::ZERO, &details);
+        cp.take_details_into(&mut details_buf);
+        tracer.details(SimTime::ZERO, &details_buf);
     }
     let golden = verify.then(aaod_algos::AlgorithmBank::standard);
     let mut outcome = WorkerOutcome::empty();
@@ -1192,8 +1198,8 @@ fn worker_loop(
                 let inputs: Vec<&[u8]> = batch.iter().map(|j| j.input.as_slice()).collect();
                 let served = cp.invoke_batch(algo_id, &inputs)?;
                 if tracer.enabled() {
-                    let details = cp.take_details();
-                    tracer.details(batch_start, &details);
+                    cp.take_details_into(&mut details_buf);
+                    tracer.details(batch_start, &details_buf);
                 }
                 let mut cursor = batch_start;
                 for (job, (output, report)) in batch.iter().zip(served) {
@@ -1228,8 +1234,8 @@ fn worker_loop(
                     // available: details are stamped at the shard's
                     // clock after the batch
                     let ts = chaos.overload.as_ref().map_or(outcome.busy, |ov| ov.clock);
-                    let details = cp.take_details();
-                    tracer.details(ts, &details);
+                    cp.take_details_into(&mut details_buf);
+                    tracer.details(ts, &details_buf);
                 }
             }
         }
@@ -1241,8 +1247,8 @@ fn worker_loop(
                 .overload
                 .as_ref()
                 .map_or(outcome.busy, |ov| ov.clock.max(outcome.busy));
-            let details = cp.take_details();
-            tracer.details(ts, &details);
+            cp.take_details_into(&mut details_buf);
+            tracer.details(ts, &details_buf);
         }
         outcome.faults = chaos.stats;
         outcome.recovery_latency = std::mem::take(&mut chaos.recovery_latency);

@@ -259,11 +259,12 @@ pub fn run_workload_traced(
 ) -> Result<RunResult, CoreError> {
     let golden = aaod_algos::AlgorithmBank::standard();
     let mut tracer = Tracer::new(trace, 0);
+    let mut details_buf: Vec<aaod_sim::DetailEvent> = Vec::new();
     if tracer.enabled() {
         cp.set_trace(true);
         // bring-up details left over from installs predate the run
-        let details = cp.take_details();
-        tracer.details(SimTime::ZERO, &details);
+        cp.take_details_into(&mut details_buf);
+        tracer.details(SimTime::ZERO, &details_buf);
     }
     let cache_before = cp.cache_stats();
     let decoded_before = cp.decoded_stats();
@@ -276,8 +277,8 @@ pub fn run_workload_traced(
         input_bytes += input.len() as u64;
         let (output, report) = cp.invoke(req.algo_id, &input)?;
         if tracer.enabled() {
-            let details = cp.take_details();
-            tracer.details(cursor, &details);
+            cp.take_details_into(&mut details_buf);
+            tracer.details(cursor, &details_buf);
             cursor = trace_clean_job(&mut tracer, cursor, i, req.algo_id, &report);
         }
         latency.push(report.total());

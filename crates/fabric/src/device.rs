@@ -150,8 +150,29 @@ impl Device {
     /// Propagates address errors and all
     /// [`FunctionImage`] decode errors (bad magic, digest mismatch…).
     pub fn decode_function(&self, addrs: &[FrameAddress]) -> Result<FunctionImage, FabricError> {
-        let frames = self.read_region(addrs)?;
-        FunctionImage::decode_frames(&frames, self.geometry)
+        let mut flat = Vec::new();
+        self.decode_function_with(addrs, &mut flat)
+    }
+
+    /// As [`Device::decode_function`], but concatenates the frame bytes
+    /// into the caller-supplied `flat` buffer instead of allocating a
+    /// `Vec` per frame — the execution hot path hands the same buffer
+    /// back on every decode so readback stays off the allocator.
+    ///
+    /// # Errors
+    ///
+    /// As [`Device::decode_function`].
+    pub fn decode_function_with(
+        &self,
+        addrs: &[FrameAddress],
+        flat: &mut Vec<u8>,
+    ) -> Result<FunctionImage, FabricError> {
+        flat.clear();
+        flat.reserve(addrs.len() * self.geometry.frame_bytes());
+        for &addr in addrs {
+            flat.extend_from_slice(self.read_frame(addr)?);
+        }
+        FunctionImage::from_bytes(flat)
     }
 
     /// Flips one configuration bit in place — the single-event-upset

@@ -405,42 +405,236 @@ impl FunctionImage {
                 "run_netlist called on a behavioural image".into(),
             ));
         };
-        match mode {
-            NetlistMode::Combinational => {
-                if netlist.n_inputs() % 8 != 0 || netlist.n_inputs() == 0 {
-                    return Err(FabricError::ImageDecode(format!(
-                        "combinational netlist input width {} is not byte aligned",
-                        netlist.n_inputs()
-                    )));
-                }
-                let in_bytes = netlist.n_inputs() / 8;
-                let out_bytes = netlist.n_outputs().div_ceil(8);
-                let mut out = Vec::with_capacity(input.len().div_ceil(in_bytes) * out_bytes);
-                for chunk in input.chunks(in_bytes) {
-                    let mut block = chunk.to_vec();
-                    block.resize(in_bytes, 0);
-                    let bits = bytes_to_bits(&block);
-                    out.extend_from_slice(&bits_to_bytes(&netlist.eval(&bits)));
-                }
-                Ok(out)
+        run_decoded_netlist(&netlist, mode, input)
+    }
+
+    /// Executes a netlist image on a batch of independent inputs using
+    /// the bit-sliced evaluator (64 lanes per netlist walk), returning
+    /// one output vector per input.
+    ///
+    /// Byte-identical to mapping [`FunctionImage::run_netlist`] over
+    /// `inputs`, but decodes the netlist from the frame bytes once for
+    /// the whole batch and never materialises per-input `Vec<bool>`
+    /// frames — bytes go straight into bit-slice lanes.
+    ///
+    /// # Errors
+    ///
+    /// As [`FunctionImage::run_netlist`].
+    pub fn run_netlist_batch(&self, inputs: &[&[u8]]) -> Result<Vec<Vec<u8>>, FabricError> {
+        let FunctionKind::Netlist { netlist, mode } = self.kind()? else {
+            return Err(FabricError::ImageDecode(
+                "run_netlist called on a behavioural image".into(),
+            ));
+        };
+        let mut scratch = BatchScratch::default();
+        run_decoded_netlist_batch(&netlist, mode, inputs, &mut scratch)
+    }
+}
+
+/// Validates a decoded netlist's width contract for `mode` and returns
+/// the per-transfer byte widths `(in_bytes, out_bytes)` (streaming
+/// consumes one byte per step, so `in_bytes` is 1 there).
+fn netlist_io_bytes(netlist: &Netlist, mode: NetlistMode) -> Result<(usize, usize), FabricError> {
+    match mode {
+        NetlistMode::Combinational => {
+            if !netlist.n_inputs().is_multiple_of(8) || netlist.n_inputs() == 0 {
+                return Err(FabricError::ImageDecode(format!(
+                    "combinational netlist input width {} is not byte aligned",
+                    netlist.n_inputs()
+                )));
             }
-            NetlistMode::Streaming => {
-                let state_bits = netlist.n_outputs();
-                if netlist.n_inputs() != 8 + state_bits {
-                    return Err(FabricError::ImageDecode(format!(
-                        "streaming netlist must have 8+state inputs, has {} with {} outputs",
-                        netlist.n_inputs(),
-                        state_bits
-                    )));
-                }
-                let mut state = vec![false; state_bits];
-                for &byte in input {
-                    let mut bits = bytes_to_bits(&[byte]);
-                    bits.extend_from_slice(&state);
-                    state = netlist.eval(&bits);
-                }
-                Ok(bits_to_bytes(&state))
+            Ok((netlist.n_inputs() / 8, netlist.n_outputs().div_ceil(8)))
+        }
+        NetlistMode::Streaming => {
+            let state_bits = netlist.n_outputs();
+            if netlist.n_inputs() != 8 + state_bits {
+                return Err(FabricError::ImageDecode(format!(
+                    "streaming netlist must have 8+state inputs, has {} with {} outputs",
+                    netlist.n_inputs(),
+                    state_bits
+                )));
             }
+            Ok((1, state_bits.div_ceil(8)))
+        }
+    }
+}
+
+/// Scalar execution of an already-decoded netlist (the per-input
+/// `Vec<bool>` walk). Callers holding a [`FunctionKind::Netlist`] can
+/// use this to skip re-decoding the frame bytes per input; the batch
+/// path ([`run_decoded_netlist_batch`]) is faster still.
+pub fn run_decoded_netlist(
+    netlist: &Netlist,
+    mode: NetlistMode,
+    input: &[u8],
+) -> Result<Vec<u8>, FabricError> {
+    let (in_bytes, _) = netlist_io_bytes(netlist, mode)?;
+    match mode {
+        NetlistMode::Combinational => {
+            let out_bytes = netlist.n_outputs().div_ceil(8);
+            let mut out = Vec::with_capacity(input.len().div_ceil(in_bytes) * out_bytes);
+            for chunk in input.chunks(in_bytes) {
+                let mut block = chunk.to_vec();
+                block.resize(in_bytes, 0);
+                let bits = bytes_to_bits(&block);
+                out.extend_from_slice(&bits_to_bytes(&netlist.eval(&bits)));
+            }
+            Ok(out)
+        }
+        NetlistMode::Streaming => {
+            let state_bits = netlist.n_outputs();
+            let mut state = vec![false; state_bits];
+            for &byte in input {
+                let mut bits = bytes_to_bits(&[byte]);
+                bits.extend_from_slice(&state);
+                state = netlist.eval(&bits);
+            }
+            Ok(bits_to_bytes(&state))
+        }
+    }
+}
+
+/// Reusable word buffers for [`run_decoded_netlist_batch`]; keep one
+/// per execution site so repeated batches stay off the allocator.
+#[derive(Debug, Default, Clone)]
+pub struct BatchScratch {
+    in_words: Vec<u64>,
+    out_words: Vec<u64>,
+    nets: Vec<u64>,
+}
+
+/// Bit-sliced batch execution of an already-decoded netlist: 64
+/// independent lanes per netlist walk, bytes transposed directly into
+/// lane words (no intermediate `Vec<bool>`).
+///
+/// For [`NetlistMode::Combinational`] every `n_inputs/8`-byte block of
+/// every input is an independent lane, so a single large input is also
+/// sliced. For [`NetlistMode::Streaming`] each *input* is a lane
+/// (feedback makes steps within one input sequential); lanes whose
+/// input is exhausted are frozen by masking so short and long inputs
+/// mix freely in one group.
+///
+/// # Errors
+///
+/// As [`FunctionImage::run_netlist`], with identical width validation.
+pub fn run_decoded_netlist_batch(
+    netlist: &Netlist,
+    mode: NetlistMode,
+    inputs: &[&[u8]],
+    scratch: &mut BatchScratch,
+) -> Result<Vec<Vec<u8>>, FabricError> {
+    let (in_bytes, out_bytes) = netlist_io_bytes(netlist, mode)?;
+    let n_in_bits = netlist.n_inputs();
+    let n_out_bits = netlist.n_outputs();
+    scratch.in_words.clear();
+    scratch.in_words.resize(n_in_bits, 0);
+    scratch.out_words.clear();
+    scratch.out_words.resize(n_out_bits, 0);
+    let in_words = &mut scratch.in_words;
+    let out_words = &mut scratch.out_words;
+    let nets = &mut scratch.nets;
+    match mode {
+        NetlistMode::Combinational => {
+            let mut outs: Vec<Vec<u8>> = inputs
+                .iter()
+                .map(|inp| vec![0u8; inp.len().div_ceil(in_bytes) * out_bytes])
+                .collect();
+            // Every block of every input is one lane; walk them in
+            // input-major order, 64 at a time.
+            let mut lanes: Vec<(u32, u32)> = Vec::with_capacity(64);
+            let flush = |lanes: &mut Vec<(u32, u32)>,
+                         in_words: &mut Vec<u64>,
+                         out_words: &mut Vec<u64>,
+                         nets: &mut Vec<u64>,
+                         outs: &mut Vec<Vec<u8>>| {
+                if lanes.is_empty() {
+                    return;
+                }
+                for (lane, &(ii, blk)) in lanes.iter().enumerate() {
+                    let inp = inputs[ii as usize];
+                    let start = blk as usize * in_bytes;
+                    let end = (start + in_bytes).min(inp.len());
+                    for (j, &byte) in inp[start..end].iter().enumerate() {
+                        let mut bits = byte;
+                        while bits != 0 {
+                            let i = bits.trailing_zeros() as usize;
+                            in_words[8 * j + i] |= 1u64 << lane;
+                            bits &= bits - 1;
+                        }
+                    }
+                }
+                netlist.eval_words(in_words, out_words, nets);
+                // Sparse scatter: walk only the set bits of each
+                // output word instead of probing every lane. Unused
+                // trailing lanes of a partial group are masked out —
+                // a LUT may output 1 even for the all-zero input.
+                let lane_mask = match lanes.len() {
+                    64 => !0u64,
+                    n => (1u64 << n) - 1,
+                };
+                for (k, w) in out_words.iter().enumerate() {
+                    let mut set = *w & lane_mask;
+                    while set != 0 {
+                        let lane = set.trailing_zeros() as usize;
+                        let (ii, blk) = lanes[lane];
+                        outs[ii as usize][blk as usize * out_bytes + k / 8] |= 1 << (k % 8);
+                        set &= set - 1;
+                    }
+                }
+                lanes.clear();
+                in_words.fill(0);
+            };
+            for (ii, inp) in inputs.iter().enumerate() {
+                for blk in 0..inp.len().div_ceil(in_bytes) {
+                    lanes.push((ii as u32, blk as u32));
+                    if lanes.len() == 64 {
+                        flush(&mut lanes, in_words, out_words, nets, &mut outs);
+                    }
+                }
+            }
+            flush(&mut lanes, in_words, out_words, nets, &mut outs);
+            Ok(outs)
+        }
+        NetlistMode::Streaming => {
+            let state_bits = n_out_bits;
+            let mut outs: Vec<Vec<u8>> = Vec::with_capacity(inputs.len());
+            let mut state_words = vec![0u64; state_bits];
+            for group in inputs.chunks(64) {
+                state_words.fill(0);
+                let max_len = group.iter().map(|i| i.len()).max().unwrap_or(0);
+                for t in 0..max_len {
+                    in_words[..8].fill(0);
+                    let mut active = 0u64;
+                    for (lane, inp) in group.iter().enumerate() {
+                        if let Some(&byte) = inp.get(t) {
+                            active |= 1u64 << lane;
+                            let mut bits = byte;
+                            while bits != 0 {
+                                let i = bits.trailing_zeros() as usize;
+                                in_words[i] |= 1u64 << lane;
+                                bits &= bits - 1;
+                            }
+                        }
+                    }
+                    in_words[8..].copy_from_slice(&state_words);
+                    netlist.eval_words(in_words, out_words, nets);
+                    // Lanes whose input already ended keep their final
+                    // state; only active lanes advance.
+                    for (s, w) in state_words.iter_mut().enumerate() {
+                        *w = (out_words[s] & active) | (*w & !active);
+                    }
+                }
+                for lane in 0..group.len() {
+                    let mut bytes = vec![0u8; out_bytes];
+                    for (k, w) in state_words.iter().enumerate() {
+                        if (w >> lane) & 1 == 1 {
+                            bytes[k / 8] |= 1 << (k % 8);
+                        }
+                    }
+                    outs.push(bytes);
+                }
+            }
+            Ok(outs)
         }
     }
 }
@@ -556,6 +750,63 @@ mod tests {
     fn run_netlist_on_behavioral_errors() {
         let img = FunctionImage::from_behavioral(1, &[], &[], 1, 1);
         assert!(img.run_netlist(&[1]).is_err());
+        assert!(img.run_netlist_batch(&[&[1]]).is_err());
+    }
+
+    #[test]
+    fn batch_combinational_matches_scalar() {
+        let nl = tiny_netlist();
+        let img = FunctionImage::from_netlist(1, nl, NetlistMode::Combinational, 1, 1);
+        // Mixed lengths, including empty, and enough blocks to spill
+        // past one 64-lane group.
+        let long: Vec<u8> = (0..200u16).map(|v| (v * 7) as u8).collect();
+        let inputs: Vec<&[u8]> = vec![&[0x00, 0xFF, 0x10], &[], &long, &[0xA5]];
+        let batch = img.run_netlist_batch(&inputs).unwrap();
+        assert_eq!(batch.len(), inputs.len());
+        for (inp, got) in inputs.iter().zip(&batch) {
+            assert_eq!(*got, img.run_netlist(inp).unwrap());
+        }
+    }
+
+    #[test]
+    fn batch_streaming_matches_scalar_mixed_lengths() {
+        let mut b = NetlistBuilder::new();
+        let data = b.inputs(8);
+        let state = b.inputs(8);
+        let next = b.xor_vec(&data, &state);
+        b.output_vec(&next);
+        let img = FunctionImage::from_netlist(2, b.finish().unwrap(), NetlistMode::Streaming, 1, 1);
+        let long: Vec<u8> = (0..300u16).map(|v| (v * 13 + 1) as u8).collect();
+        let inputs: Vec<&[u8]> = vec![&[0xA5, 0x5A, 0xFF], &[], &long, &[0x01], &[0x80, 0x80]];
+        let batch = img.run_netlist_batch(&inputs).unwrap();
+        for (inp, got) in inputs.iter().zip(&batch) {
+            assert_eq!(*got, img.run_netlist(inp).unwrap());
+        }
+    }
+
+    #[test]
+    fn batch_streaming_many_lanes() {
+        // 70 lanes exercises the second streaming lane group.
+        let mut b = NetlistBuilder::new();
+        let data = b.inputs(8);
+        let state = b.inputs(8);
+        let next = b.xor_vec(&data, &state);
+        b.output_vec(&next);
+        let img = FunctionImage::from_netlist(2, b.finish().unwrap(), NetlistMode::Streaming, 1, 1);
+        let owned: Vec<Vec<u8>> = (0..70u8).map(|v| vec![v, v ^ 0x3C, 0x11]).collect();
+        let inputs: Vec<&[u8]> = owned.iter().map(|v| v.as_slice()).collect();
+        let batch = img.run_netlist_batch(&inputs).unwrap();
+        for (inp, got) in inputs.iter().zip(&batch) {
+            assert_eq!(*got, img.run_netlist(inp).unwrap());
+        }
+    }
+
+    #[test]
+    fn decoded_scalar_helper_matches_method() {
+        let nl = tiny_netlist();
+        let img = FunctionImage::from_netlist(1, nl.clone(), NetlistMode::Combinational, 1, 1);
+        let out = run_decoded_netlist(&nl, NetlistMode::Combinational, &[0x42, 0x99]).unwrap();
+        assert_eq!(out, img.run_netlist(&[0x42, 0x99]).unwrap());
     }
 
     #[test]

@@ -44,5 +44,8 @@ pub use config_port::ConfigPort;
 pub use device::Device;
 pub use error::FabricError;
 pub use geometry::{DeviceGeometry, FrameAddress, CLB_CONFIG_BYTES};
-pub use image::{FunctionImage, FunctionKind, NetlistMode};
+pub use image::{
+    run_decoded_netlist, run_decoded_netlist_batch, BatchScratch, FunctionImage, FunctionKind,
+    NetlistMode,
+};
 pub use netlist::{NetId, Netlist, NetlistBuilder};

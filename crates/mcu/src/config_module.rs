@@ -43,10 +43,19 @@ impl ConfigReport {
 }
 
 /// The windowed decompress-and-configure engine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// The window and frame-assembly buffers live in the module (as the
+/// paper's fixed on-card buffer does) and are reused across
+/// configurations, so the reconfiguration hot path performs no
+/// per-call buffer allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConfigModule {
     window: usize,
     clock: Clock,
+    /// Reusable decompression window (exactly `window` bytes).
+    window_buf: Vec<u8>,
+    /// Reusable frame-assembly buffer (grows to one frame).
+    frame_buf: Vec<u8>,
 }
 
 impl ConfigModule {
@@ -57,7 +66,12 @@ impl ConfigModule {
     /// Panics if `window` is zero.
     pub fn new(window: usize, clock: Clock) -> Self {
         assert!(window > 0, "window must be non-zero");
-        ConfigModule { window, clock }
+        ConfigModule {
+            window,
+            clock,
+            window_buf: vec![0u8; window],
+            frame_buf: Vec::new(),
+        }
     }
 
     /// The window buffer size in bytes.
@@ -80,7 +94,7 @@ impl ConfigModule {
     /// [`McuError::RecordMismatch`] if `addrs` disagrees with the
     /// header's frame count, and fabric errors from the port writes.
     pub fn configure(
-        &self,
+        &mut self,
         encoded: &[u8],
         device: &mut Device,
         port: &ConfigPort,
@@ -98,7 +112,7 @@ impl ConfigModule {
     ///
     /// As [`ConfigModule::configure`].
     pub fn configure_collect(
-        &self,
+        &mut self,
         encoded: &[u8],
         device: &mut Device,
         port: &ConfigPort,
@@ -148,7 +162,7 @@ impl ConfigModule {
     }
 
     fn configure_inner(
-        &self,
+        &mut self,
         encoded: &[u8],
         device: &mut Device,
         port: &ConfigPort,
@@ -175,14 +189,16 @@ impl ConfigModule {
         }
         let codec = header.make_codec();
         let mut decoder = codec.decompressor(payload);
-        let mut window_buf = vec![0u8; self.window];
-        let mut frame_buf = Vec::with_capacity(frame_bytes);
+        let window_buf = &mut self.window_buf;
+        let frame_buf = &mut self.frame_buf;
+        frame_buf.clear();
+        frame_buf.reserve(frame_bytes);
         let mut report = ConfigReport::default();
         let mut next_frame = 0usize;
         let mut collected: Vec<Vec<u8>> = Vec::new();
 
         loop {
-            let n = decoder.read(&mut window_buf)?;
+            let n = decoder.read(window_buf)?;
             if n == 0 {
                 break;
             }
@@ -199,7 +215,7 @@ impl ConfigModule {
                             "payload expands past the declared frame count".into(),
                         )));
                     }
-                    report.port_time += port.write_frame(device, addrs[next_frame], &frame_buf)?;
+                    report.port_time += port.write_frame(device, addrs[next_frame], frame_buf)?;
                     if collect {
                         collected.push(frame_buf.clone());
                     }
@@ -247,7 +263,7 @@ mod tests {
     fn configures_and_decodes_back() {
         let (_geom, mut device, port, encoded, n) = setup();
         let addrs: Vec<FrameAddress> = (0..n as u16).map(FrameAddress).collect();
-        let module = ConfigModule::new(64, aaod_sim::clock::domains::mcu());
+        let mut module = ConfigModule::new(64, aaod_sim::clock::domains::mcu());
         let report = module
             .configure(&encoded, &mut device, &port, &addrs)
             .unwrap();
@@ -269,7 +285,7 @@ mod tests {
             .map(FrameAddress)
             .collect();
         assert_eq!(addrs.len(), n, "test needs {n} even frames");
-        let module = ConfigModule::new(32, aaod_sim::clock::domains::mcu());
+        let mut module = ConfigModule::new(32, aaod_sim::clock::domains::mcu());
         module
             .configure(&encoded, &mut device, &port, &addrs)
             .unwrap();
@@ -284,7 +300,7 @@ mod tests {
         let mut counts = Vec::new();
         for window in [8usize, 64, 1024] {
             let mut device = Device::new(DeviceGeometry::new(16, 2));
-            let module = ConfigModule::new(window, aaod_sim::clock::domains::mcu());
+            let mut module = ConfigModule::new(window, aaod_sim::clock::domains::mcu());
             let report = module
                 .configure(&encoded, &mut device, &port, &addrs)
                 .unwrap();
@@ -299,7 +315,7 @@ mod tests {
     fn collect_returns_device_identical_frames() {
         let (_geom, mut device, port, encoded, n) = setup();
         let addrs: Vec<FrameAddress> = (0..n as u16).map(FrameAddress).collect();
-        let module = ConfigModule::new(64, aaod_sim::clock::domains::mcu());
+        let mut module = ConfigModule::new(64, aaod_sim::clock::domains::mcu());
         let (report, frames) = module
             .configure_collect(&encoded, &mut device, &port, &addrs)
             .unwrap();
@@ -314,7 +330,7 @@ mod tests {
     fn configure_decoded_skips_decompression_cost() {
         let (_geom, mut device, port, encoded, n) = setup();
         let addrs: Vec<FrameAddress> = (0..n as u16).map(FrameAddress).collect();
-        let module = ConfigModule::new(64, aaod_sim::clock::domains::mcu());
+        let mut module = ConfigModule::new(64, aaod_sim::clock::domains::mcu());
         let (full, frames) = module
             .configure_collect(&encoded, &mut device, &port, &addrs)
             .unwrap();
@@ -333,7 +349,7 @@ mod tests {
     fn configure_decoded_validates_shapes() {
         let (_geom, mut device, port, encoded, n) = setup();
         let addrs: Vec<FrameAddress> = (0..n as u16).map(FrameAddress).collect();
-        let module = ConfigModule::new(64, aaod_sim::clock::domains::mcu());
+        let mut module = ConfigModule::new(64, aaod_sim::clock::domains::mcu());
         let (_, frames) = module
             .configure_collect(&encoded, &mut device, &port, &addrs)
             .unwrap();
@@ -353,7 +369,7 @@ mod tests {
     fn wrong_address_count_rejected() {
         let (_geom, mut device, port, encoded, n) = setup();
         let addrs: Vec<FrameAddress> = (0..(n as u16 - 1)).map(FrameAddress).collect();
-        let module = ConfigModule::new(64, aaod_sim::clock::domains::mcu());
+        let mut module = ConfigModule::new(64, aaod_sim::clock::domains::mcu());
         assert!(matches!(
             module.configure(&encoded, &mut device, &port, &addrs),
             Err(McuError::RecordMismatch(_))
@@ -365,7 +381,7 @@ mod tests {
         let (_geom, _device, port, encoded, n) = setup();
         let mut other = Device::new(DeviceGeometry::new(16, 4)); // different frame size
         let addrs: Vec<FrameAddress> = (0..n as u16).map(FrameAddress).collect();
-        let module = ConfigModule::new(64, aaod_sim::clock::domains::mcu());
+        let mut module = ConfigModule::new(64, aaod_sim::clock::domains::mcu());
         assert!(matches!(
             module.configure(&encoded, &mut other, &port, &addrs),
             Err(McuError::RecordMismatch(_))
@@ -378,7 +394,7 @@ mod tests {
         let last = encoded.len() - 1;
         encoded[last] ^= 1;
         let addrs: Vec<FrameAddress> = (0..n as u16).map(FrameAddress).collect();
-        let module = ConfigModule::new(64, aaod_sim::clock::domains::mcu());
+        let mut module = ConfigModule::new(64, aaod_sim::clock::domains::mcu());
         assert!(matches!(
             module.configure(&encoded, &mut device, &port, &addrs),
             Err(McuError::Bitstream(BitstreamError::CrcMismatch { .. }))

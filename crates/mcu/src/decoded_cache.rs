@@ -16,15 +16,18 @@
 //! hit in the engine hot loop.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// Cache key: the function and the codec its ROM bitstream used.
 pub type DecodedKey = (u16, u8);
 
-/// One cached decode: the frames, their byte total, and the generation
-/// stamp of the last touch (mirrored in the recency index).
+/// One cached decode: the frames (shared, so a hit hands out a
+/// reference-counted pointer instead of cloning the decoded bytes),
+/// their byte total, and the generation stamp of the last touch
+/// (mirrored in the recency index).
 #[derive(Debug, Clone)]
 struct Entry {
-    frames: Vec<Vec<u8>>,
+    frames: Arc<Vec<Vec<u8>>>,
     bytes: usize,
     stamp: u64,
 }
@@ -78,15 +81,24 @@ impl DecodedCache {
         self.entries.is_empty()
     }
 
-    /// Looks `key` up, promoting it to most recently used.
-    pub fn get(&mut self, key: &DecodedKey) -> Option<&[Vec<u8>]> {
+    /// Looks `key` up, promoting it to most recently used. The frames
+    /// come back as a shared [`Arc`] — an O(1) refcount bump, not a
+    /// copy of the decoded bytes — so the caller can keep them past
+    /// further cache mutation (eviction included).
+    pub fn get(&mut self, key: &DecodedKey) -> Option<Arc<Vec<Vec<u8>>>> {
         self.lookups += 1;
         if !self.entries.contains_key(key) {
             return None;
         }
         self.hits += 1;
         self.touch(*key);
-        self.entries.get(key).map(|e| e.frames.as_slice())
+        self.entries.get(key).map(|e| Arc::clone(&e.frames))
+    }
+
+    /// Decoded bytes held under `key` (0 when absent); what a hit's
+    /// borrowed return avoids cloning.
+    pub fn entry_bytes(&self, key: &DecodedKey) -> usize {
+        self.entries.get(key).map_or(0, |e| e.bytes)
     }
 
     /// Lookups performed via [`DecodedCache::get`].
@@ -169,7 +181,7 @@ impl DecodedCache {
         self.entries.insert(
             key,
             Entry {
-                frames,
+                frames: Arc::new(frames),
                 bytes: size,
                 stamp: self.clock,
             },

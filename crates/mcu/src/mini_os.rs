@@ -28,7 +28,10 @@ use crate::stats::OsStats;
 use aaod_algos::{AlgoError, AlgorithmBank};
 use aaod_bitstream::codec::{registry, CodecId};
 use aaod_bitstream::{Bitstream, BitstreamHeader, HEADER_BYTES};
-use aaod_fabric::{ConfigPort, Device, DeviceGeometry, FrameAddress, FunctionImage, FunctionKind};
+use aaod_fabric::{
+    run_decoded_netlist, run_decoded_netlist_batch, BatchScratch, ConfigPort, Device,
+    DeviceGeometry, FrameAddress, FunctionKind,
+};
 use aaod_mem::{FunctionRecord, LocalRam, MemError, MemTiming, RecordFields, Rom, RECORD_BYTES};
 use aaod_sim::{Clock, SimTime, SplitMix64};
 
@@ -191,6 +194,10 @@ pub struct MiniOs {
     predictor: crate::prefetch::MarkovPredictor,
     prefetched: std::collections::BTreeSet<u16>,
     last_invoked: Option<u16>,
+    /// Reusable word buffers for bit-sliced netlist batches.
+    batch_scratch: BatchScratch,
+    /// Reusable flat buffer for frame readback decode.
+    frame_flat: Vec<u8>,
 }
 
 impl std::fmt::Debug for MiniOs {
@@ -236,6 +243,8 @@ impl MiniOs {
             predictor: crate::prefetch::MarkovPredictor::new(),
             prefetched: std::collections::BTreeSet::new(),
             last_invoked: None,
+            batch_scratch: BatchScratch::default(),
+            frame_flat: Vec::new(),
         }
     }
 
@@ -342,13 +351,14 @@ impl MiniOs {
         let outcome = self.ensure_resident(&record)?;
 
         // 3. decode the configured bits back into an image — once
-        let frames = self
+        let frames = &self
             .table
             .get(algo_id)
             .expect("function resident at this point")
-            .frames
-            .clone();
-        let image = self.device.decode_function(&frames)?;
+            .frames;
+        let image = self
+            .device
+            .decode_function_with(frames, &mut self.frame_flat)?;
         if image.algo_id() != algo_id {
             return Err(McuError::RecordMismatch(format!(
                 "frames decode to algorithm {}, record says {algo_id}",
@@ -356,11 +366,28 @@ impl MiniOs {
             )));
         }
 
-        // 4. stage/execute/collect each input
+        // 4. decode the payload once for the whole batch; netlist
+        // functions evaluate every input bit-sliced in one pass (64
+        // lanes per netlist walk) before the per-input staging loop.
+        let kind = image.kind()?;
+        let mut sliced_outputs = match &kind {
+            FunctionKind::Netlist { netlist, mode } => Some(run_decoded_netlist_batch(
+                netlist,
+                *mode,
+                inputs,
+                &mut self.batch_scratch,
+            )?),
+            FunctionKind::Behavioral { .. } => None,
+        };
+
+        // 5. stage/execute/collect each input
         let mut results = Vec::with_capacity(inputs.len());
         for (i, &input) in inputs.iter().enumerate() {
+            let precomputed = sliced_outputs
+                .as_mut()
+                .map(|outs| std::mem::take(&mut outs[i]));
             let (output, input_time, exec_time, output_time) =
-                self.execute_one(algo_id, &record, &image, input)?;
+                self.execute_one(algo_id, &record, &kind, input, precomputed)?;
             let first = i == 0;
             let report = InvokeReport {
                 algo_id,
@@ -556,13 +583,16 @@ impl MiniOs {
         if self.decoded.is_enabled() {
             if let Some(cached) = self.decoded.get(&key) {
                 let report = self.config_module.configure_decoded(
-                    cached,
+                    &cached,
                     &mut self.device,
                     &self.port,
                     frames,
                 )?;
                 self.stats.decoded_hits += 1;
                 self.stats.decoded_bytes_saved += u64::from(record.uncompressed_len);
+                // the Arc hit handed the frames out without copying them
+                self.stats.decoded_clone_bytes_avoided +=
+                    cached.iter().map(|f| f.len() as u64).sum::<u64>();
                 self.details.push(aaod_sim::DetailEvent::DecodedCache {
                     algo: record.algo_id,
                     hit: true,
@@ -574,7 +604,9 @@ impl MiniOs {
                 return Ok((report, SimTime::ZERO, true));
             }
         }
-        let encoded = self.rom.bitstream_bytes(record).to_vec();
+        // borrow the bitstream straight out of ROM — disjoint fields,
+        // so no per-miss copy of the encoded bytes
+        let encoded = self.rom.bitstream_bytes(record);
         let rom_time = self.mem_timing.rom_read_time(encoded.len() as u64);
         self.details.push(aaod_sim::DetailEvent::RomFetch {
             algo: record.algo_id,
@@ -582,7 +614,7 @@ impl MiniOs {
         });
         let (report, produced) =
             self.config_module
-                .configure_collect(&encoded, &mut self.device, &self.port, frames)?;
+                .configure_collect(encoded, &mut self.device, &self.port, frames)?;
         self.details.push(aaod_sim::DetailEvent::Decompress {
             algo: record.algo_id,
             windows: report.windows,
@@ -603,14 +635,17 @@ impl MiniOs {
         Ok((report, rom_time, false))
     }
 
-    /// Stages one input, executes the decoded image on it, and
-    /// collects the output.
+    /// Stages one input, executes the decoded payload on it, and
+    /// collects the output. Netlist batches are evaluated bit-sliced
+    /// up front by [`MiniOs::invoke_batch`] and arrive here as
+    /// `precomputed`; a `None` falls back to the scalar walk.
     fn execute_one(
         &mut self,
         algo_id: u16,
         record: &FunctionRecord,
-        image: &FunctionImage,
+        kind: &FunctionKind,
         input: &[u8],
+        precomputed: Option<Vec<u8>>,
     ) -> Result<(Vec<u8>, SimTime, SimTime, SimTime), McuError> {
         let (_, input_time) = self.data_in.stage(
             &mut self.ram,
@@ -619,14 +654,17 @@ impl MiniOs {
             input,
             record.input_width,
         )?;
-        let output = match image.kind()? {
-            FunctionKind::Netlist { .. } => image.run_netlist(input)?,
-            FunctionKind::Behavioral { params } => {
+        let output = match (precomputed, kind) {
+            (Some(out), _) => out,
+            (None, FunctionKind::Netlist { netlist, mode }) => {
+                run_decoded_netlist(netlist, *mode, input)?
+            }
+            (None, FunctionKind::Behavioral { params }) => {
                 let kernel = self
                     .bank
                     .kernel(algo_id)
                     .ok_or(McuError::Algo(AlgoError::UnknownAlgorithm(algo_id)))?;
-                kernel.execute(&params, input)?
+                kernel.execute(params, input)?
             }
         };
         let exec_cycles = match self.bank.kernel(algo_id) {
@@ -694,14 +732,14 @@ impl MiniOs {
             return;
         }
         self.stats.evictions += evicted_for_prefetch.len() as u64;
-        let encoded = self.rom.bitstream_bytes(&record).to_vec();
+        let encoded = self.rom.bitstream_bytes(&record);
         let rom_time = self.mem_timing.rom_read_time(encoded.len() as u64);
         let Some(frames) = self.free.allocate(needed) else {
             return;
         };
         match self
             .config_module
-            .configure(&encoded, &mut self.device, &self.port, &frames)
+            .configure(encoded, &mut self.device, &self.port, &frames)
         {
             Ok(report) => {
                 self.stats.frames_configured += report.frames_written as u64;
@@ -825,17 +863,16 @@ impl MiniOs {
         let ids = self.table.resident_ids();
         let mut report = ScrubReport::default();
         for id in ids {
-            let frames = self
+            let frames = &self
                 .table
                 .get(id)
                 .expect("resident id from the table")
-                .frames
-                .clone();
+                .frames;
             // readback cost: pulling the frames back through the port
             report.time += self.port.frames_time(geom, frames.len());
             report.frames_checked += frames.len();
             let healthy = matches!(
-                self.device.decode_function(&frames),
+                self.device.decode_function_with(frames, &mut self.frame_flat),
                 Ok(img) if img.algo_id() == id
             );
             if healthy {
@@ -846,11 +883,11 @@ impl MiniOs {
                 .rom
                 .lookup(id)
                 .ok_or(McuError::Mem(MemError::RecordNotFound(id)))?;
-            let encoded = self.rom.bitstream_bytes(&record).to_vec();
+            let encoded = self.rom.bitstream_bytes(&record);
             report.time += self.mem_timing.rom_read_time(encoded.len() as u64);
             let config =
                 self.config_module
-                    .configure(&encoded, &mut self.device, &self.port, &frames)?;
+                    .configure(encoded, &mut self.device, &self.port, frames)?;
             report.time += config.total();
             report.repaired.push(id);
         }
@@ -1033,6 +1070,14 @@ impl MiniOs {
     /// Drains the buffered detail events.
     pub fn take_details(&mut self) -> Vec<aaod_sim::DetailEvent> {
         self.details.take()
+    }
+
+    /// Moves the buffered detail events into `dst` without allocating
+    /// (the allocation-free counterpart of
+    /// [`MiniOs::take_details`]; see
+    /// [`aaod_sim::DetailLog::drain_into_log`]).
+    pub fn drain_details_into(&mut self, dst: &mut aaod_sim::DetailLog) {
+        self.details.drain_into_log(dst);
     }
 
     /// The controller's monotonic simulated clock.
@@ -1479,6 +1524,11 @@ mod tests {
         assert_eq!(s.decoded_misses, 1);
         assert_eq!(s.decoded_hits, 1);
         assert!(s.decoded_bytes_saved >= 12 * 896, "12 frames of 896 bytes");
+        assert_eq!(
+            s.decoded_clone_bytes_avoided,
+            12 * 896,
+            "the Arc hit hands out the 12 decoded frames uncopied"
+        );
     }
 
     #[test]

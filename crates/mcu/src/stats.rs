@@ -48,6 +48,10 @@ pub struct OsStats {
     pub decoded_misses: u64,
     /// Decompressed bytes whose production the decoded cache avoided.
     pub decoded_bytes_saved: u64,
+    /// Decoded frame bytes the cache's shared (`Arc`) hit path handed
+    /// out *without* copying — the allocation traffic the borrowed
+    /// return avoids relative to cloning each hit's frames.
+    pub decoded_clone_bytes_avoided: u64,
     /// Corruption-recovery re-downloads: a function whose ROM image
     /// went bad was removed, re-encoded and downloaded afresh
     /// (extension; see [`crate::MiniOs::redownload`]).
@@ -95,6 +99,7 @@ impl OsStats {
         self.decoded_hits += other.decoded_hits;
         self.decoded_misses += other.decoded_misses;
         self.decoded_bytes_saved += other.decoded_bytes_saved;
+        self.decoded_clone_bytes_avoided += other.decoded_clone_bytes_avoided;
         self.redownloads += other.redownloads;
         self.redownload_time += other.redownload_time;
         self.config_stalls += other.config_stalls;

@@ -377,6 +377,26 @@ impl DetailLog {
         std::mem::take(&mut self.events)
     }
 
+    /// Moves every buffered event into `buf` (appended in order),
+    /// leaving this log empty but with its capacity intact. The
+    /// allocation-free counterpart of [`DetailLog::take`] for hot
+    /// loops that reuse a caller-owned buffer.
+    pub fn drain_into(&mut self, buf: &mut Vec<DetailEvent>) {
+        buf.append(&mut self.events);
+    }
+
+    /// Moves every buffered event into `dst`'s buffer in order. When
+    /// `dst` is disabled the events are discarded, matching
+    /// [`DetailLog::push`]. Neither log allocates if `dst` has
+    /// capacity.
+    pub fn drain_into_log(&mut self, dst: &mut DetailLog) {
+        if dst.enabled {
+            dst.events.append(&mut self.events);
+        } else {
+            self.events.clear();
+        }
+    }
+
     /// Buffered event count.
     pub fn len(&self) -> usize {
         self.events.len()
@@ -893,6 +913,15 @@ impl Tracer {
         }
         self.metrics.absorb(&kind);
         if self.cfg.level == TraceLevel::Full {
+            if self.events.capacity() < self.cfg.capacity {
+                // One-time ring allocation (lazy, so cheaper levels pay
+                // nothing): without it the deque re-allocates and copies
+                // itself ~17 times on the way to a 2^16 ring, all of it
+                // inside the serving hot loop. At capacity the
+                // pop-front/push-back recycle below is allocation-free.
+                self.events
+                    .reserve_exact(self.cfg.capacity - self.events.len());
+            }
             if self.events.len() >= self.cfg.capacity {
                 self.events.pop_front();
                 self.dropped += 1;
@@ -1486,6 +1515,49 @@ mod tests {
         log.push(DetailEvent::RomFetch { algo: 2, bytes: 20 });
         log.set_enabled(false);
         assert!(log.is_empty());
+    }
+
+    #[test]
+    fn detail_log_drain_into_reuses_buffer() {
+        let mut log = DetailLog::new();
+        log.set_enabled(true);
+        log.push(DetailEvent::RomFetch { algo: 1, bytes: 10 });
+        log.push(DetailEvent::RomFetch { algo: 2, bytes: 20 });
+        let mut buf = Vec::with_capacity(8);
+        log.drain_into(&mut buf);
+        assert_eq!(buf.len(), 2);
+        assert!(log.is_empty());
+        let cap = buf.capacity();
+        buf.clear();
+        log.push(DetailEvent::RomFetch { algo: 3, bytes: 30 });
+        log.drain_into(&mut buf);
+        assert_eq!(buf, vec![DetailEvent::RomFetch { algo: 3, bytes: 30 }]);
+        assert_eq!(buf.capacity(), cap);
+    }
+
+    #[test]
+    fn detail_log_drain_into_log_respects_dst_gate() {
+        let mut src = DetailLog::new();
+        src.set_enabled(true);
+        src.push(DetailEvent::RomFetch { algo: 1, bytes: 10 });
+        let mut dst = DetailLog::new();
+        // disabled destination discards, matching `push`
+        src.drain_into_log(&mut dst);
+        assert!(src.is_empty());
+        assert!(dst.is_empty());
+        // enabled destination receives in order
+        dst.set_enabled(true);
+        src.push(DetailEvent::RomFetch { algo: 2, bytes: 20 });
+        src.push(DetailEvent::RomFetch { algo: 3, bytes: 30 });
+        src.drain_into_log(&mut dst);
+        assert!(src.is_empty());
+        assert_eq!(
+            dst.take(),
+            vec![
+                DetailEvent::RomFetch { algo: 2, bytes: 20 },
+                DetailEvent::RomFetch { algo: 3, bytes: 30 },
+            ]
+        );
     }
 
     #[test]

@@ -116,6 +116,31 @@ fn engine_matches_serial_across_policies_on_bursty() {
     }
 }
 
+/// The exact BENCH_dispatch configuration (straggler mix, seed 1,
+/// dynamic work-stealing at 4 workers) is byte-identical run-to-run
+/// and matches the serial reference — the bit-sliced batch evaluator
+/// behind `invoke_batch` must be a pure speedup, never a behavioural
+/// change, even under stealing and rebalancing.
+#[test]
+fn dispatch_bench_seeded_run_is_byte_identical() {
+    let workload = aaod_workload::mixes::straggler_workload(1000, 1);
+    let (expected_outputs, _) = serial_reference(&workload);
+    let engine = Engine::new(EngineConfig {
+        workers: 4,
+        shard: ShardPolicy::Dynamic,
+        ..EngineConfig::default()
+    });
+    let a = engine.serve(&workload).unwrap();
+    let b = engine.serve(&workload).unwrap();
+    assert_eq!(a.outputs.as_ref().unwrap(), &expected_outputs);
+    assert_eq!(a.outputs, b.outputs);
+    assert_eq!(a.per_request_hit, b.per_request_hit);
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.shard_busy, b.shard_busy);
+    assert_eq!(a.dispatch, b.dispatch);
+    assert_eq!(a.stats, b.stats);
+}
+
 #[test]
 fn engine_run_is_repeatable() {
     let workload = Workload::zipf(&FIT_SET, 100, 1.1, 40, 5);

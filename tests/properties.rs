@@ -220,6 +220,73 @@ proptest! {
         }
     }
 
+    /// Bit-sliced batch evaluation is byte-identical to the scalar
+    /// walk on randomly built netlists, for any lane count — including
+    /// counts that do not divide 64 and spill across lane groups.
+    #[test]
+    fn eval_batch_matches_scalar_eval(
+        seed in any::<u64>(),
+        n_inputs in 1usize..12,
+        n_gates in 1usize..60,
+        n_lanes in 0usize..150,
+    ) {
+        use aaod_fabric::{NetId, NetlistBuilder};
+        let mut rng = aaod_sim::SplitMix64::new(seed);
+        let mut b = NetlistBuilder::new();
+        let inputs = b.inputs(n_inputs);
+        let mut nets: Vec<NetId> = vec![b.zero(), b.one()];
+        nets.extend(&inputs);
+        for _ in 0..n_gates {
+            let pick = |rng: &mut aaod_sim::SplitMix64, nets: &[NetId]| nets[rng.index(nets.len())];
+            let truth = rng.next_u64() as u16;
+            let ins = [
+                pick(&mut rng, &nets),
+                pick(&mut rng, &nets),
+                pick(&mut rng, &nets),
+                pick(&mut rng, &nets),
+            ];
+            let out = b.lut4(truth, ins);
+            nets.push(out);
+        }
+        let n_outputs = 1 + rng.index(4);
+        for _ in 0..n_outputs {
+            let net = nets[rng.index(nets.len())];
+            b.output(net);
+        }
+        let netlist = b.finish().unwrap();
+        let lanes: Vec<Vec<bool>> = (0..n_lanes)
+            .map(|_| (0..n_inputs).map(|_| rng.chance(0.5)).collect())
+            .collect();
+        let refs: Vec<&[bool]> = lanes.iter().map(Vec::as_slice).collect();
+        let batched = netlist.eval_batch(&refs);
+        prop_assert_eq!(batched.len(), n_lanes);
+        for (lane, got) in lanes.iter().zip(&batched) {
+            prop_assert_eq!(got, &netlist.eval(lane));
+        }
+    }
+
+    /// The byte-level batch runner matches the scalar runner on the
+    /// real bank netlists for arbitrary mixed-length inputs, in both
+    /// combinational and streaming modes.
+    #[test]
+    fn run_netlist_batch_matches_scalar(
+        inputs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..80), 0..90),
+    ) {
+        use aaod_fabric::{run_decoded_netlist, run_decoded_netlist_batch, BatchScratch};
+        let cases = [
+            (aaod_algos::netlists::adder8_netlist(), NetlistMode::Combinational),
+            (aaod_algos::netlists::crc8_netlist(), NetlistMode::Streaming),
+        ];
+        let mut scratch = BatchScratch::default();
+        for (netlist, mode) in cases {
+            let refs: Vec<&[u8]> = inputs.iter().map(Vec::as_slice).collect();
+            let batched = run_decoded_netlist_batch(&netlist, mode, &refs, &mut scratch).unwrap();
+            for (input, got) in inputs.iter().zip(&batched) {
+                prop_assert_eq!(got, &run_decoded_netlist(&netlist, mode, input).unwrap());
+            }
+        }
+    }
+
     /// Streaming decompressors never panic on arbitrary (garbage)
     /// compressed input — they either produce bytes or fail cleanly.
     #[test]
