@@ -74,6 +74,11 @@ pub fn generate(seed: u64, len: usize, motif_len: usize) -> Vec<u8> {
     out
 }
 
+/// The filler seed [`behavioral_image`] derives for `algo_id`.
+pub fn default_filler_seed(algo_id: u16) -> u64 {
+    0xA160_0000 | algo_id as u64
+}
+
 /// Builds a behavioural [`aaod_fabric::FunctionImage`] sized to occupy
 /// `target_frames` frames under `geom`: descriptor + params + enough
 /// structured filler to fill the area a real core of that size would.
@@ -88,12 +93,39 @@ pub fn behavioral_image(
     target_frames: usize,
     geom: aaod_fabric::DeviceGeometry,
 ) -> aaod_fabric::FunctionImage {
+    behavioral_image_seeded(
+        algo_id,
+        params,
+        input_width,
+        output_width,
+        target_frames,
+        geom,
+        default_filler_seed(algo_id),
+    )
+}
+
+/// [`behavioral_image`] with an explicit `filler_seed` instead of the
+/// id-derived one. Two algorithms built with the same seed, params and
+/// frame target share every configuration byte outside the descriptor
+/// frame — the frame-level redundancy [`AliasKernel`] exploits and the
+/// DeltaV2 frame store deduplicates.
+///
+/// [`AliasKernel`]: crate::AliasKernel
+pub fn behavioral_image_seeded(
+    algo_id: u16,
+    params: &[u8],
+    input_width: u16,
+    output_width: u16,
+    target_frames: usize,
+    geom: aaod_fabric::DeviceGeometry,
+    filler_seed: u64,
+) -> aaod_fabric::FunctionImage {
     let target_bytes = target_frames.max(1) * geom.frame_bytes();
     let overhead = aaod_fabric::image::DESCRIPTOR_BYTES + 2 + params.len();
     let filler_len = target_bytes.saturating_sub(overhead);
     // period = frame size, so adjacent frames are near-copies — the
     // inter-frame CLB symmetry the paper's conclusion highlights
-    let filler = generate(0xA160_0000 | algo_id as u64, filler_len, geom.frame_bytes());
+    let filler = generate(filler_seed, filler_len, geom.frame_bytes());
     aaod_fabric::FunctionImage::from_behavioral(algo_id, params, &filler, input_width, output_width)
 }
 

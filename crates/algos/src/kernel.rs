@@ -3,6 +3,7 @@
 use aaod_fabric::{DeviceGeometry, FunctionImage};
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors from kernel execution or image construction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -93,6 +94,93 @@ pub trait Kernel: Send + Sync {
     fn software_cycles(&self, input_len: usize) -> u64;
 }
 
+/// A bank entry that re-publishes another kernel under a new id — the
+/// "same IP core licensed into two algorithm slots" case.
+///
+/// Behaviour (execute, widths, cycle models) delegates to the inner
+/// kernel. The configuration image is rebuilt with the alias's own id
+/// but the *inner* kernel's filler seed and frame target, so for a
+/// behavioural inner kernel every configuration frame except the
+/// descriptor frame is byte-identical to the original's — the
+/// cross-algorithm redundancy the DeltaV2 frame store deduplicates.
+/// (A netlist inner kernel still aliases correctly, but its image is
+/// re-expressed behaviourally, so only the filler statistics — not the
+/// exact frames — are shared.)
+pub struct AliasKernel {
+    algo_id: u16,
+    name: &'static str,
+    inner: Arc<dyn Kernel>,
+}
+
+impl AliasKernel {
+    /// Wraps `inner` under `algo_id` / `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `algo_id` equals the inner kernel's id — the bank
+    /// would reject the duplicate anyway.
+    pub fn new(algo_id: u16, name: &'static str, inner: Arc<dyn Kernel>) -> Self {
+        assert_ne!(algo_id, inner.algo_id(), "alias must use a fresh id");
+        AliasKernel {
+            algo_id,
+            name,
+            inner,
+        }
+    }
+
+    /// The aliased kernel's id.
+    pub fn inner_id(&self) -> u16 {
+        self.inner.algo_id()
+    }
+}
+
+impl Kernel for AliasKernel {
+    fn algo_id(&self) -> u16 {
+        self.algo_id
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn default_params(&self) -> Vec<u8> {
+        self.inner.default_params()
+    }
+
+    fn execute(&self, params: &[u8], input: &[u8]) -> Result<Vec<u8>, AlgoError> {
+        self.inner.execute(params, input)
+    }
+
+    fn input_width(&self) -> u16 {
+        self.inner.input_width()
+    }
+
+    fn output_width(&self) -> u16 {
+        self.inner.output_width()
+    }
+
+    fn build_image(&self, params: &[u8], geom: DeviceGeometry) -> Result<FunctionImage, AlgoError> {
+        let original = self.inner.build_image(params, geom)?;
+        Ok(crate::filler::behavioral_image_seeded(
+            self.algo_id,
+            params,
+            self.inner.input_width(),
+            self.inner.output_width(),
+            original.frames_needed(geom),
+            geom,
+            crate::filler::default_filler_seed(self.inner.algo_id()),
+        ))
+    }
+
+    fn fabric_cycles(&self, input_len: usize) -> u64 {
+        self.inner.fabric_cycles(input_len)
+    }
+
+    fn software_cycles(&self, input_len: usize) -> u64 {
+        self.inner.software_cycles(input_len)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,5 +204,45 @@ mod tests {
     fn send_sync() {
         fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
         assert_traits::<AlgoError>();
+    }
+
+    #[test]
+    fn alias_shares_all_body_frames_with_inner() {
+        let inner: Arc<dyn Kernel> = Arc::new(crate::crypto::Sha1);
+        let alias = AliasKernel::new(200, "sha1-alias", Arc::clone(&inner));
+        assert_eq!(alias.inner_id(), inner.algo_id());
+        let geom = DeviceGeometry::default();
+        let params = inner.default_params();
+        let a = inner.build_image(&params, geom).unwrap().encode(geom);
+        let b = alias.build_image(&params, geom).unwrap().encode(geom);
+        assert_eq!(a.len(), b.len(), "same frame count");
+        assert_ne!(a[0], b[0], "descriptor frame carries the new id");
+        for (i, (fa, fb)) in a.iter().zip(&b).enumerate().skip(1) {
+            assert_eq!(fa, fb, "body frame {i} must be byte-identical");
+        }
+    }
+
+    #[test]
+    fn alias_delegates_behaviour() {
+        let inner: Arc<dyn Kernel> = Arc::new(crate::crypto::Sha1);
+        let alias = AliasKernel::new(201, "sha1-alias", Arc::clone(&inner));
+        let params = alias.default_params();
+        assert_eq!(
+            alias.execute(&params, b"abc").unwrap(),
+            inner.execute(&params, b"abc").unwrap()
+        );
+        assert_eq!(alias.input_width(), inner.input_width());
+        assert_eq!(alias.output_width(), inner.output_width());
+        assert_eq!(alias.fabric_cycles(64), inner.fabric_cycles(64));
+        assert_eq!(alias.software_cycles(64), inner.software_cycles(64));
+        assert_eq!(alias.algo_id(), 201);
+        assert_eq!(alias.name(), "sha1-alias");
+    }
+
+    #[test]
+    #[should_panic(expected = "fresh id")]
+    fn alias_rejects_inner_id() {
+        let inner: Arc<dyn Kernel> = Arc::new(crate::crypto::Sha1);
+        let _ = AliasKernel::new(inner.algo_id(), "dup", inner);
     }
 }

@@ -46,7 +46,7 @@ pub mod kernel;
 pub mod netlists;
 
 pub use bank::AlgorithmBank;
-pub use kernel::{AlgoError, Kernel};
+pub use kernel::{AlgoError, AliasKernel, Kernel};
 
 /// Well-known algorithm identifiers for the standard bank.
 pub mod ids {

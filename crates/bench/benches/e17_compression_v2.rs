@@ -1,0 +1,289 @@
+//! E17 — compression v2: frame-dedup delta codec + content-addressed
+//! frame store, ablated against every v1 codec on the dedup-heavy mix
+//! (SHA-1 published under two ids, seven algorithms overcommitting the
+//! 96-frame device; see [`aaod_workload::mixes::dedup_mix`]).
+//!
+//! One serial arm per codec serves the same seeded bursty workload
+//! from a cold card with the decoded cache disabled, so every miss
+//! takes the full ROM → decompress → configure path. Two metrics:
+//!
+//! 1. **Shipped config bytes** — frame bytes actually fetched,
+//!    decompressed and written to the fabric over the whole run.
+//!    v1 codecs ship `frames_configured x frame_bytes`; DeltaV2
+//!    subtracts what the content-addressed store served from residence
+//!    (`frame_store_bytes_deduped`).
+//! 2. **Mean miss reconfiguration latency** — modelled
+//!    `reconfig_time / misses`; the store turns decompress work into
+//!    cheap verified copies, so DeltaV2 must beat the PR-6 default
+//!    (LZSS) baseline.
+//!
+//! Floors CI re-asserts: best-v1 shipped bytes / DeltaV2 shipped
+//! bytes ≥ 1.3x, and DeltaV2 mean miss reconfiguration latency
+//! strictly below the LZSS baseline. The bench also pins
+//! engine-vs-serial byte identity on the dedup mix (alias id 100 is
+//! not in the golden bank, so identity is checked against the serial
+//! arm, not `verify`).
+
+use aaod_bench::criterion_fast;
+use aaod_bitstream::codec::{registry, CodecId};
+use aaod_bitstream::Bitstream;
+use aaod_core::{run_workload, CoProcessor, Engine, EngineConfig, ShardPolicy};
+use aaod_fabric::DeviceGeometry;
+use aaod_mcu::OsStats;
+use aaod_sim::report::{f2, Table};
+use aaod_workload::{mixes, Workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Requests in the measured serial arms.
+const N_REQUESTS: usize = 400;
+/// Acceptance floor: best v1 codec must ship at least this many times
+/// more config bytes than DeltaV2 + store on the dedup mix.
+const FLOOR_SHIPPED_RATIO: f64 = 1.3;
+
+/// The dedup workload seed, overridable via `AAOD_COMPRESS_SEED` (the
+/// determinism suite uses the same hook, so a CI sweep exercises both
+/// with one knob).
+fn compress_seed() -> u64 {
+    std::env::var("AAOD_COMPRESS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1717)
+}
+
+/// One arm's card: dedup bank, decoded cache off (every miss decodes),
+/// default frame-store budget (only DeltaV2 consults it).
+fn dedup_card(codec: CodecId) -> CoProcessor {
+    CoProcessor::builder()
+        .codec(codec)
+        .bank(mixes::dedup_bank())
+        .decoded_cache_bytes(0)
+        .build()
+}
+
+struct Arm {
+    codec: CodecId,
+    /// Encoded ROM bytes of the whole mix under this codec.
+    stream_bytes: usize,
+    /// Config bytes actually shipped to the fabric over the run.
+    shipped_bytes: u64,
+    mean_miss_reconfig_ns: f64,
+    stats: OsStats,
+    outputs: Vec<Vec<u8>>,
+}
+
+fn run_arm(codec: CodecId, geom: DeviceGeometry, w: &Workload) -> Arm {
+    let bank = mixes::dedup_bank();
+    let boxed = registry::codec(codec, geom.frame_bytes());
+    let stream_bytes: usize = mixes::dedup_mix()
+        .iter()
+        .map(|&id| {
+            let image = bank.build_image(id, geom).expect("image");
+            Bitstream::from_image(&image, geom)
+                .encode(boxed.as_ref())
+                .len()
+        })
+        .sum();
+    let mut cp = dedup_card(codec);
+    for &id in &w.distinct_algos() {
+        cp.install(id).expect("install");
+    }
+    let mut outputs = Vec::with_capacity(w.len());
+    for (i, req) in w.requests().iter().enumerate() {
+        outputs.push(cp.invoke(req.algo_id, &w.input(i)).expect("invoke").0);
+    }
+    let stats = cp.stats();
+    let shipped_bytes =
+        stats.frames_configured * geom.frame_bytes() as u64 - stats.frame_store_bytes_deduped;
+    let mean_miss_reconfig_ns =
+        stats.reconfig_time.as_ps() as f64 / 1e3 / (stats.misses.max(1)) as f64;
+    Arm {
+        codec,
+        stream_bytes,
+        shipped_bytes,
+        mean_miss_reconfig_ns,
+        stats,
+        outputs,
+    }
+}
+
+fn print_ablation_table(geom: DeviceGeometry, w: &Workload, arms: &[Arm]) -> (f64, f64, f64) {
+    let mut t = Table::new(
+        "E17: compression v2 on the dedup mix (serial, decoded cache off)",
+        &[
+            "codec",
+            "stream KiB",
+            "shipped KiB",
+            "store hits",
+            "KiB deduped",
+            "miss reconfig",
+        ],
+    );
+    let mut json_rows = Vec::new();
+    for arm in arms {
+        t.row_owned(vec![
+            arm.codec.to_string(),
+            format!("{:.1}", arm.stream_bytes as f64 / 1024.0),
+            format!("{:.1}", arm.shipped_bytes as f64 / 1024.0),
+            arm.stats.frame_store_hits.to_string(),
+            format!("{:.1}", arm.stats.frame_store_bytes_deduped as f64 / 1024.0),
+            format!("{:.1}us", arm.mean_miss_reconfig_ns / 1e3),
+        ]);
+        json_rows.push(format!(
+            "{{\"codec\":\"{}\",\"stream_bytes\":{},\"shipped_bytes\":{},\
+             \"frame_store_hits\":{},\"frame_store_misses\":{},\"bytes_deduped\":{},\
+             \"misses\":{},\"mean_miss_reconfig_us\":{:.2}}}",
+            arm.codec,
+            arm.stream_bytes,
+            arm.shipped_bytes,
+            arm.stats.frame_store_hits,
+            arm.stats.frame_store_misses,
+            arm.stats.frame_store_bytes_deduped,
+            arm.stats.misses,
+            arm.mean_miss_reconfig_ns / 1e3,
+        ));
+    }
+    println!("{t}");
+
+    let v2 = arms
+        .iter()
+        .find(|a| a.codec == CodecId::DeltaV2)
+        .expect("deltav2 arm");
+    let best_v1 = arms
+        .iter()
+        .filter(|a| a.codec != CodecId::DeltaV2)
+        .min_by_key(|a| a.shipped_bytes)
+        .expect("v1 arms");
+    let baseline = arms
+        .iter()
+        .find(|a| a.codec == CodecId::Lzss)
+        .expect("lzss arm");
+    let shipped_ratio = best_v1.shipped_bytes as f64 / v2.shipped_bytes as f64;
+    let mut s = Table::new(
+        "E17 summary: DeltaV2 + frame store vs best v1",
+        &["metric", "best v1", "delta-v2", "gain"],
+    );
+    s.row_owned(vec![
+        "shipped config KiB".into(),
+        format!(
+            "{:.1} ({})",
+            best_v1.shipped_bytes as f64 / 1024.0,
+            best_v1.codec
+        ),
+        format!("{:.1}", v2.shipped_bytes as f64 / 1024.0),
+        format!("{}x", f2(shipped_ratio)),
+    ]);
+    s.row_owned(vec![
+        "mean miss reconfig".into(),
+        format!("{:.1}us (lzss)", baseline.mean_miss_reconfig_ns / 1e3),
+        format!("{:.1}us", v2.mean_miss_reconfig_ns / 1e3),
+        format!(
+            "{}x",
+            f2(baseline.mean_miss_reconfig_ns / v2.mean_miss_reconfig_ns)
+        ),
+    ]);
+    println!("{s}");
+    println!(
+        "BENCH_JSON {{\"experiment\":\"e17_compression_v2\",\"requests\":{},\"seed\":{},\
+         \"frame_bytes\":{},\"rows\":[{}],\
+         \"summary\":{{\"best_v1\":\"{}\",\"shipped_ratio\":{:.3},\
+         \"baseline_mean_miss_us\":{:.2},\"v2_mean_miss_us\":{:.2}}}}}",
+        w.len(),
+        compress_seed(),
+        geom.frame_bytes(),
+        json_rows.join(","),
+        best_v1.codec,
+        shipped_ratio,
+        baseline.mean_miss_reconfig_ns / 1e3,
+        v2.mean_miss_reconfig_ns / 1e3,
+    );
+    (
+        shipped_ratio,
+        baseline.mean_miss_reconfig_ns,
+        v2.mean_miss_reconfig_ns,
+    )
+}
+
+fn assert_floors(arms: &[Arm], shipped_ratio: f64, baseline_ns: f64, v2_ns: f64) {
+    // Every codec arm computes byte-identical outputs — the ablation
+    // varies shipping, never results.
+    for pair in arms.windows(2) {
+        assert_eq!(
+            pair[0].outputs, pair[1].outputs,
+            "outputs diverged between {} and {}",
+            pair[0].codec, pair[1].codec
+        );
+    }
+    let v2 = arms.iter().find(|a| a.codec == CodecId::DeltaV2).unwrap();
+    assert!(
+        v2.stats.frame_store_hits > 0,
+        "dedup mix never hit the frame store"
+    );
+    assert!(
+        shipped_ratio >= FLOOR_SHIPPED_RATIO,
+        "regression: DeltaV2 shipped-bytes gain fell to {shipped_ratio:.2}x \
+         (floor {FLOOR_SHIPPED_RATIO}x)"
+    );
+    assert!(
+        v2_ns < baseline_ns,
+        "regression: DeltaV2 mean miss reconfig {:.1}us not below the LZSS \
+         baseline {:.1}us",
+        v2_ns / 1e3,
+        baseline_ns / 1e3,
+    );
+}
+
+/// Engine-vs-serial byte identity on the dedup mix: the store is
+/// per-shard state, so partitioning must never change results.
+fn assert_engine_matches_serial(w: &Workload, serial: &[Vec<u8>]) {
+    for policy in [ShardPolicy::AlgoModulo, ShardPolicy::Dynamic] {
+        let engine = Engine::with_factory(
+            EngineConfig {
+                workers: 4,
+                shard: policy,
+                ..EngineConfig::default()
+            },
+            || dedup_card(CodecId::DeltaV2),
+        );
+        let r = engine.serve(w).expect("engine serve");
+        assert_eq!(
+            r.outputs.as_deref().expect("outputs kept"),
+            serial,
+            "engine ({policy:?}) diverged from serial on the dedup mix"
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let geom = DeviceGeometry::default();
+    let w = mixes::dedup_workload(N_REQUESTS, compress_seed());
+    let arms: Vec<Arm> = registry::all(geom.frame_bytes())
+        .iter()
+        .map(|codec| run_arm(codec.id(), geom, &w))
+        .collect();
+    let (shipped_ratio, baseline_ns, v2_ns) = print_ablation_table(geom, &w, &arms);
+    assert_floors(&arms, shipped_ratio, baseline_ns, v2_ns);
+    let v2 = arms.iter().find(|a| a.codec == CodecId::DeltaV2).unwrap();
+    assert_engine_matches_serial(&w, &v2.outputs);
+
+    // Wall-clock: the serving hot path with and without the store.
+    let w_small = mixes::dedup_workload(120, compress_seed());
+    let mut group = c.benchmark_group("e17_compression_v2");
+    for codec in [CodecId::Lzss, CodecId::DeltaV2] {
+        let mut cp = dedup_card(codec);
+        for &id in &w_small.distinct_algos() {
+            cp.install(id).expect("install");
+        }
+        group.bench_function(format!("serve_dedup_{codec}"), |b| {
+            b.iter(|| black_box(run_workload(&mut cp, &w_small, false).expect("run")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_fast();
+    targets = bench
+}
+criterion_main!(benches);

@@ -5,15 +5,32 @@
 //! the per-function breakdown), then Criterion-measures real
 //! compress/decompress wall-clock throughput of each codec on the
 //! AES-128 bitstream.
+//!
+//! The bank corpus is generated **once** and shared by the table and
+//! every Criterion group, so the E2 ratios are directly comparable
+//! with E17's (same flats, same codecs). The table asserts the E2
+//! compression-ratio floors CI re-checks: each production codec must
+//! keep beating stored size on the whole bank.
 
 use aaod_algos::{ids, AlgorithmBank};
 use aaod_bench::criterion_fast;
-use aaod_bitstream::codec::{decompress_all, registry};
+use aaod_bitstream::codec::{decompress_all, registry, CodecId};
 use aaod_bitstream::{Bitstream, CompressionStats};
 use aaod_fabric::DeviceGeometry;
 use aaod_sim::report::{f2, Table};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+
+/// Whole-bank compression-ratio floors (conservative: well under the
+/// recorded ratios, so structural regressions trip them but codec
+/// tweaks don't).
+const RATIO_FLOORS: [(CodecId, f64); 5] = [
+    (CodecId::Rle, 1.5),
+    (CodecId::Lzss, 2.0),
+    (CodecId::Huffman, 1.2),
+    (CodecId::FrameXor, 1.5),
+    (CodecId::DeltaV2, 2.0),
+];
 
 fn bank_flats(geom: DeviceGeometry) -> Vec<(u16, Vec<u8>)> {
     let bank = AlgorithmBank::standard();
@@ -25,9 +42,7 @@ fn bank_flats(geom: DeviceGeometry) -> Vec<(u16, Vec<u8>)> {
         .collect()
 }
 
-fn print_table() {
-    let geom = DeviceGeometry::default();
-    let flats = bank_flats(geom);
+fn print_table(geom: DeviceGeometry, flats: &[(u16, Vec<u8>)]) {
     let raw_total: usize = flats.iter().map(|(_, f)| f.len()).sum();
     let mut t = Table::new(
         "E2: whole-bank compression by codec",
@@ -44,22 +59,31 @@ fn print_table() {
             .iter()
             .map(|(_, f)| CompressionStats::measure(codec.as_ref(), f).compressed)
             .sum();
+        let ratio = raw_total as f64 / compressed as f64;
         let cpb = codec.cycles_per_output_byte();
         t.row_owned(vec![
             codec.id().to_string(),
             format!("{:.1}", compressed as f64 / 1024.0),
-            f2(raw_total as f64 / compressed as f64),
+            f2(ratio),
             cpb.to_string(),
             f2(50.0 / cpb as f64),
         ]);
+        if let Some(&(_, floor)) = RATIO_FLOORS.iter().find(|(id, _)| *id == codec.id()) {
+            assert!(
+                ratio >= floor,
+                "regression: {} whole-bank ratio fell to {ratio:.2} (floor {floor})",
+                codec.id()
+            );
+        }
     }
     println!("{t}");
 }
 
 fn bench(c: &mut Criterion) {
-    print_table();
     let geom = DeviceGeometry::default();
+    // One corpus for the table and every timed group.
     let flats = bank_flats(geom);
+    print_table(geom, &flats);
     let aes_flat = &flats
         .iter()
         .find(|(id, _)| *id == ids::AES128)

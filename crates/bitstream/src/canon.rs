@@ -1,0 +1,290 @@
+//! LUT-symmetry canonicalisation (the paper's open problem, v2).
+//!
+//! A 4-input LUT's truth table is a 16-bit word; permuting the LUT's
+//! *inputs* permutes the table's bits without changing the logic
+//! function (the router absorbs the pin swap). Two configuration
+//! frames that differ only by such input permutations therefore
+//! configure the *same* hardware up to wiring — the CLB symmetry the
+//! source paper's conclusion asks compression to exploit.
+//!
+//! This module maps every 16-bit LUT word to the lexicographically
+//! smallest member of its input-permutation class (the canonical
+//! representative) and records which of the 24 permutations achieved
+//! it, so the exact original word — and thus the exact original frame
+//! — is recoverable byte for byte. Frames are canonicalised word by
+//! word (2-byte little-endian words; a trailing odd byte passes
+//! through untouched), hashed in canonical form for the
+//! content-addressed [`FrameStore`](crate::FrameStore), and
+//! de-canonicalised on decode with the recorded inverse permutations.
+
+/// Number of input permutations of a 4-input LUT (4! = 24).
+pub const N_PERMS: usize = 24;
+
+/// The 24 permutations of four inputs, lexicographic order. Entry `p`
+/// is the permutation `[p0, p1, p2, p3]`: input line `k` of the
+/// permuted LUT reads original input line `p[k]`.
+const PERMS: [[u8; 4]; N_PERMS] = [
+    [0, 1, 2, 3],
+    [0, 1, 3, 2],
+    [0, 2, 1, 3],
+    [0, 2, 3, 1],
+    [0, 3, 1, 2],
+    [0, 3, 2, 1],
+    [1, 0, 2, 3],
+    [1, 0, 3, 2],
+    [1, 2, 0, 3],
+    [1, 2, 3, 0],
+    [1, 3, 0, 2],
+    [1, 3, 2, 0],
+    [2, 0, 1, 3],
+    [2, 0, 3, 1],
+    [2, 1, 0, 3],
+    [2, 1, 3, 0],
+    [2, 3, 0, 1],
+    [2, 3, 1, 0],
+    [3, 0, 1, 2],
+    [3, 0, 2, 1],
+    [3, 1, 0, 2],
+    [3, 1, 2, 0],
+    [3, 2, 0, 1],
+    [3, 2, 1, 0],
+];
+
+/// Bit-index maps: `TABLES[p][i]` is the table position the bit at
+/// position `i` moves to under permutation `p`, plus each
+/// permutation's inverse — built once on first use.
+struct PermTables {
+    /// `maps[p][i]`: position in the permuted table whose value is
+    /// `table[i]` of the original.
+    maps: [[u8; 16]; N_PERMS],
+    /// `inverse[p]` is the index of the permutation undoing `PERMS[p]`.
+    inverse: [u8; N_PERMS],
+}
+
+fn tables() -> &'static PermTables {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<PermTables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut maps = [[0u8; 16]; N_PERMS];
+        for (p, perm) in PERMS.iter().enumerate() {
+            for (i, slot) in maps[p].iter_mut().enumerate() {
+                // index bit k of the permuted position takes the value
+                // of index bit perm[k] of the original position
+                let mut j = 0usize;
+                for (k, &src) in perm.iter().enumerate() {
+                    j |= ((i >> src) & 1) << k;
+                }
+                *slot = j as u8;
+            }
+        }
+        let mut inverse = [0u8; N_PERMS];
+        for (p, perm) in PERMS.iter().enumerate() {
+            let mut inv = [0u8; 4];
+            for (k, &src) in perm.iter().enumerate() {
+                inv[src as usize] = k as u8;
+            }
+            inverse[p] = PERMS
+                .iter()
+                .position(|q| *q == inv)
+                .expect("S4 is closed under inversion") as u8;
+        }
+        PermTables { maps, inverse }
+    })
+}
+
+/// Applies input permutation `perm` (an index into the 24-element
+/// permutation group) to truth table `t`.
+///
+/// # Panics
+///
+/// Panics if `perm >= 24`.
+pub fn apply_perm(t: u16, perm: u8) -> u16 {
+    let map = &tables().maps[perm as usize];
+    let mut out = 0u16;
+    for (i, &j) in map.iter().enumerate() {
+        out |= ((t >> i) & 1) << j;
+    }
+    out
+}
+
+/// The index of the permutation that undoes `perm`.
+///
+/// # Panics
+///
+/// Panics if `perm >= 24`.
+pub fn inverse_perm(perm: u8) -> u8 {
+    tables().inverse[perm as usize]
+}
+
+/// Canonicalises one LUT4 truth table: returns the lexicographically
+/// smallest input-permuted form and the permutation index that
+/// produced it (ties break on the lowest index, so the result is a
+/// pure function of `t`).
+pub fn canon_word(t: u16) -> (u16, u8) {
+    let mut best = t;
+    let mut best_p = 0u8;
+    for p in 0..N_PERMS as u8 {
+        let candidate = apply_perm(t, p);
+        if candidate < best {
+            best = candidate;
+            best_p = p;
+        }
+    }
+    (best, best_p)
+}
+
+/// Undoes [`canon_word`]: recovers the original table from its
+/// canonical form and the recorded permutation index.
+///
+/// # Panics
+///
+/// Panics if `perm >= 24`.
+pub fn decanon_word(canonical: u16, perm: u8) -> u16 {
+    apply_perm(canonical, inverse_perm(perm))
+}
+
+/// Applies one input permutation to *every* LUT word of a frame — the
+/// global pin swap a placement tool performs consistently over a
+/// region. 2-byte little-endian words; a trailing odd byte is copied
+/// unchanged.
+///
+/// # Panics
+///
+/// Panics if `perm >= 24`.
+pub fn permute_frame(frame: &[u8], perm: u8) -> Vec<u8> {
+    let mut out = Vec::with_capacity(frame.len());
+    for w in frame.chunks_exact(2) {
+        let t = apply_perm(u16::from_le_bytes([w[0], w[1]]), perm);
+        out.extend_from_slice(&t.to_le_bytes());
+    }
+    if frame.len() % 2 == 1 {
+        out.push(frame[frame.len() - 1]);
+    }
+    out
+}
+
+/// Canonicalises a frame: picks, among the 24 global input
+/// permutations applied via [`permute_frame`], the lexicographically
+/// smallest resulting byte string (ties break on the lowest
+/// permutation index, so the result is a pure function of the frame).
+/// Returns the canonical bytes and the permutation that produced
+/// them; [`decanon_frame`] inverts it exactly.
+///
+/// Frames that are global pin swaps of one another share a canonical
+/// form — the frame-level equivalence the content-addressed store
+/// hashes by. (Per-word symmetry classes are exposed separately by
+/// [`canon_word`] / [`decanon_word`].)
+pub fn canon_frame(frame: &[u8]) -> (Vec<u8>, u8) {
+    let mut best = permute_frame(frame, 0);
+    let mut best_p = 0u8;
+    for p in 1..N_PERMS as u8 {
+        let candidate = permute_frame(frame, p);
+        if candidate < best {
+            best = candidate;
+            best_p = p;
+        }
+    }
+    (best, best_p)
+}
+
+/// Undoes [`canon_frame`]: recovers the original frame from its
+/// canonical form and the recorded permutation index.
+///
+/// # Panics
+///
+/// Panics if `perm >= 24` (callers validate wire data first).
+pub fn decanon_frame(canonical: &[u8], perm: u8) -> Vec<u8> {
+    permute_frame(canonical, inverse_perm(perm))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aaod_sim::SplitMix64;
+
+    #[test]
+    fn perm_tables_are_permutations() {
+        for p in 0..N_PERMS as u8 {
+            let mut seen = [false; 16];
+            for i in 0..16u16 {
+                let one = 1u16 << i;
+                let moved = apply_perm(one, p);
+                assert_eq!(moved.count_ones(), 1, "perm {p} not a bit permutation");
+                let j = moved.trailing_zeros() as usize;
+                assert!(!seen[j], "perm {p} collides at {j}");
+                seen[j] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_undoes_apply() {
+        let mut rng = SplitMix64::new(0xCA_0401);
+        for _ in 0..500 {
+            let t = rng.next_u64() as u16;
+            for p in 0..N_PERMS as u8 {
+                assert_eq!(apply_perm(apply_perm(t, p), inverse_perm(p)), t);
+            }
+        }
+    }
+
+    #[test]
+    fn canon_decanon_word_identity() {
+        for t in 0..=u16::MAX {
+            let (c, p) = canon_word(t);
+            assert_eq!(decanon_word(c, p), t, "table {t:#06x}");
+            assert!(c <= t, "canonical form is minimal");
+        }
+    }
+
+    #[test]
+    fn canon_is_permutation_invariant() {
+        let mut rng = SplitMix64::new(0xCA_0402);
+        for _ in 0..2000 {
+            let t = rng.next_u64() as u16;
+            let p = rng.index(N_PERMS) as u8;
+            assert_eq!(
+                canon_word(apply_perm(t, p)).0,
+                canon_word(t).0,
+                "permuted table {t:#06x} left its class under perm {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn canon_frame_roundtrips_odd_and_even() {
+        let mut rng = SplitMix64::new(0xCA_0403);
+        for len in [0usize, 1, 2, 3, 15, 16, 896, 897] {
+            let mut frame = vec![0u8; len];
+            rng.fill(&mut frame);
+            let (canonical, perm) = canon_frame(&frame);
+            assert_eq!(canonical.len(), frame.len());
+            assert!(canonical <= frame, "canonical form is minimal");
+            assert_eq!(decanon_frame(&canonical, perm), frame, "len {len}");
+        }
+    }
+
+    #[test]
+    fn permuted_frames_share_canonical_form() {
+        // a frame whose every LUT word is permuted by the same pin swap
+        // canonicalises to the identical byte string
+        let mut rng = SplitMix64::new(0xCA_0404);
+        let mut frame = vec![0u8; 128];
+        rng.fill(&mut frame);
+        for p in 1..N_PERMS as u8 {
+            let permuted = permute_frame(&frame, p);
+            assert_eq!(canon_frame(&permuted).0, canon_frame(&frame).0, "perm {p}");
+        }
+    }
+
+    #[test]
+    fn permute_frame_composes_like_apply_perm() {
+        let mut rng = SplitMix64::new(0xCA_0405);
+        let mut frame = vec![0u8; 33];
+        rng.fill(&mut frame);
+        for p in 0..N_PERMS as u8 {
+            let back = permute_frame(&permute_frame(&frame, p), inverse_perm(p));
+            assert_eq!(back, frame, "perm {p}");
+        }
+    }
+}

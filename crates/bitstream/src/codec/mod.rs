@@ -10,6 +10,7 @@
 //! microcontroller timing model, so experiment E2/E8 can trade ratio
 //! against decompression speed.
 
+pub mod deltav2;
 pub mod framexor;
 pub mod huffman;
 pub mod lzss;
@@ -33,16 +34,21 @@ pub enum CodecId {
     Huffman = 3,
     /// Frame-delta XOR + RLE (exploits inter-frame CLB symmetry).
     FrameXor = 4,
+    /// Frame-dedup delta codec: exact/canonical frame references,
+    /// XOR deltas and per-frame v1 fallback, with content-hash hints
+    /// for the [`FrameStore`](crate::FrameStore) (compression v2).
+    DeltaV2 = 5,
 }
 
 impl CodecId {
     /// All codec ids, in id order.
-    pub const ALL: [CodecId; 5] = [
+    pub const ALL: [CodecId; 6] = [
         CodecId::Null,
         CodecId::Rle,
         CodecId::Lzss,
         CodecId::Huffman,
         CodecId::FrameXor,
+        CodecId::DeltaV2,
     ];
 
     /// The wire byte for this codec.
@@ -62,6 +68,7 @@ impl CodecId {
             2 => Ok(CodecId::Lzss),
             3 => Ok(CodecId::Huffman),
             4 => Ok(CodecId::FrameXor),
+            5 => Ok(CodecId::DeltaV2),
             other => Err(BitstreamError::UnknownCodec(other)),
         }
     }
@@ -75,6 +82,7 @@ impl fmt::Display for CodecId {
             CodecId::Lzss => "lzss",
             CodecId::Huffman => "huffman",
             CodecId::FrameXor => "frame-xor",
+            CodecId::DeltaV2 => "delta-v2",
         };
         f.write_str(name)
     }
@@ -134,6 +142,7 @@ pub fn decompress_all(codec: &dyn Codec, data: &[u8]) -> Result<Vec<u8>, Bitstre
 
 /// Codec construction.
 pub mod registry {
+    use super::deltav2::DeltaV2;
     use super::framexor::FrameXor;
     use super::huffman::Huffman;
     use super::lzss::Lzss;
@@ -142,7 +151,7 @@ pub mod registry {
     use super::{Codec, CodecId};
 
     /// Instantiates the codec for `id`. `frame_bytes` parameterises
-    /// the frame-XOR codec (other codecs ignore it).
+    /// the frame-level codecs (other codecs ignore it).
     pub fn codec(id: CodecId, frame_bytes: usize) -> Box<dyn Codec> {
         match id {
             CodecId::Null => Box::new(Null),
@@ -150,6 +159,7 @@ pub mod registry {
             CodecId::Lzss => Box::new(Lzss::new()),
             CodecId::Huffman => Box::new(Huffman),
             CodecId::FrameXor => Box::new(FrameXor::new(frame_bytes)),
+            CodecId::DeltaV2 => Box::new(DeltaV2::new(frame_bytes)),
         }
     }
 

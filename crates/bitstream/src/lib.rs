@@ -34,12 +34,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod canon;
 pub mod codec;
 pub mod crc;
 pub mod error;
 pub mod format;
 pub mod stats;
+pub mod store;
 
 pub use error::BitstreamError;
 pub use format::{Bitstream, BitstreamHeader, HEADER_BYTES, SYNC_WORD};
 pub use stats::CompressionStats;
+pub use store::{frame_key, FrameKey, FrameStore, FrameStoreStats};

@@ -144,6 +144,14 @@ impl CoProcessorBuilder {
         self
     }
 
+    /// Sets the content-addressed frame store budget in bytes (zero
+    /// disables it; only the [`CodecId::DeltaV2`] configuration path
+    /// consults it — see [`aaod_bitstream::FrameStore`]).
+    pub fn frame_store_bytes(mut self, bytes: usize) -> Self {
+        self.os.frame_store_bytes = bytes;
+        self
+    }
+
     /// Enables the observability detail log from the start (see
     /// [`CoProcessor::set_trace`]).
     pub fn trace(mut self, enabled: bool) -> Self {

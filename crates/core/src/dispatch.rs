@@ -154,10 +154,19 @@ struct AlgoCost {
 }
 
 /// Calibrates every distinct algorithm of `workload` on a scratch
-/// card (bring-up, not serving time — the card is dropped). An
-/// algorithm the card rejects falls back to a pure shape estimate so
-/// planning never fails.
-fn calibrate(workload: &Workload, bank: &AlgorithmBank) -> BTreeMap<u16, AlgoCost> {
+/// card built by `factory` (bring-up, not serving time — the card is
+/// dropped). Building the scratch card with the *engine's* factory
+/// means the measured miss costs reflect the shards' actual codec and
+/// frame-store settings: when the DeltaV2 store shrinks
+/// reconfiguration, the planner's affinity handicap shrinks with it
+/// and spill decisions improve automatically. An algorithm the card
+/// rejects falls back to a pure shape estimate so planning never
+/// fails.
+fn calibrate(
+    workload: &Workload,
+    bank: &AlgorithmBank,
+    factory: &(dyn Fn() -> CoProcessor + Send + Sync),
+) -> BTreeMap<u16, AlgoCost> {
     let requests = workload.requests();
     let mut first_input: BTreeMap<u16, Vec<u8>> = BTreeMap::new();
     for (i, req) in requests.iter().enumerate() {
@@ -165,7 +174,7 @@ fn calibrate(workload: &Workload, bank: &AlgorithmBank) -> BTreeMap<u16, AlgoCos
             .entry(req.algo_id)
             .or_insert_with(|| workload.input(i));
     }
-    let mut scratch = CoProcessor::default();
+    let mut scratch = factory();
     let mut costs = BTreeMap::new();
     for (&algo, input) in &first_input {
         let shape_base = shape(bank, algo, input.len());
@@ -331,14 +340,29 @@ fn steal_epoch(
 }
 
 /// Computes the dynamic dispatch plan for `workload` over `workers`
-/// shards, dealing runs of up to `batch_max` same-algorithm requests.
-/// Pure: same (workload, workers, batch_max) → same plan, bit for
-/// bit.
+/// shards with a default scratch card. Pure: same (workload, workers,
+/// batch_max) → same plan, bit for bit.
 pub(crate) fn plan(workload: &Workload, workers: usize, batch_max: usize) -> DispatchPlan {
+    plan_with(workload, workers, batch_max, &CoProcessor::default)
+}
+
+/// Computes the dynamic dispatch plan for `workload` over `workers`
+/// shards, dealing runs of up to `batch_max` same-algorithm requests
+/// and calibrating costs on a scratch card built by `factory` (the
+/// engine passes its shard factory, so plans track the shards' codec
+/// and frame-store configuration). Pure for any pure factory: same
+/// (workload, workers, batch_max, factory-config) → same plan, bit
+/// for bit.
+pub(crate) fn plan_with(
+    workload: &Workload,
+    workers: usize,
+    batch_max: usize,
+    factory: &(dyn Fn() -> CoProcessor + Send + Sync),
+) -> DispatchPlan {
     let requests = workload.requests();
     let n = requests.len();
     let bank = AlgorithmBank::standard();
-    let calibrated = calibrate(workload, &bank);
+    let calibrated = calibrate(workload, &bank, factory);
     let misses: BTreeMap<u16, u64> = calibrated
         .iter()
         .map(|(&algo, c)| (algo, c.miss_ps))

@@ -112,10 +112,18 @@ impl ShardPolicy {
 
     /// Computes the full dispatch plan: a per-request shard
     /// assignment plus, for [`ShardPolicy::Dynamic`], the deal/steal
-    /// ledger that produced it.
-    fn plan(self, workload: &Workload, workers: usize, batch_max: usize) -> DispatchPlan {
+    /// ledger that produced it. The dynamic planner calibrates its
+    /// cost model on a scratch card built by `factory`, so plans
+    /// track the engine's shard configuration (codec, frame store…).
+    fn plan(
+        self,
+        workload: &Workload,
+        workers: usize,
+        batch_max: usize,
+        factory: &(dyn Fn() -> CoProcessor + Send + Sync),
+    ) -> DispatchPlan {
         match self {
-            ShardPolicy::Dynamic => dispatch::plan(workload, workers, batch_max),
+            ShardPolicy::Dynamic => dispatch::plan_with(workload, workers, batch_max, factory),
             _ => DispatchPlan::from_static(self.assign(workload, workers)),
         }
     }
@@ -631,10 +639,12 @@ impl Engine {
                 trace: (self.config.trace.level != TraceLevel::Off).then(TraceReport::default),
             });
         }
-        let plan = self
-            .config
-            .shard
-            .plan(workload, workers, self.config.batch_max.max(1));
+        let plan = self.config.shard.plan(
+            workload,
+            workers,
+            self.config.batch_max.max(1),
+            &self.factory,
+        );
         let assignment = &plan.assignment;
         let mut shard_algos: Vec<BTreeSet<u16>> = vec![BTreeSet::new(); workers];
         for (req, &shard) in requests.iter().zip(assignment) {

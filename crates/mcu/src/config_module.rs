@@ -12,13 +12,22 @@
 //! it to expose the window/latency trade-off.
 
 use crate::error::McuError;
-use aaod_bitstream::{BitstreamError, BitstreamHeader, HEADER_BYTES};
+use aaod_bitstream::canon::decanon_frame;
+use aaod_bitstream::codec::deltav2::DeltaV2Reader;
+use aaod_bitstream::codec::CodecId;
+use aaod_bitstream::crc::crc32;
+use aaod_bitstream::{BitstreamError, BitstreamHeader, FrameKey, FrameStore, HEADER_BYTES};
 use aaod_fabric::{ConfigPort, Device, FrameAddress};
 use aaod_sim::{Clock, SimTime};
+use std::sync::Arc;
 
 /// Fixed per-window management overhead (buffer pointer updates,
 /// handshake with the port) in microcontroller cycles.
 const WINDOW_OVERHEAD_CYCLES: u64 = 20;
+
+/// Cycles per byte to serve a frame from the content-addressed store
+/// (a RAM copy plus the CRC guard) — cheaper than any decompressor.
+const STORE_HIT_CYCLES_PER_BYTE: u64 = 1;
 
 /// Timing breakdown of one configuration.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -159,6 +168,120 @@ impl ConfigModule {
             report.bytes += frame.len();
         }
         Ok(report)
+    }
+
+    /// Configures from a DeltaV2 bitstream through the
+    /// content-addressed frame `store` (the v2 partial-reconfig miss
+    /// path): each frame record's store hint is probed first — an
+    /// exact-content hit serves the resident bytes, a canonical-class
+    /// hit rebuilds them via the recorded inverse permutation — and
+    /// only missing frames are decoded. Every served frame is
+    /// CRC-guarded against the record's hint, so a store hit is always
+    /// byte-equal to a full decode; decoded frames are inserted for
+    /// future bitstreams. Returns the decoded frames alongside the
+    /// report, as [`ConfigModule::configure_collect`] does.
+    ///
+    /// Timing: store-served bytes cost [`STORE_HIT_CYCLES_PER_BYTE`],
+    /// decoded bytes the codec's per-byte rate; each frame counts as
+    /// one window.
+    ///
+    /// # Errors
+    ///
+    /// Returns header/CRC/codec errors from the bitstream layer,
+    /// [`McuError::RecordMismatch`] if the bitstream is not DeltaV2 or
+    /// disagrees with `addrs`/the device geometry, and fabric errors
+    /// from the port writes.
+    pub fn configure_v2(
+        &mut self,
+        encoded: &[u8],
+        store: &mut FrameStore,
+        device: &mut Device,
+        port: &ConfigPort,
+        addrs: &[FrameAddress],
+    ) -> Result<(ConfigReport, Vec<Vec<u8>>), McuError> {
+        let header = BitstreamHeader::parse(encoded)?;
+        let payload = &encoded[HEADER_BYTES..];
+        header.verify_payload(payload)?;
+        if header.codec != CodecId::DeltaV2 {
+            return Err(McuError::RecordMismatch(format!(
+                "configure_v2 on a {} bitstream",
+                header.codec
+            )));
+        }
+        if addrs.len() != header.n_frames as usize {
+            return Err(McuError::RecordMismatch(format!(
+                "{} frame addresses supplied for a {}-frame bitstream",
+                addrs.len(),
+                header.n_frames
+            )));
+        }
+        let frame_bytes = header.frame_bytes as usize;
+        if frame_bytes != device.geometry().frame_bytes() {
+            return Err(McuError::RecordMismatch(format!(
+                "bitstream frame size {} != device frame size {}",
+                frame_bytes,
+                device.geometry().frame_bytes()
+            )));
+        }
+        let decode_cost = header.make_codec().cycles_per_output_byte();
+        let mut reader = DeltaV2Reader::new(frame_bytes, payload)?;
+        if reader.total_len() != addrs.len() * frame_bytes {
+            return Err(McuError::Bitstream(BitstreamError::CorruptPayload(
+                format!(
+                    "delta-v2 stream declares {} bytes for {} frames of {frame_bytes}",
+                    reader.total_len(),
+                    addrs.len()
+                ),
+            )));
+        }
+        let mut report = ConfigReport::default();
+        let mut collected: Vec<Vec<u8>> = Vec::with_capacity(addrs.len());
+        let mut decompress_cycles = 0u64;
+        let mut next_frame = 0usize;
+        while let Some(record) = reader.next_record()? {
+            // probe the store before spending decompressor cycles; the
+            // CRC guard turns any hash mismatch into a plain decode
+            let mut served: Option<Arc<Vec<u8>>> = None;
+            if let Some(hint) = record.hint.filter(|_| store.is_enabled()) {
+                let key = FrameKey {
+                    canon: hint.canon_hash,
+                    raw: hint.raw_hash,
+                };
+                if store.contains(key) {
+                    let frame = store.get_raw(key).expect("contains checked");
+                    if frame.len() == record.expected_len && crc32(&frame) == hint.frame_crc {
+                        served = Some(frame);
+                    }
+                } else if let Some(canonical) = store.get_canon(hint.canon_hash) {
+                    let frame = decanon_frame(&canonical, hint.perm);
+                    if frame.len() == record.expected_len && crc32(&frame) == hint.frame_crc {
+                        served = Some(Arc::new(frame));
+                    }
+                }
+            }
+            let frame = match served {
+                Some(frame) => {
+                    decompress_cycles += STORE_HIT_CYCLES_PER_BYTE * frame.len() as u64;
+                    reader.accept_frame(&record, Arc::clone(&frame))?;
+                    frame
+                }
+                None => {
+                    let frame = reader.decode_record(&record)?;
+                    decompress_cycles += decode_cost * frame.len() as u64;
+                    store.insert(&frame);
+                    frame
+                }
+            };
+            report.windows += 1;
+            report.bytes += frame.len();
+            report.port_time += port.write_frame(device, addrs[next_frame], &frame)?;
+            collected.push(frame.as_ref().clone());
+            next_frame += 1;
+        }
+        decompress_cycles += WINDOW_OVERHEAD_CYCLES * report.windows;
+        report.decompress_time = self.clock.cycles(decompress_cycles);
+        report.frames_written = next_frame;
+        Ok((report, collected))
     }
 
     fn configure_inner(

@@ -27,7 +27,7 @@ use crate::replacement::{LruPolicy, ReplacementPolicy, ReplacementTable};
 use crate::stats::OsStats;
 use aaod_algos::{AlgoError, AlgorithmBank};
 use aaod_bitstream::codec::{registry, CodecId};
-use aaod_bitstream::{Bitstream, BitstreamHeader, HEADER_BYTES};
+use aaod_bitstream::{Bitstream, BitstreamHeader, FrameStore, HEADER_BYTES};
 use aaod_fabric::{
     run_decoded_netlist, run_decoded_netlist_batch, BatchScratch, ConfigPort, Device,
     DeviceGeometry, FrameAddress, FunctionKind,
@@ -74,6 +74,13 @@ pub struct MiniOsConfig {
     /// (extension; see [`crate::decoded_cache`]). Zero disables it,
     /// making every miss decompress from ROM.
     pub decoded_cache_bytes: usize,
+    /// Card RAM devoted to the content-addressed frame store probed
+    /// by DeltaV2 bitstreams (extension; see
+    /// [`aaod_bitstream::FrameStore`]). Zero disables it, making every
+    /// DeltaV2 frame decode from its record body. Bitstreams in other
+    /// codecs never touch the store, so their behaviour and timing are
+    /// unaffected by this knob.
+    pub frame_store_bytes: usize,
 }
 
 impl Default for MiniOsConfig {
@@ -89,6 +96,7 @@ impl Default for MiniOsConfig {
             mode: ReconfigMode::Partial,
             prefetch: false,
             decoded_cache_bytes: 64 * 1024,
+            frame_store_bytes: 256 * 1024,
         }
     }
 }
@@ -105,6 +113,7 @@ impl std::fmt::Debug for MiniOsConfig {
             .field("mode", &self.mode)
             .field("prefetch", &self.prefetch)
             .field("decoded_cache_bytes", &self.decoded_cache_bytes)
+            .field("frame_store_bytes", &self.frame_store_bytes)
             .finish()
     }
 }
@@ -180,6 +189,7 @@ pub struct MiniOs {
     free: FreeFrameList,
     table: ReplacementTable,
     decoded: DecodedCache,
+    frame_store: FrameStore,
     policy: Box<dyn ReplacementPolicy>,
     bank: AlgorithmBank,
     codec: CodecId,
@@ -229,6 +239,7 @@ impl MiniOs {
             free: FreeFrameList::new(config.geometry.frames()),
             table: ReplacementTable::new(),
             decoded: DecodedCache::new(config.decoded_cache_bytes),
+            frame_store: FrameStore::new(config.frame_store_bytes),
             policy: config.policy,
             bank: config.bank,
             codec: config.codec,
@@ -612,9 +623,28 @@ impl MiniOs {
             algo: record.algo_id,
             bytes: encoded.len() as u64,
         });
-        let (report, produced) =
+        let (report, produced) = if record.codec == CodecId::DeltaV2.to_byte()
+            && self.frame_store.is_enabled()
+        {
+            // v2 path: probe the content-addressed store per frame
+            // record, decode only what is missing
+            let before = self.frame_store.stats();
+            let result = self.config_module.configure_v2(
+                encoded,
+                &mut self.frame_store,
+                &mut self.device,
+                &self.port,
+                frames,
+            )?;
+            let after = self.frame_store.stats();
+            self.stats.frame_store_hits += after.hits - before.hits;
+            self.stats.frame_store_misses += after.misses - before.misses;
+            self.stats.frame_store_bytes_deduped += after.bytes_deduped - before.bytes_deduped;
+            result
+        } else {
             self.config_module
-                .configure_collect(encoded, &mut self.device, &self.port, frames)?;
+                .configure_collect(encoded, &mut self.device, &self.port, frames)?
+        };
         self.details.push(aaod_sim::DetailEvent::Decompress {
             algo: record.algo_id,
             windows: report.windows,
@@ -835,6 +865,8 @@ impl MiniOs {
         // holds over the post-reset population alone.
         self.decoded.clear();
         self.decoded.reset_stats();
+        self.frame_store.clear();
+        self.frame_store.reset_stats();
         self.stats = OsStats::default();
         self.armed_config_stall = 0;
         self.predictor.clear();
@@ -1124,6 +1156,11 @@ impl MiniOs {
     /// The decoded-bitstream cache (inspection/tests).
     pub fn decoded_cache(&self) -> &DecodedCache {
         &self.decoded
+    }
+
+    /// The content-addressed frame store (inspection/tests).
+    pub fn frame_store(&self) -> &FrameStore {
+        &self.frame_store
     }
 
     /// The bank the controller dispatches into.
@@ -1568,6 +1605,120 @@ mod tests {
         os.evict(ids::CRC32).unwrap();
         let (_, r) = os.invoke(ids::CRC32, b"a").unwrap();
         assert!(r.decoded_cache_hit, "small function stayed cached");
+    }
+
+    #[test]
+    fn deltav2_reconfig_is_served_from_the_frame_store() {
+        // Decoded cache off so the second configuration exercises the
+        // ROM + frame-store path instead of the decoded cache.
+        let mut os = MiniOs::new(MiniOsConfig {
+            codec: CodecId::DeltaV2,
+            decoded_cache_bytes: 0,
+            ..MiniOsConfig::default()
+        });
+        os.install(ids::SHA1).unwrap();
+        let (out, first) = os.invoke(ids::SHA1, b"abc").unwrap();
+        assert_eq!(out, os.bank().execute_software(ids::SHA1, b"abc").unwrap());
+        let s = os.stats();
+        assert!(s.frame_store_misses > 0, "first config decodes: {s:?}");
+        assert_eq!(s.frame_store_hits, 0);
+        assert!(!os.frame_store().is_empty());
+        // The store is content-addressed, so it survives eviction:
+        // re-configuring ships only references.
+        os.evict(ids::SHA1).unwrap();
+        let (out, second) = os.invoke(ids::SHA1, b"abc").unwrap();
+        assert_eq!(out, os.bank().execute_software(ids::SHA1, b"abc").unwrap());
+        let s = os.stats();
+        assert!(s.frame_store_hits > 0, "{s:?}");
+        assert!(s.frame_store_bytes_deduped > 0);
+        assert!(s.frame_store_hit_rate() > 0.0);
+        assert!(
+            second.reconfig_time < first.reconfig_time,
+            "store hits must undercut decoding: {:?} vs {:?}",
+            second.reconfig_time,
+            first.reconfig_time
+        );
+    }
+
+    #[test]
+    fn deltav2_store_dedups_across_algorithms() {
+        use aaod_algos::AliasKernel;
+        use std::sync::Arc;
+        let mut bank = aaod_algos::AlgorithmBank::standard();
+        bank.register(Arc::new(AliasKernel::new(
+            100,
+            "sha1-alias",
+            Arc::new(aaod_algos::crypto::Sha1),
+        )));
+        let mut os = MiniOs::new(MiniOsConfig {
+            codec: CodecId::DeltaV2,
+            decoded_cache_bytes: 0,
+            bank,
+            ..MiniOsConfig::default()
+        });
+        os.install(ids::SHA1).unwrap();
+        os.install(100).unwrap();
+        let (sha, _) = os.invoke(ids::SHA1, b"abc").unwrap();
+        let before = os.stats();
+        assert_eq!(before.frame_store_hits, 0);
+        // The alias's 11 body frames are byte-identical to SHA-1's,
+        // so its first-ever configuration is already mostly hits.
+        let (alias, _) = os.invoke(100, b"abc").unwrap();
+        assert_eq!(alias, sha, "alias behaves exactly like SHA-1");
+        let s = os.stats();
+        assert!(s.frame_store_hits >= 11, "{s:?}");
+        assert!(s.frame_store_bytes_deduped >= 11 * 896, "{s:?}");
+    }
+
+    #[test]
+    fn non_deltav2_codecs_never_touch_the_frame_store() {
+        let mut os = MiniOs::new(MiniOsConfig {
+            decoded_cache_bytes: 0,
+            ..MiniOsConfig::default() // Lzss
+        });
+        os.install(ids::SHA1).unwrap();
+        os.invoke(ids::SHA1, b"abc").unwrap();
+        os.evict(ids::SHA1).unwrap();
+        os.invoke(ids::SHA1, b"abc").unwrap();
+        let s = os.stats();
+        assert_eq!(s.frame_store_hits, 0);
+        assert_eq!(s.frame_store_misses, 0);
+        assert_eq!(s.frame_store_bytes_deduped, 0);
+        assert!(os.frame_store().is_empty());
+    }
+
+    #[test]
+    fn deltav2_timing_matches_with_store_disabled_or_cold() {
+        // With the store disabled the DeltaV2 stream must still
+        // configure correctly through the plain decode path.
+        let mut os = MiniOs::new(MiniOsConfig {
+            codec: CodecId::DeltaV2,
+            decoded_cache_bytes: 0,
+            frame_store_bytes: 0,
+            ..MiniOsConfig::default()
+        });
+        os.install(ids::SHA1).unwrap();
+        let (out, _) = os.invoke(ids::SHA1, b"abc").unwrap();
+        assert_eq!(out, os.bank().execute_software(ids::SHA1, b"abc").unwrap());
+        let s = os.stats();
+        assert_eq!(s.frame_store_hits, 0);
+        assert_eq!(s.frame_store_misses, 0);
+        assert!(os.frame_store().is_empty());
+    }
+
+    #[test]
+    fn reset_clears_the_frame_store() {
+        let mut os = MiniOs::new(MiniOsConfig {
+            codec: CodecId::DeltaV2,
+            decoded_cache_bytes: 0,
+            ..MiniOsConfig::default()
+        });
+        os.install(ids::SHA1).unwrap();
+        os.invoke(ids::SHA1, b"abc").unwrap();
+        assert!(!os.frame_store().is_empty());
+        os.reset();
+        assert!(os.frame_store().is_empty());
+        assert_eq!(os.frame_store().stats(), Default::default());
     }
 
     #[test]

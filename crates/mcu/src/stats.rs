@@ -64,6 +64,14 @@ pub struct OsStats {
     /// Extra reconfiguration time the stalls added (subset of
     /// `reconfig_time`).
     pub config_stall_time: SimTime,
+    /// DeltaV2 frame records served from the content-addressed frame
+    /// store instead of being decoded (extension; see
+    /// [`aaod_bitstream::FrameStore`]).
+    pub frame_store_hits: u64,
+    /// DeltaV2 frame records that missed the store and were decoded.
+    pub frame_store_misses: u64,
+    /// Frame bytes whose decompression the store hits avoided.
+    pub frame_store_bytes_deduped: u64,
 }
 
 impl OsStats {
@@ -104,6 +112,20 @@ impl OsStats {
         self.redownload_time += other.redownload_time;
         self.config_stalls += other.config_stalls;
         self.config_stall_time += other.config_stall_time;
+        self.frame_store_hits += other.frame_store_hits;
+        self.frame_store_misses += other.frame_store_misses;
+        self.frame_store_bytes_deduped += other.frame_store_bytes_deduped;
+    }
+
+    /// Fraction of store-probed DeltaV2 frames served without
+    /// decoding.
+    pub fn frame_store_hit_rate(&self) -> f64 {
+        let total = self.frame_store_hits + self.frame_store_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.frame_store_hits as f64 / total as f64
+        }
     }
 
     /// Fraction of misses whose decoded frames were already cached.

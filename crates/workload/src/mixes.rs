@@ -5,7 +5,9 @@
 //! packet for ciphers/hashes, a sample window for the FIR, …).
 
 use crate::Workload;
-use aaod_algos::ids;
+use aaod_algos::crypto::Sha1;
+use aaod_algos::{ids, AlgorithmBank, AliasKernel};
+use std::sync::Arc;
 
 /// The crypto subset — the paper's motivating IPSec-style bank.
 pub fn crypto_mix() -> Vec<u16> {
@@ -51,6 +53,48 @@ pub fn straggler_workload(n: usize, seed: u64) -> Workload {
         0.6,
         seed,
     )
+}
+
+/// The id [`dedup_bank`] registers its SHA-1 alias under.
+pub const SHA1_ALIAS: u16 = 100;
+
+/// The standard bank plus a SHA-1 alias ([`SHA1_ALIAS`]): the same IP
+/// core published under two algorithm ids. Every configuration frame
+/// of the alias except the descriptor frame is byte-identical to
+/// SHA-1's (11 of 12 frames, ~92% shared — far past the 30% a
+/// content-addressed frame store needs to pay off).
+pub fn dedup_bank() -> AlgorithmBank {
+    let mut bank = AlgorithmBank::standard();
+    bank.register(Arc::new(AliasKernel::new(
+        SHA1_ALIAS,
+        "sha1-alias",
+        Arc::new(Sha1),
+    )));
+    bank
+}
+
+/// The dedup-heavy algorithm mix (E17): SHA-1 and its alias share
+/// ~92% of their frames, and the seven-algorithm working set needs 102
+/// frames on a 96-frame device, so the replacement policy keeps
+/// evicting and every re-configuration re-ships frames the store
+/// already holds.
+pub fn dedup_mix() -> Vec<u16> {
+    vec![
+        ids::SHA1,
+        SHA1_ALIAS,
+        ids::AES128,
+        ids::SHA256,
+        ids::TDES,
+        ids::HMAC_SHA1,
+        ids::XTEA,
+    ]
+}
+
+/// The canonical dedup-heavy workload over [`dedup_mix`]: bursts of 8
+/// same-algorithm requests (so miss batching still works) cycling
+/// through an overcommitted working set. Serve it from [`dedup_bank`].
+pub fn dedup_workload(n: usize, seed: u64) -> Workload {
+    Workload::bursty(&dedup_mix(), n, 8, 256, seed)
 }
 
 /// A realistic input length for one invocation of `algo_id`
@@ -119,6 +163,39 @@ mod tests {
         assert_eq!(w.distinct_algos().len(), 4);
         let hot = w.algo_trace().iter().filter(|&&a| a == ids::SHA1).count();
         assert!((500..700).contains(&hot), "hot count {hot}");
+    }
+
+    #[test]
+    fn dedup_bank_and_mix_line_up() {
+        let bank = dedup_bank();
+        for id in dedup_mix() {
+            assert!(bank.kernel(id).is_some(), "missing {id}");
+        }
+        assert_eq!(bank.len(), 14);
+        // the working set must overcommit the default device, or the
+        // dedup scenario never re-configures
+        let geom = aaod_fabric::DeviceGeometry::default();
+        let total: usize = dedup_mix()
+            .iter()
+            .map(|&id| bank.build_image(id, geom).unwrap().frames_needed(geom))
+            .sum();
+        assert!(total > geom.frames(), "working set fits: {total} frames");
+        // SHA-1 and its alias share at least 30% of their frames
+        let a = bank.build_image(ids::SHA1, geom).unwrap().encode(geom);
+        let b = bank.build_image(SHA1_ALIAS, geom).unwrap().encode(geom);
+        let shared = a.iter().zip(&b).filter(|(x, y)| x == y).count();
+        assert!(
+            shared * 10 >= a.len() * 3,
+            "only {shared}/{} frames shared",
+            a.len()
+        );
+    }
+
+    #[test]
+    fn dedup_workload_covers_the_mix() {
+        let w = dedup_workload(400, 7);
+        assert_eq!(w.len(), 400);
+        assert_eq!(w.distinct_algos().len(), dedup_mix().len());
     }
 
     #[test]

@@ -22,17 +22,17 @@ fn main() {
     let bank = AlgorithmBank::standard();
     let mcu = aaod_sim::clock::domains::mcu();
 
+    // One column per registered codec, so a codec added to the
+    // registry shows up here automatically.
+    let codec_names: Vec<String> = registry::all(geom.frame_bytes())
+        .iter()
+        .map(|c| c.id().to_string())
+        .collect();
+    let mut headers = vec!["function", "raw KiB"];
+    headers.extend(codec_names.iter().map(String::as_str));
     let mut t = Table::new(
         "E2: compression ratio by codec (rows: function bitstreams)",
-        &[
-            "function",
-            "raw KiB",
-            "null",
-            "rle",
-            "lzss",
-            "huffman",
-            "frame-xor",
-        ],
+        &headers,
     );
     let mut totals = vec![0usize; CodecId::ALL.len()];
     let mut raw_total = 0usize;

@@ -1,0 +1,135 @@
+//! Codec conformance suite: every registered codec must honour the
+//! same contract — lossless roundtrip on arbitrary byte frames
+//! (including the degenerate empty / 1-byte / all-zero / all-ones
+//! cases), container-level CRC rejection of corrupted payloads, and
+//! truthful [`CompressionStats`] accounting.
+//!
+//! The suite is parameterised over [`CodecId::ALL`], so a codec added
+//! to the registry is pinned by these invariants automatically.
+
+use aaod_bitstream::codec::{decompress_all, registry, CodecId};
+use aaod_bitstream::{Bitstream, BitstreamError, CompressionStats, HEADER_BYTES};
+use aaod_sim::SplitMix64;
+
+/// Frame sizes the harness sweeps: a degenerate 1-byte frame, a
+/// power-of-two window, and the default device's 896-byte frame.
+const FRAME_SIZES: [usize; 4] = [1, 7, 128, 896];
+
+/// Named edge-case and workload-shaped inputs.
+fn cases() -> Vec<(&'static str, Vec<u8>)> {
+    let mut rng = SplitMix64::new(0xC0DEC);
+    let mut random = vec![0u8; 4096];
+    rng.fill(&mut random);
+    let mut repeated = Vec::new();
+    let mut frame = vec![0u8; 896];
+    rng.fill(&mut frame);
+    for _ in 0..4 {
+        repeated.extend_from_slice(&frame); // identical frames (dedup)
+    }
+    let mut near = frame.clone();
+    near[17] ^= 0x5A; // near-identical frame (delta)
+    repeated.extend_from_slice(&near);
+    vec![
+        ("empty", Vec::new()),
+        ("one-byte", vec![0xA5]),
+        ("all-zero", vec![0u8; 2048]),
+        ("all-ones", vec![0xFF; 2048]),
+        ("sub-frame-tail", vec![0x3C; 1000]),
+        ("random", random),
+        ("repeated-frames", repeated),
+    ]
+}
+
+#[test]
+fn every_codec_roundtrips_every_case_at_every_frame_size() {
+    for id in CodecId::ALL {
+        for fb in FRAME_SIZES {
+            let codec = registry::codec(id, fb);
+            for (name, input) in cases() {
+                let compressed = codec.compress(&input);
+                let back = decompress_all(codec.as_ref(), &compressed)
+                    .unwrap_or_else(|e| panic!("{id} fb={fb} {name}: {e}"));
+                assert_eq!(back, input, "{id} fb={fb} {name}: roundtrip mismatch");
+            }
+        }
+    }
+}
+
+#[test]
+fn compression_stats_account_sizes_truthfully() {
+    for id in CodecId::ALL {
+        let codec = registry::codec(id, 896);
+        for (name, input) in cases() {
+            let stats = CompressionStats::measure(codec.as_ref(), &input);
+            assert_eq!(stats.original, input.len(), "{id} {name}");
+            assert_eq!(
+                stats.compressed,
+                codec.compress(&input).len(),
+                "{id} {name}: stats must report the real compressed size"
+            );
+            assert_eq!(
+                stats.decompress_cycles,
+                codec.cycles_per_output_byte() * input.len() as u64,
+                "{id} {name}: modelled cost is rate x output bytes"
+            );
+            if !input.is_empty() {
+                assert!(stats.ratio() > 0.0, "{id} {name}");
+            }
+        }
+    }
+}
+
+#[test]
+fn single_bit_payload_corruption_is_rejected() {
+    let frames: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i.wrapping_mul(37); 896]).collect();
+    let bs = Bitstream::new(7, 8, 8, 896, frames).unwrap();
+    for id in CodecId::ALL {
+        let codec = registry::codec(id, 896);
+        let rom = bs.encode(codec.as_ref());
+        assert_eq!(Bitstream::decode(&rom).unwrap(), bs, "{id}: clean decode");
+        // Flip one bit at several payload offsets: the container CRC
+        // must catch each before any codec sees the bytes.
+        let payload_len = rom.len() - HEADER_BYTES;
+        for probe in [0, payload_len / 3, payload_len - 1] {
+            let mut bad = rom.clone();
+            bad[HEADER_BYTES + probe] ^= 0x01;
+            match Bitstream::decode(&bad) {
+                Err(BitstreamError::CrcMismatch { .. }) => {}
+                other => panic!("{id} offset {probe}: expected CrcMismatch, got {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn truncated_streams_are_rejected_not_misdecoded() {
+    let frames: Vec<Vec<u8>> = (0..3u8).map(|i| vec![i; 128]).collect();
+    let bs = Bitstream::new(9, 8, 8, 128, frames).unwrap();
+    for id in CodecId::ALL {
+        let codec = registry::codec(id, 128);
+        let rom = bs.encode(codec.as_ref());
+        for cut in [HEADER_BYTES - 1, HEADER_BYTES, rom.len() - 1] {
+            assert!(
+                Bitstream::decode(&rom[..cut]).is_err(),
+                "{id}: truncation to {cut} bytes must error"
+            );
+        }
+    }
+}
+
+#[test]
+fn container_roundtrips_function_frames_under_every_codec() {
+    // The production path: image frames -> ROM bytes -> frames, for
+    // every codec including DeltaV2 (whose stream must stay fully
+    // self-contained — no frame store involved here).
+    let geom = aaod_fabric::DeviceGeometry::default();
+    let bank = aaod_algos::AlgorithmBank::standard();
+    let image = bank.build_image(aaod_algos::ids::SHA1, geom).unwrap();
+    let bs = Bitstream::from_image(&image, geom);
+    for id in CodecId::ALL {
+        let codec = registry::codec(id, geom.frame_bytes());
+        let rom = bs.encode(codec.as_ref());
+        let back = Bitstream::decode(&rom).unwrap_or_else(|e| panic!("{id}: {e}"));
+        assert_eq!(back, bs, "{id}: container roundtrip");
+    }
+}

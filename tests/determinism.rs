@@ -8,8 +8,9 @@
 //! sharding policy.
 
 use aaod_algos::ids;
+use aaod_bitstream::codec::CodecId;
 use aaod_core::{CoProcessor, Engine, EngineConfig, ShardPolicy};
-use aaod_workload::Workload;
+use aaod_workload::{mixes, Workload};
 
 /// SHA1 (12 frames) + CRC32 (2) + CRC8 (<=2) + XTEA (6) all fit the
 /// default 96-frame fabric simultaneously, so residency hits/misses do
@@ -139,6 +140,97 @@ fn dispatch_bench_seeded_run_is_byte_identical() {
     assert_eq!(a.shard_busy, b.shard_busy);
     assert_eq!(a.dispatch, b.dispatch);
     assert_eq!(a.stats, b.stats);
+}
+
+/// The E17 dedup workload seed. `AAOD_COMPRESS_SEED` pins or sweeps
+/// it, so CI can drive the same hook through this suite and the E17
+/// bench with one knob.
+fn compress_seed() -> u64 {
+    std::env::var("AAOD_COMPRESS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1717)
+}
+
+/// The E17 card: DeltaV2 + frame store over the dedup bank, decoded
+/// cache off so every miss takes the configure path.
+fn dedup_card() -> CoProcessor {
+    CoProcessor::builder()
+        .codec(CodecId::DeltaV2)
+        .bank(mixes::dedup_bank())
+        .decoded_cache_bytes(0)
+        .build()
+}
+
+/// The dedup-heavy mix (SHA-1 published under two ids, ~92% of frames
+/// shared) through the content-addressed store: engine outputs must be
+/// byte-identical to a serial pass under every sharding policy, and
+/// each policy's merged `OsStats` — including the frame-store dedup
+/// counters — must be identical run-to-run. The alias id is not in the
+/// golden bank, so identity is checked against the serial pass, not
+/// `verify`.
+#[test]
+fn dedup_mix_matches_serial_and_dedup_counters_are_deterministic() {
+    let workload = mixes::dedup_workload(240, compress_seed());
+    let mut cp = dedup_card();
+    for &algo in &workload.distinct_algos() {
+        cp.install(algo).unwrap();
+    }
+    let expected: Vec<Vec<u8>> = workload
+        .requests()
+        .iter()
+        .enumerate()
+        .map(|(i, req)| cp.invoke(req.algo_id, &workload.input(i)).unwrap().0)
+        .collect();
+    let serial_stats = cp.stats();
+    assert!(
+        serial_stats.frame_store_hits > 0,
+        "dedup mix never hit the frame store"
+    );
+    for policy in [
+        ShardPolicy::AlgoModulo,
+        ShardPolicy::RoundRobin,
+        ShardPolicy::Balanced,
+        ShardPolicy::Dynamic,
+    ] {
+        let engine = Engine::with_factory(
+            EngineConfig {
+                workers: 4,
+                shard: policy,
+                ..EngineConfig::default()
+            },
+            dedup_card,
+        );
+        let a = engine.serve(&workload).unwrap();
+        let b = engine.serve(&workload).unwrap();
+        assert_eq!(
+            a.outputs.as_ref().unwrap(),
+            &expected,
+            "{} engine outputs diverged from serial on the dedup mix",
+            policy.name()
+        );
+        assert_eq!(a.outputs, b.outputs, "{}", policy.name());
+        assert_eq!(
+            (
+                a.stats.frame_store_hits,
+                a.stats.frame_store_misses,
+                a.stats.frame_store_bytes_deduped,
+            ),
+            (
+                b.stats.frame_store_hits,
+                b.stats.frame_store_misses,
+                b.stats.frame_store_bytes_deduped,
+            ),
+            "{}: dedup counters must be identical run-to-run",
+            policy.name()
+        );
+        assert_eq!(
+            a.stats,
+            b.stats,
+            "{}: merged OsStats diverged between identical runs",
+            policy.name()
+        );
+    }
 }
 
 #[test]
