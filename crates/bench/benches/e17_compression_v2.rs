@@ -45,10 +45,7 @@ const FLOOR_SHIPPED_RATIO: f64 = 1.3;
 /// determinism suite uses the same hook, so a CI sweep exercises both
 /// with one knob).
 fn compress_seed() -> u64 {
-    std::env::var("AAOD_COMPRESS_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1717)
+    aaod_bench::env_seed("AAOD_COMPRESS_SEED", 1717)
 }
 
 /// One arm's card: dedup bank, decoded cache off (every miss decodes),

@@ -1,0 +1,250 @@
+//! E18 — fleet-scale cluster with fault-domain failover and
+//! health-checked routing.
+//!
+//! A 16-card fleet serves the three-tenant fleet mix
+//! ([`aaod_workload::mixes::fleet_workload`]) while a seeded kill
+//! schedule takes 0, 1 and 2 cards down mid-run. The router fails
+//! work over around the dead fault domains (per-card breakers,
+//! bounded retries, hedged re-dispatch of stranded jobs) and the
+//! surviving assignment executes on the remaining card engines.
+//!
+//! Floors CI re-asserts:
+//!
+//! 1. **goodput ≥ 90% with 1 of 16 cards dead** — losing one fault
+//!    domain must cost at most the jobs stranded in flight, never a
+//!    whole residency's worth of traffic;
+//! 2. **byte identity** — every surviving output equals the
+//!    fault-free serial oracle, at every operating point;
+//! 3. **conservation** — the job ledger balances and the redirection
+//!    counters reconcile against the breaker timelines at every
+//!    operating point.
+
+use aaod_algos::AlgorithmBank;
+use aaod_bench::criterion_fast;
+use aaod_core::{Cluster, ClusterConfig, ClusterResult, CoProcessor};
+use aaod_sim::report::{f2, Table};
+use aaod_sim::{CardFaultRates, ClusterFaultPlan, SimTime};
+use aaod_workload::{mixes, Workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Requests in the measured fleet runs.
+const N_REQUESTS: usize = 600;
+/// Fleet size the floors are calibrated for.
+const CARDS: usize = 16;
+/// Acceptance floor: goodput with one dead card of sixteen.
+const FLOOR_GOODPUT_ONE_DEAD: f64 = 0.90;
+/// The fault horizon the kill schedules live in: the arrival span of
+/// the run (interarrival 2 us x N jobs), so kill fractions land
+/// mid-run rather than after the last job.
+const HORIZON: SimTime = SimTime::from_us(2 * N_REQUESTS as u64);
+
+/// The fleet workload seed, overridable via `AAOD_CLUSTER_SEED` (the
+/// cluster chaos suite uses the same hook, so a CI sweep exercises
+/// both with one knob).
+fn cluster_seed() -> u64 {
+    aaod_bench::env_seed("AAOD_CLUSTER_SEED", 0xC1A57E2)
+}
+
+fn fleet_config(plan: Option<ClusterFaultPlan>) -> ClusterConfig {
+    ClusterConfig {
+        cards: CARDS,
+        replication: 3,
+        card_workers: 2,
+        plan,
+        ..ClusterConfig::default()
+    }
+}
+
+/// A kill schedule taking `dead` cards down: the first at 30% of the
+/// horizon, the second at 55%.
+fn kill_plan(dead: usize) -> Option<ClusterFaultPlan> {
+    if dead == 0 {
+        return None;
+    }
+    let mut plan = ClusterFaultPlan::new(cluster_seed(), CardFaultRates::ZERO, HORIZON);
+    let fracs = [0.30, 0.55];
+    for (card, &frac) in fracs.iter().take(dead).enumerate() {
+        // Kill odd-numbered cards so the dead set spreads across the
+        // placement rather than clustering at one end.
+        plan = plan.with_kill(card * 2 + 1, frac);
+    }
+    Some(plan)
+}
+
+/// Fault-free serial oracle: the whole stream on one card.
+fn serial_oracle(workload: &Workload) -> Vec<Vec<u8>> {
+    let mut cp = CoProcessor::default();
+    for &algo in &workload.distinct_algos() {
+        cp.install(algo).unwrap();
+    }
+    workload
+        .requests()
+        .iter()
+        .enumerate()
+        .map(|(i, req)| cp.invoke(req.algo_id, &workload.input(i)).unwrap().0)
+        .collect()
+}
+
+struct Arm {
+    dead: usize,
+    result: ClusterResult,
+}
+
+fn run_arm(dead: usize, workload: &Workload, bank: &AlgorithmBank) -> Arm {
+    let cluster = Cluster::new(fleet_config(kill_plan(dead)));
+    let result = cluster.serve(workload, bank).expect("fleet serve");
+    Arm { dead, result }
+}
+
+fn print_cluster_table() {
+    let workload = mixes::fleet_workload(N_REQUESTS, cluster_seed());
+    let bank = AlgorithmBank::standard();
+    let oracle = serial_oracle(&workload);
+    let arms: Vec<Arm> = [0usize, 1, 2]
+        .iter()
+        .map(|&dead| run_arm(dead, &workload, &bank))
+        .collect();
+
+    let mut t = Table::new(
+        &format!(
+            "E18 — {CARDS}-card fleet, {N_REQUESTS} jobs, seed {} (goodput vs dead cards)",
+            cluster_seed()
+        ),
+        &[
+            "dead",
+            "goodput",
+            "completed",
+            "lost",
+            "failovers",
+            "hedges",
+            "dupes",
+            "trips",
+            "p99 us",
+            "makespan us",
+        ],
+    );
+    let mut json_rows = Vec::new();
+    for arm in &arms {
+        let r = &arm.result;
+        let s = &r.stats;
+        // Byte identity: every surviving output equals the oracle.
+        let outputs = r.outputs.as_ref().expect("outputs collected");
+        for (i, out) in outputs.iter().enumerate() {
+            let survived = r.assignment[i].is_some()
+                && !r.failed.contains_key(&i)
+                && !r.deadline_missed.contains_key(&i);
+            if survived {
+                assert_eq!(
+                    out, &oracle[i],
+                    "dead={}: survivor {i} diverged from the serial oracle",
+                    arm.dead
+                );
+            }
+        }
+        assert!(s.accounted(), "dead={}: ledger {s:?}", arm.dead);
+        assert!(s.reconciled(), "dead={}: ledger {s:?}", arm.dead);
+        let trips: u64 = r.card_health.iter().map(|h| h.trips).sum();
+        let p99_us = r.sojourn.summary_ns().p99 / 1e3;
+        t.row_owned(vec![
+            arm.dead.to_string(),
+            f2(s.goodput()),
+            s.completed.to_string(),
+            s.lost_unrecoverable.to_string(),
+            s.failovers.to_string(),
+            s.hedges.to_string(),
+            s.hedge_duplicates.to_string(),
+            trips.to_string(),
+            format!("{p99_us:.1}"),
+            format!("{:.1}", r.makespan.as_ns() / 1e3),
+        ]);
+        json_rows.push(format!(
+            "{{\"dead\":{},\"submitted\":{},\"completed\":{},\"lost\":{},\
+             \"faulted\":{},\"goodput\":{:.3},\"failovers\":{},\"hedges\":{},\
+             \"hedge_duplicates\":{},\"breaker_trips\":{},\"breaker_rejections\":{},\
+             \"card_failures\":{},\"wasted_time_ns\":{},\"p99_sojourn_ns\":{:.0},\
+             \"makespan_ns\":{}}}",
+            arm.dead,
+            s.submitted,
+            s.completed,
+            s.lost_unrecoverable,
+            s.faulted,
+            s.goodput(),
+            s.failovers,
+            s.hedges,
+            s.hedge_duplicates,
+            trips,
+            s.breaker_rejections,
+            s.card_failures,
+            s.wasted_time.as_ns(),
+            r.sojourn.summary_ns().p99,
+            r.makespan.as_ns(),
+        ));
+    }
+    println!("{t}");
+
+    // Non-vacuity: the dead-card arms must actually reroute work, or
+    // the goodput floor below proves nothing.
+    for arm in arms.iter().filter(|a| a.dead > 0) {
+        let s = &arm.result.stats;
+        assert!(
+            s.failovers + s.hedges > 0,
+            "dead={}: kill schedule never redirected a job — the floor is vacuous",
+            arm.dead
+        );
+    }
+
+    // Regression floors.
+    let goodput: Vec<f64> = arms.iter().map(|a| a.result.stats.goodput()).collect();
+    assert!(
+        (goodput[0] - 1.0).abs() < f64::EPSILON,
+        "healthy fleet must complete everything, got {:.3}",
+        goodput[0]
+    );
+    assert!(
+        goodput[1] >= FLOOR_GOODPUT_ONE_DEAD,
+        "regression: 1 dead card of {CARDS} dropped goodput to {:.1}% (floor {:.0}%)",
+        goodput[1] * 100.0,
+        FLOOR_GOODPUT_ONE_DEAD * 100.0
+    );
+    assert!(
+        goodput[2] >= 0.80,
+        "regression: 2 dead cards collapsed goodput to {:.1}%",
+        goodput[2] * 100.0
+    );
+    println!(
+        "BENCH_JSON {{\"experiment\":\"e18_cluster\",\"requests\":{},\"cards\":{},\"seed\":{},\
+         \"replication\":3,\"rows\":[{}],\
+         \"summary\":{{\"goodput_one_dead\":{:.3},\"floor\":{:.2}}}}}",
+        N_REQUESTS,
+        CARDS,
+        cluster_seed(),
+        json_rows.join(","),
+        goodput[1],
+        FLOOR_GOODPUT_ONE_DEAD,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_cluster_table();
+    let workload = mixes::fleet_workload(N_REQUESTS, cluster_seed());
+    let bank = AlgorithmBank::standard();
+    let mut group = c.benchmark_group("e18_cluster");
+    for dead in [0usize, 1] {
+        let cluster = Cluster::new(ClusterConfig {
+            collect_outputs: false,
+            ..fleet_config(kill_plan(dead))
+        });
+        group.bench_function(format!("fleet_16_cards_{dead}_dead"), |b| {
+            b.iter(|| black_box(cluster.serve(&workload, &bank).expect("serve")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_fast();
+    targets = bench
+}
+criterion_main!(benches);

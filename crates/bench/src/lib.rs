@@ -41,3 +41,13 @@ pub fn criterion_fast() -> criterion::Criterion {
         .warm_up_time(std::time::Duration::from_millis(200))
         .measurement_time(std::time::Duration::from_millis(700))
 }
+
+/// The canonical seed-from-environment helper shared by the chaos and
+/// determinism suites: `var` parsed as a decimal `u64` when set (the
+/// CI seed matrices sweep it), else `default`.
+pub fn env_seed(var: &str, default: u64) -> u64 {
+    std::env::var(var)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}

@@ -141,14 +141,16 @@ fn shape(bank: &AlgorithmBank, algo_id: u16, input_len: usize) -> u64 {
     (exec + input_len as u64 / 2 + OVERHEAD).max(1)
 }
 
-/// One algorithm's calibrated costs, in modelled picoseconds.
+/// One algorithm's calibrated costs, in modelled picoseconds. Shared
+/// with the cluster router, which runs the same calibrated model at
+/// the second level of the hierarchy (cards instead of shards).
 #[derive(Debug, Clone, Copy)]
-struct AlgoCost {
+pub(crate) struct AlgoCost {
     /// Steady-state (resident) service time at the calibration length.
-    warm_ps: u64,
+    pub(crate) warm_ps: u64,
     /// First-touch cost: reconfiguration + decode, i.e. cold minus
     /// warm invocation.
-    miss_ps: u64,
+    pub(crate) miss_ps: u64,
     /// `shape()` at the calibration length, the scaling denominator.
     shape_base: u64,
 }
@@ -162,7 +164,7 @@ struct AlgoCost {
 /// and spill decisions improve automatically. An algorithm the card
 /// rejects falls back to a pure shape estimate so planning never
 /// fails.
-fn calibrate(
+pub(crate) fn calibrate(
     workload: &Workload,
     bank: &AlgorithmBank,
     factory: &(dyn Fn() -> CoProcessor + Send + Sync),
@@ -204,7 +206,12 @@ fn calibrate(
 
 /// Estimated modelled service time of one request in picoseconds: the
 /// calibrated warm cost scaled along the kernel's shape curve.
-fn estimate(cost: &AlgoCost, bank: &AlgorithmBank, algo_id: u16, input_len: usize) -> u64 {
+pub(crate) fn estimate(
+    cost: &AlgoCost,
+    bank: &AlgorithmBank,
+    algo_id: u16,
+    input_len: usize,
+) -> u64 {
     let s = shape(bank, algo_id, input_len);
     (cost.warm_ps as u128 * s as u128 / cost.shape_base as u128) as u64
 }

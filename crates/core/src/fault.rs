@@ -85,6 +85,27 @@ pub enum JobError {
         /// The modelled completion time that overran it.
         finished: SimTime,
     },
+    /// The job was in flight on a cluster card that died, and no
+    /// other replica of its algorithm was reachable to hedge onto.
+    CardLost {
+        /// The algorithm the request targeted.
+        algo_id: u16,
+        /// The card the job was stranded on.
+        card: u32,
+        /// The modelled time the card went dark.
+        lost_at: SimTime,
+    },
+    /// Every cluster replica of the job's algorithm was down or
+    /// quarantined; the router exhausted its failover budget without
+    /// finding a card to serve it.
+    NoReplica {
+        /// The algorithm the request targeted.
+        algo_id: u16,
+        /// Replicas the router tried before giving up.
+        attempts: u32,
+        /// The modelled time the router gave up.
+        decided_at: SimTime,
+    },
 }
 
 impl JobError {
@@ -93,16 +114,21 @@ impl JobError {
         match *self {
             JobError::Faulted { algo_id, .. }
             | JobError::Shed { algo_id, .. }
-            | JobError::DeadlineExceeded { algo_id, .. } => algo_id,
+            | JobError::DeadlineExceeded { algo_id, .. }
+            | JobError::CardLost { algo_id, .. }
+            | JobError::NoReplica { algo_id, .. } => algo_id,
         }
     }
 
-    /// Recovery attempts spent on the job (zero for shed and
-    /// deadline-missed jobs, which never entered a recovery loop).
+    /// Recovery or routing attempts spent on the job (zero for shed,
+    /// deadline-missed and card-lost jobs, which never entered a
+    /// retry loop).
     pub fn attempts(&self) -> u32 {
         match *self {
-            JobError::Faulted { attempts, .. } => attempts,
-            JobError::Shed { .. } | JobError::DeadlineExceeded { .. } => 0,
+            JobError::Faulted { attempts, .. } | JobError::NoReplica { attempts, .. } => attempts,
+            JobError::Shed { .. }
+            | JobError::DeadlineExceeded { .. }
+            | JobError::CardLost { .. } => 0,
         }
     }
 }
@@ -133,6 +159,22 @@ impl std::fmt::Display for JobError {
             } => write!(
                 f,
                 "algorithm {algo_id} finished at {finished}, past its deadline {deadline}"
+            ),
+            JobError::CardLost {
+                algo_id,
+                card,
+                lost_at,
+            } => write!(
+                f,
+                "algorithm {algo_id} stranded on card {card}, lost at {lost_at} with no replica to hedge onto"
+            ),
+            JobError::NoReplica {
+                algo_id,
+                attempts,
+                decided_at,
+            } => write!(
+                f,
+                "algorithm {algo_id} unroutable at {decided_at}: all {attempts} replicas down or quarantined"
             ),
         }
     }
@@ -291,5 +333,24 @@ mod tests {
         };
         assert!(late.to_string().contains("past its deadline"));
         assert_eq!(late.algo_id(), 3);
+    }
+
+    #[test]
+    fn cluster_errors_render() {
+        let lost = JobError::CardLost {
+            algo_id: 5,
+            card: 11,
+            lost_at: SimTime::from_us(3),
+        };
+        assert!(lost.to_string().contains("stranded on card 11"));
+        assert_eq!(lost.algo_id(), 5);
+        assert_eq!(lost.attempts(), 0);
+        let unroutable = JobError::NoReplica {
+            algo_id: 5,
+            attempts: 3,
+            decided_at: SimTime::from_us(9),
+        };
+        assert!(unroutable.to_string().contains("all 3 replicas"));
+        assert_eq!(unroutable.attempts(), 3);
     }
 }

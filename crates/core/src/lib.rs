@@ -39,15 +39,18 @@
 
 pub mod baselines;
 pub mod breaker;
+pub mod cluster;
 pub mod coproc;
 pub mod dispatch;
 pub mod engine;
 pub mod error;
 pub mod fault;
 pub mod overload;
+pub(crate) mod router;
 pub mod runner;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use cluster::{CardHealth, Cluster, ClusterConfig, ClusterResult, ClusterStats};
 pub use coproc::{CoProcessor, CoProcessorBuilder, HostReport, PciRecovery};
 pub use dispatch::DispatchStats;
 pub use engine::{Engine, EngineConfig, EngineResult, ShardPolicy};

@@ -1,0 +1,600 @@
+//! Deterministic card-level fault scheduling for cluster experiments.
+//!
+//! [`FaultPlan`](crate::FaultPlan) breaks *one* card from the inside
+//! (frame flips, torn configs, stalls); a [`ClusterFaultPlan`] breaks
+//! the *fleet* from the outside: whole cards crash, hang and come
+//! back, or flap on a failing link, and individual cards run under
+//! elevated SEU pressure that scales their per-card corruption plan.
+//!
+//! The same purity contract applies at fleet scope: the fault drawn
+//! against card `c` is a pure function of `(seed, c)` — no mutable RNG
+//! state is shared between cards — so a cluster run's health timeline
+//! is reproducible from the seed regardless of evaluation order, and
+//! two runs with the same seed kill the same cards at the same
+//! modelled instants.
+//!
+//! # Examples
+//!
+//! ```
+//! use aaod_sim::cluster::{CardFaultRates, ClusterFaultPlan};
+//! use aaod_sim::SimTime;
+//!
+//! let horizon = SimTime::from_ms(10);
+//! let plan = ClusterFaultPlan::new(42, CardFaultRates::ZERO, horizon)
+//!     .with_kill(3, 0.5); // card 3 crashes mid-run
+//! assert!(plan.timeline(3).is_up(SimTime::ZERO));
+//! assert!(!plan.timeline(3).is_up(SimTime::from_ms(6)));
+//! assert!(plan.timeline(0).is_up(SimTime::from_ms(6)));
+//! ```
+
+use crate::{SimTime, SplitMix64};
+
+/// The card-level fault drawn against one card for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CardFault {
+    /// The card dies at `at` and never comes back.
+    Crash {
+        /// Modelled time of death.
+        at: SimTime,
+    },
+    /// The card stops responding at `at` and recovers after `outage`.
+    Hang {
+        /// Modelled time the hang begins.
+        at: SimTime,
+        /// How long the card stays dark.
+        outage: SimTime,
+    },
+    /// A flapping link: from `from`, the card alternates `downtime`
+    /// dark then `period - downtime` up, every `period`.
+    Flap {
+        /// Modelled time the flapping starts.
+        from: SimTime,
+        /// Full flap cycle length.
+        period: SimTime,
+        /// Dark fraction of each cycle (must be below `period`).
+        downtime: SimTime,
+    },
+}
+
+impl CardFault {
+    /// Short lowercase name for reports and trace events.
+    pub fn name(self) -> &'static str {
+        match self {
+            CardFault::Crash { .. } => "crash",
+            CardFault::Hang { .. } => "hang",
+            CardFault::Flap { .. } => "flap",
+        }
+    }
+}
+
+/// Per-card fault probabilities plus the magnitude knobs applied when
+/// a fault is drawn. Rates follow the [`FaultRates`](crate::FaultRates)
+/// contract: independent probabilities whose sum must not exceed 1,
+/// with at most one card-level fault drawn per card. The SEU-pressure
+/// draw is independent, so a flapping card can also run hot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CardFaultRates {
+    /// Probability a card crashes during the run.
+    pub crash: f64,
+    /// Probability a card hangs and recovers.
+    pub hang: f64,
+    /// Probability a card's link flaps.
+    pub flap: f64,
+    /// Probability a card runs under elevated SEU pressure
+    /// (independent draw; composes with the per-card corruption plan).
+    pub seu_pressure: f64,
+    /// Multiplier applied to a pressured card's SEU rate.
+    pub seu_factor: f64,
+    /// Outage length of a drawn hang.
+    pub hang_outage: SimTime,
+    /// Cycle length of a drawn flap.
+    pub flap_period: SimTime,
+    /// Dark fraction of each flap cycle.
+    pub flap_downtime: SimTime,
+}
+
+impl Default for CardFaultRates {
+    fn default() -> Self {
+        CardFaultRates::ZERO
+    }
+}
+
+impl CardFaultRates {
+    /// No card-level faults; magnitudes at their defaults.
+    pub const ZERO: CardFaultRates = CardFaultRates {
+        crash: 0.0,
+        hang: 0.0,
+        flap: 0.0,
+        seu_pressure: 0.0,
+        seu_factor: 4.0,
+        hang_outage: SimTime::from_ms(2),
+        flap_period: SimTime::from_ms(1),
+        flap_downtime: SimTime::from_us(400),
+    };
+
+    /// The same rate `p` for crash, hang and flap, default magnitudes
+    /// and no SEU pressure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `3 * p` exceeds 1.
+    pub fn uniform(p: f64) -> CardFaultRates {
+        let r = CardFaultRates {
+            crash: p,
+            hang: p,
+            flap: p,
+            ..CardFaultRates::ZERO
+        };
+        r.validate();
+        r
+    }
+
+    /// Sum of the card-fault rates — the per-card fault probability.
+    pub fn total(&self) -> f64 {
+        self.crash + self.hang + self.flap
+    }
+
+    pub(crate) fn validate(&self) {
+        for (name, p) in [
+            ("crash", self.crash),
+            ("hang", self.hang),
+            ("flap", self.flap),
+            ("seu-pressure", self.seu_pressure),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "card rate for {name} out of [0,1]: {p}"
+            );
+        }
+        assert!(
+            self.total() <= 1.0,
+            "card fault rates sum to {} > 1; at most one card fault per card",
+            self.total()
+        );
+        assert!(self.seu_factor >= 1.0, "SEU factor must be at least 1");
+        assert!(
+            self.flap_downtime < self.flap_period || self.flap == 0.0,
+            "flap downtime must be below the flap period"
+        );
+    }
+}
+
+/// One card's up/down schedule over the run horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CardTimeline {
+    fault: Option<CardFault>,
+}
+
+impl CardTimeline {
+    /// A card that never goes down.
+    pub const HEALTHY: CardTimeline = CardTimeline { fault: None };
+
+    /// The fault behind this timeline, if any.
+    pub fn fault(&self) -> Option<CardFault> {
+        self.fault
+    }
+
+    /// Whether the card is reachable at modelled time `t`.
+    pub fn is_up(&self, t: SimTime) -> bool {
+        match self.fault {
+            None => true,
+            Some(CardFault::Crash { at }) => t < at,
+            Some(CardFault::Hang { at, outage }) => t < at || t >= at + outage,
+            Some(CardFault::Flap {
+                from,
+                period,
+                downtime,
+            }) => {
+                if t < from {
+                    return true;
+                }
+                let phase = (t - from).as_ps() % period.as_ps().max(1);
+                phase >= downtime.as_ps()
+            }
+        }
+    }
+
+    /// The earliest time at or after `t` the card is up, or `None` if
+    /// it never recovers (a crash).
+    pub fn next_up(&self, t: SimTime) -> Option<SimTime> {
+        match self.fault {
+            None => Some(t),
+            Some(CardFault::Crash { at }) => (t < at).then_some(t),
+            Some(CardFault::Hang { at, outage }) => {
+                if t < at || t >= at + outage {
+                    Some(t)
+                } else {
+                    Some(at + outage)
+                }
+            }
+            Some(CardFault::Flap {
+                from,
+                period,
+                downtime,
+            }) => {
+                if self.is_up(t) {
+                    return Some(t);
+                }
+                let phase = (t - from).as_ps() % period.as_ps().max(1);
+                Some(t + SimTime::from_ps(downtime.as_ps() - phase))
+            }
+        }
+    }
+
+    /// The first down transition at or after `t`, or `None` if the
+    /// card stays up forever from `t`.
+    pub fn next_down(&self, t: SimTime) -> Option<SimTime> {
+        match self.fault {
+            None => None,
+            Some(CardFault::Crash { at }) => Some(at.max(t)),
+            Some(CardFault::Hang { at, outage }) => {
+                if t < at {
+                    Some(at)
+                } else if t < at + outage {
+                    Some(t)
+                } else {
+                    None
+                }
+            }
+            Some(CardFault::Flap { from, period, .. }) => {
+                if !self.is_up(t) {
+                    return Some(t);
+                }
+                if t < from {
+                    return Some(from);
+                }
+                let phase = (t - from).as_ps() % period.as_ps().max(1);
+                Some(t + SimTime::from_ps(period.as_ps() - phase))
+            }
+        }
+    }
+
+    /// Every up/down edge inside `[0, horizon)`, in time order:
+    /// `(time, up?)` pairs. The implicit initial state (up at time
+    /// zero) is not emitted.
+    pub fn transitions(&self, horizon: SimTime) -> Vec<(SimTime, bool)> {
+        let mut edges = Vec::new();
+        match self.fault {
+            None => {}
+            Some(CardFault::Crash { at }) if at < horizon => {
+                edges.push((at, false));
+            }
+            Some(CardFault::Crash { .. }) => {}
+            Some(CardFault::Hang { at, outage }) if at < horizon => {
+                edges.push((at, false));
+                if at + outage < horizon {
+                    edges.push((at + outage, true));
+                }
+            }
+            Some(CardFault::Hang { .. }) => {}
+            Some(CardFault::Flap {
+                from,
+                period,
+                downtime,
+            }) => {
+                let mut t = from;
+                while t < horizon {
+                    edges.push((t, false));
+                    if t + downtime < horizon {
+                        edges.push((t + downtime, true));
+                    }
+                    t += period;
+                }
+            }
+        }
+        edges
+    }
+}
+
+/// Salt mixed into the SEU-pressure draw so it is independent of the
+/// card-fault draw for the same card.
+const SEU_SALT: u64 = 0x5EB5_ED0C_A2D5_01AF_u64;
+
+/// A seeded, reproducible fleet-level fault schedule.
+///
+/// The plan holds no mutable state: [`ClusterFaultPlan::timeline`]
+/// hashes the seed with the card index and draws once, partitioning
+/// the unit interval between crash, hang and flap, then draws the
+/// fault's placement inside the run horizon from the same per-card
+/// stream. Explicit overrides ([`ClusterFaultPlan::with_kill`],
+/// [`ClusterFaultPlan::with_fault`]) replace the drawn fault for one
+/// card — the deterministic kill schedules the cluster bench sweeps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterFaultPlan {
+    seed: u64,
+    rates: CardFaultRates,
+    horizon: SimTime,
+    overrides: Vec<(usize, Option<CardFault>)>,
+}
+
+impl ClusterFaultPlan {
+    /// Creates a plan from a seed, per-card rates and the modelled
+    /// run horizon fault placements are drawn inside.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate is outside `[0, 1]`, the card-fault rates
+    /// sum past 1, the SEU factor is below 1, or the flap downtime is
+    /// not below the flap period, or the horizon is zero.
+    pub fn new(seed: u64, rates: CardFaultRates, horizon: SimTime) -> ClusterFaultPlan {
+        rates.validate();
+        assert!(!horizon.is_zero(), "cluster fault horizon must be non-zero");
+        ClusterFaultPlan {
+            seed,
+            rates,
+            horizon,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The plan's per-card rates and magnitudes.
+    pub fn rates(&self) -> CardFaultRates {
+        self.rates
+    }
+
+    /// The run horizon fault placements are drawn inside.
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Overrides card `card` with a crash at `at_frac` of the horizon
+    /// (clamped to `[0, 1]`) — the deterministic kill schedule knob.
+    #[must_use]
+    pub fn with_kill(self, card: usize, at_frac: f64) -> ClusterFaultPlan {
+        let frac = at_frac.clamp(0.0, 1.0);
+        let at = SimTime::from_ps((self.horizon.as_ps() as f64 * frac) as u64);
+        self.with_fault(card, Some(CardFault::Crash { at }))
+    }
+
+    /// Overrides card `card` with an explicit fault (or `None` to pin
+    /// it healthy regardless of the drawn schedule).
+    #[must_use]
+    pub fn with_fault(mut self, card: usize, fault: Option<CardFault>) -> ClusterFaultPlan {
+        self.overrides.retain(|&(c, _)| c != card);
+        self.overrides.push((card, fault));
+        self.overrides.sort_by_key(|&(c, _)| c);
+        self
+    }
+
+    fn rng_for(&self, card: usize, salt: u64) -> SplitMix64 {
+        let mut mixer =
+            SplitMix64::new(self.seed ^ salt ^ (card as u64).wrapping_mul(0xA076_1D64_78BD_642F));
+        SplitMix64::new(mixer.next_u64())
+    }
+
+    /// The up/down timeline of `card`. Pure: equal `(seed, rates,
+    /// horizon, card)` always yields the same timeline.
+    pub fn timeline(&self, card: usize) -> CardTimeline {
+        if let Some(&(_, fault)) = self.overrides.iter().find(|&&(c, _)| c == card) {
+            return CardTimeline { fault };
+        }
+        if self.rates.total() == 0.0 {
+            return CardTimeline::HEALTHY;
+        }
+        let mut rng = self.rng_for(card, 0);
+        let draw = rng.next_f64();
+        // placement: strike inside the middle of the run, so a drawn
+        // fault always has traffic before and after it
+        let frac = 0.2 + 0.6 * rng.next_f64();
+        let at = SimTime::from_ps((self.horizon.as_ps() as f64 * frac) as u64);
+        let fault = if draw < self.rates.crash {
+            Some(CardFault::Crash { at })
+        } else if draw < self.rates.crash + self.rates.hang {
+            Some(CardFault::Hang {
+                at,
+                outage: self.rates.hang_outage,
+            })
+        } else if draw < self.rates.total() {
+            Some(CardFault::Flap {
+                from: at,
+                period: self.rates.flap_period,
+                downtime: self.rates.flap_downtime,
+            })
+        } else {
+            None
+        };
+        CardTimeline { fault }
+    }
+
+    /// The SEU-rate multiplier for `card`: `seu_factor` when the
+    /// independent pressure draw lands, else 1. Pure per `(seed,
+    /// card)`.
+    pub fn seu_multiplier(&self, card: usize) -> f64 {
+        if self.rates.seu_pressure == 0.0 {
+            return 1.0;
+        }
+        let mut rng = self.rng_for(card, SEU_SALT);
+        if rng.next_f64() < self.rates.seu_pressure {
+            self.rates.seu_factor
+        } else {
+            1.0
+        }
+    }
+
+    /// How many of the first `n` cards draw a card-level fault.
+    pub fn faulted_cards(&self, n: usize) -> usize {
+        (0..n)
+            .filter(|&c| self.timeline(c).fault().is_some())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const H: SimTime = SimTime::from_ms(10);
+
+    #[test]
+    fn timelines_are_pure() {
+        let plan = ClusterFaultPlan::new(0xC1057E4, CardFaultRates::uniform(0.2), H);
+        for c in 0..64 {
+            assert_eq!(plan.timeline(c), plan.timeline(c));
+            assert_eq!(plan.seu_multiplier(c), plan.seu_multiplier(c));
+        }
+    }
+
+    #[test]
+    fn equal_seeds_equal_schedules_different_seeds_differ() {
+        let a = ClusterFaultPlan::new(9, CardFaultRates::uniform(0.25), H);
+        let b = ClusterFaultPlan::new(9, CardFaultRates::uniform(0.25), H);
+        let c = ClusterFaultPlan::new(10, CardFaultRates::uniform(0.25), H);
+        let ta: Vec<_> = (0..64).map(|i| a.timeline(i)).collect();
+        let tb: Vec<_> = (0..64).map(|i| b.timeline(i)).collect();
+        let tc: Vec<_> = (0..64).map(|i| c.timeline(i)).collect();
+        assert_eq!(ta, tb);
+        assert_ne!(ta, tc);
+    }
+
+    #[test]
+    fn zero_rates_keep_every_card_healthy() {
+        let plan = ClusterFaultPlan::new(7, CardFaultRates::ZERO, H);
+        assert_eq!(plan.faulted_cards(64), 0);
+        assert_eq!(plan.seu_multiplier(5), 1.0);
+        assert!(plan.timeline(5).is_up(H));
+    }
+
+    #[test]
+    fn kill_override_crashes_exactly_that_card() {
+        let plan = ClusterFaultPlan::new(7, CardFaultRates::ZERO, H).with_kill(3, 0.5);
+        let half = SimTime::from_ms(5);
+        assert!(plan.timeline(3).is_up(half - SimTime::from_us(1)));
+        assert!(!plan.timeline(3).is_up(half));
+        assert!(!plan.timeline(3).is_up(H));
+        assert_eq!(plan.timeline(3).next_up(half), None);
+        for c in 0..8 {
+            if c != 3 {
+                assert!(plan.timeline(c).is_up(H), "card {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn healthy_override_pins_a_drawn_fault_away() {
+        let rates = CardFaultRates::uniform(1.0 / 3.0);
+        let plan = ClusterFaultPlan::new(11, rates, H);
+        let faulted = (0..64)
+            .find(|&c| plan.timeline(c).fault().is_some())
+            .expect("some card must draw a fault at rate 1");
+        let pinned = plan.clone().with_fault(faulted, None);
+        assert_eq!(pinned.timeline(faulted), CardTimeline::HEALTHY);
+    }
+
+    #[test]
+    fn hang_recovers_and_crash_does_not() {
+        let hang = CardTimeline {
+            fault: Some(CardFault::Hang {
+                at: SimTime::from_ms(2),
+                outage: SimTime::from_ms(1),
+            }),
+        };
+        assert!(hang.is_up(SimTime::from_ms(1)));
+        assert!(!hang.is_up(SimTime::from_ms(2)));
+        assert!(!hang.is_up(SimTime::from_us(2_900)));
+        assert!(hang.is_up(SimTime::from_ms(3)));
+        assert_eq!(
+            hang.next_up(SimTime::from_us(2_500)),
+            Some(SimTime::from_ms(3))
+        );
+        assert_eq!(hang.next_down(SimTime::ZERO), Some(SimTime::from_ms(2)));
+        let crash = CardTimeline {
+            fault: Some(CardFault::Crash {
+                at: SimTime::from_ms(2),
+            }),
+        };
+        assert_eq!(crash.next_up(SimTime::from_ms(2)), None);
+        assert_eq!(
+            crash.next_up(SimTime::from_ms(1)),
+            Some(SimTime::from_ms(1))
+        );
+    }
+
+    #[test]
+    fn flap_alternates_and_reports_edges() {
+        let flap = CardTimeline {
+            fault: Some(CardFault::Flap {
+                from: SimTime::from_ms(1),
+                period: SimTime::from_ms(1),
+                downtime: SimTime::from_us(250),
+            }),
+        };
+        assert!(flap.is_up(SimTime::from_us(999)));
+        assert!(!flap.is_up(SimTime::from_ms(1)));
+        assert!(!flap.is_up(SimTime::from_us(1_100)));
+        assert!(flap.is_up(SimTime::from_us(1_250)));
+        assert!(!flap.is_up(SimTime::from_us(2_100)));
+        assert_eq!(
+            flap.next_up(SimTime::from_us(1_100)),
+            Some(SimTime::from_us(1_250))
+        );
+        let edges = flap.transitions(SimTime::from_us(3_500));
+        assert_eq!(
+            edges,
+            vec![
+                (SimTime::from_ms(1), false),
+                (SimTime::from_us(1_250), true),
+                (SimTime::from_ms(2), false),
+                (SimTime::from_us(2_250), true),
+                (SimTime::from_ms(3), false),
+                (SimTime::from_us(3_250), true),
+            ]
+        );
+        // edges are consistent with point queries
+        for &(t, up) in &edges {
+            assert_eq!(flap.is_up(t), up, "at {t}");
+        }
+    }
+
+    #[test]
+    fn rate_shapes_card_fault_frequency() {
+        let plan = ClusterFaultPlan::new(3, CardFaultRates::uniform(0.1), H);
+        let n = 2_000;
+        let hits = plan.faulted_cards(n);
+        let expect = 0.3 * n as f64;
+        assert!(
+            (hits as f64 - expect).abs() < expect * 0.2,
+            "expected ~{expect}, got {hits}"
+        );
+    }
+
+    #[test]
+    fn seu_pressure_draw_is_independent_of_the_card_fault_draw() {
+        let bare = ClusterFaultPlan::new(21, CardFaultRates::uniform(0.2), H);
+        let mut rates = CardFaultRates::uniform(0.2);
+        rates.seu_pressure = 0.5;
+        rates.seu_factor = 8.0;
+        let with = ClusterFaultPlan::new(21, rates, H);
+        for c in 0..128 {
+            assert_eq!(
+                bare.timeline(c),
+                with.timeline(c),
+                "adding SEU pressure changed the card-fault schedule at {c}"
+            );
+        }
+        let pressured = (0..128).filter(|&c| with.seu_multiplier(c) > 1.0).count();
+        assert!((32..=96).contains(&pressured), "pressured {pressured}/128");
+    }
+
+    #[test]
+    #[should_panic(expected = "at most one card fault")]
+    fn oversubscribed_rates_rejected() {
+        let _ = ClusterFaultPlan::new(0, CardFaultRates::uniform(0.4), H);
+    }
+
+    #[test]
+    #[should_panic(expected = "flap downtime")]
+    fn flap_downtime_must_fit_the_period() {
+        let rates = CardFaultRates {
+            flap: 0.1,
+            flap_period: SimTime::from_us(100),
+            flap_downtime: SimTime::from_us(100),
+            ..CardFaultRates::ZERO
+        };
+        let _ = ClusterFaultPlan::new(0, rates, H);
+    }
+}

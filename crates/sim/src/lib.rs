@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod cluster;
 pub mod fault;
 pub mod report;
 pub mod rng;
@@ -42,6 +43,7 @@ pub mod time;
 pub mod trace;
 
 pub use clock::Clock;
+pub use cluster::{CardFault, CardFaultRates, CardTimeline, ClusterFaultPlan};
 pub use fault::{FaultPlan, FaultRates, FaultSite, LatencyRates, LatencySite};
 pub use rng::SplitMix64;
 pub use time::SimTime;

@@ -51,6 +51,12 @@ pub const PRODUCER_SHARD: u32 = u32::MAX;
 /// Pseudo-shard id for engine-level redistribution/requeue events.
 pub const ENGINE_SHARD: u32 = u32::MAX - 1;
 
+/// Pseudo-shard id for fleet-level router events (failover and hedge
+/// decisions). Per-card health edges ([`EventKind::CardDown`] /
+/// [`EventKind::CardUp`]) are recorded on the card's own shard id so
+/// each card's health timeline stays time-ordered.
+pub const CLUSTER_SHARD: u32 = u32::MAX - 2;
+
 /// How much the tracer records.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum TraceLevel {
@@ -558,6 +564,40 @@ pub enum EventKind {
         /// New phase.
         to: BreakerPhase,
     },
+    /// A cluster card became unreachable (crash, hang or link flap).
+    CardDown {
+        /// The card that went dark.
+        card: u32,
+    },
+    /// A cluster card came back (hang outage over, flap up-phase).
+    CardUp {
+        /// The recovered card.
+        card: u32,
+    },
+    /// The cluster router redirected a job to another replica before
+    /// service started (breaker rejection or card down at dispatch).
+    Failover {
+        /// Submission index of the job.
+        job: u64,
+        /// Target algorithm.
+        algo: u16,
+        /// The card the job was headed to.
+        from: u32,
+        /// The replica it failed over to.
+        to: u32,
+    },
+    /// The cluster router re-dispatched a job stranded mid-service on
+    /// a card that went down.
+    Hedge {
+        /// Submission index of the job.
+        job: u64,
+        /// Target algorithm.
+        algo: u16,
+        /// The card the job was stranded on.
+        from: u32,
+        /// The replica the hedge ran on.
+        to: u32,
+    },
 }
 
 /// One recorded event: modelled timestamp, shard, per-shard sequence
@@ -690,6 +730,10 @@ pub struct TraceCounters {
     pub watchdog_resets: u64,
     pub breaker_trips: u64,
     pub breaker_transitions: u64,
+    pub card_downs: u64,
+    pub card_ups: u64,
+    pub failovers: u64,
+    pub hedges: u64,
 }
 
 impl TraceCounters {
@@ -745,6 +789,10 @@ impl TraceCounters {
         self.watchdog_resets += o.watchdog_resets;
         self.breaker_trips += o.breaker_trips;
         self.breaker_transitions += o.breaker_transitions;
+        self.card_downs += o.card_downs;
+        self.card_ups += o.card_ups;
+        self.failovers += o.failovers;
+        self.hedges += o.hedges;
     }
 }
 
@@ -850,6 +898,10 @@ impl MetricsRegistry {
                     c.breaker_trips += 1;
                 }
             }
+            EventKind::CardDown { .. } => c.card_downs += 1,
+            EventKind::CardUp { .. } => c.card_ups += 1,
+            EventKind::Failover { .. } => c.failovers += 1,
+            EventKind::Hedge { .. } => c.hedges += 1,
         }
     }
 
@@ -1247,6 +1299,34 @@ fn jsonl_line(out: &mut String, e: &TraceEvent) {
                 to.name()
             );
         }
+        EventKind::CardDown { card } => {
+            let _ = write!(out, ",\"event\":\"card_down\",\"card\":{card}");
+        }
+        EventKind::CardUp { card } => {
+            let _ = write!(out, ",\"event\":\"card_up\",\"card\":{card}");
+        }
+        EventKind::Failover {
+            job,
+            algo,
+            from,
+            to,
+        } => {
+            let _ = write!(
+                out,
+                ",\"event\":\"failover\",\"job\":{job},\"algo\":{algo},\"from\":{from},\"to\":{to}"
+            );
+        }
+        EventKind::Hedge {
+            job,
+            algo,
+            from,
+            to,
+        } => {
+            let _ = write!(
+                out,
+                ",\"event\":\"hedge\",\"job\":{job},\"algo\":{algo},\"from\":{from},\"to\":{to}"
+            );
+        }
     }
     out.push('}');
 }
@@ -1321,6 +1401,10 @@ fn instant_name(kind: &EventKind) -> &'static str {
         EventKind::Retry { .. } => "retry",
         EventKind::WatchdogReset { .. } => "watchdog_reset",
         EventKind::Breaker { .. } => "breaker",
+        EventKind::CardDown { .. } => "card_down",
+        EventKind::CardUp { .. } => "card_up",
+        EventKind::Failover { .. } => "failover",
+        EventKind::Hedge { .. } => "hedge",
         EventKind::JobOpen { .. }
         | EventKind::JobClose { .. }
         | EventKind::StageOpen { .. }

@@ -57,6 +57,10 @@ pub struct Workload {
     name: String,
     seed: u64,
     requests: Vec<Request>,
+    /// For a [`subset`](Workload::subset), the original index each
+    /// request came from, so `input()` reproduces the source payload
+    /// byte-for-byte. `None` for a freshly generated stream.
+    source: Option<Vec<usize>>,
 }
 
 impl Workload {
@@ -65,6 +69,7 @@ impl Workload {
             name,
             seed,
             requests,
+            source: None,
         }
     }
 
@@ -262,6 +267,72 @@ impl Workload {
         )
     }
 
+    /// Multi-tenant fleet mix: each tenant is `(algos, weight,
+    /// input_len)`. Every request first draws a tenant with
+    /// probability proportional to its weight, then a Zipf(s = 1)
+    /// algorithm within that tenant's list — so each tenant keeps a
+    /// hot head and a cold tail, and the fleet interleaves them all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenants` is empty, any tenant has no algorithms, or
+    /// any weight is not finite and positive.
+    pub fn tenants(tenants: &[(&[u16], f64, usize)], n: usize, seed: u64) -> Self {
+        assert!(!tenants.is_empty(), "need at least one tenant");
+        let mut tenant_cdf = Vec::with_capacity(tenants.len());
+        let mut total = 0.0;
+        for (algos, weight, _) in tenants {
+            assert!(
+                !algos.is_empty(),
+                "every tenant needs at least one algorithm"
+            );
+            assert!(
+                weight.is_finite() && *weight > 0.0,
+                "tenant weight must be positive"
+            );
+            total += weight;
+        }
+        let mut acc = 0.0;
+        for (_, weight, _) in tenants {
+            acc += weight / total;
+            tenant_cdf.push(acc);
+        }
+        // Per-tenant Zipf(s = 1) CDFs over that tenant's algorithms.
+        let algo_cdfs: Vec<Vec<f64>> = tenants
+            .iter()
+            .map(|(algos, _, _)| {
+                let weights: Vec<f64> = (1..=algos.len()).map(|rank| 1.0 / rank as f64).collect();
+                let total: f64 = weights.iter().sum();
+                let mut cdf = Vec::with_capacity(weights.len());
+                let mut acc = 0.0;
+                for w in &weights {
+                    acc += w / total;
+                    cdf.push(acc);
+                }
+                cdf
+            })
+            .collect();
+        let mut rng = SplitMix64::new(seed);
+        let requests = (0..n)
+            .map(|_| {
+                let u = rng.next_f64();
+                let t = tenant_cdf
+                    .partition_point(|&c| c < u)
+                    .min(tenants.len() - 1);
+                let (algos, _, input_len) = tenants[t];
+                let v = rng.next_f64();
+                let idx = algo_cdfs[t]
+                    .partition_point(|&c| c < v)
+                    .min(algos.len() - 1);
+                Request {
+                    algo_id: algos[idx],
+                    input_len,
+                }
+            })
+            .collect();
+        Workload::with_name(format!("tenants(k={})", tenants.len()), seed, requests)
+    }
+
     /// Replays an explicit id trace with a fixed input length.
     pub fn from_trace<I: IntoIterator<Item = u16>>(trace: I, input_len: usize) -> Self {
         let requests = trace
@@ -302,14 +373,52 @@ impl Workload {
         self.requests.iter().map(|r| r.algo_id).collect()
     }
 
-    /// Deterministic input payload for request `index`.
+    /// Deterministic input payload for request `index`. For a
+    /// [`subset`](Workload::subset) this is the payload of the
+    /// *original* request, so a job carries identical bytes no matter
+    /// which derived stream serves it.
     ///
     /// # Panics
     ///
     /// Panics if `index` is out of range.
     pub fn input(&self, index: usize) -> Vec<u8> {
         let r = self.requests[index];
-        request_input(self.seed, index, r.input_len)
+        request_input(self.seed, self.source_index(index), r.input_len)
+    }
+
+    /// The index this request had in the original (pre-subset)
+    /// stream. Identity for a freshly generated workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn source_index(&self, index: usize) -> usize {
+        match &self.source {
+            Some(map) => map[index],
+            None => {
+                assert!(index < self.requests.len(), "request index out of range");
+                index
+            }
+        }
+    }
+
+    /// A derived workload containing the picked requests, in the
+    /// given order, that still reproduces the original payload bytes:
+    /// `subset.input(k) == self.input(indices[k])`. Subsetting a
+    /// subset composes through to the root stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn subset(&self, indices: &[usize]) -> Self {
+        let requests = indices.iter().map(|&i| self.requests[i]).collect();
+        let source = indices.iter().map(|&i| self.source_index(i)).collect();
+        Workload {
+            name: format!("{}[{}]", self.name, indices.len()),
+            seed: self.seed,
+            requests,
+            source: Some(source),
+        }
     }
 
     /// Distinct algorithms referenced, sorted.
@@ -427,6 +536,53 @@ mod tests {
         assert_eq!(w.input(0), w.input(0));
         assert_ne!(w.input(0), w.input(1));
         assert_eq!(w.distinct_algos(), vec![3, 9]);
+    }
+
+    #[test]
+    fn subset_preserves_source_payloads() {
+        let w = Workload::zipf(&ALGOS, 40, 1.1, 16, 7);
+        let picked = [3usize, 17, 5, 39];
+        let s = w.subset(&picked);
+        assert_eq!(s.len(), picked.len());
+        for (k, &i) in picked.iter().enumerate() {
+            assert_eq!(s.requests()[k], w.requests()[i]);
+            assert_eq!(s.input(k), w.input(i), "payload drifted at slot {k}");
+            assert_eq!(s.source_index(k), i);
+        }
+        // Subsetting a subset composes through to the root stream.
+        let nested = s.subset(&[2, 0]);
+        assert_eq!(nested.input(0), w.input(5));
+        assert_eq!(nested.source_index(1), 3);
+    }
+
+    #[test]
+    fn tenants_mix_weights_and_lengths() {
+        let spec: [(&[u16], f64, usize); 3] =
+            [(&[1, 2], 6.0, 64), (&[3, 4], 3.0, 256), (&[5], 1.0, 1024)];
+        let w = Workload::tenants(&spec, 10_000, 13);
+        assert_eq!(w.len(), 10_000);
+        assert_eq!(w, Workload::tenants(&spec, 10_000, 13));
+        let mut counts = [0usize; 3];
+        for r in w.requests() {
+            let t = match r.algo_id {
+                1 | 2 => 0,
+                3 | 4 => 1,
+                _ => 2,
+            };
+            counts[t] += 1;
+            assert_eq!(r.input_len, spec[t].2);
+        }
+        assert!(counts[0] > counts[1] && counts[1] > counts[2], "{counts:?}");
+        // Zipf head within the first tenant.
+        let c1 = w.algo_trace().iter().filter(|&&a| a == 1).count();
+        let c2 = w.algo_trace().iter().filter(|&&a| a == 2).count();
+        assert!(c1 > c2, "rank 1: {c1}, rank 2: {c2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "tenant weight")]
+    fn tenants_reject_bad_weight() {
+        let _ = Workload::tenants(&[(&[1u16][..], 0.0, 8)], 10, 0);
     }
 
     #[test]

@@ -97,6 +97,28 @@ pub fn dedup_workload(n: usize, seed: u64) -> Workload {
     Workload::bursty(&dedup_mix(), n, 8, 256, seed)
 }
 
+/// The canonical multi-tenant fleet workload (E18): three tenants
+/// sharing a cluster. An IPSec gateway dominates traffic with the
+/// crypto mix on MTU-sized packets, a telemetry service hashes small
+/// records, and a batch DSP tenant trickles in large filter windows.
+/// Tenant heads (AES-128, SHA-1, FIR) are hot fleet-wide and worth
+/// replicating on several cards; the tails stay cold and
+/// single-resident.
+pub fn fleet_workload(n: usize, seed: u64) -> Workload {
+    let gateway = [ids::AES128, ids::TDES, ids::HMAC_SHA1, ids::XTEA];
+    let telemetry = [ids::SHA1, ids::SHA256, ids::CRC32];
+    let dsp = [ids::FIR, ids::MATMUL8];
+    Workload::tenants(
+        &[
+            (&gateway, 6.0, 1504),
+            (&telemetry, 3.0, 256),
+            (&dsp, 1.0, 1024),
+        ],
+        n,
+        seed,
+    )
+}
+
 /// A realistic input length for one invocation of `algo_id`
 /// (an Ethernet-MTU packet for packet-processing kernels, a filter
 /// window for DSP, one matrix pair for the multiplier).
@@ -196,6 +218,25 @@ mod tests {
         let w = dedup_workload(400, 7);
         assert_eq!(w.len(), 400);
         assert_eq!(w.distinct_algos().len(), dedup_mix().len());
+    }
+
+    #[test]
+    fn fleet_workload_interleaves_all_tenants() {
+        let w = fleet_workload(4_000, 5);
+        assert_eq!(w.len(), 4_000);
+        assert_eq!(w, fleet_workload(4_000, 5));
+        let trace = w.algo_trace();
+        let gateway = trace
+            .iter()
+            .filter(|a| [ids::AES128, ids::TDES, ids::HMAC_SHA1, ids::XTEA].contains(a))
+            .count();
+        let dsp = trace
+            .iter()
+            .filter(|a| [ids::FIR, ids::MATMUL8].contains(a))
+            .count();
+        assert!(gateway > dsp * 2, "gateway {gateway}, dsp {dsp}");
+        assert!(dsp > 0, "dsp tenant starved");
+        assert!(w.distinct_algos().len() >= 7, "{:?}", w.distinct_algos());
     }
 
     #[test]

@@ -146,10 +146,7 @@ fn dispatch_bench_seeded_run_is_byte_identical() {
 /// it, so CI can drive the same hook through this suite and the E17
 /// bench with one knob.
 fn compress_seed() -> u64 {
-    std::env::var("AAOD_COMPRESS_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1717)
+    aaod_bench::env_seed("AAOD_COMPRESS_SEED", 1717)
 }
 
 /// The E17 card: DeltaV2 + frame store over the dedup bank, decoded

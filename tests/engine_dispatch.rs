@@ -35,10 +35,7 @@ use std::collections::BTreeMap;
 
 /// Workload seed: `AAOD_DISPATCH_SEED` if set, else fixed.
 fn dispatch_seed() -> u64 {
-    std::env::var("AAOD_DISPATCH_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0xD15)
+    aaod_bench::env_seed("AAOD_DISPATCH_SEED", 0xD15)
 }
 
 /// The canonical adversarial mix for this suite. 1000 requests: long

@@ -22,10 +22,7 @@ use aaod_workload::Workload;
 
 /// Seed for the fault plan: `AAOD_FAULT_SEED` if set, else fixed.
 fn plan_seed() -> u64 {
-    std::env::var("AAOD_FAULT_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0xFA117)
+    aaod_bench::env_seed("AAOD_FAULT_SEED", 0xFA117)
 }
 
 /// The standard chaos workload: skewed traffic over a working set

@@ -27,10 +27,7 @@ use aaod_workload::Workload;
 
 /// Seed for the fault plan: `AAOD_OVERLOAD_SEED` if set, else fixed.
 fn plan_seed() -> u64 {
-    std::env::var("AAOD_OVERLOAD_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0x0D10AD)
+    aaod_bench::env_seed("AAOD_OVERLOAD_SEED", 0x0D10AD)
 }
 
 /// Skewed traffic over a working set that fits the default device.
@@ -256,6 +253,7 @@ fn breaker_quarantines_failing_shard() {
         breaker: BreakerConfig {
             failure_threshold: 1,
             cooldown: SimTime::from_secs(1), // stays open for the run
+            ..BreakerConfig::default()
         },
     };
     let r = engine(3, oc, Some(fc)).serve(&w).unwrap();
@@ -296,6 +294,7 @@ fn requeue_rescue_respects_deadline_budget() {
     let breaker = BreakerConfig {
         failure_threshold: u32::MAX,
         cooldown: SimTime::from_ms(5),
+        ..BreakerConfig::default()
     };
     // Tight: every deadline passes before the pool drains (the budget
     // is a quarter of the serial work and arrivals are instantaneous),

@@ -34,10 +34,7 @@ const MIX: [u16; 4] = [ids::SHA1, ids::CRC32, ids::CRC8, ids::XTEA];
 /// (the CI trace matrix sweeps it), else fixed. The golden files use
 /// pinned seeds regardless — their bytes are part of the repo.
 fn sweep_seed() -> u64 {
-    std::env::var("AAOD_TRACE_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(7)
+    aaod_bench::env_seed("AAOD_TRACE_SEED", 7)
 }
 
 /// One deterministic traced serve of the quickstart-style mix.
