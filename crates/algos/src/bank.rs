@@ -7,6 +7,7 @@
 use crate::checksum::Crc32Kernel;
 use crate::crypto::{Aes128, HmacSha1, Sha1, Sha256, TripleDes, Xtea};
 use crate::dsp::{Fir, MatMul8};
+use crate::dsp_ai::{Conv2d, Fft64, MatMul16};
 use crate::kernel::{AlgoError, Kernel};
 use crate::netlists::{Adder8Kernel, Crc8Kernel, Parity8Kernel, Popcount8Kernel};
 use aaod_fabric::{DeviceGeometry, FunctionImage};
@@ -53,6 +54,20 @@ impl AlgorithmBank {
         bank.register(Arc::new(Parity8Kernel));
         bank.register(Arc::new(TripleDes));
         bank.register(Arc::new(HmacSha1));
+        bank
+    }
+
+    /// The standard bank plus the large-footprint DSP/AI tier
+    /// ([`MatMul16`], [`Conv2d`], [`Fft64`]): sixteen kernels.
+    ///
+    /// Kept separate from [`standard`](AlgorithmBank::standard) so
+    /// existing experiments, calibrations and golden traces keep
+    /// their exact thirteen-algorithm bank.
+    pub fn extended() -> Self {
+        let mut bank = AlgorithmBank::standard();
+        bank.register(Arc::new(MatMul16));
+        bank.register(Arc::new(Conv2d));
+        bank.register(Arc::new(Fft64));
         bank
     }
 
@@ -197,6 +212,27 @@ mod tests {
                 .frames_needed(geom);
             assert!(frames <= geom.frames(), "{} does not fit", kernel.name());
         }
+    }
+
+    #[test]
+    fn extended_bank_adds_the_dsp_ai_tier() {
+        let bank = AlgorithmBank::extended();
+        assert_eq!(bank.len(), 16);
+        let geom = DeviceGeometry::default();
+        for id in ids::DSP_AI {
+            let img = bank.build_image(id, geom).unwrap();
+            assert_eq!(img.algo_id(), id);
+            // the tier is large (5-20x the standard kernels) but every
+            // member still fits the device alone
+            let frames = img.frames_needed(geom);
+            assert!(frames >= 56, "id {id}: only {frames} frames");
+            assert!(frames <= geom.frames(), "id {id} does not fit");
+            let frames_rt = FunctionImage::decode_frames(&img.encode(geom), geom).unwrap();
+            assert_eq!(frames_rt, img);
+        }
+        // standard bank is untouched by the tier
+        assert_eq!(AlgorithmBank::standard().len(), 13);
+        assert!(AlgorithmBank::standard().kernel(ids::MATMUL16).is_none());
     }
 
     #[test]

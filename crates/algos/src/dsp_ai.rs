@@ -1,0 +1,513 @@
+//! Large-footprint DSP/AI kernels: blocked 16×16 matrix multiply,
+//! 3×3 image convolution and a 64-point fixed-point FFT.
+//!
+//! These are the "DSP/AI tier" of the bank: frame footprints 5–20×
+//! the standard kernels (56–72 frames against the 96-frame default
+//! device vs 2–32 for the rest of the bank) and proportionally larger
+//! payloads, so bitstream download, frame-store dedup, PCI burst
+//! staging and on-card RAM accounting are all actually stressed.
+//! They live in [`AlgorithmBank::extended`](crate::AlgorithmBank::extended)
+//! rather than `standard()` so existing experiments and golden traces
+//! keep their exact bank.
+//!
+//! All three are behavioural kernels with bit-exact integer
+//! reference semantics — no floating point anywhere on the data
+//! path, so outputs are identical across hosts and the conformance
+//! tier (`tests/kernel_conformance.rs`) can pin golden vectors.
+
+use crate::filler::behavioral_image;
+use crate::ids;
+use crate::kernel::{AlgoError, Kernel};
+use aaod_fabric::{DeviceGeometry, FunctionImage};
+
+/// Blocked 16×16 signed matrix multiply.
+///
+/// Input: pairs of row-major 16×16 `i8` matrices `A`, `B` (256 bytes
+/// each, 512 per pair; a partial trailing pair is zero-padded).
+/// Output per pair: the 16×16 product, `i32`-accumulated and
+/// saturated to `i16`, little-endian (512 bytes). No parameters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatMul16;
+
+/// Bytes per input pair for [`MatMul16`]: two 16×16 `i8` matrices.
+pub const MATMUL16_PAIR_BYTES: usize = 512;
+
+impl Kernel for MatMul16 {
+    fn algo_id(&self) -> u16 {
+        ids::MATMUL16
+    }
+
+    fn name(&self) -> &'static str {
+        "matmul16"
+    }
+
+    fn default_params(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    fn execute(&self, params: &[u8], input: &[u8]) -> Result<Vec<u8>, AlgoError> {
+        if !params.is_empty() {
+            return Err(AlgoError::BadParams {
+                kernel: "matmul16",
+                reason: "takes no parameters".into(),
+            });
+        }
+        let pairs = input.len().div_ceil(MATMUL16_PAIR_BYTES);
+        let mut out = Vec::with_capacity(pairs * MATMUL16_PAIR_BYTES);
+        for chunk in input.chunks(MATMUL16_PAIR_BYTES) {
+            // zero-pad a partial trailing pair, as the data-input
+            // module pads transfers to the record's bus width
+            let mut pair = [0u8; MATMUL16_PAIR_BYTES];
+            pair[..chunk.len()].copy_from_slice(chunk);
+            let (a, b) = pair.split_at(256);
+            for i in 0..16 {
+                for j in 0..16 {
+                    let mut acc: i32 = 0;
+                    for k in 0..16 {
+                        acc += a[i * 16 + k] as i8 as i32 * b[k * 16 + j] as i8 as i32;
+                    }
+                    let y = acc.clamp(i16::MIN as i32, i16::MAX as i32) as i16;
+                    out.extend_from_slice(&y.to_le_bytes());
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn input_width(&self) -> u16 {
+        MATMUL16_PAIR_BYTES as u16
+    }
+
+    fn output_width(&self) -> u16 {
+        MATMUL16_PAIR_BYTES as u16
+    }
+
+    fn build_image(&self, params: &[u8], geom: DeviceGeometry) -> Result<FunctionImage, AlgoError> {
+        if !params.is_empty() {
+            return Err(AlgoError::BadParams {
+                kernel: "matmul16",
+                reason: "takes no parameters".into(),
+            });
+        }
+        // A 16×16 systolic array with i32 accumulators is by far the
+        // largest function in the bank: 72 frames (3/4 of the default
+        // device) — any co-resident function forces reconfiguration.
+        Ok(behavioral_image(
+            self.algo_id(),
+            params,
+            self.input_width(),
+            self.output_width(),
+            72,
+            geom,
+        ))
+    }
+
+    fn fabric_cycles(&self, input_len: usize) -> u64 {
+        // systolic: one result column per cycle after a 32-cycle fill
+        16 * input_len.div_ceil(MATMUL16_PAIR_BYTES) as u64 + 32
+    }
+
+    fn software_cycles(&self, input_len: usize) -> u64 {
+        // 4096 MACs (~3 cycles each with loads) per pair
+        12_288 * input_len.div_ceil(MATMUL16_PAIR_BYTES) as u64 + 100
+    }
+}
+
+/// 3×3 convolution over 32×32 8-bit grayscale tiles.
+///
+/// Input: 1024-byte row-major 32×32 `u8` images (a partial trailing
+/// tile is zero-padded). Parameters: nine `i8` coefficients in
+/// row-major kernel order followed by one right-shift byte (0–7).
+/// Each output pixel is the `i32` dot product over the 3×3
+/// neighbourhood (zero padding outside the tile), arithmetically
+/// shifted right and clamped to `0..=255`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Conv2d;
+
+/// Tile edge for [`Conv2d`]: images are 32×32 pixels.
+pub const CONV2D_EDGE: usize = 32;
+/// Bytes per input tile for [`Conv2d`].
+pub const CONV2D_TILE_BYTES: usize = CONV2D_EDGE * CONV2D_EDGE;
+
+fn parse_conv_params(params: &[u8]) -> Result<([i8; 9], u32), AlgoError> {
+    if params.len() != 10 {
+        return Err(AlgoError::BadParams {
+            kernel: "conv2d",
+            reason: format!(
+                "expected 9 i8 coefficients + 1 shift byte, got {} bytes",
+                params.len()
+            ),
+        });
+    }
+    let mut coeffs = [0i8; 9];
+    for (c, &p) in coeffs.iter_mut().zip(params.iter()) {
+        *c = p as i8;
+    }
+    let shift = params[9] as u32;
+    if shift > 7 {
+        return Err(AlgoError::BadParams {
+            kernel: "conv2d",
+            reason: format!("shift must be 0..=7, got {shift}"),
+        });
+    }
+    Ok((coeffs, shift))
+}
+
+impl Kernel for Conv2d {
+    fn algo_id(&self) -> u16 {
+        ids::CONV2D
+    }
+
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn default_params(&self) -> Vec<u8> {
+        // Gaussian-ish 3×3 blur, sum 16, shift 4 → unity DC gain
+        let coeffs: [i8; 9] = [1, 2, 1, 2, 4, 2, 1, 2, 1];
+        let mut p: Vec<u8> = coeffs.iter().map(|&c| c as u8).collect();
+        p.push(4);
+        p
+    }
+
+    fn execute(&self, params: &[u8], input: &[u8]) -> Result<Vec<u8>, AlgoError> {
+        let (coeffs, shift) = parse_conv_params(params)?;
+        let tiles = input.len().div_ceil(CONV2D_TILE_BYTES);
+        let mut out = Vec::with_capacity(tiles * CONV2D_TILE_BYTES);
+        for chunk in input.chunks(CONV2D_TILE_BYTES) {
+            let mut tile = [0u8; CONV2D_TILE_BYTES];
+            tile[..chunk.len()].copy_from_slice(chunk);
+            let e = CONV2D_EDGE as isize;
+            for y in 0..e {
+                for x in 0..e {
+                    let mut acc: i32 = 0;
+                    for ky in 0..3isize {
+                        for kx in 0..3isize {
+                            let (sy, sx) = (y + ky - 1, x + kx - 1);
+                            if (0..e).contains(&sy) && (0..e).contains(&sx) {
+                                let px = tile[(sy * e + sx) as usize] as i32;
+                                acc += coeffs[(ky * 3 + kx) as usize] as i32 * px;
+                            }
+                        }
+                    }
+                    out.push((acc >> shift).clamp(0, 255) as u8);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn input_width(&self) -> u16 {
+        CONV2D_TILE_BYTES as u16
+    }
+
+    fn output_width(&self) -> u16 {
+        CONV2D_TILE_BYTES as u16
+    }
+
+    fn build_image(&self, params: &[u8], geom: DeviceGeometry) -> Result<FunctionImage, AlgoError> {
+        parse_conv_params(params)?;
+        // 9-MAC window pipeline + two 32-pixel line buffers: 56 frames.
+        Ok(behavioral_image(
+            self.algo_id(),
+            params,
+            self.input_width(),
+            self.output_width(),
+            56,
+            geom,
+        ))
+    }
+
+    fn fabric_cycles(&self, input_len: usize) -> u64 {
+        // pipelined window: one pixel per cycle after line-buffer fill
+        input_len as u64 + 128
+    }
+
+    fn software_cycles(&self, input_len: usize) -> u64 {
+        // 9 MACs + clamp (~3 cycles each) per pixel
+        30 * input_len as u64 + 200
+    }
+}
+
+/// 64-point radix-2 fixed-point FFT.
+///
+/// Input: 256-byte blocks of 64 interleaved little-endian `i16`
+/// complex samples `(re, im)`; a partial trailing block is
+/// zero-padded. Decimation-in-time with Q14 twiddles from a hardcoded
+/// quarter-wave table, each butterfly stage scaled by ½ (so the
+/// transform is normalised by 1/64) with saturation to `i16`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Fft64;
+
+/// Points per block for [`Fft64`].
+pub const FFT64_POINTS: usize = 64;
+/// Bytes per input block for [`Fft64`]: 64 × (i16 re + i16 im).
+pub const FFT64_BLOCK_BYTES: usize = FFT64_POINTS * 4;
+
+/// Quarter-wave cosine table, Q14: `round(cos(pi*k/32) * 16384)` for
+/// `k = 0..=16`. Hardcoded so the data path never touches `f64` —
+/// outputs are bit-identical on every host.
+const COS_Q14: [i32; 17] = [
+    16384, 16305, 16069, 15679, 15137, 14449, 13623, 12665, 11585, 10394, 9102, 7723, 6270, 4756,
+    3196, 1606, 0,
+];
+
+/// Q14 twiddle `W_64^k = cos(2πk/64) − j·sin(2πk/64)` for `k < 32`,
+/// folded out of the quarter-wave table.
+fn twiddle(k: usize) -> (i32, i32) {
+    debug_assert!(k < 32);
+    let cos = if k <= 16 {
+        COS_Q14[k]
+    } else {
+        -COS_Q14[32 - k]
+    };
+    let sin = if k <= 16 {
+        COS_Q14[16 - k]
+    } else {
+        COS_Q14[k - 16]
+    };
+    (cos, -sin)
+}
+
+fn fft64_block(block: &[u8]) -> [u8; FFT64_BLOCK_BYTES] {
+    let mut re = [0i32; FFT64_POINTS];
+    let mut im = [0i32; FFT64_POINTS];
+    for p in 0..FFT64_POINTS {
+        // bit-reversed load (6 bits) of zero-padded samples
+        let src = (p as u32).reverse_bits() >> 26;
+        let o = src as usize * 4;
+        let get = |i: usize| -> i32 {
+            let lo = *block.get(i).unwrap_or(&0);
+            let hi = *block.get(i + 1).unwrap_or(&0);
+            i16::from_le_bytes([lo, hi]) as i32
+        };
+        re[p] = get(o);
+        im[p] = get(o + 2);
+    }
+    let mut m = 2;
+    while m <= FFT64_POINTS {
+        let stride = FFT64_POINTS / m;
+        for base in (0..FFT64_POINTS).step_by(m) {
+            for j in 0..m / 2 {
+                let (wr, wi) = twiddle(j * stride);
+                let (ai, bi) = (base + j, base + j + m / 2);
+                let tr = (re[bi] * wr - im[bi] * wi) >> 14;
+                let ti = (re[bi] * wi + im[bi] * wr) >> 14;
+                // scale each stage by ½: normalises the transform by
+                // 1/64 and keeps magnitudes inside i16 (saturating on
+                // the rare off-axis worst case)
+                let sat = |v: i32| v.clamp(i16::MIN as i32, i16::MAX as i32);
+                let (ar, aim) = (re[ai], im[ai]);
+                re[ai] = sat((ar + tr) >> 1);
+                im[ai] = sat((aim + ti) >> 1);
+                re[bi] = sat((ar - tr) >> 1);
+                im[bi] = sat((aim - ti) >> 1);
+            }
+        }
+        m *= 2;
+    }
+    let mut out = [0u8; FFT64_BLOCK_BYTES];
+    for p in 0..FFT64_POINTS {
+        out[p * 4..p * 4 + 2].copy_from_slice(&(re[p] as i16).to_le_bytes());
+        out[p * 4 + 2..p * 4 + 4].copy_from_slice(&(im[p] as i16).to_le_bytes());
+    }
+    out
+}
+
+impl Kernel for Fft64 {
+    fn algo_id(&self) -> u16 {
+        ids::FFT64
+    }
+
+    fn name(&self) -> &'static str {
+        "fft64"
+    }
+
+    fn default_params(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    fn execute(&self, params: &[u8], input: &[u8]) -> Result<Vec<u8>, AlgoError> {
+        if !params.is_empty() {
+            return Err(AlgoError::BadParams {
+                kernel: "fft64",
+                reason: "takes no parameters".into(),
+            });
+        }
+        let blocks = input.len().div_ceil(FFT64_BLOCK_BYTES);
+        let mut out = Vec::with_capacity(blocks * FFT64_BLOCK_BYTES);
+        for chunk in input.chunks(FFT64_BLOCK_BYTES) {
+            out.extend_from_slice(&fft64_block(chunk));
+        }
+        Ok(out)
+    }
+
+    fn input_width(&self) -> u16 {
+        FFT64_BLOCK_BYTES as u16
+    }
+
+    fn output_width(&self) -> u16 {
+        FFT64_BLOCK_BYTES as u16
+    }
+
+    fn build_image(&self, params: &[u8], geom: DeviceGeometry) -> Result<FunctionImage, AlgoError> {
+        if !params.is_empty() {
+            return Err(AlgoError::BadParams {
+                kernel: "fft64",
+                reason: "takes no parameters".into(),
+            });
+        }
+        // 6 pipelined butterfly stages + twiddle ROM + reorder
+        // buffers: 64 frames (two thirds of the default device).
+        Ok(behavioral_image(
+            self.algo_id(),
+            params,
+            self.input_width(),
+            self.output_width(),
+            64,
+            geom,
+        ))
+    }
+
+    fn fabric_cycles(&self, input_len: usize) -> u64 {
+        // 192 butterflies per block, two per cycle, pipelined
+        96 * input_len.div_ceil(FFT64_BLOCK_BYTES) as u64 + 32
+    }
+
+    fn software_cycles(&self, input_len: usize) -> u64 {
+        // 192 butterflies × ~10 cycles (4 muls, shifts, saturation)
+        1_920 * input_len.div_ceil(FFT64_BLOCK_BYTES) as u64 + 100
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pack_i16(samples: &[i16]) -> Vec<u8> {
+        samples.iter().flat_map(|s| s.to_le_bytes()).collect()
+    }
+
+    fn unpack_i16(bytes: &[u8]) -> Vec<i16> {
+        bytes
+            .chunks_exact(2)
+            .map(|c| i16::from_le_bytes([c[0], c[1]]))
+            .collect()
+    }
+
+    #[test]
+    fn matmul16_identity() {
+        let mut identity = [0u8; 256];
+        for i in 0..16 {
+            identity[i * 16 + i] = 1;
+        }
+        let a: Vec<u8> = (0..=255u8).collect();
+        let mut input = a.clone();
+        input.extend_from_slice(&identity);
+        let out = MatMul16.execute(&[], &input).unwrap();
+        let got = unpack_i16(&out);
+        let want: Vec<i16> = a.iter().map(|&x| x as i8 as i16).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn matmul16_saturates() {
+        // A = B = all -128: each entry 16 * (-128 * -128) = 262144 → +MAX
+        let input = vec![0x80u8; MATMUL16_PAIR_BYTES];
+        let out = MatMul16.execute(&[], &input).unwrap();
+        assert!(unpack_i16(&out).iter().all(|&y| y == i16::MAX));
+    }
+
+    #[test]
+    fn matmul16_pads_partials_and_rejects_params() {
+        let out = MatMul16.execute(&[], &[7u8; 256]).unwrap();
+        assert_eq!(out, vec![0u8; MATMUL16_PAIR_BYTES]);
+        assert!(MatMul16.execute(&[1], &[0; 512]).is_err());
+    }
+
+    #[test]
+    fn conv2d_identity_kernel_is_a_copy() {
+        let mut params = vec![0u8; 10];
+        params[4] = 1; // centre tap 1, shift 0
+        let tile: Vec<u8> = (0..CONV2D_TILE_BYTES).map(|i| (i % 251) as u8).collect();
+        let out = Conv2d.execute(&params, &tile).unwrap();
+        assert_eq!(out, tile);
+    }
+
+    #[test]
+    fn conv2d_blur_preserves_flat_interior_and_dims_borders() {
+        let params = Conv2d.default_params();
+        let tile = vec![100u8; CONV2D_TILE_BYTES];
+        let out = Conv2d.execute(&params, &tile).unwrap();
+        // interior: unity DC gain; corners lose 7/16 of the kernel mass
+        assert_eq!(out[33], 100);
+        assert_eq!(out[0] as u32, 100 * 9 / 16);
+    }
+
+    #[test]
+    fn conv2d_clamps_and_validates_params() {
+        // all-positive kernel with shift 0 overflows u8 → clamps to 255
+        let mut params = vec![4u8; 9];
+        params.push(0);
+        let out = Conv2d
+            .execute(&params, &vec![200u8; CONV2D_TILE_BYTES])
+            .unwrap();
+        assert_eq!(out[33], 255);
+        assert!(Conv2d.execute(&[0u8; 9], &[]).is_err()); // missing shift
+        let mut bad = Conv2d.default_params();
+        bad[9] = 8;
+        assert!(Conv2d.execute(&bad, &[]).is_err()); // shift too large
+    }
+
+    #[test]
+    fn fft64_zero_input_is_zero() {
+        let out = Fft64.execute(&[], &[0u8; FFT64_BLOCK_BYTES]).unwrap();
+        assert!(out.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn fft64_dc_input_concentrates_in_bin_zero() {
+        // constant re = 6400 → bin 0 = 6400 (normalised), rest 0
+        let samples: Vec<i16> = (0..FFT64_POINTS).flat_map(|_| [6400, 0]).collect();
+        let out = Fft64.execute(&[], &pack_i16(&samples)).unwrap();
+        let ys = unpack_i16(&out);
+        assert_eq!(ys[0], 6400);
+        assert_eq!(ys[1], 0);
+        assert!(ys[2..].iter().all(|&y| y.abs() <= 1), "{:?}", &ys[..8]);
+    }
+
+    #[test]
+    fn fft64_single_tone_lands_in_its_bin() {
+        // re[n] = round-free cosine is awkward in pure ints; use an
+        // impulse instead: x[0] = A → flat spectrum A/64 in every bin.
+        let mut samples = vec![0i16; FFT64_POINTS * 2];
+        samples[0] = 6400;
+        let out = Fft64.execute(&[], &pack_i16(&samples)).unwrap();
+        let ys = unpack_i16(&out);
+        for p in 0..FFT64_POINTS {
+            assert_eq!(ys[p * 2], 100, "re bin {p}");
+            assert_eq!(ys[p * 2 + 1], 0, "im bin {p}");
+        }
+    }
+
+    #[test]
+    fn fft64_pads_partial_blocks_and_rejects_params() {
+        let out = Fft64.execute(&[], &[1u8; 10]).unwrap();
+        assert_eq!(out.len(), FFT64_BLOCK_BYTES);
+        assert!(Fft64.execute(&[0], &[]).is_err());
+    }
+
+    #[test]
+    fn images_are_large_and_fit_alone() {
+        let geom = DeviceGeometry::default();
+        for (kernel, frames) in [
+            (&MatMul16 as &dyn Kernel, 72),
+            (&Conv2d as &dyn Kernel, 56),
+            (&Fft64 as &dyn Kernel, 64),
+        ] {
+            let img = kernel.build_image(&kernel.default_params(), geom).unwrap();
+            assert_eq!(img.frames_needed(geom), frames, "{}", kernel.name());
+            assert!(img.frames_needed(geom) <= geom.frames());
+        }
+    }
+}

@@ -41,6 +41,7 @@ pub mod bank;
 pub mod checksum;
 pub mod crypto;
 pub mod dsp;
+pub mod dsp_ai;
 pub mod filler;
 pub mod kernel;
 pub mod netlists;
@@ -77,9 +78,20 @@ pub mod ids {
     /// HMAC-SHA-1 message authentication.
     pub const HMAC_SHA1: u16 = 13;
 
+    /// Blocked 16×16 i8→i16 matrix multiply (DSP/AI tier).
+    pub const MATMUL16: u16 = 14;
+    /// 3×3 convolution over 32×32 u8 tiles (DSP/AI tier).
+    pub const CONV2D: u16 = 15;
+    /// 64-point radix-2 fixed-point FFT (DSP/AI tier).
+    pub const FFT64: u16 = 16;
+
     /// Every id in the standard bank, in id order.
     pub const ALL: [u16; 13] = [
         AES128, XTEA, SHA1, SHA256, CRC32, FIR, MATMUL8, CRC8, ADDER8, POPCNT8, PARITY8, TDES,
         HMAC_SHA1,
     ];
+
+    /// The large-footprint DSP/AI tier, only present in
+    /// [`AlgorithmBank::extended`](crate::AlgorithmBank::extended).
+    pub const DSP_AI: [u16; 3] = [MATMUL16, CONV2D, FFT64];
 }

@@ -61,6 +61,7 @@ fn config_at(load: f64, capacity_interarrival: SimTime, budget: SimTime) -> Over
             cooldown: SimTime::from_us(100),
             ..BreakerConfig::default()
         },
+        fairness: None,
     }
 }
 
@@ -83,6 +84,7 @@ fn calibrate(w: &Workload) -> (SimTime, SimTime) {
             missed_beats: 3,
         },
         breaker: BreakerConfig::default(),
+        fairness: None,
     };
     let drain = engine(Some(generous), Some(FaultConfig::new(latency_plan())))
         .serve(w)

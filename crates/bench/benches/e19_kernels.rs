@@ -1,0 +1,331 @@
+//! E19 — DSP/AI kernel tier with realistic traffic and weighted-fair
+//! multi-tenant admission.
+//!
+//! Three arms over the extended bank's large-footprint kernels
+//! (matmul16 72 frames, conv2d 56, fft64 64 — 192 frames against the
+//! 96-frame device, so the tier can never co-reside):
+//!
+//! 1. **throughput** — each kernel alone, plus the rotating three-way
+//!    mix, through the 4-shard engine; modelled req/s and bytes/s
+//!    must stay within 20% of the calibrated baselines;
+//! 2. **weighted-fair admission** — the canonical flood scenario
+//!    ([`mixes::fair_overload_workload`]) at 2× overload, drop-newest
+//!    vs weighted-fair: with fairness on, no tenant finishes more
+//!    than 10% below its weighted share of completions (capped by
+//!    what it offered), the flood actually trips the policy, and the
+//!    per-tenant ledgers conserve;
+//! 3. **tenant quotas** — a hard cap on the flooding tenant is
+//!    enforced exactly: `quota_exceeded == offered − quota`, dropped
+//!    at submission without ever entering a shard queue.
+//!
+//! The seed comes from `AAOD_KERNEL_SEED` (the CI kernel matrix
+//! sweeps it) so this bench, the conformance tier and the kernel
+//! determinism suite all move together.
+
+use aaod_algos::{ids, AlgorithmBank};
+use aaod_bench::criterion_fast;
+use aaod_core::{
+    CoProcessor, DeadlinePolicy, Engine, EngineConfig, EngineResult, FairnessConfig,
+    OverloadConfig, ShardPolicy,
+};
+use aaod_sim::report::{f2, Table};
+use aaod_sim::SimTime;
+use aaod_workload::{mixes, TenantSpec, Workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Requests per measured run.
+const N_REQUESTS: usize = 240;
+/// Payload bytes per request (8 matrix pairs / 4 tiles / 16 blocks).
+const INPUT_LEN: usize = 4096;
+/// Modelled-throughput floors, 20% under the calibrated rates
+/// (single-kernel runs are reconfigure-once then stream, so the mix —
+/// which swaps images every batch — sits far below them).
+const FLOOR_REQS_PER_S: [(u16, f64); 3] = [
+    (ids::MATMUL16, 27_000.0),
+    (ids::CONV2D, 23_000.0),
+    (ids::FFT64, 26_000.0),
+];
+/// Floor for the rotating mix, which pays a ~60 KiB bitstream swap
+/// per kernel switch.
+const FLOOR_MIX_REQS_PER_S: f64 = 1_000.0;
+/// Fairness floor: with the weighted-fair layer on, every tenant
+/// completes at least this fraction of its weighted share.
+const FAIR_SHARE_FLOOR: f64 = 0.90;
+
+fn kernel_seed() -> u64 {
+    aaod_bench::env_seed("AAOD_KERNEL_SEED", 42)
+}
+
+/// A card serving the extended (DSP/AI) bank.
+fn kernel_card() -> CoProcessor {
+    CoProcessor::builder()
+        .bank(AlgorithmBank::extended())
+        .build()
+}
+
+fn engine(overload: Option<OverloadConfig>) -> Engine {
+    Engine::with_factory(
+        EngineConfig {
+            workers: 4,
+            shard: ShardPolicy::RoundRobin,
+            overload,
+            ..EngineConfig::default()
+        },
+        kernel_card,
+    )
+}
+
+/// Modelled requests per second for a run of `n` jobs.
+fn reqs_per_s(n: usize, makespan: SimTime) -> f64 {
+    n as f64 / (makespan.as_ns() * 1e-9)
+}
+
+fn kernel_name(id: u16) -> &'static str {
+    AlgorithmBank::extended().kernel(id).unwrap().name()
+}
+
+fn print_throughput_table() -> Vec<String> {
+    let mut t = Table::new(
+        &format!(
+            "E19 — DSP/AI kernel throughput, {N_REQUESTS} x {INPUT_LEN} B, seed {} (modelled)",
+            kernel_seed()
+        ),
+        &["workload", "makespan ms", "req/s", "MB/s", "floor req/s"],
+    );
+    let mut json_rows = Vec::new();
+    let mut arm = |label: &str, w: &Workload, floor: f64| {
+        let r = engine(None).serve(w).expect("throughput serve");
+        let rps = reqs_per_s(w.len(), r.makespan);
+        let bps = rps * INPUT_LEN as f64;
+        t.row_owned(vec![
+            label.to_string(),
+            format!("{:.3}", r.makespan.as_ns() / 1e6),
+            format!("{rps:.0}"),
+            format!("{:.1}", bps / 1e6),
+            format!("{floor:.0}"),
+        ]);
+        assert!(
+            rps >= floor,
+            "regression: {label} fell to {rps:.0} req/s (floor {floor:.0})"
+        );
+        json_rows.push(format!(
+            "{{\"workload\":\"{label}\",\"requests\":{},\"makespan_ns\":{},\
+             \"reqs_per_s\":{rps:.0},\"bytes_per_s\":{bps:.0},\"floor_reqs_per_s\":{floor:.0}}}",
+            w.len(),
+            r.makespan.as_ns(),
+        ));
+    };
+    for (id, floor) in FLOOR_REQS_PER_S {
+        let w = Workload::uniform(&[id], N_REQUESTS, INPUT_LEN, kernel_seed());
+        arm(kernel_name(id), &w, floor);
+    }
+    let mix = mixes::kernel_workload(N_REQUESTS, kernel_seed());
+    arm("kernel_mix", &mix, FLOOR_MIX_REQS_PER_S);
+    println!("{t}");
+    json_rows
+}
+
+/// The 2×-overload operating point for the fairness arms: calibrate
+/// the pool's drain time, then offer twice that rate with a deadline
+/// budget of a quarter drain, so admission — not raw deadlines —
+/// decides who completes.
+fn overload_point(w: &Workload) -> (SimTime, SimTime) {
+    let generous = OverloadConfig {
+        interarrival: SimTime::from_ns(1),
+        deadline: DeadlinePolicy::Absolute(SimTime::from_secs(100)),
+        ..OverloadConfig::default()
+    };
+    let drain = engine(Some(generous))
+        .serve(w)
+        .expect("calibration")
+        .makespan;
+    let ia = SimTime::from_ps((drain.as_ps() / (2 * w.len() as u64)).max(1));
+    let budget = SimTime::from_ps((drain.as_ps() / 4).max(1));
+    (ia, budget)
+}
+
+fn serve_overloaded(
+    w: &Workload,
+    ia: SimTime,
+    budget: SimTime,
+    fairness: Option<FairnessConfig>,
+) -> EngineResult {
+    engine(Some(OverloadConfig {
+        interarrival: ia,
+        deadline: DeadlinePolicy::Absolute(budget),
+        fairness,
+        ..OverloadConfig::default()
+    }))
+    .serve(w)
+    .expect("overloaded serve")
+}
+
+/// Checks global + per-tenant conservation on an overloaded run.
+fn assert_conserved(label: &str, r: &EngineResult) {
+    assert!(
+        r.overload.accounted(),
+        "{label}: global leak {:?}",
+        r.overload
+    );
+    for t in &r.tenants {
+        assert!(t.accounted(), "{label}: tenant leak {t:?}");
+    }
+    let sum = |f: fn(&aaod_core::TenantStats) -> u64| r.tenants.iter().map(f).sum::<u64>();
+    assert_eq!(sum(|t| t.submitted), r.overload.submitted, "{label}");
+    assert_eq!(sum(|t| t.completed), r.overload.completed, "{label}");
+    assert_eq!(sum(|t| t.shed), r.overload.shed, "{label}");
+    assert_eq!(
+        sum(|t| t.quota_exceeded),
+        r.overload.quota_exceeded,
+        "{label}"
+    );
+}
+
+fn print_fairness_table() -> (Vec<String>, f64) {
+    let w = mixes::fair_overload_workload(N_REQUESTS, kernel_seed());
+    let (ia, budget) = overload_point(&w);
+    let base = serve_overloaded(&w, ia, budget, None);
+    let fair = serve_overloaded(&w, ia, budget, Some(FairnessConfig::default()));
+    assert_conserved("drop-newest", &base);
+    assert_conserved("weighted-fair", &fair);
+    assert_eq!(
+        base.overload.fair_shed, 0,
+        "fairness off must not fair-shed"
+    );
+    assert!(
+        fair.overload.fair_shed > 0,
+        "non-vacuity: the flood never tripped the weighted-fair policy"
+    );
+
+    let total_weight: u64 = fair.tenants.iter().map(|t| t.weight as u64).sum();
+    let mut t = Table::new(
+        &format!(
+            "E19 — weighted-fair admission at 2x overload, {N_REQUESTS} jobs, seed {}",
+            kernel_seed()
+        ),
+        &[
+            "tenant",
+            "w",
+            "submitted",
+            "base done",
+            "fair done",
+            "share",
+            "attained",
+        ],
+    );
+    let mut json_rows = Vec::new();
+    let mut worst_attained = f64::INFINITY;
+    for (b, f) in base.tenants.iter().zip(fair.tenants.iter()) {
+        // the tenant's weighted share of what the pool completed,
+        // capped by what it actually offered
+        let share = (fair.overload.completed * f.weight as u64) / total_weight;
+        let entitled = share.min(f.submitted);
+        let attained = if entitled == 0 {
+            1.0
+        } else {
+            f.completed as f64 / entitled as f64
+        };
+        worst_attained = worst_attained.min(attained);
+        t.row_owned(vec![
+            f.name.clone(),
+            f.weight.to_string(),
+            f.submitted.to_string(),
+            b.completed.to_string(),
+            f.completed.to_string(),
+            entitled.to_string(),
+            f2(attained),
+        ]);
+        json_rows.push(format!(
+            "{{\"tenant\":\"{}\",\"weight\":{},\"submitted\":{},\
+             \"completed_drop_newest\":{},\"completed_weighted_fair\":{},\
+             \"entitled\":{},\"attained\":{:.3},\"shed\":{},\"fair_shed_total\":{}}}",
+            f.name,
+            f.weight,
+            f.submitted,
+            b.completed,
+            f.completed,
+            entitled,
+            attained,
+            f.shed,
+            fair.overload.fair_shed,
+        ));
+    }
+    println!("{t}");
+    assert!(
+        worst_attained >= FAIR_SHARE_FLOOR,
+        "regression: a tenant fell to {:.0}% of its weighted share (floor {:.0}%)",
+        worst_attained * 100.0,
+        FAIR_SHARE_FLOOR * 100.0
+    );
+    (json_rows, worst_attained)
+}
+
+fn print_quota_row() -> String {
+    let quota = 40u64;
+    let mut specs: Vec<TenantSpec> = mixes::fair_overload_workload(1, kernel_seed())
+        .tenant_specs()
+        .expect("fair workload carries specs")
+        .to_vec();
+    specs.last_mut().expect("flood spec").quota = Some(quota);
+    let w = Workload::multi_tenant(&specs, N_REQUESTS, kernel_seed());
+    let flood = (specs.len() - 1) as u16;
+    let offered = (0..w.len())
+        .filter(|&i| w.tenant_of(i) == Some(flood))
+        .count() as u64;
+    assert!(offered > quota, "quota arm must actually overflow");
+    let r = serve_overloaded(
+        &w,
+        SimTime::from_us(50),
+        SimTime::from_secs(100),
+        Some(FairnessConfig::default()),
+    );
+    assert_conserved("quota", &r);
+    assert_eq!(
+        r.overload.quota_exceeded,
+        offered - quota,
+        "quota must drop exactly the excess"
+    );
+    assert_eq!(r.quota_exceeded.len() as u64, offered - quota);
+    println!(
+        "E19 quota: flood offered {offered}, quota {quota}, dropped {} at submission",
+        r.overload.quota_exceeded
+    );
+    format!(
+        "{{\"flood_offered\":{offered},\"quota\":{quota},\"quota_exceeded\":{}}}",
+        r.overload.quota_exceeded
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let throughput_rows = print_throughput_table();
+    let (fair_rows, worst_attained) = print_fairness_table();
+    let quota_row = print_quota_row();
+    println!(
+        "BENCH_JSON {{\"experiment\":\"e19_kernels\",\"requests\":{N_REQUESTS},\
+         \"input_len\":{INPUT_LEN},\"seed\":{},\"throughput\":[{}],\
+         \"fairness\":[{}],\"quota\":{},\
+         \"summary\":{{\"worst_attained_share\":{:.3},\"floor\":{:.2}}}}}",
+        kernel_seed(),
+        throughput_rows.join(","),
+        fair_rows.join(","),
+        quota_row,
+        worst_attained,
+        FAIR_SHARE_FLOOR,
+    );
+
+    let mix = mixes::kernel_workload(N_REQUESTS, kernel_seed());
+    let mut group = c.benchmark_group("e19_kernels");
+    group.bench_function("kernel_mix_4_shards", |b| {
+        let eng = engine(None);
+        b.iter(|| black_box(eng.serve(&mix).expect("serve")));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_fast();
+    targets = bench
+}
+criterion_main!(benches);

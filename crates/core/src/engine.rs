@@ -56,7 +56,7 @@ use crate::coproc::{CoProcessor, HostReport};
 use crate::dispatch::{self, DispatchPlan, DispatchStats};
 use crate::error::CoreError;
 use crate::fault::{FaultConfig, FaultStats, JobError};
-use crate::overload::{DeadlinePolicy, OverloadConfig, OverloadStats};
+use crate::overload::{DeadlinePolicy, OverloadConfig, OverloadStats, TenantStats};
 use aaod_mcu::OsStats;
 use aaod_sim::stats::TimeAccumulator;
 use aaod_sim::trace::{
@@ -276,6 +276,14 @@ pub struct EngineResult {
     /// ([`JobError::DeadlineExceeded`]), by submission index. Their
     /// outputs were dropped.
     pub deadline_missed: BTreeMap<usize, JobError>,
+    /// Jobs dropped at submission by their tenant's hard quota
+    /// ([`JobError::QuotaExceeded`]), by submission index. They were
+    /// never enqueued. Always empty without [`EngineConfig::overload`]
+    /// or without tenant quotas in the workload.
+    pub quota_exceeded: BTreeMap<usize, JobError>,
+    /// Per-tenant outcome totals, in tenant-spec order. Populated
+    /// only for overload runs over a workload carrying tenant specs.
+    pub tenants: Vec<TenantStats>,
     /// Overload-layer counters, merged across shards (all zero
     /// without [`EngineConfig::overload`]).
     pub overload: OverloadStats,
@@ -336,12 +344,53 @@ struct Job {
     index: usize,
     algo_id: u16,
     input: Vec<u8>,
-    /// Modelled arrival time (`index × interarrival`; zero without
-    /// the overload layer).
+    /// Modelled arrival time (`index × interarrival`, scaled by the
+    /// workload's arrival tick when it carries a traffic model; zero
+    /// without the overload layer).
     arrival: SimTime,
     /// Absolute modelled deadline (`None` without the overload
     /// layer).
     deadline: Option<SimTime>,
+    /// The submitting tenant's index in the workload's spec list
+    /// (`None` for untagged workloads).
+    tenant: Option<u16>,
+}
+
+/// The read-only half of the weighted-fair admission policy, shared
+/// by every shard: tenant weights and the configured slack. The
+/// mutable per-shard counters live in [`OverloadState`].
+#[derive(Debug, Clone)]
+struct FairnessShare {
+    /// Admission weight per tenant, in spec order.
+    weights: Vec<u64>,
+    /// Sum of all weights (at least 1).
+    total: u64,
+    /// Percent a tenant may overshoot its share before shedding.
+    slack_pct: u64,
+    /// Unconditional admissions before the share test engages.
+    base_allowance: u64,
+}
+
+/// A shard's weighted-fair admission counters.
+struct FairnessState {
+    share: FairnessShare,
+    /// Jobs admitted per tenant on this shard.
+    admitted: Vec<u64>,
+    /// Jobs admitted on this shard across all tenants.
+    admitted_total: u64,
+}
+
+/// Modelled arrival time of request `i`: the workload's arrival tick
+/// (in milli-interarrivals) scales the configured interarrival when
+/// the workload carries a traffic model; otherwise arrivals are
+/// uniform at `i × interarrival`.
+fn arrival_time(oc: &OverloadConfig, workload: &Workload, i: usize) -> SimTime {
+    match workload.arrival_tick(i) {
+        Some(tick) => {
+            SimTime::from_ps((oc.interarrival.as_ps() as u128 * tick as u128 / 1000) as u64)
+        }
+        None => oc.interarrival * i as u64,
+    }
 }
 
 /// A bounded FIFO of pre-segmented batches: producers block while the
@@ -632,6 +681,8 @@ impl Engine {
                 recovery_latency: TimeAccumulator::new(),
                 shed: BTreeMap::new(),
                 deadline_missed: BTreeMap::new(),
+                quota_exceeded: BTreeMap::new(),
+                tenants: Vec::new(),
                 overload: OverloadStats::default(),
                 deadline_budget: None,
                 shard_health: Vec::new(),
@@ -670,12 +721,33 @@ impl Engine {
             None => None,
             Some(oc) => Some(self.resolve_deadline_budget(workload, oc)?),
         };
+        // Weighted-fair admission engages only when both halves are
+        // present: a fairness config on the overload layer and tenant
+        // specs on the workload.
+        let fairness_share = match (overload.and_then(|oc| oc.fairness), workload.tenant_specs()) {
+            (Some(fc), Some(specs)) if !specs.is_empty() => {
+                let weights: Vec<u64> = specs.iter().map(|s| s.weight as u64).collect();
+                let total = weights.iter().sum::<u64>().max(1);
+                Some(FairnessShare {
+                    weights,
+                    total,
+                    slack_pct: fc.slack_pct as u64,
+                    base_allowance: fc.base_allowance,
+                })
+            }
+            _ => None,
+        };
+        let fairness = fairness_share.as_ref();
         let factory = &self.factory;
         let trace_cfg = self.config.trace;
         let mut producer_tracer = Tracer::new(trace_cfg, PRODUCER_SHARD);
         let queues: Vec<BoundedQueue> = (0..workers)
             .map(|_| BoundedQueue::new(queue_depth))
             .collect();
+        // Per-tenant hard quotas are enforced at submission: a request
+        // past its tenant's quota is dropped by the producer without
+        // ever being enqueued. `(index, tenant, quota)` of each drop.
+        let mut quota_drops: Vec<(usize, u16, u64)> = Vec::new();
 
         let outcomes: Vec<Result<WorkerOutcome, CoreError>> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
@@ -690,6 +762,7 @@ impl Engine {
                         collect,
                         faults,
                         overload,
+                        fairness,
                         shard as u32,
                         trace_cfg,
                     )
@@ -710,13 +783,29 @@ impl Engine {
             // monotone.
             let emit_plan = producer_tracer.enabled() && !plan.decisions.is_empty();
             let mut steal_cursor = 0usize;
+            let mut tenant_submitted: Vec<u64> = workload
+                .tenant_specs()
+                .map_or_else(Vec::new, |specs| vec![0; specs.len()]);
             for (i, req) in requests.iter().enumerate() {
+                let tenant = workload.tenant_of(i);
+                if overload.is_some() {
+                    if let (Some(t), Some(specs)) = (tenant, workload.tenant_specs()) {
+                        if let Some(quota) = specs.get(t as usize).and_then(|s| s.quota) {
+                            let count = &mut tenant_submitted[t as usize];
+                            *count += 1;
+                            if *count > quota {
+                                quota_drops.push((i, t, quota));
+                                continue;
+                            }
+                        }
+                    }
+                }
                 let shard = assignment[i];
                 let run = &mut pending[shard];
                 if !run.is_empty() && (run[0].algo_id != req.algo_id || run.len() >= batch_max) {
                     queues[shard].push(std::mem::take(run));
                 }
-                let arrival = overload.map_or(SimTime::ZERO, |oc| oc.interarrival * i as u64);
+                let arrival = overload.map_or(SimTime::ZERO, |oc| arrival_time(&oc, workload, i));
                 if emit_plan {
                     while steal_cursor < plan.steals.len()
                         && plan.steals[steal_cursor].at_index <= i
@@ -758,12 +847,15 @@ impl Engine {
                     input: workload.input(i),
                     arrival,
                     deadline: deadline_budget.map(|b| arrival + b),
+                    tenant,
                 });
             }
             if emit_plan {
                 // the final drain epoch's steals trigger past the last
                 // submission index
-                let end = overload.map_or(SimTime::ZERO, |oc| oc.interarrival * n as u64);
+                let end = overload.map_or(SimTime::ZERO, |oc| {
+                    arrival_time(&oc, workload, n - 1) + oc.interarrival
+                });
                 while steal_cursor < plan.steals.len() {
                     let s = &plan.steals[steal_cursor];
                     producer_tracer.record(
@@ -800,6 +892,7 @@ impl Engine {
         let mut failed: BTreeMap<usize, JobError> = BTreeMap::new();
         let mut shed: BTreeMap<usize, JobError> = BTreeMap::new();
         let mut deadline_missed: BTreeMap<usize, JobError> = BTreeMap::new();
+        let mut quota_exceeded: BTreeMap<usize, JobError> = BTreeMap::new();
         let mut fault_stats = FaultStats::default();
         let mut overload_stats = OverloadStats::default();
         let mut recovery_latency = TimeAccumulator::new();
@@ -852,6 +945,20 @@ impl Engine {
                     }
                 }
             }
+        }
+        // Quota drops happened at the producer, before any shard saw
+        // the job: account them here so conservation covers them.
+        for &(index, tenant, quota) in &quota_drops {
+            overload_stats.submitted += 1;
+            overload_stats.quota_exceeded += 1;
+            quota_exceeded.insert(
+                index,
+                JobError::QuotaExceeded {
+                    algo_id: requests[index].algo_id,
+                    tenant,
+                    quota,
+                },
+            );
         }
         let mut makespan =
             shard_busy
@@ -1016,9 +1123,8 @@ impl Engine {
                 let indices: Vec<usize> = failed.keys().copied().collect();
                 for index in indices {
                     if let Some(budget) = deadline_budget {
-                        let deadline = overload.expect("budget implies overload").interarrival
-                            * index as u64
-                            + budget;
+                        let oc = overload.expect("budget implies overload");
+                        let deadline = arrival_time(&oc, workload, index) + budget;
                         if deadline <= makespan + rescue_busy {
                             continue; // stays failed: no budget left
                         }
@@ -1062,8 +1168,8 @@ impl Engine {
         let mut latency = TimeAccumulator::new();
         let mut total_service_time = SimTime::ZERO;
         for (i, &t) in times.iter().enumerate() {
-            if shed.contains_key(&i) {
-                continue; // shed jobs were never served
+            if shed.contains_key(&i) || quota_exceeded.contains_key(&i) {
+                continue; // shed and quota-dropped jobs were never served
             }
             latency.push(t);
             total_service_time += t;
@@ -1072,6 +1178,48 @@ impl Engine {
             overload.is_none() || overload_stats.accounted(),
             "job conservation violated: {overload_stats:?}"
         );
+        // Per-tenant outcome totals: classify every submission by its
+        // terminal map. Only meaningful for overload runs over a
+        // tenant-tagged workload.
+        let mut tenants: Vec<TenantStats> = Vec::new();
+        if overload.is_some() {
+            if let Some(specs) = workload.tenant_specs() {
+                tenants = specs
+                    .iter()
+                    .enumerate()
+                    .map(|(t, s)| TenantStats {
+                        tenant: t as u16,
+                        name: s.name.clone(),
+                        weight: s.weight,
+                        ..TenantStats::default()
+                    })
+                    .collect();
+                for i in 0..n {
+                    let Some(t) = workload.tenant_of(i) else {
+                        continue;
+                    };
+                    let Some(ts) = tenants.get_mut(t as usize) else {
+                        continue;
+                    };
+                    ts.submitted += 1;
+                    if quota_exceeded.contains_key(&i) {
+                        ts.quota_exceeded += 1;
+                    } else if shed.contains_key(&i) {
+                        ts.shed += 1;
+                    } else if deadline_missed.contains_key(&i) {
+                        ts.deadline_missed += 1;
+                    } else if failed.contains_key(&i) {
+                        ts.faulted += 1;
+                    } else {
+                        ts.completed += 1;
+                    }
+                }
+                debug_assert!(
+                    tenants.iter().all(TenantStats::accounted),
+                    "tenant conservation violated: {tenants:?}"
+                );
+            }
+        }
         let input_bytes = requests.iter().map(|r| r.input_len as u64).sum();
         let trace = if trace_cfg.level == TraceLevel::Off {
             None
@@ -1099,6 +1247,8 @@ impl Engine {
             recovery_latency,
             shed,
             deadline_missed,
+            quota_exceeded,
+            tenants,
             overload: overload_stats,
             deadline_budget,
             shard_health,
@@ -1159,6 +1309,7 @@ fn worker_loop(
     collect: bool,
     faults: Option<FaultConfig>,
     overload: Option<OverloadConfig>,
+    fairness: Option<&FairnessShare>,
     shard: u32,
     trace: TraceConfig,
 ) -> Result<WorkerOutcome, CoreError> {
@@ -1182,7 +1333,7 @@ fn worker_loop(
     }
     let golden = verify.then(aaod_algos::AlgorithmBank::standard);
     let mut outcome = WorkerOutcome::empty();
-    let mut chaos = faults.map(|fc| FaultWorker::new(fc, overload));
+    let mut chaos = faults.map(|fc| FaultWorker::new(fc, overload, fairness));
     while let Some(batch) = queue.pop_batch() {
         let algo_id = batch[0].algo_id;
         outcome.batches += 1;
@@ -1320,6 +1471,45 @@ struct OverloadState {
     /// Controller stats snapshotted just before each watchdog reset
     /// wiped them; merged back so no serving work goes uncounted.
     lost_stats: OsStats,
+    /// Weighted-fair admission counters (`None` keeps pure
+    /// drop-newest admission).
+    fairness: Option<FairnessState>,
+}
+
+impl OverloadState {
+    /// Whether weighted-fair admission would shed this job: the shard
+    /// is congested (the job found a backlog) and its tenant's
+    /// admitted count has run past its weighted share plus slack.
+    /// Deterministic: depends only on the shard's stream so far.
+    fn fair_shed_decision(&self, job: &Job) -> bool {
+        let Some(f) = &self.fairness else {
+            return false;
+        };
+        let Some(t) = job.tenant.map(usize::from) else {
+            return false;
+        };
+        if t >= f.share.weights.len() || self.clock <= job.arrival {
+            return false;
+        }
+        let allowed = f.share.base_allowance
+            + (f.admitted_total + 1) * f.share.weights[t] * (100 + f.share.slack_pct)
+                / (f.share.total * 100);
+        f.admitted[t] + 1 > allowed
+    }
+
+    /// Notes a job admitted to service for the fair-share counters.
+    fn note_admitted(&mut self, job: &Job) {
+        let Some(f) = &mut self.fairness else {
+            return;
+        };
+        let Some(t) = job.tenant.map(usize::from) else {
+            return;
+        };
+        if t < f.admitted.len() {
+            f.admitted[t] += 1;
+            f.admitted_total += 1;
+        }
+    }
 }
 
 /// An admission decision for one popped job.
@@ -1356,7 +1546,11 @@ struct FaultWorker {
 }
 
 impl FaultWorker {
-    fn new(cfg: FaultConfig, overload: Option<OverloadConfig>) -> Self {
+    fn new(
+        cfg: FaultConfig,
+        overload: Option<OverloadConfig>,
+        fairness: Option<&FairnessShare>,
+    ) -> Self {
         FaultWorker {
             cfg,
             outstanding: BTreeMap::new(),
@@ -1369,6 +1563,11 @@ impl FaultWorker {
                 breaker: CircuitBreaker::new(oc.breaker),
                 stats: OverloadStats::default(),
                 lost_stats: OsStats::default(),
+                fairness: fairness.map(|share| FairnessState {
+                    admitted: vec![0; share.weights.len()],
+                    admitted_total: 0,
+                    share: share.clone(),
+                }),
             }),
             breaker_emitted: 1,
         }
@@ -1434,9 +1633,15 @@ impl FaultWorker {
             ov.stats.shed += 1;
             return Admission::Shed { decided_at: now };
         }
+        if ov.fair_shed_decision(job) {
+            ov.stats.shed += 1;
+            ov.stats.fair_shed += 1;
+            return Admission::Shed { decided_at: now };
+        }
         if !ov.breaker.allow(now) {
             return Admission::Bounce;
         }
+        ov.note_admitted(job);
         Admission::Serve
     }
 
@@ -1539,6 +1744,7 @@ impl FaultWorker {
                         Some(ov) => {
                             next.deadline.expect("overload jobs carry deadlines")
                                 > ov.clock.max(next.arrival)
+                                && !ov.fair_shed_decision(next)
                         }
                     };
                     if !(clean && admissible) {
@@ -1547,6 +1753,7 @@ impl FaultWorker {
                     let next = jobs.next().expect("peeked");
                     if let Some(ov) = &mut self.overload {
                         ov.stats.submitted += 1;
+                        ov.note_admitted(&next);
                     }
                     run.push(next);
                 }
@@ -2523,6 +2730,7 @@ mod tests {
             },
             watchdog: WatchdogConfig::default(),
             breaker: BreakerConfig::default(),
+            fairness: None,
         };
         let r = Engine::new(EngineConfig {
             workers: 3,
@@ -2555,6 +2763,163 @@ mod tests {
                 + r.overload.stuck_injected
         );
         assert_eq!(c.faults_inert, r.faults.inert + r.overload.latency_inert);
+    }
+
+    fn two_tenant_specs(quota: Option<u64>) -> Vec<aaod_workload::TenantSpec> {
+        vec![
+            aaod_workload::TenantSpec {
+                name: "gateway".into(),
+                algos: vec![ids::SHA1],
+                weight: 4,
+                offered: 1,
+                input_len: 65536,
+                quota: None,
+            },
+            // same kernel and size as the gateway so the comparison
+            // isolates admission policy from reconfiguration thrash
+            aaod_workload::TenantSpec {
+                name: "flood".into(),
+                algos: vec![ids::SHA1],
+                weight: 1,
+                offered: 8,
+                input_len: 65536,
+                quota,
+            },
+        ]
+    }
+
+    /// Weighted-fair admission protects the light tenant: shedding the
+    /// flooding tenant's excess keeps shard clocks low, so more
+    /// gateway jobs complete than under drop-newest, and the fairness
+    /// counters balance.
+    #[test]
+    fn weighted_fair_shed_protects_light_tenants() {
+        use crate::overload::FairnessConfig;
+        let w = Workload::multi_tenant(&two_tenant_specs(None), 300, 77);
+        let serve_at = |ia: SimTime, budget: SimTime, fairness: Option<FairnessConfig>| {
+            Engine::new(EngineConfig {
+                workers: 2,
+                shard: ShardPolicy::RoundRobin,
+                overload: Some(OverloadConfig {
+                    interarrival: ia,
+                    deadline: DeadlinePolicy::Absolute(budget),
+                    fairness,
+                    ..OverloadConfig::default()
+                }),
+                ..EngineConfig::default()
+            })
+            .serve(&w)
+            .unwrap()
+        };
+        // calibrate: the pool's drain time at instantaneous arrivals
+        // sets capacity; offer 2x that and a budget that tolerates a
+        // modest backlog, so admission (not raw deadlines) decides
+        let drain = serve_at(SimTime::from_ns(1), SimTime::from_secs(100), None).makespan;
+        let n = w.len() as u64;
+        let ia = SimTime::from_ps((drain.as_ps() / (2 * n)).max(1));
+        let budget = SimTime::from_ps((drain.as_ps() / 4).max(1));
+        let serve = |fairness: Option<FairnessConfig>| serve_at(ia, budget, fairness);
+        let unfair = serve(None);
+        assert_eq!(unfair.overload.fair_shed, 0);
+        assert!(unfair.overload.accounted());
+        let fair = serve(Some(FairnessConfig::default()));
+        assert!(fair.overload.accounted());
+        assert!(fair.overload.fair_shed > 0, "flood must trip the policy");
+        assert!(fair.overload.fair_shed <= fair.overload.shed);
+        // per-tenant ledgers exist, conserve, and show the shift
+        assert_eq!(fair.tenants.len(), 2);
+        assert!(fair.tenants.iter().all(|t| t.accounted()));
+        let gw_fair = &fair.tenants[0];
+        let gw_unfair = &unfair.tenants[0];
+        assert_eq!(gw_fair.name, "gateway");
+        assert!(
+            gw_fair.completed > gw_unfair.completed,
+            "fairness must lift the light tenant: {} vs {}",
+            gw_fair.completed,
+            gw_unfair.completed
+        );
+        let flood = &fair.tenants[1];
+        assert!(flood.shed > 0, "the flood pays for the lift");
+    }
+
+    /// A tenant quota drops excess submissions at the producer:
+    /// exactly `submitted − quota` jobs land in `quota_exceeded`,
+    /// are never enqueued, and conservation still balances.
+    #[test]
+    fn tenant_quota_drops_excess_submissions() {
+        let quota = 10u64;
+        let w = Workload::multi_tenant(&two_tenant_specs(Some(quota)), 200, 9);
+        let flood_offered = (0..w.len()).filter(|&i| w.tenant_of(i) == Some(1)).count() as u64;
+        assert!(flood_offered > quota, "flood must exceed its quota");
+        let r = Engine::new(EngineConfig {
+            workers: 2,
+            overload: Some(OverloadConfig {
+                interarrival: SimTime::from_us(100),
+                deadline: DeadlinePolicy::Absolute(SimTime::from_secs(100)),
+                ..OverloadConfig::default()
+            }),
+            trace: TraceConfig::full(),
+            ..EngineConfig::default()
+        })
+        .serve(&w)
+        .unwrap();
+        assert!(r.overload.accounted());
+        assert_eq!(r.overload.quota_exceeded, flood_offered - quota);
+        assert_eq!(r.quota_exceeded.len() as u64, flood_offered - quota);
+        assert!(r
+            .quota_exceeded
+            .values()
+            .all(|e| matches!(e, JobError::QuotaExceeded { tenant: 1, .. })));
+        let flood = &r.tenants[1];
+        assert_eq!(flood.quota_exceeded, flood_offered - quota);
+        assert!(flood.accounted());
+        // quota drops were never enqueued: the trace saw only the rest
+        let c = &r.trace.as_ref().unwrap().metrics.counters;
+        assert_eq!(c.enqueued, w.len() as u64 - (flood_offered - quota));
+        assert_eq!(c.enqueued, c.dequeued);
+    }
+
+    /// Tick-carrying workloads reshape arrivals: a flash crowd
+    /// compresses the middle third of the stream, so a pool that keeps
+    /// up with uniform arrivals sheds or misses during the spike.
+    #[test]
+    fn flash_crowd_ticks_shape_arrivals() {
+        let algos = [ids::SHA1, ids::CRC32, ids::CRC8, ids::XTEA];
+        let w = Workload::flash_crowd(&algos, ids::SHA1, 240, 50, 48, 3);
+        assert!(w.arrival_tick(0).is_some());
+        // calibrate a uniform-capacity interarrival: serial time / n
+        let (_, hits) = serial_outputs(&w);
+        assert_eq!(hits.len(), 240);
+        let serve = |ia: SimTime| {
+            Engine::new(EngineConfig {
+                workers: 2,
+                overload: Some(OverloadConfig {
+                    interarrival: ia,
+                    deadline: DeadlinePolicy::Percentile {
+                        pct: 95.0,
+                        multiplier: 3.0,
+                    },
+                    ..OverloadConfig::default()
+                }),
+                ..EngineConfig::default()
+            })
+            .serve(&w)
+            .unwrap()
+        };
+        // generous spacing: even the 50x spike stays within deadline
+        let calm = serve(SimTime::from_ms(10));
+        assert!(calm.overload.accounted());
+        // tight spacing: the spike's arrivals land 50x faster than the
+        // mean gap and overwhelm the pool mid-run
+        let tight = serve(SimTime::from_us(10));
+        assert!(tight.overload.accounted());
+        assert!(
+            tight.overload.shed + tight.overload.deadline_missed
+                > calm.overload.shed + calm.overload.deadline_missed,
+            "the spike must hurt at tight spacing: {:?} vs {:?}",
+            tight.overload,
+            calm.overload
+        );
     }
 
     /// Per-shard event streams must carry monotone non-decreasing
@@ -2590,6 +2955,7 @@ mod tests {
                 },
                 watchdog: WatchdogConfig::default(),
                 breaker: BreakerConfig::default(),
+                fairness: None,
             }),
             faults: Some(FaultConfig::new(
                 FaultPlan::new(9, FaultRates::uniform(0.03))

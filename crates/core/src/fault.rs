@@ -95,6 +95,16 @@ pub enum JobError {
         /// The modelled time the card went dark.
         lost_at: SimTime,
     },
+    /// The job was dropped at submission because its tenant's hard
+    /// quota was already exhausted; it was never enqueued.
+    QuotaExceeded {
+        /// The algorithm the request targeted.
+        algo_id: u16,
+        /// The tenant whose quota the job exceeded.
+        tenant: u16,
+        /// The tenant's hard quota.
+        quota: u64,
+    },
     /// Every cluster replica of the job's algorithm was down or
     /// quarantined; the router exhausted its failover budget without
     /// finding a card to serve it.
@@ -116,6 +126,7 @@ impl JobError {
             | JobError::Shed { algo_id, .. }
             | JobError::DeadlineExceeded { algo_id, .. }
             | JobError::CardLost { algo_id, .. }
+            | JobError::QuotaExceeded { algo_id, .. }
             | JobError::NoReplica { algo_id, .. } => algo_id,
         }
     }
@@ -128,7 +139,8 @@ impl JobError {
             JobError::Faulted { attempts, .. } | JobError::NoReplica { attempts, .. } => attempts,
             JobError::Shed { .. }
             | JobError::DeadlineExceeded { .. }
-            | JobError::CardLost { .. } => 0,
+            | JobError::CardLost { .. }
+            | JobError::QuotaExceeded { .. } => 0,
         }
     }
 }
@@ -167,6 +179,14 @@ impl std::fmt::Display for JobError {
             } => write!(
                 f,
                 "algorithm {algo_id} stranded on card {card}, lost at {lost_at} with no replica to hedge onto"
+            ),
+            JobError::QuotaExceeded {
+                algo_id,
+                tenant,
+                quota,
+            } => write!(
+                f,
+                "algorithm {algo_id} dropped at submission: tenant {tenant} exhausted its quota of {quota}"
             ),
             JobError::NoReplica {
                 algo_id,
@@ -352,5 +372,17 @@ mod tests {
         };
         assert!(unroutable.to_string().contains("all 3 replicas"));
         assert_eq!(unroutable.attempts(), 3);
+    }
+
+    #[test]
+    fn quota_error_renders() {
+        let e = JobError::QuotaExceeded {
+            algo_id: 14,
+            tenant: 2,
+            quota: 100,
+        };
+        assert!(e.to_string().contains("quota of 100"));
+        assert_eq!(e.algo_id(), 14);
+        assert_eq!(e.attempts(), 0);
     }
 }

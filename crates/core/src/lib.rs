@@ -56,7 +56,9 @@ pub use dispatch::DispatchStats;
 pub use engine::{Engine, EngineConfig, EngineResult, ShardPolicy};
 pub use error::CoreError;
 pub use fault::{FaultConfig, FaultStats, JobError};
-pub use overload::{DeadlinePolicy, OverloadConfig, OverloadStats, WatchdogConfig};
+pub use overload::{
+    DeadlinePolicy, FairnessConfig, OverloadConfig, OverloadStats, TenantStats, WatchdogConfig,
+};
 pub use runner::{run_workload, run_workload_traced, Executor, RunResult};
 
 // Re-export the pieces users compose with.

@@ -11,7 +11,14 @@
 //!
 //! [`OverloadStats::accounted`] is the job-conservation invariant:
 //! every submitted job ends in exactly one of completed, shed,
-//! deadline-missed or faulted.
+//! deadline-missed, faulted or quota-exceeded.
+//!
+//! With [`OverloadConfig::fairness`] set and a multi-tenant workload,
+//! admission additionally sheds deterministically by weighted fair
+//! share: a tenant whose admitted count runs ahead of its weighted
+//! share (plus the configured slack) is shed first, so a flooding
+//! tenant cannot starve the others. Fair sheds are counted both in
+//! `shed` (they are sheds) and in `fair_shed` (their cause).
 
 use crate::breaker::BreakerConfig;
 use aaod_sim::SimTime;
@@ -99,12 +106,53 @@ impl WatchdogConfig {
     }
 }
 
+/// Weighted-fair admission tuning.
+///
+/// Fairness only engages when the workload carries tenant metadata
+/// ([`Workload::tenant_specs`](aaod_workload::Workload::tenant_specs));
+/// on an untagged workload admission stays pure drop-newest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FairnessConfig {
+    /// Percent a tenant's admitted count may overshoot its weighted
+    /// fair share before admission sheds it. Larger = laxer policing.
+    pub slack_pct: u32,
+    /// Admissions every tenant gets unconditionally before the
+    /// share test engages (avoids shedding the first arrivals of a
+    /// low-weight tenant on a cold counter).
+    pub base_allowance: u64,
+}
+
+impl Default for FairnessConfig {
+    fn default() -> Self {
+        FairnessConfig {
+            slack_pct: 25,
+            base_allowance: 2,
+        }
+    }
+}
+
+impl FairnessConfig {
+    /// Checks the tuning is usable.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a slack above 1000% (at that point the policy is
+    /// inert and almost certainly a typo).
+    pub fn validate(&self) {
+        assert!(
+            self.slack_pct <= 1000,
+            "fairness slack above 1000% disables the policy"
+        );
+    }
+}
+
 /// Overload-layer configuration: offered load, deadlines, watchdog and
 /// breaker tuning.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OverloadConfig {
     /// Modelled inter-arrival time: request `i` arrives at
-    /// `i × interarrival`. Smaller = higher offered load.
+    /// `i × interarrival` (scaled by the workload's arrival ticks
+    /// when it carries a traffic model).
     pub interarrival: SimTime,
     /// Deadline derivation.
     pub deadline: DeadlinePolicy,
@@ -112,6 +160,9 @@ pub struct OverloadConfig {
     pub watchdog: WatchdogConfig,
     /// Per-shard circuit-breaker tuning.
     pub breaker: BreakerConfig,
+    /// Weighted-fair multi-tenant admission; `None` keeps the legacy
+    /// drop-newest behaviour.
+    pub fairness: Option<FairnessConfig>,
 }
 
 impl Default for OverloadConfig {
@@ -124,6 +175,7 @@ impl Default for OverloadConfig {
             },
             watchdog: WatchdogConfig::default(),
             breaker: BreakerConfig::default(),
+            fairness: None,
         }
     }
 }
@@ -138,6 +190,9 @@ impl OverloadConfig {
         self.deadline.validate();
         self.watchdog.validate();
         self.breaker.validate();
+        if let Some(f) = &self.fairness {
+            f.validate();
+        }
     }
 }
 
@@ -157,6 +212,12 @@ pub struct OverloadStats {
     pub deadline_missed: u64,
     /// Jobs that failed with an unrecoverable fault.
     pub faulted: u64,
+    /// Jobs dropped at submission because their tenant's hard quota
+    /// was exhausted (never enqueued).
+    pub quota_exceeded: u64,
+    /// Sheds decided by the weighted-fair policy (the tenant ran
+    /// ahead of its share), a sub-population of `shed`.
+    pub fair_shed: u64,
     /// Configuration-port stalls injected and consumed.
     pub stalls_injected: u64,
     /// Slow PCI transfers injected and consumed.
@@ -185,7 +246,9 @@ impl OverloadStats {
     /// Job conservation: every submitted job ends in exactly one
     /// terminal state.
     pub fn accounted(&self) -> bool {
-        self.shed + self.deadline_missed + self.completed + self.faulted == self.submitted
+        self.shed + self.deadline_missed + self.completed + self.faulted + self.quota_exceeded
+            == self.submitted
+            && self.fair_shed <= self.shed
     }
 
     /// Fraction of submitted jobs that completed in time — the
@@ -214,6 +277,8 @@ impl OverloadStats {
         self.shed += other.shed;
         self.deadline_missed += other.deadline_missed;
         self.faulted += other.faulted;
+        self.quota_exceeded += other.quota_exceeded;
+        self.fair_shed += other.fair_shed;
         self.stalls_injected += other.stalls_injected;
         self.slow_transfers_injected += other.slow_transfers_injected;
         self.stuck_injected += other.stuck_injected;
@@ -227,9 +292,109 @@ impl OverloadStats {
     }
 }
 
+/// Per-tenant outcome totals for a multi-tenant overload run,
+/// computed by the engine after serving from the per-job outcome maps
+/// and the workload's tenant tags.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// The tenant's index in the workload's spec list.
+    pub tenant: u16,
+    /// The tenant's name as carried by its spec.
+    pub name: String,
+    /// Admission weight from the spec.
+    pub weight: u32,
+    /// Jobs the tenant submitted.
+    pub submitted: u64,
+    /// Jobs that completed in time.
+    pub completed: u64,
+    /// Jobs shed at admission (deadline-passed and fair sheds alike).
+    pub shed: u64,
+    /// Jobs served past their deadline.
+    pub deadline_missed: u64,
+    /// Jobs lost to unrecoverable faults.
+    pub faulted: u64,
+    /// Jobs dropped by the tenant's hard quota.
+    pub quota_exceeded: u64,
+}
+
+impl TenantStats {
+    /// Job conservation within the tenant.
+    pub fn accounted(&self) -> bool {
+        self.completed + self.shed + self.deadline_missed + self.faulted + self.quota_exceeded
+            == self.submitted
+    }
+
+    /// The tenant's goodput ratio.
+    pub fn goodput(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.submitted as f64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fairness_defaults_validate() {
+        let f = FairnessConfig::default();
+        f.validate();
+        assert_eq!(f.slack_pct, 25);
+        assert_eq!(f.base_allowance, 2);
+        let mut oc = OverloadConfig::default();
+        assert!(oc.fairness.is_none());
+        oc.fairness = Some(f);
+        oc.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "disables the policy")]
+    fn absurd_slack_panics() {
+        FairnessConfig {
+            slack_pct: 1001,
+            base_allowance: 0,
+        }
+        .validate();
+    }
+
+    #[test]
+    fn accounted_covers_quota_and_fair_shed() {
+        let s = OverloadStats {
+            submitted: 12,
+            completed: 6,
+            shed: 3,
+            fair_shed: 2,
+            deadline_missed: 1,
+            faulted: 1,
+            quota_exceeded: 1,
+            ..OverloadStats::default()
+        };
+        assert!(s.accounted());
+        // fair sheds are a sub-population of sheds, never extra mass
+        let leaky = OverloadStats { fair_shed: 4, ..s };
+        assert!(!leaky.accounted());
+    }
+
+    #[test]
+    fn tenant_stats_conserve() {
+        let t = TenantStats {
+            tenant: 1,
+            name: "flood".into(),
+            weight: 1,
+            submitted: 10,
+            completed: 4,
+            shed: 3,
+            deadline_missed: 1,
+            faulted: 0,
+            quota_exceeded: 2,
+        };
+        assert!(t.accounted());
+        assert_eq!(t.goodput(), 0.4);
+        assert_eq!(TenantStats::default().goodput(), 0.0);
+    }
 
     #[test]
     fn watchdog_timeout_is_heartbeat_times_beats() {

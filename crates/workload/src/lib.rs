@@ -42,6 +42,19 @@ pub struct Request {
     pub input_len: usize,
 }
 
+/// Zipf(s = 1) CDF over `len` ranks (rank 1 hottest).
+fn zipf_cdf(len: usize) -> Vec<f64> {
+    let weights: Vec<f64> = (1..=len).map(|rank| 1.0 / rank as f64).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(len);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    cdf
+}
+
 /// Deterministic input payload for request number `index` of a
 /// workload seeded with `seed`.
 pub fn request_input(seed: u64, index: usize, len: usize) -> Vec<u8> {
@@ -49,6 +62,31 @@ pub fn request_input(seed: u64, index: usize, len: usize) -> Vec<u8> {
     let mut buf = vec![0u8; len];
     rng.fill(&mut buf);
     buf
+}
+
+/// Per-tenant traffic contract for a multi-tenant stream: which
+/// algorithms the tenant calls, how much traffic it offers, and what
+/// the admission layer owes it (weight) or caps it at (quota).
+///
+/// Weights are integers so [`Workload`] stays `Eq`; only their ratios
+/// matter to weighted-fair shedding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSpec {
+    /// Tenant label (for experiment tables).
+    pub name: String,
+    /// The algorithms this tenant invokes (Zipf s = 1 within).
+    pub algos: Vec<u16>,
+    /// Weighted-fair entitlement under overload. Zero is treated as 1.
+    pub weight: u32,
+    /// Share of *offered* traffic, relative to the other tenants'
+    /// `offered` values. A flooding tenant has `offered` far above
+    /// its `weight`.
+    pub offered: u32,
+    /// Payload bytes per request.
+    pub input_len: usize,
+    /// Hard cap on jobs admitted for this tenant per engine run;
+    /// beyond it jobs degrade to `QuotaExceeded`. `None` = unmetered.
+    pub quota: Option<u64>,
 }
 
 /// A finite request stream.
@@ -61,6 +99,14 @@ pub struct Workload {
     /// request came from, so `input()` reproduces the source payload
     /// byte-for-byte. `None` for a freshly generated stream.
     source: Option<Vec<usize>>,
+    /// Tenant index per request, for multi-tenant streams.
+    tenant: Option<Vec<u16>>,
+    /// The tenant contracts behind `tenant`, indexed by tenant id.
+    specs: Option<Vec<TenantSpec>>,
+    /// Arrival offset per request in *milli-interarrivals* (request
+    /// `i` arrives at `interarrival × ticks[i] / 1000`), for streams
+    /// with a shaped load curve. `None` = uniform open-loop spacing.
+    ticks: Option<Vec<u64>>,
 }
 
 impl Workload {
@@ -70,6 +116,9 @@ impl Workload {
             seed,
             requests,
             source: None,
+            tenant: None,
+            specs: None,
+            ticks: None,
         }
     }
 
@@ -313,12 +362,14 @@ impl Workload {
             })
             .collect();
         let mut rng = SplitMix64::new(seed);
+        let mut tenant_of = Vec::with_capacity(n);
         let requests = (0..n)
             .map(|_| {
                 let u = rng.next_f64();
                 let t = tenant_cdf
                     .partition_point(|&c| c < u)
                     .min(tenants.len() - 1);
+                tenant_of.push(t as u16);
                 let (algos, _, input_len) = tenants[t];
                 let v = rng.next_f64();
                 let idx = algo_cdfs[t]
@@ -330,7 +381,184 @@ impl Workload {
                 }
             })
             .collect();
-        Workload::with_name(format!("tenants(k={})", tenants.len()), seed, requests)
+        let specs = tenants
+            .iter()
+            .enumerate()
+            .map(|(i, (algos, weight, input_len))| TenantSpec {
+                name: format!("t{i}"),
+                algos: algos.to_vec(),
+                // weights only matter by ratio; scale to keep Eq
+                weight: ((weight * 1000.0).round() as u32).max(1),
+                offered: ((weight * 1000.0).round() as u32).max(1),
+                input_len: *input_len,
+                quota: None,
+            })
+            .collect();
+        let mut w = Workload::with_name(format!("tenants(k={})", tenants.len()), seed, requests);
+        w.tenant = Some(tenant_of);
+        w.specs = Some(specs);
+        w
+    }
+
+    /// Multi-tenant mix driven by explicit [`TenantSpec`] contracts:
+    /// every request draws a tenant with probability proportional to
+    /// its `offered` share, then a Zipf(s = 1) algorithm within the
+    /// tenant's list at the tenant's `input_len`. The resulting
+    /// stream carries tenant ids and the specs themselves, so the
+    /// engine's weighted-fair admission and per-tenant quotas can act
+    /// on it — and [`subset`](Workload::subset) preserves both, so
+    /// per-tenant accounting survives cluster partitioning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty, any tenant has no algorithms, or
+    /// every `offered` share is zero.
+    pub fn multi_tenant(specs: &[TenantSpec], n: usize, seed: u64) -> Self {
+        assert!(!specs.is_empty(), "need at least one tenant");
+        let total: u64 = specs.iter().map(|s| s.offered as u64).sum();
+        assert!(total > 0, "at least one tenant must offer traffic");
+        for s in specs {
+            assert!(
+                !s.algos.is_empty(),
+                "every tenant needs at least one algorithm"
+            );
+        }
+        let mut tenant_cdf = Vec::with_capacity(specs.len());
+        let mut acc = 0u64;
+        for s in specs {
+            acc += s.offered as u64;
+            tenant_cdf.push(acc);
+        }
+        let algo_cdfs: Vec<Vec<f64>> = specs.iter().map(|s| zipf_cdf(s.algos.len())).collect();
+        let mut rng = SplitMix64::new(seed);
+        let mut tenant_of = Vec::with_capacity(n);
+        let requests = (0..n)
+            .map(|_| {
+                let u = (rng.next_f64() * total as f64) as u64;
+                let t = tenant_cdf.partition_point(|&c| c <= u).min(specs.len() - 1);
+                tenant_of.push(t as u16);
+                let v = rng.next_f64();
+                let idx = algo_cdfs[t]
+                    .partition_point(|&c| c < v)
+                    .min(specs[t].algos.len() - 1);
+                Request {
+                    algo_id: specs[t].algos[idx],
+                    input_len: specs[t].input_len,
+                }
+            })
+            .collect();
+        let mut w = Workload::with_name(format!("multi-tenant(k={})", specs.len()), seed, requests);
+        w.tenant = Some(tenant_of);
+        w.specs = Some(specs.to_vec());
+        w
+    }
+
+    /// Diurnal load curve: a deterministic triangle wave modulates the
+    /// open-loop arrival gap between a peak (gap `g/ratio`) and a
+    /// trough (gap `g`), repeating `periods` times over the stream,
+    /// with the mean gap normalised to one interarrival. Algorithms
+    /// are Zipf(s = 1) over `algos`. The curve is carried as
+    /// [`arrival_tick`](Workload::arrival_tick) offsets, which the
+    /// engine's overload layer replays instead of uniform spacing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `algos` is empty, `periods` is zero, or
+    /// `peak_to_trough < 2`.
+    pub fn diurnal(
+        algos: &[u16],
+        n: usize,
+        periods: u32,
+        peak_to_trough: u32,
+        input_len: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(!algos.is_empty(), "need at least one algorithm");
+        assert!(periods >= 1, "need at least one period");
+        assert!(peak_to_trough >= 2, "peak:trough ratio must be >= 2");
+        let ratio = peak_to_trough as u64;
+        // trough gap g_max and peak gap g_max/ratio with the *mean*
+        // gap pinned to 1000 milliticks: (g_min + g_max)/2 = 1000
+        let g_max = 2000 * ratio / (ratio + 1);
+        let g_min = g_max / ratio;
+        let cdf = zipf_cdf(algos.len());
+        let mut rng = SplitMix64::new(seed);
+        let mut ticks = Vec::with_capacity(n);
+        let mut now = 0u64;
+        let requests = (0..n)
+            .map(|i| {
+                ticks.push(now);
+                // triangle phase in [0, 1000]: 0 = peak, 1000 = trough
+                let span = (n as u64).max(1);
+                let ph = (i as u64 * periods as u64 * 2000) / span % 2000;
+                let tri = if ph < 1000 { ph } else { 2000 - ph };
+                now += g_min + (g_max - g_min) * tri / 1000;
+                let u = rng.next_f64();
+                let idx = cdf.partition_point(|&c| c < u).min(algos.len() - 1);
+                Request {
+                    algo_id: algos[idx],
+                    input_len,
+                }
+            })
+            .collect();
+        let mut w = Workload::with_name(
+            format!("diurnal(p={periods},ratio={peak_to_trough})"),
+            seed,
+            requests,
+        );
+        w.ticks = Some(ticks);
+        w
+    }
+
+    /// Flash crowd: a Zipf(s = 1) baseline over `algos`, except that
+    /// in the middle third of the stream the `hot` algorithm spikes —
+    /// it is drawn with probability 0.9 and the arrival gap shrinks
+    /// by `spike_mult` (10–50× is the interesting range). The spike
+    /// is carried in both the algorithm choice and the
+    /// [`arrival_tick`](Workload::arrival_tick) curve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `algos` is empty or `spike_mult < 2`.
+    pub fn flash_crowd(
+        algos: &[u16],
+        hot: u16,
+        n: usize,
+        spike_mult: u32,
+        input_len: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(!algos.is_empty(), "need at least one algorithm");
+        assert!(spike_mult >= 2, "spike multiplier must be >= 2");
+        let cdf = zipf_cdf(algos.len());
+        let mut rng = SplitMix64::new(seed);
+        let mut ticks = Vec::with_capacity(n);
+        let mut now = 0u64;
+        let requests = (0..n)
+            .map(|i| {
+                ticks.push(now);
+                let in_spike = (n / 3..2 * n / 3).contains(&i);
+                now += if in_spike {
+                    (1000 / spike_mult as u64).max(1)
+                } else {
+                    1000
+                };
+                let algo_id = if in_spike && rng.next_f64() < 0.9 {
+                    hot
+                } else {
+                    let u = rng.next_f64();
+                    algos[cdf.partition_point(|&c| c < u).min(algos.len() - 1)]
+                };
+                Request { algo_id, input_len }
+            })
+            .collect();
+        let mut w = Workload::with_name(
+            format!("flash-crowd(hot={hot},x{spike_mult})"),
+            seed,
+            requests,
+        );
+        w.ticks = Some(ticks);
+        w
     }
 
     /// Replays an explicit id trace with a fixed input length.
@@ -413,12 +641,54 @@ impl Workload {
     pub fn subset(&self, indices: &[usize]) -> Self {
         let requests = indices.iter().map(|&i| self.requests[i]).collect();
         let source = indices.iter().map(|&i| self.source_index(i)).collect();
+        // Tenant ids and arrival ticks travel with the picked
+        // requests, so per-tenant stats and the load curve survive
+        // cluster partitioning.
+        let tenant = self
+            .tenant
+            .as_ref()
+            .map(|t| indices.iter().map(|&i| t[i]).collect());
+        let ticks = self
+            .ticks
+            .as_ref()
+            .map(|t| indices.iter().map(|&i| t[i]).collect());
         Workload {
             name: format!("{}[{}]", self.name, indices.len()),
             seed: self.seed,
             requests,
             source: Some(source),
+            tenant,
+            specs: self.specs.clone(),
+            ticks,
         }
+    }
+
+    /// The tenant behind request `index`, for multi-tenant streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range on a multi-tenant stream.
+    pub fn tenant_of(&self, index: usize) -> Option<u16> {
+        self.tenant.as_ref().map(|t| t[index])
+    }
+
+    /// The tenant contracts behind a multi-tenant stream, indexed by
+    /// the ids [`tenant_of`](Workload::tenant_of) returns.
+    pub fn tenant_specs(&self) -> Option<&[TenantSpec]> {
+        self.specs.as_deref()
+    }
+
+    /// Arrival offset of request `index` in milli-interarrivals
+    /// (request `i` arrives at `interarrival × tick / 1000`), for
+    /// streams with a shaped load curve ([`diurnal`](Workload::diurnal),
+    /// [`flash_crowd`](Workload::flash_crowd)). `None` means uniform
+    /// open-loop spacing (`interarrival × i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range on a shaped stream.
+    pub fn arrival_tick(&self, index: usize) -> Option<u64> {
+        self.ticks.as_ref().map(|t| t[index])
     }
 
     /// Distinct algorithms referenced, sorted.
@@ -577,6 +847,127 @@ mod tests {
         let c1 = w.algo_trace().iter().filter(|&&a| a == 1).count();
         let c2 = w.algo_trace().iter().filter(|&&a| a == 2).count();
         assert!(c1 > c2, "rank 1: {c1}, rank 2: {c2}");
+    }
+
+    fn demo_specs() -> Vec<TenantSpec> {
+        vec![
+            TenantSpec {
+                name: "gw".into(),
+                algos: vec![1, 2],
+                weight: 4,
+                offered: 1,
+                input_len: 64,
+                quota: None,
+            },
+            TenantSpec {
+                name: "tm".into(),
+                algos: vec![3, 4],
+                weight: 2,
+                offered: 1,
+                input_len: 256,
+                quota: Some(100),
+            },
+            TenantSpec {
+                name: "flood".into(),
+                algos: vec![5],
+                weight: 1,
+                offered: 8,
+                input_len: 1024,
+                quota: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn multi_tenant_follows_offered_shares_and_records_ids() {
+        let specs = demo_specs();
+        let w = Workload::multi_tenant(&specs, 10_000, 21);
+        assert_eq!(w, Workload::multi_tenant(&specs, 10_000, 21));
+        assert_eq!(w.tenant_specs().unwrap(), &specs[..]);
+        let mut counts = [0usize; 3];
+        for i in 0..w.len() {
+            let t = w.tenant_of(i).unwrap() as usize;
+            counts[t] += 1;
+            assert!(specs[t].algos.contains(&w.requests()[i].algo_id));
+            assert_eq!(w.requests()[i].input_len, specs[t].input_len);
+        }
+        // offered 1:1:8 — the flooder dominates despite its low weight
+        assert!(counts[2] > 5 * counts[0], "{counts:?}");
+        assert!(counts[2] > 5 * counts[1], "{counts:?}");
+    }
+
+    #[test]
+    fn subset_carries_tenants_specs_and_ticks() {
+        let w = Workload::multi_tenant(&demo_specs(), 200, 5);
+        let picked = [7usize, 0, 150, 42];
+        let s = w.subset(&picked);
+        assert_eq!(s.tenant_specs(), w.tenant_specs());
+        for (k, &i) in picked.iter().enumerate() {
+            assert_eq!(s.tenant_of(k), w.tenant_of(i), "tenant lost at slot {k}");
+            assert_eq!(s.input(k), w.input(i));
+        }
+        // nested subsets keep composing
+        let nested = s.subset(&[3, 1]);
+        assert_eq!(nested.tenant_of(0), w.tenant_of(42));
+        // ...and arrival curves survive partitioning too
+        let d = Workload::diurnal(&ALGOS, 100, 2, 4, 64, 9);
+        let ds = d.subset(&[10, 90]);
+        assert_eq!(ds.arrival_tick(0), d.arrival_tick(10));
+        assert_eq!(ds.arrival_tick(1), d.arrival_tick(90));
+        // legacy tenants() streams now carry ids through subsets as well
+        let spec: [(&[u16], f64, usize); 2] = [(&[1, 2], 3.0, 64), (&[3], 1.0, 256)];
+        let t = Workload::tenants(&spec, 50, 3);
+        let ts = t.subset(&[5, 6]);
+        assert_eq!(ts.tenant_of(0), t.tenant_of(5));
+        assert!(t.tenant_specs().is_some());
+    }
+
+    #[test]
+    fn diurnal_curve_is_mean_normalised_and_shaped() {
+        let n = 4000;
+        let w = Workload::diurnal(&ALGOS, n, 4, 8, 64, 17);
+        assert_eq!(w, Workload::diurnal(&ALGOS, n, 4, 8, 64, 17));
+        // ticks strictly increase and the mean gap is ~1000 milliticks
+        let last = w.arrival_tick(n - 1).unwrap();
+        for i in 1..n {
+            assert!(w.arrival_tick(i).unwrap() > w.arrival_tick(i - 1).unwrap());
+        }
+        let mean = last / (n as u64 - 1);
+        assert!((900..=1100).contains(&mean), "mean gap {mean}");
+        // the peak must be markedly denser than the trough: compare
+        // the tightest and widest 100-request windows
+        let gaps: Vec<u64> = (1..n)
+            .map(|i| w.arrival_tick(i).unwrap() - w.arrival_tick(i - 1).unwrap())
+            .collect();
+        let min_gap = *gaps.iter().min().unwrap();
+        let max_gap = *gaps.iter().max().unwrap();
+        assert!(max_gap >= 4 * min_gap, "min {min_gap}, max {max_gap}");
+    }
+
+    #[test]
+    fn flash_crowd_spikes_hot_algo_and_arrival_rate() {
+        let n = 3000;
+        let w = Workload::flash_crowd(&ALGOS, 5, n, 20, 64, 23);
+        assert_eq!(w, Workload::flash_crowd(&ALGOS, 5, n, 20, 64, 23));
+        let trace = w.algo_trace();
+        let hot_in_spike = trace[n / 3..2 * n / 3].iter().filter(|&&a| a == 5).count();
+        let hot_outside = trace[..n / 3].iter().filter(|&&a| a == 5).count();
+        assert!(
+            hot_in_spike > n / 3 * 8 / 10,
+            "hot in spike: {hot_in_spike}"
+        );
+        assert!(hot_outside < n / 6, "hot outside: {hot_outside}");
+        // spike gaps are 20x tighter
+        let pre = w.arrival_tick(1).unwrap() - w.arrival_tick(0).unwrap();
+        let mid = w.arrival_tick(n / 2 + 1).unwrap() - w.arrival_tick(n / 2).unwrap();
+        assert_eq!(pre, 1000);
+        assert_eq!(mid, 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "spike multiplier")]
+    fn flash_crowd_rejects_degenerate_spike() {
+        let _ = Workload::flash_crowd(&ALGOS, 1, 10, 1, 8, 0);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! "everything", and a plausible payload size per kernel (an IPSec
 //! packet for ciphers/hashes, a sample window for the FIR, …).
 
-use crate::Workload;
+use crate::{TenantSpec, Workload};
 use aaod_algos::crypto::Sha1;
 use aaod_algos::{ids, AlgorithmBank, AliasKernel};
 use std::sync::Arc;
@@ -119,6 +119,75 @@ pub fn fleet_workload(n: usize, seed: u64) -> Workload {
     )
 }
 
+/// The large-footprint DSP/AI tier (E19): serve it from
+/// [`AlgorithmBank::extended`].
+pub fn kernel_mix() -> Vec<u16> {
+    ids::DSP_AI.to_vec()
+}
+
+/// The canonical DSP/AI tier workload (E19): three tenants, one per
+/// kernel, each pushing 4 KiB payloads (8 matrix pairs / 4 image
+/// tiles / 16 FFT blocks per request). The three images total 192
+/// frames on a 96-frame device, so serving the mix is constant
+/// reconfiguration pressure with ~60 KiB bitstreams per swap.
+pub fn kernel_workload(n: usize, seed: u64) -> Workload {
+    let tenant = |name: &str, algo: u16| TenantSpec {
+        name: name.into(),
+        algos: vec![algo],
+        weight: 1,
+        offered: 1,
+        input_len: 4096,
+        quota: None,
+    };
+    Workload::multi_tenant(
+        &[
+            tenant("mm", ids::MATMUL16),
+            tenant("cv", ids::CONV2D),
+            tenant("ft", ids::FFT64),
+        ],
+        n,
+        seed,
+    )
+}
+
+/// The canonical weighted-fair overload scenario (E19): two paying
+/// tenants with high weights and modest offered load, plus a flooding
+/// tenant that offers 10× its weighted share. Under 2× overload a
+/// drop-newest admission lets the flood starve the payers; the
+/// weighted-fair layer sheds the flooder back to its share.
+pub fn fair_overload_workload(n: usize, seed: u64) -> Workload {
+    Workload::multi_tenant(
+        &[
+            TenantSpec {
+                name: "gateway".into(),
+                algos: vec![ids::MATMUL16],
+                weight: 4,
+                offered: 1,
+                input_len: 4096,
+                quota: None,
+            },
+            TenantSpec {
+                name: "vision".into(),
+                algos: vec![ids::CONV2D],
+                weight: 2,
+                offered: 1,
+                input_len: 4096,
+                quota: None,
+            },
+            TenantSpec {
+                name: "flood".into(),
+                algos: vec![ids::FFT64],
+                weight: 1,
+                offered: 10,
+                input_len: 4096,
+                quota: None,
+            },
+        ],
+        n,
+        seed,
+    )
+}
+
 /// A realistic input length for one invocation of `algo_id`
 /// (an Ethernet-MTU packet for packet-processing kernels, a filter
 /// window for DSP, one matrix pair for the multiplier).
@@ -137,6 +206,9 @@ pub fn default_input_len(algo_id: u16) -> usize {
         ids::PARITY8 => 256,
         ids::TDES => 1504,
         ids::HMAC_SHA1 => 1500,
+        ids::MATMUL16 => 4096, // 8 matrix pairs
+        ids::CONV2D => 4096,   // 4 image tiles
+        ids::FFT64 => 4096,    // 16 FFT blocks
         _ => 256,
     }
 }
@@ -237,6 +309,47 @@ mod tests {
         assert!(gateway > dsp * 2, "gateway {gateway}, dsp {dsp}");
         assert!(dsp > 0, "dsp tenant starved");
         assert!(w.distinct_algos().len() >= 7, "{:?}", w.distinct_algos());
+    }
+
+    #[test]
+    fn kernel_workload_exercises_the_whole_tier() {
+        let w = kernel_workload(600, 11);
+        assert_eq!(w.len(), 600);
+        assert_eq!(w, kernel_workload(600, 11));
+        assert_eq!(w.distinct_algos(), kernel_mix());
+        let bank = AlgorithmBank::extended();
+        for id in kernel_mix() {
+            assert!(bank.kernel(id).is_some(), "missing {id}");
+        }
+        // payloads are block-aligned for every kernel in the tier
+        for r in w.requests() {
+            assert_eq!(r.input_len % 512, 0);
+            assert_eq!(r.input_len % 1024, 0);
+            assert_eq!(r.input_len % 256, 0);
+        }
+        // the working set overcommits the device 2x — constant
+        // reconfiguration pressure
+        let geom = aaod_fabric::DeviceGeometry::default();
+        let total: usize = kernel_mix()
+            .iter()
+            .map(|&id| bank.build_image(id, geom).unwrap().frames_needed(geom))
+            .sum();
+        assert_eq!(total, 192);
+        assert!(total >= 2 * geom.frames());
+    }
+
+    #[test]
+    fn fair_overload_workload_is_flood_dominated() {
+        let w = fair_overload_workload(6_000, 3);
+        let specs = w.tenant_specs().unwrap();
+        assert_eq!(specs.len(), 3);
+        let mut counts = [0usize; 3];
+        for i in 0..w.len() {
+            counts[w.tenant_of(i).unwrap() as usize] += 1;
+        }
+        // the flooder offers 10/12 of the traffic with 1/7 the weight
+        assert!(counts[2] > 4 * (counts[0] + counts[1]), "{counts:?}");
+        assert!(counts[0] > 0 && counts[1] > 0);
     }
 
     #[test]

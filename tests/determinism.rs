@@ -247,3 +247,72 @@ fn engine_run_is_repeatable() {
     assert_eq!(a.shard_busy, b.shard_busy);
     assert_eq!(a.stats, b.stats);
 }
+
+/// The E19 kernel-tier seed. `AAOD_KERNEL_SEED` pins or sweeps it,
+/// so CI drives this suite, the conformance tier and the E19 bench
+/// with one knob.
+fn kernel_seed() -> u64 {
+    aaod_bench::env_seed("AAOD_KERNEL_SEED", 42)
+}
+
+/// A card whose bank includes the DSP/AI tier (the worker `verify`
+/// golden is pinned to the standard bank, so identity is checked
+/// against a serial pass instead).
+fn kernel_card() -> CoProcessor {
+    CoProcessor::builder()
+        .bank(aaod_algos::AlgorithmBank::extended())
+        .build()
+}
+
+/// The DSP/AI kernel mix (72/56/64-frame images on a 96-frame device,
+/// so every policy is under constant reconfiguration pressure) is
+/// byte-identical run-to-run under every sharding policy, makespan
+/// and merged stats included.
+#[test]
+fn kernel_mix_is_repeatable_across_policies() {
+    let workload = mixes::kernel_workload(90, kernel_seed());
+    for policy in [
+        ShardPolicy::AlgoModulo,
+        ShardPolicy::RoundRobin,
+        ShardPolicy::Balanced,
+        ShardPolicy::Dynamic,
+    ] {
+        let engine = Engine::with_factory(
+            EngineConfig {
+                workers: 4,
+                shard: policy,
+                ..EngineConfig::default()
+            },
+            kernel_card,
+        );
+        let a = engine.serve(&workload).unwrap();
+        let b = engine.serve(&workload).unwrap();
+        assert_eq!(a.outputs, b.outputs, "{}", policy.name());
+        assert_eq!(a.makespan, b.makespan, "{}", policy.name());
+        assert_eq!(a.shard_busy, b.shard_busy, "{}", policy.name());
+        assert_eq!(a.stats, b.stats, "{}", policy.name());
+    }
+}
+
+/// The same mix through a replicated fleet: identical outputs, job
+/// assignment and ledger run-to-run.
+#[test]
+fn kernel_mix_cluster_is_repeatable() {
+    use aaod_core::{Cluster, ClusterConfig};
+    let workload = mixes::kernel_workload(90, kernel_seed());
+    let bank = aaod_algos::AlgorithmBank::extended();
+    let cluster = Cluster::with_factory(
+        ClusterConfig {
+            cards: 4,
+            replication: 2,
+            card_workers: 2,
+            ..ClusterConfig::default()
+        },
+        kernel_card,
+    );
+    let a = cluster.serve(&workload, &bank).unwrap();
+    let b = cluster.serve(&workload, &bank).unwrap();
+    assert_eq!(a.outputs, b.outputs);
+    assert_eq!(a.assignment, b.assignment);
+    assert_eq!(a.stats, b.stats);
+}

@@ -65,6 +65,7 @@ fn overload_config(interarrival: SimTime, deadline: DeadlinePolicy) -> OverloadC
         deadline,
         watchdog: WatchdogConfig::default(),
         breaker: BreakerConfig::default(),
+        fairness: None,
     }
 }
 
@@ -255,6 +256,7 @@ fn breaker_quarantines_failing_shard() {
             cooldown: SimTime::from_secs(1), // stays open for the run
             ..BreakerConfig::default()
         },
+        fairness: None,
     };
     let r = engine(3, oc, Some(fc)).serve(&w).unwrap();
     assert_conserved(&r);
@@ -304,6 +306,7 @@ fn requeue_rescue_respects_deadline_budget() {
         deadline: DeadlinePolicy::Absolute(SimTime::from_ps((total.as_ps() / 4).max(1))),
         watchdog: WatchdogConfig::default(),
         breaker,
+        fairness: None,
     };
     let r_tight = engine(2, tight, Some(fc)).serve(&w).unwrap();
     assert_conserved(&r_tight);
@@ -317,6 +320,7 @@ fn requeue_rescue_respects_deadline_budget() {
         deadline: DeadlinePolicy::Absolute(SimTime::from_secs(100)),
         watchdog: WatchdogConfig::default(),
         breaker,
+        fairness: None,
     };
     let r_gen = engine(2, generous, Some(fc)).serve(&w).unwrap();
     assert_conserved(&r_gen);

@@ -692,3 +692,165 @@ proptest! {
         prop_assert_eq!(c.repairs_evict_clear, r.faults.evict_cleared);
     }
 }
+
+// Realistic-traffic and multi-tenant admission properties (E19). The
+// base seed folds in `AAOD_KERNEL_SEED` so the CI kernel matrix
+// sweeps this suite with the same knob as the conformance tier.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Diurnal streams are a pure function of their arguments: the
+    /// request stream and the arrival-tick curve reproduce exactly,
+    /// ticks are monotone, and the mean gap stays pinned to one
+    /// interarrival (1000 milliticks) regardless of the ratio.
+    #[test]
+    fn diurnal_reproduces_and_keeps_mean_gap(
+        seed in any::<u64>(),
+        n in 16usize..200,
+        periods in 1u32..5,
+        ratio in 2u32..30,
+    ) {
+        use aaod_workload::Workload;
+        let seed = seed ^ aaod_bench::env_seed("AAOD_KERNEL_SEED", 0);
+        let a = Workload::diurnal(&[3, 5, 8], n, periods, ratio, 32, seed);
+        let b = Workload::diurnal(&[3, 5, 8], n, periods, ratio, 32, seed);
+        prop_assert_eq!(a.requests(), b.requests());
+        let ticks: Vec<u64> = (0..n).map(|i| a.arrival_tick(i).unwrap()).collect();
+        prop_assert_eq!(
+            ticks.clone(),
+            (0..n).map(|i| b.arrival_tick(i).unwrap()).collect::<Vec<_>>()
+        );
+        prop_assert!(ticks.windows(2).all(|w| w[0] <= w[1]), "ticks reversed");
+        if n >= 32 {
+            let mean_gap = ticks[n - 1] / (n as u64 - 1);
+            prop_assert!(
+                (700..=1300).contains(&mean_gap),
+                "mean gap {mean_gap} drifted from one interarrival"
+            );
+        }
+    }
+
+    /// Flash-crowd streams reproduce exactly, and the middle-third
+    /// spike really compresses arrivals: the spike's mean gap is the
+    /// baseline's divided by the multiplier.
+    #[test]
+    fn flash_crowd_reproduces_and_spike_compresses(
+        seed in any::<u64>(),
+        n in 30usize..200,
+        mult in 2u32..50,
+    ) {
+        use aaod_workload::Workload;
+        let seed = seed ^ aaod_bench::env_seed("AAOD_KERNEL_SEED", 0);
+        let hot = 3u16;
+        let a = Workload::flash_crowd(&[3, 5, 8], hot, n, mult, 32, seed);
+        let b = Workload::flash_crowd(&[3, 5, 8], hot, n, mult, 32, seed);
+        prop_assert_eq!(a.requests(), b.requests());
+        let ticks: Vec<u64> = (0..n).map(|i| a.arrival_tick(i).unwrap()).collect();
+        prop_assert_eq!(
+            ticks.clone(),
+            (0..n).map(|i| b.arrival_tick(i).unwrap()).collect::<Vec<_>>()
+        );
+        prop_assert!(ticks.windows(2).all(|w| w[0] <= w[1]));
+        // gaps: baseline 1000 milliticks, spike max(1000/mult, 1)
+        let spike = n / 3..2 * n / 3;
+        for i in 1..n {
+            let gap = ticks[i] - ticks[i - 1];
+            if spike.contains(&(i - 1)) {
+                prop_assert_eq!(gap, (1000 / mult as u64).max(1), "spike gap at {}", i);
+            } else {
+                prop_assert_eq!(gap, 1000, "baseline gap at {}", i);
+            }
+        }
+        // the hot algorithm dominates the spike window
+        let hot_in_spike = spike.clone().filter(|&i| a.requests()[i].algo_id == hot).count();
+        prop_assert!(hot_in_spike * 2 >= spike.len(), "spike never got hot");
+    }
+}
+
+// Weighted-fair engine runs are costly; small case budget.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Under any tenant weights, quotas, slack and deadline tightness,
+    /// the weighted-fair admission layer conserves jobs globally
+    /// (`shed + deadline_missed + completed + faulted +
+    /// quota_exceeded == submitted`), conserves them per tenant, the
+    /// per-tenant ledgers sum to the global one, and the quota ledger
+    /// equals the arithmetic excess of each tenant's offered load.
+    #[test]
+    fn weighted_fair_conserves_globally_and_per_tenant(
+        seed in any::<u64>(),
+        w_gw in 1u32..8,
+        w_flood in 1u32..8,
+        flood_quota in 20u64..200,
+        slack_pct in 0u32..200,
+        interarrival_ns in 100u64..50_000,
+        budget_us in 10u64..10_000,
+    ) {
+        use aaod_core::{
+            DeadlinePolicy, Engine, EngineConfig, FairnessConfig, OverloadConfig, ShardPolicy,
+        };
+        use aaod_sim::SimTime;
+        use aaod_workload::{TenantSpec, Workload};
+        let seed = seed ^ aaod_bench::env_seed("AAOD_KERNEL_SEED", 0);
+        let spec = |name: &str, algo: u16, weight: u32, offered: u32, quota: Option<u64>| {
+            TenantSpec {
+                name: name.into(),
+                algos: vec![algo],
+                weight,
+                offered,
+                input_len: 64,
+                quota,
+            }
+        };
+        let n = 120usize;
+        let w = Workload::multi_tenant(
+            &[
+                spec("gw", 3, w_gw, 1, None),
+                spec("flood", 5, w_flood, 6, Some(flood_quota)),
+            ],
+            n,
+            seed,
+        );
+        let r = Engine::new(EngineConfig {
+            workers: 2,
+            shard: ShardPolicy::RoundRobin,
+            overload: Some(OverloadConfig {
+                interarrival: SimTime::from_ns(interarrival_ns),
+                deadline: DeadlinePolicy::Absolute(SimTime::from_us(budget_us)),
+                fairness: Some(FairnessConfig {
+                    slack_pct,
+                    ..FairnessConfig::default()
+                }),
+                ..OverloadConfig::default()
+            }),
+            ..EngineConfig::default()
+        })
+        .serve(&w)
+        .unwrap();
+        prop_assert!(r.overload.accounted(), "global leak: {:?}", r.overload);
+        prop_assert_eq!(r.overload.submitted, n as u64);
+        prop_assert!(r.overload.fair_shed <= r.overload.shed);
+        prop_assert_eq!(r.tenants.len(), 2);
+        for t in &r.tenants {
+            prop_assert!(t.accounted(), "tenant leak: {:?}", t);
+        }
+        let sum = |f: fn(&aaod_core::TenantStats) -> u64| -> u64 {
+            r.tenants.iter().map(f).sum()
+        };
+        prop_assert_eq!(sum(|t| t.submitted), r.overload.submitted);
+        prop_assert_eq!(sum(|t| t.completed), r.overload.completed);
+        prop_assert_eq!(sum(|t| t.shed), r.overload.shed);
+        prop_assert_eq!(sum(|t| t.deadline_missed), r.overload.deadline_missed);
+        prop_assert_eq!(sum(|t| t.faulted), r.overload.faulted);
+        prop_assert_eq!(sum(|t| t.quota_exceeded), r.overload.quota_exceeded);
+        // the quota ledger is exactly the arithmetic excess
+        let flood_offered = (0..n).filter(|&i| w.tenant_of(i) == Some(1)).count() as u64;
+        prop_assert_eq!(
+            r.overload.quota_exceeded,
+            flood_offered.saturating_sub(flood_quota),
+            "quota ledger must equal offered − quota"
+        );
+        prop_assert_eq!(r.quota_exceeded.len() as u64, r.overload.quota_exceeded);
+    }
+}

@@ -233,3 +233,46 @@ fn chrome_export_is_deterministic_and_balanced() {
     assert_eq!(begins, ends, "unbalanced duration events");
     assert!(begins > 0, "stage spans must appear as durations");
 }
+
+/// One deterministic traced serve of a flash-crowd stream through the
+/// overload layer: the SHA1 spike compresses the tick-shaped arrival
+/// curve 20×, so the golden pins sheds and deadline misses — the
+/// realistic-traffic arrival replay is part of the trace contract.
+fn flash_crowd_jsonl(seed: u64) -> String {
+    use aaod_core::{DeadlinePolicy, OverloadConfig};
+    use aaod_sim::SimTime;
+    let w = Workload::flash_crowd(&MIX, ids::SHA1, 48, 20, 32, seed);
+    let r = Engine::new(EngineConfig {
+        workers: 2,
+        verify: true,
+        shard: ShardPolicy::AlgoModulo,
+        overload: Some(OverloadConfig {
+            interarrival: SimTime::from_us(2),
+            deadline: DeadlinePolicy::Absolute(SimTime::from_us(40)),
+            ..OverloadConfig::default()
+        }),
+        trace: TraceConfig::full(),
+        ..EngineConfig::default()
+    })
+    .serve(&w)
+    .expect("traced flash-crowd serve");
+    r.trace.expect("trace requested").to_jsonl()
+}
+
+#[test]
+fn flash_crowd_seed_5_matches_golden() {
+    check_golden("flash_crowd_seed5.jsonl", &flash_crowd_jsonl(5));
+}
+
+/// The spike must actually register in the golden scenario — if the
+/// overload layer ever stopped replaying `arrival_tick`, the stream
+/// would serve cleanly and the golden would silently degenerate.
+#[test]
+fn flash_crowd_golden_scenario_is_under_pressure() {
+    let jsonl = flash_crowd_jsonl(5);
+    let sheds = jsonl
+        .lines()
+        .filter(|l| str_field(l, "event") == Some("shed"))
+        .count();
+    assert!(sheds > 0, "flash-crowd golden lost its overload pressure");
+}
