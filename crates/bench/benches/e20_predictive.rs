@@ -1,0 +1,305 @@
+//! E20 (extension) — online predictive policy vs the offline planner.
+//!
+//! The offline `ShardPolicy::Dynamic` planner sees the whole workload
+//! before dealing a job; `aaod_core::predict` is the *online* stack
+//! that must approach it while seeing one arrival at a time:
+//!
+//! 1. **engine/straggler** — the E15 straggler mix on a 16-frame
+//!    card (SHA-1 alone takes 12 frames, so residency churns).
+//!    Speculative prefetch rides the idle window after each batch;
+//!    it may never cost the planner more than 10% makespan and must
+//!    never change an output byte.
+//! 2. **engine/rotation** — the E9 big-three rotation (58 frames of
+//!    working set against a 52-frame card): a perfectly predictable
+//!    stream where speculation must actually land
+//!    (`prefetch_hits > 0`).
+//! 3. **cluster/flash-crowd** — the E19 flash-crowd stream through a
+//!    4-card fleet. Online: every algorithm starts at one replica and
+//!    the hysteresis gate earns/retires replicas from the live
+//!    popularity EWMA. Offline: the static 2-replica placement that
+//!    saw the whole stream. The online fleet must finish within 1.1×
+//!    of the offline makespan, drive a full replicate → de-replicate
+//!    cycle, never flip inside the refractory window — and stay
+//!    byte-identical.
+//!
+//! The seed comes from `AAOD_PREDICT_SEED` (the CI predictive matrix
+//! sweeps it) so this bench and the determinism suite move together.
+//! Baselines live in `BENCH_predictive.json`.
+
+use aaod_algos::{ids, AlgorithmBank};
+use aaod_bench::criterion_fast;
+use aaod_core::{
+    Cluster, ClusterConfig, ClusterResult, CoProcessor, Engine, EngineConfig, EngineResult, Flip,
+    PredictConfig, ShardPolicy,
+};
+use aaod_fabric::DeviceGeometry;
+use aaod_sim::report::Table;
+use aaod_workload::{mixes, Workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Online-vs-offline makespan ceiling (the E20 acceptance floor).
+const MAKESPAN_CEILING: f64 = 1.1;
+
+fn predict_seed() -> u64 {
+    aaod_bench::env_seed("AAOD_PREDICT_SEED", 11)
+}
+
+/// A card small enough that the straggler mix churns: SHA-1 (12
+/// frames) plus two of the cold algorithms fill it exactly, so XTEA
+/// always evicts something.
+fn tight_card() -> CoProcessor {
+    CoProcessor::builder()
+        .geometry(DeviceGeometry::new(16, 16))
+        .build()
+}
+
+/// The E9 over-committed card: 52 frames against the 58-frame
+/// big-three crypto rotation.
+fn churn_card() -> CoProcessor {
+    CoProcessor::builder()
+        .geometry(DeviceGeometry::new(52, 16))
+        .build()
+}
+
+fn serve(
+    w: &Workload,
+    workers: usize,
+    predict: Option<PredictConfig>,
+    factory: fn() -> CoProcessor,
+) -> EngineResult {
+    Engine::with_factory(
+        EngineConfig {
+            workers,
+            shard: ShardPolicy::Dynamic,
+            predict,
+            ..EngineConfig::default()
+        },
+        factory,
+    )
+    .serve(w)
+    .expect("bench serve")
+}
+
+/// One engine arm: offline Dynamic vs Dynamic + online speculation on
+/// the same cards, returning `(offline, online)`.
+fn engine_arm(
+    w: &Workload,
+    workers: usize,
+    factory: fn() -> CoProcessor,
+) -> (EngineResult, EngineResult) {
+    let offline = serve(w, workers, None, factory);
+    let online = serve(w, workers, Some(PredictConfig::default()), factory);
+    assert_eq!(
+        offline.outputs,
+        online.outputs,
+        "speculative configuration changed output bytes on {}",
+        w.name()
+    );
+    (offline, online)
+}
+
+/// The flash-crowd fleet stream: the hot id rides the tail Zipf rank
+/// (~12% of the baseline) so the spike drives a full hysteresis
+/// cycle — up through `hot_up`, back down through `cold_down`.
+fn crowd_workload(seed: u64) -> Workload {
+    let crowd = [ids::CRC32, ids::CRC8, ids::XTEA, ids::SHA1];
+    Workload::flash_crowd(&crowd, ids::SHA1, 400, 20, 32, seed)
+}
+
+fn cluster_arm(seed: u64) -> (ClusterResult, ClusterResult) {
+    let w = crowd_workload(seed);
+    let bank = AlgorithmBank::standard();
+    let offline = Cluster::new(ClusterConfig {
+        cards: 4,
+        card_workers: 2,
+        replication: 2,
+        ..ClusterConfig::default()
+    })
+    .serve(&w, &bank)
+    .expect("offline cluster serve");
+    let online = Cluster::new(ClusterConfig {
+        cards: 4,
+        card_workers: 2,
+        predict: Some(PredictConfig::default()),
+        ..ClusterConfig::default()
+    })
+    .serve(&w, &bank)
+    .expect("online cluster serve");
+    assert_eq!(
+        offline.outputs, online.outputs,
+        "online replication changed output bytes"
+    );
+    (offline, online)
+}
+
+fn ratio(online_ps: u64, offline_ps: u64) -> f64 {
+    online_ps as f64 / offline_ps as f64
+}
+
+fn print_predictive_table() {
+    let seed = predict_seed();
+    let cfg = PredictConfig::default();
+    let mut t = Table::new(
+        "E20: online predictive policy vs offline Dynamic planner",
+        &[
+            "arm",
+            "offline",
+            "online",
+            "ratio",
+            "prefetches",
+            "pf hits",
+            "flips",
+        ],
+    );
+    let mut json_rows = Vec::new();
+
+    // Arm 1+2: engine speculation. The straggler arm runs the full
+    // 4-shard pool: Dynamic's affinity parks each algorithm on its
+    // own shard, so speculation is (correctly) near-silent there and
+    // the arm checks it costs nothing. The rotation arm runs one
+    // shard — the E9 scenario through the engine — where the stream
+    // is perfectly predictable and speculation must land.
+    let straggler = mixes::straggler_workload(1000, seed);
+    let rotation = Workload::round_robin(&[ids::AES128, ids::TDES, ids::SHA256], 240, 512);
+    for (arm, w, workers, factory) in [
+        (
+            "engine-straggler",
+            &straggler,
+            4,
+            tight_card as fn() -> CoProcessor,
+        ),
+        ("engine-rotation", &rotation, 1, churn_card),
+    ] {
+        let (offline, online) = engine_arm(w, workers, factory);
+        let r = ratio(online.makespan.as_ps(), offline.makespan.as_ps());
+        assert!(
+            r <= MAKESPAN_CEILING,
+            "{arm}: online makespan {r:.3}x offline (ceiling {MAKESPAN_CEILING}x)"
+        );
+        if arm == "engine-rotation" {
+            // A strict rotation is perfectly predictable: speculation
+            // must fire and must actually convert into residency hits.
+            assert!(
+                online.stats.prefetches > 0,
+                "rotation arm: the predictor never speculated"
+            );
+            assert!(
+                online.stats.prefetch_hits > 0,
+                "rotation arm: no prefetch ever landed"
+            );
+        }
+        t.row_owned(vec![
+            arm.to_string(),
+            format!("{:.1}us", offline.makespan.as_ns() / 1000.0),
+            format!("{:.1}us", online.makespan.as_ns() / 1000.0),
+            format!("{r:.3}x"),
+            online.stats.prefetches.to_string(),
+            online.stats.prefetch_hits.to_string(),
+            "-".to_string(),
+        ]);
+        json_rows.push(format!(
+            "{{\"arm\":\"{arm}\",\"seed\":{seed},\"offline_makespan_ns\":{:.0},\
+             \"online_makespan_ns\":{:.0},\"ratio\":{r:.4},\"prefetches\":{},\
+             \"prefetch_hits\":{},\"prefetch_aborted\":{}}}",
+            offline.makespan.as_ns(),
+            online.makespan.as_ns(),
+            online.stats.prefetches,
+            online.stats.prefetch_hits,
+            online.stats.prefetch_aborted,
+        ));
+    }
+
+    // Arm 3: online cluster replication.
+    let (offline, online) = cluster_arm(seed);
+    let r = ratio(online.makespan.as_ps(), offline.makespan.as_ps());
+    assert!(
+        r <= MAKESPAN_CEILING,
+        "cluster: online makespan {r:.3}x offline static placement \
+         (ceiling {MAKESPAN_CEILING}x)"
+    );
+    let reps = online
+        .flips
+        .iter()
+        .filter(|f| f.kind == Flip::Replicate)
+        .count() as u64;
+    let dereps = online
+        .flips
+        .iter()
+        .filter(|f| f.kind == Flip::Dereplicate)
+        .count() as u64;
+    assert!(reps >= 1, "flash crowd never triggered a replication");
+    assert!(dereps >= 1, "dispersal never triggered a de-replication");
+    assert_eq!(
+        (online.stats.replicates, online.stats.dereplicates),
+        (reps, dereps),
+        "flip ledger out of step with the flip log"
+    );
+    // Zero flips inside the refractory window: the oscillation the
+    // hysteresis gate exists to prevent.
+    let mut last: std::collections::BTreeMap<u16, u64> = std::collections::BTreeMap::new();
+    for f in &online.flips {
+        if let Some(prev) = last.insert(f.algo, f.at) {
+            assert!(
+                f.at - prev >= cfg.refractory,
+                "algo {} flipped at {} and again at {} (refractory {})",
+                f.algo,
+                prev,
+                f.at,
+                cfg.refractory
+            );
+        }
+    }
+    t.row_owned(vec![
+        "cluster-flash-crowd".to_string(),
+        format!("{:.1}us", offline.makespan.as_ns() / 1000.0),
+        format!("{:.1}us", online.makespan.as_ns() / 1000.0),
+        format!("{r:.3}x"),
+        "-".to_string(),
+        "-".to_string(),
+        format!("{reps}+{dereps}"),
+    ]);
+    json_rows.push(format!(
+        "{{\"arm\":\"cluster-flash-crowd\",\"seed\":{seed},\
+         \"offline_makespan_ns\":{:.0},\"online_makespan_ns\":{:.0},\
+         \"ratio\":{r:.4},\"replicates\":{reps},\"dereplicates\":{dereps},\
+         \"refractory\":{}}}",
+        offline.makespan.as_ns(),
+        online.makespan.as_ns(),
+        cfg.refractory,
+    ));
+
+    println!("{t}");
+    println!(
+        "expected shape: speculation is free or better on churning\n\
+         streams (the rotation arm lands most prefetches); the online\n\
+         fleet earns the spike replica mid-crowd and retires it after,\n\
+         closing most of the gap to the 2-replica offline placement.\n"
+    );
+    println!(
+        "BENCH_JSON {{\"experiment\":\"e20_predictive\",\"rows\":[{}]}}",
+        json_rows.join(",")
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_predictive_table();
+    let rotation = Workload::round_robin(&[ids::AES128, ids::TDES, ids::SHA256], 80, 512);
+    let mut group = c.benchmark_group("e20_predictive");
+    for (name, predict) in [
+        ("rotation_offline", None),
+        ("rotation_online", Some(PredictConfig::default())),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(serve(&rotation, 1, predict, churn_card)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_fast();
+    targets = bench
+}
+criterion_main!(benches);

@@ -84,6 +84,15 @@ pub struct ClusterConfig {
     /// Observability: card health edges on each card's shard,
     /// failover/hedge decisions on [`CLUSTER_SHARD`].
     pub trace: TraceConfig,
+    /// Online predictive replication (see [`crate::predict`]). When
+    /// set, placement pins every algorithm to a *single* card and the
+    /// router grows/shrinks replica sets online: an algorithm is
+    /// replicated once its popularity EWMA crosses the upper
+    /// hysteresis threshold and de-replicated below the lower one,
+    /// with a refractory period against flip-flapping under
+    /// `flash_crowd` bursts. `None` (the default) keeps the offline
+    /// placement with [`ClusterConfig::replication`] static copies.
+    pub predict: Option<crate::predict::PredictConfig>,
 }
 
 impl Default for ClusterConfig {
@@ -103,6 +112,7 @@ impl Default for ClusterConfig {
             verify: false,
             collect_outputs: true,
             trace: TraceConfig::off(),
+            predict: None,
         }
     }
 }
@@ -166,6 +176,11 @@ pub struct ClusterStats {
     /// Modelled time burnt on aborted partial runs and losing
     /// duplicates.
     pub wasted_time: SimTime,
+    /// Online replication flips applied (hysteresis upper crossings;
+    /// zero without [`ClusterConfig::predict`]).
+    pub replicates: u64,
+    /// Online de-replication flips applied (lower crossings).
+    pub dereplicates: u64,
 }
 
 impl ClusterStats {
@@ -211,6 +226,8 @@ impl ClusterStats {
         self.card_downs += o.card_downs;
         self.card_ups += o.card_ups;
         self.wasted_time += o.wasted_time;
+        self.replicates += o.replicates;
+        self.dereplicates += o.dereplicates;
     }
 }
 
@@ -267,6 +284,9 @@ pub struct ClusterResult {
     pub makespan: SimTime,
     /// Arrival-to-completion sojourn of every completed job.
     pub sojourn: TimeAccumulator,
+    /// Online replication flips in submission order (empty without
+    /// [`ClusterConfig::predict`]).
+    pub flips: Vec<crate::predict::FlipRecord>,
     /// The merged trace, when tracing is enabled.
     pub trace: Option<TraceReport>,
 }
@@ -357,7 +377,15 @@ impl Cluster {
         // Placement: calibrate once on a scratch card, replicate hot
         // algorithms, pin cold ones.
         let costs = dispatch::calibrate(workload, bank, &*self.factory);
-        let placement = router::place(workload, bank, &costs, cards, cfg.replication);
+        // Online mode starts every algorithm on a single card — the
+        // router's hysteresis gate earns any further copies from the
+        // stream itself.
+        let replication = if cfg.predict.is_some() {
+            1
+        } else {
+            cfg.replication
+        };
+        let placement = router::place(workload, bank, &costs, cards, replication);
 
         // Routing: the deterministic health-checked walk.
         let params = RouteParams {
@@ -366,6 +394,7 @@ impl Cluster {
             max_failovers: cfg.max_failovers,
             backoff: cfg.backoff,
             breaker: cfg.breaker,
+            predict: cfg.predict,
         };
         let outcome = router::route(workload, bank, &costs, &placement, &timelines, &params);
 
@@ -409,6 +438,16 @@ impl Cluster {
             hedges: outcome.hedges,
             hedge_duplicates: outcome.hedge_duplicates,
             wasted_time: outcome.wasted_time,
+            replicates: outcome
+                .flips
+                .iter()
+                .filter(|f| f.kind == crate::predict::Flip::Replicate)
+                .count() as u64,
+            dereplicates: outcome
+                .flips
+                .iter()
+                .filter(|f| f.kind == crate::predict::Flip::Dereplicate)
+                .count() as u64,
             ..ClusterStats::default()
         };
         let mut shed = BTreeMap::new();
@@ -538,6 +577,7 @@ impl Cluster {
             stats,
             makespan: outcome.makespan,
             sojourn,
+            flips: outcome.flips,
             trace,
         })
     }
@@ -656,6 +696,7 @@ impl Cluster {
             stats,
             makespan: SimTime::ZERO,
             sojourn: TimeAccumulator::new(),
+            flips: Vec::new(),
             trace: self.assemble_trace(timelines, horizon, &[]),
         }
     }

@@ -446,6 +446,16 @@ impl CoProcessor {
         self.os.stats()
     }
 
+    /// Directed speculative configuration of `algo` in host
+    /// think-time — the engine's online predictive policy calls this
+    /// during a shard's idle window so the predicted next miss is
+    /// already resident when its batch arrives. Returns `true` when
+    /// the function is resident afterwards. See
+    /// [`aaod_mcu::MiniOs::prefetch_hint`].
+    pub fn prefetch_hint(&mut self, algo: u16) -> bool {
+        self.os.prefetch_hint(algo)
+    }
+
     /// Enables or disables the observability detail log on the card
     /// and its controller. When on, PCI bursts and the controller's
     /// cache/eviction/reconfiguration details are buffered (in true

@@ -97,6 +97,16 @@ pub enum ShardPolicy {
     /// compute-dense algorithm that would saturate one static shard
     /// gets spread.
     Dynamic,
+    /// Bid-based (auction) assignment, the ablation arm against
+    /// [`ShardPolicy::Dynamic`]: each same-algorithm run is sold to
+    /// the shard with the lowest bid — modelled clock, plus a
+    /// cold-start handicap where the algorithm is not yet resident,
+    /// plus the shard's running price. The winner pays the marginal
+    /// price (second-lowest bid minus its own), Bertsekas-style, so
+    /// persistently popular shards price themselves out and load
+    /// spreads without work stealing. Deterministic: pure function of
+    /// the workload, ties to the lower shard index.
+    Auction,
 }
 
 impl ShardPolicy {
@@ -107,6 +117,7 @@ impl ShardPolicy {
             ShardPolicy::RoundRobin => "round-robin",
             ShardPolicy::Balanced => "balanced",
             ShardPolicy::Dynamic => "dynamic",
+            ShardPolicy::Auction => "auction",
         }
     }
 
@@ -124,6 +135,7 @@ impl ShardPolicy {
     ) -> DispatchPlan {
         match self {
             ShardPolicy::Dynamic => dispatch::plan_with(workload, workers, batch_max, factory),
+            ShardPolicy::Auction => dispatch::plan_auction(workload, workers, batch_max, factory),
             _ => DispatchPlan::from_static(self.assign(workload, workers)),
         }
     }
@@ -137,6 +149,15 @@ impl ShardPolicy {
         match self {
             ShardPolicy::Dynamic => {
                 dispatch::plan(workload, workers, EngineConfig::default().batch_max).assignment
+            }
+            ShardPolicy::Auction => {
+                dispatch::plan_auction(
+                    workload,
+                    workers,
+                    EngineConfig::default().batch_max,
+                    &|| CoProcessor::builder().build(),
+                )
+                .assignment
             }
             ShardPolicy::AlgoModulo => requests
                 .iter()
@@ -211,6 +232,15 @@ pub struct EngineConfig {
     /// observes modelled durations, so enabling it never changes any
     /// simulation result.
     pub trace: TraceConfig,
+    /// Online predictive prefetch (see [`crate::predict`]). When set,
+    /// each shard feeds its own deterministic batch sequence into a
+    /// [`crate::predict::PredictModel`] and speculatively
+    /// pre-configures the predicted next algorithm after every batch
+    /// ([`CoProcessor::prefetch_hint`]). `None` (the default) keeps
+    /// the purely reactive behaviour. Decisions depend only on the
+    /// shard's batch sequence — itself a pure function of the
+    /// workload — so outputs stay byte-identical.
+    pub predict: Option<crate::predict::PredictConfig>,
 }
 
 impl Default for EngineConfig {
@@ -225,6 +255,7 @@ impl Default for EngineConfig {
             faults: None,
             overload: None,
             trace: TraceConfig::off(),
+            predict: None,
         }
     }
 }
@@ -740,6 +771,7 @@ impl Engine {
         let fairness = fairness_share.as_ref();
         let factory = &self.factory;
         let trace_cfg = self.config.trace;
+        let predict = self.config.predict;
         let mut producer_tracer = Tracer::new(trace_cfg, PRODUCER_SHARD);
         let queues: Vec<BoundedQueue> = (0..workers)
             .map(|_| BoundedQueue::new(queue_depth))
@@ -765,6 +797,7 @@ impl Engine {
                         fairness,
                         shard as u32,
                         trace_cfg,
+                        predict,
                     )
                 }));
             }
@@ -1312,8 +1345,10 @@ fn worker_loop(
     fairness: Option<&FairnessShare>,
     shard: u32,
     trace: TraceConfig,
+    predict: Option<crate::predict::PredictConfig>,
 ) -> Result<WorkerOutcome, CoreError> {
     let mut cp = factory();
+    let mut predictor = predict.map(|p| crate::predict::PredictModel::new(p.ewma_shift));
     let mut tracer = Tracer::new(trace, shard);
     if tracer.enabled() {
         cp.set_trace(true);
@@ -1400,6 +1435,35 @@ fn worker_loop(
                 }
             }
         }
+        // Online prefetch: feed the shard's (deterministic) batch
+        // sequence into the model and pre-configure the predicted
+        // next algorithm in the idle window after the batch. The
+        // speculative configure charges `prefetch_time`, never the
+        // request path, so modelled latency and outputs are
+        // unchanged; only residency at the next miss differs.
+        if let Some(model) = &mut predictor {
+            model.observe(algo_id);
+            if let Some(next) = model.predict() {
+                if next != algo_id {
+                    let before = cp.stats().prefetches;
+                    cp.prefetch_hint(next);
+                    if tracer.enabled() && cp.stats().prefetches > before {
+                        let ts = chaos
+                            .as_ref()
+                            .and_then(|c| c.overload.as_ref())
+                            .map_or(outcome.busy, |ov| ov.clock);
+                        tracer.record(ts, EventKind::Prefetch { algo: next, shard });
+                    }
+                }
+            }
+        }
+    }
+    // A prefetch fired after the final batch leaves its details
+    // (evictions, cache outcomes, port writes) buffered; drain them so
+    // the trace's eviction count stays in lock-step with the ledger.
+    if predictor.is_some() && tracer.enabled() {
+        cp.take_details_into(&mut details_buf);
+        tracer.details(outcome.busy, &details_buf);
     }
     if let Some(chaos) = &mut chaos {
         chaos.drain(&mut cp, &mut outcome, &mut tracer)?;

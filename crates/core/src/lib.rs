@@ -46,6 +46,7 @@ pub mod engine;
 pub mod error;
 pub mod fault;
 pub mod overload;
+pub mod predict;
 pub(crate) mod router;
 pub mod runner;
 
@@ -59,6 +60,7 @@ pub use fault::{FaultConfig, FaultStats, JobError};
 pub use overload::{
     DeadlinePolicy, FairnessConfig, OverloadConfig, OverloadStats, TenantStats, WatchdogConfig,
 };
+pub use predict::{Flip, FlipRecord, HysteresisGate, PredictConfig, PredictModel};
 pub use runner::{run_workload, run_workload_traced, Executor, RunResult};
 
 // Re-export the pieces users compose with.

@@ -31,6 +31,7 @@ use aaod_workload::Workload;
 
 use crate::breaker::{BreakerConfig, CircuitBreaker};
 use crate::dispatch::{estimate, AlgoCost};
+use crate::predict::{Flip, FlipRecord, HysteresisGate, PredictConfig, PredictModel};
 
 /// Exponent cap for the failover backoff doubling, so the modelled
 /// wait never overflows picoseconds.
@@ -116,6 +117,12 @@ pub(crate) struct RouteParams {
     pub(crate) backoff: SimTime,
     /// Health-check breaker applied to every card.
     pub(crate) breaker: BreakerConfig,
+    /// Online predictive replication (see [`crate::predict`]): when
+    /// set, the walk feeds the submission stream into a popularity
+    /// model and replicates/de-replicates algorithms through a
+    /// hysteresis + refractory gate instead of trusting the offline
+    /// placement's replica counts. `None` keeps the static placement.
+    pub(crate) predict: Option<PredictConfig>,
 }
 
 /// Where one job ended up after the routing walk.
@@ -181,11 +188,14 @@ pub(crate) struct RouteOutcome {
     /// Modelled time burnt on aborted partial runs and losing
     /// duplicate runs.
     pub(crate) wasted_time: SimTime,
-    /// Cluster-shard trace events (failover/hedge), timestamps
-    /// clamped monotone.
+    /// Cluster-shard trace events (failover/hedge/replicate/evict),
+    /// timestamps clamped monotone.
     pub(crate) events: Vec<(SimTime, EventKind)>,
     /// Latest modelled completion across all cards.
     pub(crate) makespan: SimTime,
+    /// Online replication flips in submission order (empty unless
+    /// [`RouteParams::predict`] is set).
+    pub(crate) flips: Vec<FlipRecord>,
 }
 
 /// Walks the request stream in submission order and routes every job.
@@ -211,8 +221,38 @@ pub(crate) fn route(
     let mut last_ts = SimTime::ZERO;
     let mut makespan = SimTime::ZERO;
 
+    // Online predictive replication: the walk maintains a *live* copy
+    // of the replica map and lets the hysteresis gate grow or shrink
+    // it as the popularity model digests the stream. All decisions
+    // are pure functions of the submission sequence, so routing stays
+    // deterministic; execution correctness is unaffected because each
+    // card later installs exactly the algorithms of the jobs routed
+    // to it.
+    let mut online = params.predict.map(|cfg| {
+        (
+            PredictModel::new(cfg.ewma_shift),
+            HysteresisGate::new(cfg),
+            placement.replicas.clone(),
+        )
+    });
+    let mut flips: Vec<FlipRecord> = Vec::new();
+
     for (i, req) in workload.requests().iter().enumerate() {
         let arrival = params.interarrival * i as u64;
+        if let Some((model, gate, live)) = &mut online {
+            model.observe(req.algo_id);
+            for flip in gate.decide((i + 1) as u64, model) {
+                apply_flip(
+                    flip,
+                    live,
+                    &clocks,
+                    &mut events,
+                    &mut last_ts,
+                    arrival,
+                    &mut flips,
+                );
+            }
+        }
         let svc = SimTime::from_ps(
             costs
                 .get(&req.algo_id)
@@ -220,8 +260,10 @@ pub(crate) fn route(
                 .unwrap_or(1)
                 .max(1),
         );
-        let replicas = placement
-            .replicas
+        let replicas = online
+            .as_ref()
+            .map(|(_, _, live)| live)
+            .unwrap_or(&placement.replicas)
             .get(&req.algo_id)
             .map(Vec::as_slice)
             .unwrap_or(&[]);
@@ -434,6 +476,77 @@ pub(crate) fn route(
         wasted_time: wasted,
         events,
         makespan,
+        flips,
+    }
+}
+
+/// Applies one hysteresis flip to the live replica map.
+///
+/// * [`Flip::Replicate`] adds a copy on the least-loaded card (by
+///   virtual clock, ties to the lowest id) not already holding the
+///   algorithm — the same tie-break the placement's greedy fill uses.
+/// * [`Flip::Dereplicate`] removes the copy on the most-loaded holder
+///   (highest clock, ties to the highest id), but never the last one:
+///   an algorithm always keeps at least one card.
+///
+/// Both directions emit a cluster-shard trace event stamped at the
+/// triggering job's arrival (clamped monotone like every router
+/// event).
+fn apply_flip(
+    flip: FlipRecord,
+    live: &mut BTreeMap<u16, Vec<u32>>,
+    clocks: &[SimTime],
+    events: &mut Vec<(SimTime, EventKind)>,
+    last_ts: &mut SimTime,
+    arrival: SimTime,
+    flips: &mut Vec<FlipRecord>,
+) {
+    match flip.kind {
+        Flip::Replicate => {
+            let holders = live.entry(flip.algo).or_default();
+            let target = (0..clocks.len() as u32)
+                .filter(|c| !holders.contains(c))
+                .min_by_key(|&c| (clocks[c as usize], c));
+            let Some(card) = target else {
+                return; // every card already holds it
+            };
+            holders.push(card);
+            holders.sort_unstable();
+            push_event(
+                events,
+                last_ts,
+                arrival,
+                EventKind::Replicate {
+                    algo: flip.algo,
+                    card,
+                },
+            );
+            flips.push(flip);
+        }
+        Flip::Dereplicate => {
+            let Some(holders) = live.get_mut(&flip.algo) else {
+                return;
+            };
+            if holders.len() < 2 {
+                return; // never drop the last copy
+            }
+            let (k, &card) = holders
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &c)| (clocks[c as usize], c))
+                .expect("holders checked non-empty");
+            holders.remove(k);
+            push_event(
+                events,
+                last_ts,
+                arrival,
+                EventKind::Evict {
+                    algo: flip.algo,
+                    card,
+                },
+            );
+            flips.push(flip);
+        }
     }
 }
 

@@ -726,15 +726,41 @@ impl MiniOs {
         let Some(next) = self.predictor.predict() else {
             return;
         };
+        self.prefetch_hint(next);
+    }
+
+    /// Directed speculative configuration of `next` — the entry point
+    /// the serving engine's predictive policy drives during a shard's
+    /// idle window; [`MiniOs::maybe_prefetch`] routes the built-in
+    /// Markov prediction through it too. Returns `true` when the
+    /// function ended up resident (already installed or prefetched).
+    ///
+    /// Prefetches ride the exact same residency machinery as a demand
+    /// miss (`configure_resident`): the decoded-bitstream cache and
+    /// the DeltaV2 content-addressed frame store both serve them, and
+    /// the usual `RomFetch`/`Decompress`/`PortWrite`/`DecodedCache`
+    /// detail events are emitted. Evictions it performs emit
+    /// [`DetailEvent::Eviction`](aaod_sim::DetailEvent) and charge
+    /// `stats.evictions` exactly like demand evictions, but only once
+    /// room has actually been made; an eviction pass that cannot free
+    /// enough frames is rolled back untouched (nothing was erased). A
+    /// speculative configuration that *fails* after its victims were
+    /// released cannot resurrect them (the configure may have partly
+    /// overwritten their frames), so the ledger records it in
+    /// `stats.prefetch_aborted` instead.
+    pub fn prefetch_hint(&mut self, next: u16) -> bool {
+        if self.mode != ReconfigMode::Partial {
+            return false;
+        }
         if self.table.contains(next) {
-            return;
+            return true;
         }
         let Some(record) = self.rom.lookup(next) else {
-            return;
+            return false;
         };
         let needed = record.n_frames as usize;
         if needed > self.device.geometry().frames() {
-            return;
+            return false;
         }
         let mut evicted_for_prefetch: Vec<(u16, Vec<aaod_fabric::FrameAddress>)> = Vec::new();
         while self.free.free_count() < needed {
@@ -759,28 +785,36 @@ impl MiniOs {
                 self.free.reserve(&frames);
                 self.table.insert(victim, frames, self.now);
             }
-            return;
+            return false;
         }
-        self.stats.evictions += evicted_for_prefetch.len() as u64;
-        let encoded = self.rom.bitstream_bytes(&record);
-        let rom_time = self.mem_timing.rom_read_time(encoded.len() as u64);
-        let Some(frames) = self.free.allocate(needed) else {
-            return;
-        };
-        match self
-            .config_module
-            .configure(encoded, &mut self.device, &self.port, &frames)
-        {
-            Ok(report) => {
+        for (victim, frames) in &evicted_for_prefetch {
+            self.details.push(aaod_sim::DetailEvent::Eviction {
+                algo: *victim,
+                frames: frames.len() as u32,
+            });
+            self.stats.evictions += 1;
+        }
+        let frames = self
+            .free
+            .allocate(needed)
+            .expect("free count verified above");
+        match self.configure_resident(&record, &frames) {
+            Ok((report, rom_time, _decoded_hit)) => {
                 self.stats.frames_configured += report.frames_written as u64;
                 self.stats.prefetches += 1;
                 self.stats.prefetch_time += rom_time + report.total();
                 self.table.insert(next, frames, self.now);
                 self.prefetched.insert(next);
+                true
             }
             Err(_) => {
-                // speculative work is best-effort: give the frames back
+                // speculative work is best-effort: give the frames
+                // back and reconcile the ledger — the victims are
+                // gone (their frames may be partly overwritten) with
+                // no resident target to show for it.
                 self.free.release(&frames);
+                self.stats.prefetch_aborted += 1;
+                false
             }
         }
     }
@@ -1461,6 +1495,128 @@ mod tests {
         // correctness under prefetch pressure
         let (out, _) = os.invoke(ids::SHA1, b"abc").unwrap();
         assert_eq!(out.len(), 20);
+    }
+
+    #[test]
+    fn prefetch_rides_the_decoded_cache() {
+        // Regression: prefetch used to configure through the raw v1
+        // path (ConfigModule::configure + raw ROM read), bypassing
+        // the decoded-bitstream cache the demand path uses — so a
+        // speculative configure of an already-decoded function still
+        // paid full ROM + decompression.
+        let mut os = os_with(&[ids::SHA1]);
+        os.invoke(ids::SHA1, b"x").unwrap(); // decodes + caches SHA1
+        os.evict(ids::SHA1).unwrap();
+        let before = os.stats();
+        assert!(os.prefetch_hint(ids::SHA1), "prefetch should succeed");
+        let s = os.stats();
+        assert_eq!(
+            s.decoded_hits,
+            before.decoded_hits + 1,
+            "prefetch bypassed the decoded cache"
+        );
+        assert_eq!(s.prefetches, before.prefetches + 1);
+        assert!(os.resident().contains(&ids::SHA1));
+        // the speculative configure must not touch demand-path timers
+        assert_eq!(s.rom_time, before.rom_time);
+        assert_eq!(s.reconfig_time, before.reconfig_time);
+        assert!(s.prefetch_time > before.prefetch_time);
+    }
+
+    #[test]
+    fn prefetch_deltav2_hits_the_frame_store() {
+        // Same regression, v2 arm: a DeltaV2 prefetch must probe the
+        // content-addressed frame store like a demand miss does.
+        let mut os = MiniOs::new(MiniOsConfig {
+            codec: CodecId::DeltaV2,
+            decoded_cache_bytes: 0,
+            ..MiniOsConfig::default()
+        });
+        os.install(ids::SHA1).unwrap();
+        os.invoke(ids::SHA1, b"x").unwrap(); // populates the store
+        os.evict(ids::SHA1).unwrap();
+        let before = os.stats();
+        assert!(os.prefetch_hint(ids::SHA1));
+        let s = os.stats();
+        assert!(
+            s.frame_store_hits > before.frame_store_hits,
+            "prefetch bypassed the frame store: {s:?}"
+        );
+    }
+
+    #[test]
+    fn prefetch_evictions_emit_detail_events() {
+        // Regression: prefetch evictions never emitted
+        // DetailEvent::Eviction, so trace eviction counts disagreed
+        // with stats.evictions whenever prefetch evicted.
+        let mut os = MiniOs::new(MiniOsConfig {
+            geometry: DeviceGeometry::new(40, 16),
+            ..MiniOsConfig::default()
+        });
+        os.set_trace(true);
+        os.install(ids::SHA256).unwrap(); // 16 frames (ROM record)
+        os.install(ids::AES128).unwrap(); // 24 frames
+        os.install(ids::SHA1).unwrap(); // 12 frames — evicts SHA256
+        os.invoke(ids::AES128, &[0; 16]).unwrap();
+        os.invoke(ids::SHA1, b"x").unwrap();
+        assert!(!os.resident().contains(&ids::SHA256));
+        os.take_details(); // discard bring-up + serving details
+                           // SHA256 (16 frames) needs room: AES (LRU victim) must go.
+        let before = os.stats().evictions;
+        assert!(os.prefetch_hint(ids::SHA256));
+        let evicted = os.stats().evictions - before;
+        assert!(evicted >= 1, "prefetch should have evicted");
+        let details = os.take_details();
+        let detail_evictions = details
+            .iter()
+            .filter(|e| matches!(e, aaod_sim::DetailEvent::Eviction { .. }))
+            .count() as u64;
+        assert_eq!(
+            detail_evictions, evicted,
+            "trace and ledger eviction counts disagree: {details:?}"
+        );
+    }
+
+    #[test]
+    fn aborted_prefetch_reconciles_the_ledger() {
+        // Regression: a speculative configure that failed after its
+        // victims were evicted left the card with fewer residents and
+        // no installed target, with nothing in OsStats tying the two
+        // together. The abort now shows up in `prefetch_aborted`.
+        let mut os = MiniOs::new(MiniOsConfig {
+            geometry: DeviceGeometry::new(40, 16),
+            ..MiniOsConfig::default()
+        });
+        os.install(ids::SHA256).unwrap(); // 16 frames (ROM record)
+        os.install(ids::AES128).unwrap(); // 24 frames
+        os.install(ids::SHA1).unwrap(); // 12 frames — evicts SHA256
+        os.invoke(ids::AES128, &[0; 16]).unwrap();
+        os.invoke(ids::SHA1, b"x").unwrap();
+        // Rot SHA256's ROM image so its speculative configure fails
+        // at the CRC check, *after* the eviction pass made room.
+        let mut rng = SplitMix64::new(42);
+        os.inject_rom_rot(ids::SHA256, &mut rng).unwrap();
+        let free_before = os.free_frames();
+        let before = os.stats();
+        assert!(!os.prefetch_hint(ids::SHA256), "rotten image must fail");
+        let s = os.stats();
+        assert_eq!(s.prefetch_aborted, before.prefetch_aborted + 1);
+        assert_eq!(s.prefetches, before.prefetches, "no prefetch charged");
+        assert!(!os.resident().contains(&ids::SHA256));
+        // The target's frames were released back: the ledger balances
+        // (victims stay evicted, and their frames are free again).
+        let used: usize = os
+            .resident()
+            .iter()
+            .map(|&id| os.table().get(id).unwrap().frames.len())
+            .sum();
+        assert_eq!(used + os.free_frames(), 40, "frame ledger out of balance");
+        assert!(
+            os.free_frames() >= free_before,
+            "aborted prefetch leaked frames"
+        );
+        // The eviction the abort charged is visible in the ledger.
+        assert_eq!(s.evictions, before.evictions + 1);
     }
 
     #[test]

@@ -34,6 +34,11 @@ pub struct OsStats {
     /// Idle time spent on speculative configuration (not on the
     /// request critical path).
     pub prefetch_time: SimTime,
+    /// Speculative configurations that failed *after* their victims
+    /// were evicted: the card is left with fewer residents and no
+    /// installed target, and this counter is the ledger entry tying
+    /// the two together (see `MiniOs::prefetch_hint`).
+    pub prefetch_aborted: u64,
     /// Scrub passes performed (extension).
     pub scrubs: u64,
     /// Functions repaired from ROM by scrubbing.
@@ -101,6 +106,7 @@ impl OsStats {
         self.prefetches += other.prefetches;
         self.prefetch_hits += other.prefetch_hits;
         self.prefetch_time += other.prefetch_time;
+        self.prefetch_aborted += other.prefetch_aborted;
         self.scrubs += other.scrubs;
         self.scrub_repairs += other.scrub_repairs;
         self.scrub_time += other.scrub_time;

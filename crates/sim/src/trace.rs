@@ -598,6 +598,30 @@ pub enum EventKind {
         /// The replica the hedge ran on.
         to: u32,
     },
+    /// A shard speculatively pre-configured an algorithm in its idle
+    /// window (online predictive policy; see `aaod_core::predict`).
+    Prefetch {
+        /// The algorithm configured ahead of demand.
+        algo: u16,
+        /// The shard whose idle window paid for it.
+        shard: u32,
+    },
+    /// The online router replicated a hot algorithm to another card
+    /// after its popularity crossed the upper hysteresis threshold.
+    Replicate {
+        /// The algorithm replicated.
+        algo: u16,
+        /// The card that gained the replica.
+        card: u32,
+    },
+    /// The online router dropped a replica after the algorithm's
+    /// popularity fell below the lower hysteresis threshold.
+    Evict {
+        /// The algorithm de-replicated.
+        algo: u16,
+        /// The card that lost the replica.
+        card: u32,
+    },
 }
 
 /// One recorded event: modelled timestamp, shard, per-shard sequence
@@ -734,6 +758,9 @@ pub struct TraceCounters {
     pub card_ups: u64,
     pub failovers: u64,
     pub hedges: u64,
+    pub prefetches: u64,
+    pub replications: u64,
+    pub dereplications: u64,
 }
 
 impl TraceCounters {
@@ -793,6 +820,9 @@ impl TraceCounters {
         self.card_ups += o.card_ups;
         self.failovers += o.failovers;
         self.hedges += o.hedges;
+        self.prefetches += o.prefetches;
+        self.replications += o.replications;
+        self.dereplications += o.dereplications;
     }
 }
 
@@ -902,6 +932,9 @@ impl MetricsRegistry {
             EventKind::CardUp { .. } => c.card_ups += 1,
             EventKind::Failover { .. } => c.failovers += 1,
             EventKind::Hedge { .. } => c.hedges += 1,
+            EventKind::Prefetch { .. } => c.prefetches += 1,
+            EventKind::Replicate { .. } => c.replications += 1,
+            EventKind::Evict { .. } => c.dereplications += 1,
         }
     }
 
@@ -1327,6 +1360,21 @@ fn jsonl_line(out: &mut String, e: &TraceEvent) {
                 ",\"event\":\"hedge\",\"job\":{job},\"algo\":{algo},\"from\":{from},\"to\":{to}"
             );
         }
+        EventKind::Prefetch { algo, shard } => {
+            let _ = write!(
+                out,
+                ",\"event\":\"prefetch\",\"algo\":{algo},\"prefetch_shard\":{shard}"
+            );
+        }
+        EventKind::Replicate { algo, card } => {
+            let _ = write!(
+                out,
+                ",\"event\":\"replicate\",\"algo\":{algo},\"card\":{card}"
+            );
+        }
+        EventKind::Evict { algo, card } => {
+            let _ = write!(out, ",\"event\":\"evict\",\"algo\":{algo},\"card\":{card}");
+        }
     }
     out.push('}');
 }
@@ -1405,6 +1453,9 @@ fn instant_name(kind: &EventKind) -> &'static str {
         EventKind::CardUp { .. } => "card_up",
         EventKind::Failover { .. } => "failover",
         EventKind::Hedge { .. } => "hedge",
+        EventKind::Prefetch { .. } => "prefetch",
+        EventKind::Replicate { .. } => "replicate",
+        EventKind::Evict { .. } => "evict",
         EventKind::JobOpen { .. }
         | EventKind::JobClose { .. }
         | EventKind::StageOpen { .. }

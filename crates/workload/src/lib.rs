@@ -691,6 +691,20 @@ impl Workload {
         self.ticks.as_ref().map(|t| t[index])
     }
 
+    /// The arrival stream an online predictor consumes: every request
+    /// as `(index, algo_id, tick)` in submission order, where `tick`
+    /// is the shaped [`arrival_tick`](Workload::arrival_tick) when the
+    /// stream carries a load curve and the uniform open-loop offset
+    /// `index × 1000` milli-interarrivals otherwise — so consumers see
+    /// one continuous timebase regardless of how the stream was
+    /// generated.
+    pub fn arrivals(&self) -> impl Iterator<Item = (usize, u16, u64)> + '_ {
+        self.requests.iter().enumerate().map(|(i, r)| {
+            let tick = self.arrival_tick(i).unwrap_or(i as u64 * 1000);
+            (i, r.algo_id, tick)
+        })
+    }
+
     /// Distinct algorithms referenced, sorted.
     pub fn distinct_algos(&self) -> Vec<u16> {
         let mut ids = self.algo_trace();

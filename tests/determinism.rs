@@ -93,6 +93,7 @@ fn engine_matches_serial_across_policies_on_bursty() {
         ShardPolicy::RoundRobin,
         ShardPolicy::Balanced,
         ShardPolicy::Dynamic,
+        ShardPolicy::Auction,
     ] {
         let engine = Engine::new(EngineConfig {
             workers: 4,
@@ -189,6 +190,7 @@ fn dedup_mix_matches_serial_and_dedup_counters_are_deterministic() {
         ShardPolicy::RoundRobin,
         ShardPolicy::Balanced,
         ShardPolicy::Dynamic,
+        ShardPolicy::Auction,
     ] {
         let engine = Engine::with_factory(
             EngineConfig {
@@ -276,6 +278,7 @@ fn kernel_mix_is_repeatable_across_policies() {
         ShardPolicy::RoundRobin,
         ShardPolicy::Balanced,
         ShardPolicy::Dynamic,
+        ShardPolicy::Auction,
     ] {
         let engine = Engine::with_factory(
             EngineConfig {
@@ -315,4 +318,147 @@ fn kernel_mix_cluster_is_repeatable() {
     assert_eq!(a.outputs, b.outputs);
     assert_eq!(a.assignment, b.assignment);
     assert_eq!(a.stats, b.stats);
+}
+
+/// The E20 predictive-policy seed. `AAOD_PREDICT_SEED` pins or sweeps
+/// it, so CI drives this suite and the E20 bench with one knob.
+fn predict_seed() -> u64 {
+    aaod_bench::env_seed("AAOD_PREDICT_SEED", 11)
+}
+
+/// The E9/E20 over-committed card: 52 frames against a 58-frame
+/// crypto working set, so residency churns constantly and speculation
+/// has something to win.
+fn churn_card() -> CoProcessor {
+    CoProcessor::builder()
+        .geometry(aaod_fabric::DeviceGeometry::new(52, 16))
+        .build()
+}
+
+/// The engine-level predictive prefetcher is a pure function of each
+/// shard's arrival subsequence: the same stream must drive bit-equal
+/// prefetch decisions (merged `OsStats`, prefetch counters included)
+/// run-to-run under every sharding policy — auction arm included —
+/// and speculation must never change a single output byte.
+#[test]
+fn predictive_engine_is_repeatable_and_output_invariant_across_policies() {
+    use aaod_core::PredictConfig;
+    let big_three = [ids::AES128, ids::TDES, ids::SHA256];
+    let workload = Workload::round_robin(&big_three, 240, 64);
+    let (expected_outputs, _) = serial_reference(&workload);
+    let mut prefetched_anywhere = false;
+    for policy in [
+        ShardPolicy::AlgoModulo,
+        ShardPolicy::RoundRobin,
+        ShardPolicy::Balanced,
+        ShardPolicy::Dynamic,
+        ShardPolicy::Auction,
+    ] {
+        let engine = Engine::with_factory(
+            EngineConfig {
+                workers: 2,
+                shard: policy,
+                predict: Some(PredictConfig::default()),
+                ..EngineConfig::default()
+            },
+            churn_card,
+        );
+        let a = engine.serve(&workload).unwrap();
+        let b = engine.serve(&workload).unwrap();
+        assert_eq!(
+            a.outputs.as_ref().unwrap(),
+            &expected_outputs,
+            "{}: speculative configuration changed output bytes",
+            policy.name()
+        );
+        assert_eq!(
+            a.stats,
+            b.stats,
+            "{}: same arrival stream must drive identical prefetch decisions",
+            policy.name()
+        );
+        assert_eq!(a.outputs, b.outputs, "{}", policy.name());
+        assert_eq!(a.makespan, b.makespan, "{}", policy.name());
+        assert_eq!(a.shard_busy, b.shard_busy, "{}", policy.name());
+        prefetched_anywhere |= a.stats.prefetches > 0;
+    }
+    // rotation over an over-committed device is the prefetcher's home
+    // turf: if no policy speculated at all the test went vacuous
+    assert!(prefetched_anywhere, "predictor never issued a prefetch");
+}
+
+/// The online replication policy in a 4-card fleet: the same
+/// flash-crowd arrival stream must produce the identical hysteresis
+/// flip sequence run-to-run, the gate must honour its refractory
+/// window, the ledger must match the flips — and churning the replica
+/// map must never change a single output byte versus the static
+/// planner.
+#[test]
+fn predictive_cluster_flip_sequence_is_repeatable() {
+    use aaod_algos::AlgorithmBank;
+    use aaod_core::{Cluster, ClusterConfig, Flip, PredictConfig};
+    // The hot id rides the *tail* Zipf rank (~12 % of the baseline),
+    // so its popularity structurally rises through `hot_up` during the
+    // spike and falls back through `cold_down` afterwards — a full
+    // replicate/de-replicate cycle for any seed. A head-rank hot algo
+    // would keep ~48 % of the baseline and never cool off.
+    let crowd = [ids::CRC32, ids::CRC8, ids::XTEA, ids::SHA1];
+    let workload = Workload::flash_crowd(&crowd, ids::SHA1, 400, 20, 32, predict_seed());
+    let bank = AlgorithmBank::standard();
+    let cfg = PredictConfig::default();
+    let config = || ClusterConfig {
+        cards: 4,
+        card_workers: 2,
+        predict: Some(cfg),
+        ..ClusterConfig::default()
+    };
+    let a = Cluster::new(config()).serve(&workload, &bank).unwrap();
+    let b = Cluster::new(config()).serve(&workload, &bank).unwrap();
+    assert_eq!(
+        a.flips, b.flips,
+        "same arrival stream must produce the same flip sequence"
+    );
+    assert_eq!(a.outputs, b.outputs);
+    assert_eq!(a.assignment, b.assignment);
+    assert_eq!(a.stats, b.stats);
+    // the spike must drive the policy through a full cycle: replicate
+    // on the way up, de-replicate once the crowd disperses
+    let reps = a.flips.iter().filter(|f| f.kind == Flip::Replicate).count() as u64;
+    let dereps = a
+        .flips
+        .iter()
+        .filter(|f| f.kind == Flip::Dereplicate)
+        .count() as u64;
+    assert!(reps >= 1, "flash crowd never triggered a replication");
+    assert!(dereps >= 1, "dispersal never triggered a de-replication");
+    assert_eq!((a.stats.replicates, a.stats.dereplicates), (reps, dereps));
+    // hysteresis: no algorithm may flip twice inside the refractory
+    // window — that is exactly the oscillation the gate exists to stop
+    let mut last: std::collections::BTreeMap<u16, u64> = std::collections::BTreeMap::new();
+    for f in &a.flips {
+        if let Some(prev) = last.insert(f.algo, f.at) {
+            assert!(
+                f.at - prev >= cfg.refractory,
+                "algo {} flipped at {} and again at {} (refractory {})",
+                f.algo,
+                prev,
+                f.at,
+                cfg.refractory
+            );
+        }
+    }
+    // replica-map churn is pure placement: byte-identical to the
+    // static offline planner on the same stream
+    let offline = Cluster::new(ClusterConfig {
+        cards: 4,
+        card_workers: 2,
+        replication: 2,
+        ..ClusterConfig::default()
+    })
+    .serve(&workload, &bank)
+    .unwrap();
+    assert_eq!(
+        a.outputs, offline.outputs,
+        "online replication changed output bytes"
+    );
 }

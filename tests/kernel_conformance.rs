@@ -130,8 +130,8 @@ fn matmul16_matches_reference_on_random_and_edge_shapes() {
         seeded_bytes(8 * MATMUL16_PAIR_BYTES, 0xE1901), // full batch
         seeded_bytes(3 * MATMUL16_PAIR_BYTES + 100, 0xE1902), // ragged tail
         seeded_bytes(40, 0xE1903),                      // 1×N partial record
-        vec![0u8; 2 * MATMUL16_PAIR_BYTES],              // all-zero
-        vec![0x80u8; MATMUL16_PAIR_BYTES],               // saturating worst case
+        vec![0u8; 2 * MATMUL16_PAIR_BYTES],             // all-zero
+        vec![0x80u8; MATMUL16_PAIR_BYTES],              // saturating worst case
     ];
     for (s, input) in shapes.iter().enumerate() {
         let got = all_paths(ids::MATMUL16, input);

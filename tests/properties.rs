@@ -390,11 +390,13 @@ proptest! {
     }
 
     /// MiniOs frame ledger: any interleaving of invokes, evictions,
-    /// scrubs and SEU injections keeps every frame either free or
-    /// owned by exactly one resident function.
+    /// prefetch hints, scrubs and SEU injections keeps every frame
+    /// either free or owned by exactly one resident function, and the
+    /// trace's `DetailEvent::Eviction` stream stays in lock-step with
+    /// `stats.evictions` — prefetch-driven evictions included.
     #[test]
     fn mini_os_frame_ledger_conserved_under_chaos(
-        ops in proptest::collection::vec((0u8..4, any::<u8>()), 1..40),
+        ops in proptest::collection::vec((0u8..5, any::<u8>()), 1..40),
         seed in any::<u64>(),
     ) {
         use aaod_algos::ids;
@@ -404,11 +406,15 @@ proptest! {
             geometry: DeviceGeometry::new(26, 16),
             ..MiniOsConfig::default()
         });
+        os.set_trace(true);
         for &id in &algos {
             os.install(id).unwrap();
         }
+        os.take_details(); // drop install-time noise; evictions start at a clean ledger
+        let install_evictions = os.stats().evictions;
         let mut rng = aaod_sim::SplitMix64::new(seed);
         let total = os.geometry().frames();
+        let mut traced_evictions = 0u64;
         for (op, detail) in ops {
             let algo = algos[(detail as usize) % algos.len()];
             match op {
@@ -418,6 +424,7 @@ proptest! {
                 0 => { let _ = os.invoke(algo, b"data"); }
                 1 => { let _ = os.evict(algo); }
                 2 => { let _ = os.scrub(); }
+                3 => { let _ = os.prefetch_hint(algo); }
                 _ => { os.inject_seu(algo, &mut rng); }
             }
             let mut owned = vec![false; total];
@@ -429,6 +436,19 @@ proptest! {
             }
             let held = owned.iter().filter(|&&b| b).count();
             prop_assert_eq!(held + os.free_frames(), total);
+            // the observability stream is a second bookkeeper: every
+            // charged eviction (demand or prefetch) must appear as a
+            // detail event, and nothing may appear uncharged
+            traced_evictions += os
+                .take_details()
+                .iter()
+                .filter(|e| matches!(e, aaod_sim::DetailEvent::Eviction { .. }))
+                .count() as u64;
+            prop_assert_eq!(
+                traced_evictions + install_evictions,
+                os.stats().evictions,
+                "trace and ledger eviction counts diverged"
+            );
         }
     }
 

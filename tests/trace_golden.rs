@@ -276,3 +276,49 @@ fn flash_crowd_golden_scenario_is_under_pressure() {
         .count();
     assert!(sheds > 0, "flash-crowd golden lost its overload pressure");
 }
+
+/// The online predictive router's hysteresis flip sequence for a
+/// pinned flash-crowd stream, one JSON line per flip in submission
+/// order. The hot id rides the tail Zipf rank so the golden pins a
+/// full replicate → de-replicate cycle; a drift here means the
+/// popularity EWMA, the thresholds or the refractory changed
+/// behaviour.
+fn predict_flips_jsonl(seed: u64) -> String {
+    use aaod_core::{Cluster, ClusterConfig, Flip, PredictConfig};
+    use std::fmt::Write;
+    let crowd = [ids::CRC32, ids::CRC8, ids::XTEA, ids::SHA1];
+    let w = Workload::flash_crowd(&crowd, ids::SHA1, 400, 20, 32, seed);
+    let bank = aaod_algos::AlgorithmBank::standard();
+    let r = Cluster::new(ClusterConfig {
+        cards: 4,
+        card_workers: 2,
+        predict: Some(PredictConfig::default()),
+        ..ClusterConfig::default()
+    })
+    .serve(&w, &bank)
+    .expect("predictive cluster serve");
+    let mut out = String::new();
+    for f in &r.flips {
+        let kind = match f.kind {
+            Flip::Replicate => "replicate",
+            Flip::Dereplicate => "dereplicate",
+        };
+        writeln!(
+            out,
+            "{{\"at\":{},\"algo\":{},\"flip\":\"{kind}\"}}",
+            f.at, f.algo
+        )
+        .expect("write flip line");
+    }
+    out
+}
+
+#[test]
+fn predict_flip_sequence_matches_golden() {
+    let got = predict_flips_jsonl(5);
+    assert!(
+        got.contains("replicate") && got.contains("dereplicate"),
+        "golden scenario lost its full hysteresis cycle:\n{got}"
+    );
+    check_golden("predict_flips_seed5.jsonl", &got);
+}
